@@ -1,0 +1,113 @@
+// Reproduces Appendix C: the alpha-budget optimizer.
+//
+// (a) alpha derivation from a wall-clock budget given the measured average
+//     costs of PyMuPDF and Nougat;
+// (b) the optimality gap of per-batch floor(alpha*k) selection vs the
+//     global sort, swept over batch sizes (the paper argues the gap is
+//     negligible at k=256);
+// (c) achieved quality vs alpha — the accuracy/throughput trade-off curve
+//     the constraint formalizes.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/budget.hpp"
+#include "core/engine.hpp"
+#include "doc/generator.hpp"
+#include "hpc/campaign.hpp"
+#include "metrics/bleu.hpp"
+#include "parsers/registry.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+
+int main() {
+  util::Stopwatch wall;
+  const std::size_t n = bench::env().eval_docs;
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(n, 0xA1FA)).generate();
+  std::cout << "== Appendix C: alpha-budget optimizer (n=" << docs.size()
+            << ") ==\n";
+
+  // (a) alpha from budget, using simulated average per-document costs.
+  const auto mupdf = parsers::make_parser(parsers::ParserKind::kPyMuPdf);
+  const auto nougat = parsers::make_parser(parsers::ParserKind::kNougat);
+  double t_cheap = 0.0, t_expensive = 0.0;
+  for (const auto& d : docs) {
+    t_cheap += mupdf->estimate_cost(d).cpu_seconds;
+    const auto c = nougat->estimate_cost(d);
+    t_expensive += c.cpu_seconds + c.gpu_seconds;
+  }
+  t_cheap /= static_cast<double>(docs.size());
+  t_expensive /= static_cast<double>(docs.size());
+  std::cout << "avg cost: T_PyMuPDF=" << util::format_fixed(t_cheap, 1)
+            << " s, T_Nougat=" << util::format_fixed(t_expensive, 1)
+            << " s per document\n";
+  util::Table alpha_table({"Budget (x all-cheap)", "admissible alpha"});
+  for (double factor : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const double budget =
+        factor * t_cheap * static_cast<double>(docs.size());
+    alpha_table.row()
+        .add(util::format_fixed(factor, 1))
+        .add(core::alpha_for_budget(budget, docs.size(), t_cheap,
+                                    t_expensive),
+             4);
+  }
+  alpha_table.print(std::cout);
+
+  // (b) per-batch optimality gap. Gains = predicted Nougat-over-PyMuPDF
+  // improvements from the trained predictor (the real selection signal).
+  const auto& bundle = bench::trained_bundle(/*with_dpo=*/true);
+  const auto decisions = bundle.llm->route(docs);
+  std::vector<double> gains;
+  gains.reserve(decisions.size());
+  for (const auto& d : decisions) {
+    gains.push_back(std::min(1.0, std::max(-1.0, d.predicted_gain)));
+  }
+  const double global_objective = core::selection_objective(
+      gains, core::select_budgeted(gains, 0.05));
+  std::cout << "\nper-batch optimality gap at alpha=0.05 (paper: negligible "
+               "at k=256):\n";
+  util::Table gap_table({"Batch size k", "objective", "% of global"});
+  for (std::size_t k : {16U, 32U, 64U, 128U, 256U, 512U, 1024U, 2048U}) {
+    const double objective = core::selection_objective(
+        gains, core::select_budgeted_batched(gains, 0.05, k));
+    gap_table.row()
+        .add(k)
+        .add(objective, 3)
+        .add(global_objective > 0.0 ? 100.0 * objective / global_objective
+                                    : 100.0,
+             1);
+  }
+  gap_table.print(std::cout);
+
+  // (c) quality vs alpha trade-off.
+  std::cout << "\nBLEU and GPU demand vs alpha (LLM variant):\n";
+  util::Table trade_table({"alpha", "BLEU (%)", "docs->Nougat",
+                           "GPU-s per 1k docs"});
+  for (double alpha : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    core::EngineConfig config;
+    config.alpha = alpha;
+    config.batch_size = 256;
+    const core::AdaParseEngine engine(config, bundle.predictor,
+                                      bundle.improver);
+    const auto output = engine.run(docs);
+    double bleu_sum = 0.0, gpu = 0.0;
+    std::size_t routed = 0;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      bleu_sum += metrics::bleu(output.records[i].text,
+                                docs[i].full_groundtruth());
+    }
+    gpu = output.stats.nougat_gpu_seconds;
+    routed = output.stats.routed_to_nougat;
+    trade_table.row()
+        .add(util::format_fixed(alpha, 2))
+        .add(100.0 * bleu_sum / static_cast<double>(docs.size()), 1)
+        .add(routed)
+        .add(1000.0 * gpu / static_cast<double>(docs.size()), 0);
+  }
+  trade_table.print(std::cout);
+  std::cout << "wall time: " << util::format_fixed(wall.seconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark): the hot paths of the library —
+// metrics over document-length text, feature hashing, corruption channels,
+// parser simulation, and the thread pool. Also quantifies the raw
+// extraction-vs-ViT cost ratio underlying the paper's "135x" claim.
+#include <benchmark/benchmark.h>
+
+#include "core/cls1.hpp"
+#include "doc/generator.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/edit_distance.hpp"
+#include "metrics/rouge.hpp"
+#include "ml/feature_hash.hpp"
+#include "parsers/registry.hpp"
+#include "sched/thread_pool.hpp"
+#include "text/corrupt.hpp"
+#include "text/features.hpp"
+
+using namespace adaparse;
+
+namespace {
+
+const doc::Document& sample_doc() {
+  static const doc::Document d =
+      doc::CorpusGenerator(doc::born_digital_config(1, 0xD0C)).generate_one(0);
+  return d;
+}
+
+const std::string& reference_text() {
+  static const std::string s = sample_doc().full_groundtruth();
+  return s;
+}
+
+const std::string& candidate_text() {
+  static const std::string s = [] {
+    util::Rng rng(1);
+    return text::substitute_chars(reference_text(), 0.02, rng);
+  }();
+  return s;
+}
+
+}  // namespace
+
+static void BM_Bleu_Document(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::bleu(candidate_text(), reference_text()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(reference_text().size()));
+}
+BENCHMARK(BM_Bleu_Document);
+
+static void BM_RougeL_Document(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::rouge_l(candidate_text(), reference_text()).f1);
+  }
+}
+BENCHMARK(BM_RougeL_Document);
+
+static void BM_CharacterAccuracy_Document(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::character_accuracy(candidate_text(), reference_text()));
+  }
+}
+BENCHMARK(BM_CharacterAccuracy_Document);
+
+static void BM_LevenshteinBanded(benchmark::State& state) {
+  const auto band = static_cast<std::size_t>(state.range(0));
+  const std::string a = candidate_text().substr(0, 4000);
+  const std::string b = reference_text().substr(0, 4000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::levenshtein_banded(a, b, band));
+  }
+}
+BENCHMARK(BM_LevenshteinBanded)->Arg(64)->Arg(512)->Arg(4000);
+
+static void BM_FeatureHash_FirstPage(benchmark::State& state) {
+  const std::string page = sample_doc().groundtruth_pages[0];
+  ml::HashOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::hash_text(page, options));
+  }
+}
+BENCHMARK(BM_FeatureHash_FirstPage);
+
+static void BM_Cls1_Validate(benchmark::State& state) {
+  const std::string text = sample_doc().full_text_layer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cls1_validate(text, 10));
+  }
+}
+BENCHMARK(BM_Cls1_Validate);
+
+static void BM_TextFeatures(benchmark::State& state) {
+  const std::string text = sample_doc().full_text_layer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::compute_features(text));
+  }
+}
+BENCHMARK(BM_TextFeatures);
+
+static void BM_CorruptChannel_Scramble(benchmark::State& state) {
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::scramble_words(reference_text(), 0.05, rng));
+  }
+}
+BENCHMARK(BM_CorruptChannel_Scramble);
+
+static void BM_Parser_Simulate(benchmark::State& state) {
+  const auto kind = static_cast<parsers::ParserKind>(state.range(0));
+  const auto parser = parsers::make_parser(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser->parse(sample_doc()));
+  }
+  state.SetLabel(parsers::parser_name(kind));
+}
+BENCHMARK(BM_Parser_Simulate)->DenseRange(0, 5);
+
+// Raw simulated cost ratio per worker (extraction CPU-s vs ViT GPU-s): the
+// figure behind the paper's "PyMuPDF throughput 135x Nougat" comparison.
+static void BM_CostRatio_ExtractionVsViT(benchmark::State& state) {
+  const auto mupdf = parsers::make_parser(parsers::ParserKind::kPyMuPdf);
+  const auto nougat = parsers::make_parser(parsers::ParserKind::kNougat);
+  double ratio = 0.0;
+  for (auto _ : state) {
+    const auto cheap = mupdf->estimate_cost(sample_doc());
+    const auto vit = nougat->estimate_cost(sample_doc());
+    ratio = (vit.gpu_seconds + vit.cpu_seconds) / cheap.cpu_seconds;
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["gpu_over_cpu_cost"] = ratio;
+}
+BENCHMARK(BM_CostRatio_ExtractionVsViT);
+
+static void BM_ThreadPool_Submit(benchmark::State& state) {
+  sched::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto f = pool.submit([] { return 1; });
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_ThreadPool_Submit)->Arg(2)->Arg(8);
+
+BENCHMARK_MAIN();

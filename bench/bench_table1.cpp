@@ -1,0 +1,61 @@
+// Reproduces Table 1: accuracy on born-digital PDFs.
+//
+// Paper row order: Marker, Nougat, PyMuPDF, pypdf, GROBID, Tesseract,
+// AdaParse. Columns: Coverage, BLEU, ROUGE, CAR, WR, AT (all %). The
+// held-out evaluation corpus is disjoint from the training corpus by seed.
+//
+// Paper reference values (for shape comparison; see EXPERIMENTS.md):
+//   Marker    96.7 47.5 64.2 59.6 26.6 73.3
+//   Nougat    93.0 48.1 66.5 65.8 27.9 69.8
+//   PyMuPDF   91.3 51.9 67.3 67.0 24.4 76.7
+//   pypdf     92.0 43.6 58.7 32.3  2.4 72.4
+//   GROBID    81.0 26.5 52.4 54.8  -   20.6
+//   Tesseract 91.3 48.8 64.2 67.8 18.7 72.5
+//   AdaParse  91.5 52.1 67.6 67.1 25.5 76.9
+#include <iostream>
+
+#include "common.hpp"
+#include "doc/generator.hpp"
+#include "parsers/registry.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+
+int main() {
+  util::Stopwatch wall;
+  const auto docs =
+      doc::CorpusGenerator(doc::born_digital_config(bench::env().eval_docs,
+                                                    0xB0CA))
+          .generate();
+  std::cout << "== Table 1: accuracy on born-digital PDFs (n=" << docs.size()
+            << ") ==\n";
+
+  std::vector<bench::SystemRow> rows;
+  for (parsers::ParserKind kind :
+       {parsers::ParserKind::kMarker, parsers::ParserKind::kNougat,
+        parsers::ParserKind::kPyMuPdf, parsers::ParserKind::kPypdf,
+        parsers::ParserKind::kGrobid, parsers::ParserKind::kTesseract}) {
+    rows.push_back(bench::evaluate_parser(kind, docs));
+  }
+  const auto& bundle = bench::trained_bundle(/*with_dpo=*/true);
+  rows.push_back(bench::evaluate_engine("AdaParse", *bundle.llm, docs));
+  bench::fill_win_rates(rows, docs);
+
+  util::Table table({"Parser", "Coverage", "BLEU", "ROUGE", "CAR", "WR", "AT"});
+  for (const auto& row : rows) {
+    table.row()
+        .add(row.name)
+        .add(100.0 * row.scores.coverage(), 1)
+        .add(100.0 * row.scores.bleu(), 1)
+        .add(100.0 * row.scores.rouge(), 1)
+        .add(100.0 * row.scores.car(), 1)
+        .add(100.0 * row.win_rate, 1)
+        .add(100.0 * row.scores.accepted_tokens(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "(all values in %, as in the paper)\n";
+  std::cout << "wall time: " << util::format_fixed(wall.seconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Reproduces Table 4: evaluation of prediction models across feature
+// classes.
+//
+// Every model selects one parser per test document; the row reports the
+// quality (BLEU/ROUGE/CAR, %) of the *selected* outputs, the win rate of
+// the selection in the simulated preference tournament, and ACC — the
+// agreement with the BLEU-maximal selection.
+//
+// Paper rows (for shape comparison):
+//   CLS III (text):      SciBERT+DPO 52.7/69.4/68.0/31.4/36.7,
+//                        SciBERT 51.6/69.5/66.9/25.0/48.3, BERT 49.7/...
+//   CLS II (title/meta): SPECTER, MiniLM variants ~44-48 BLEU
+//   CLS I (metadata):    SVC variants ~43-48 BLEU
+//   References:          BLEU-max 56.8, random 44.0, BLEU-min 21.5
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "core/predictor.hpp"
+#include "core/training.hpp"
+#include "doc/generator.hpp"
+#include "ml/feature_hash.hpp"
+#include "ml/linear.hpp"
+#include "parsers/registry.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+
+namespace {
+
+/// A parser selection per test document, plus how it was produced.
+struct Selection {
+  std::string name;
+  std::vector<std::size_t> choice;  ///< parser index per doc
+};
+
+/// Metadata featurizer restricted to a named subset of fields (the CLS I
+/// SVC baselines of Table 4).
+ml::SparseVec metadata_features(const doc::Metadata& meta,
+                                const std::vector<std::string>& fields) {
+  constexpr std::uint32_t kDim = 1 << 10;
+  constexpr std::uint64_t kSalt = 0x7AB4;
+  ml::SparseVec v;
+  for (const auto& field : fields) {
+    std::string value;
+    if (field == "format") value = doc::format_name(meta.format);
+    else if (field == "producer") value = doc::producer_name(meta.producer);
+    else if (field == "year") value = std::to_string(meta.year / 3);
+    else if (field == "publisher") value = doc::publisher_name(meta.publisher);
+    else if (field == "subcategory") value = std::to_string(meta.subcategory);
+    v.push_back(ml::hash_categorical(field, value, kDim, kSalt));
+  }
+  ml::compact(v);
+  ml::l2_normalize(v);
+  return v;
+}
+
+std::size_t argmax(const std::vector<double>& xs) {
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmin(const std::vector<double>& xs) {
+  return static_cast<std::size_t>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace
+
+int main() {
+  util::Stopwatch wall;
+  const std::size_t n_train = bench::env().train_docs;
+  const std::size_t n_test = bench::env().eval_docs / 2;
+  const auto train_docs =
+      doc::CorpusGenerator(doc::benchmark_config(n_train, 0x7EA1)).generate();
+  const auto test_docs =
+      doc::CorpusGenerator(doc::benchmark_config(n_test, 0x7E57)).generate();
+  std::cout << "== Table 4: prediction models (train=" << n_train
+            << ", test=" << n_test << ") ==\n";
+
+  // Per-parser outputs and metrics on the test set.
+  std::vector<bench::SystemRow> parser_rows;
+  for (parsers::ParserKind kind : parsers::all_kinds()) {
+    parser_rows.push_back(bench::evaluate_parser(kind, test_docs));
+  }
+
+  const auto train_data = core::build_training_data(train_docs, 0.03);
+  const auto test_data = core::build_training_data(test_docs, 0.03);
+
+  std::vector<Selection> selections;
+
+  // ---- CLS III: text-driven regression (SciBERT+DPO / SciBERT / BERT). ---
+  auto add_predictor_row = [&](const std::string& name,
+                               ml::EncoderArch arch, bool dpo) {
+    core::AccuracyPredictor predictor(ml::make_encoder(arch));
+    ml::TrainOptions options;
+    options.epochs = 10;
+    predictor.fit(train_data.examples, options);
+    if (dpo) {
+      const auto preferences = core::preferences_from_study(
+          bench::study_bundle().result, bench::study_bundle().docs,
+          pref::Split::kTrain);
+      predictor.apply_dpo(preferences);
+    }
+    Selection selection;
+    selection.name = name;
+    for (const auto& example : test_data.examples) {
+      selection.choice.push_back(argmax(predictor.predict(example)));
+    }
+    selections.push_back(std::move(selection));
+    if (name == "Text (SciBERT)") {
+      const auto r2 = predictor.r_squared(test_data.examples);
+      std::cout << "SciBERT prediction R^2: PyMuPDF="
+                << util::format_fixed(100.0 * r2[0], 1) << "%, Nougat="
+                << util::format_fixed(100.0 * r2[5], 1)
+                << "% (paper: 40.0%, 46.5%)\n";
+    }
+  };
+  add_predictor_row("Text (SciBERT + DPO)", ml::EncoderArch::kSciBert, true);
+  add_predictor_row("Text (SciBERT)", ml::EncoderArch::kSciBert, false);
+  add_predictor_row("Text (BERT)", ml::EncoderArch::kBert, false);
+
+  // ---- CLS II: title/metadata encoders. ----------------------------------
+  add_predictor_row("Title + Metadata (SPECTER)", ml::EncoderArch::kSpecter,
+                    false);
+  add_predictor_row("Title + Metadata (MiniLM-L6)", ml::EncoderArch::kMiniLm,
+                    false);
+
+  // ---- CLS I: SVC over metadata subsets. ---------------------------------
+  auto add_svc_row = [&](const std::string& name,
+                         const std::vector<std::string>& fields) {
+    std::vector<ml::SparseVec> inputs;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < train_data.examples.size(); ++i) {
+      inputs.push_back(metadata_features(train_data.metas[i], fields));
+      labels.push_back(static_cast<int>(argmax(train_data.examples[i].bleu)));
+    }
+    ml::LinearSvc svc(1 << 10, parsers::kNumParsers);
+    ml::TrainOptions options;
+    options.epochs = 12;
+    svc.fit(inputs, labels, options);
+    Selection selection;
+    selection.name = name;
+    for (std::size_t i = 0; i < test_docs.size(); ++i) {
+      selection.choice.push_back(static_cast<std::size_t>(
+          svc.predict(metadata_features(test_docs[i].meta, fields))));
+    }
+    selections.push_back(std::move(selection));
+  };
+  add_svc_row("Format + Producer (SVC)", {"format", "producer"});
+  add_svc_row("Format (SVC)", {"format"});
+  add_svc_row("Year + Producer (SVC)", {"year", "producer"});
+  add_svc_row("Publisher + (Sub-)category (SVC)", {"publisher", "subcategory"});
+  add_svc_row("(Sub-)category (SVC)", {"subcategory"});
+
+  // ---- References. --------------------------------------------------------
+  {
+    Selection best{"BLEU-maximal selection", {}};
+    Selection random{"Random selection", {}};
+    Selection worst{"BLEU-minimal selection", {}};
+    util::Rng rng(0xAB);
+    for (std::size_t i = 0; i < test_docs.size(); ++i) {
+      std::vector<double> bleu(parsers::kNumParsers);
+      for (std::size_t p = 0; p < parsers::kNumParsers; ++p) {
+        bleu[p] = parser_rows[p].per_doc[i].bleu;
+      }
+      best.choice.push_back(argmax(bleu));
+      worst.choice.push_back(argmin(bleu));
+      random.choice.push_back(
+          static_cast<std::size_t>(rng.below(parsers::kNumParsers)));
+    }
+    selections.push_back(std::move(best));
+    selections.push_back(std::move(random));
+    selections.push_back(std::move(worst));
+  }
+
+  // ---- Build rows from selections and run one shared tournament. ----------
+  const auto& oracle = selections[selections.size() - 3];  // BLEU-maximal
+  std::vector<bench::SystemRow> model_rows;
+  for (const auto& selection : selections) {
+    std::vector<std::string> texts(test_docs.size());
+    std::vector<int> retrieved(test_docs.size(), 0);
+    for (std::size_t i = 0; i < test_docs.size(); ++i) {
+      const auto p = selection.choice[i];
+      texts[i] = parser_rows[p].outputs[i];
+      retrieved[i] = static_cast<int>(
+          parser_rows[p].per_doc[i].coverage *
+          static_cast<double>(test_docs[i].num_pages()));
+    }
+    model_rows.push_back(bench::evaluate_outputs(selection.name, test_docs,
+                                                 texts, retrieved));
+  }
+  bench::fill_win_rates(model_rows, test_docs);
+
+  util::Table table({"Features (Model)", "BLEU", "ROUGE", "CAR", "WR", "ACC"});
+  for (std::size_t s = 0; s < selections.size(); ++s) {
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < test_docs.size(); ++i) {
+      agree += selections[s].choice[i] == oracle.choice[i] ? 1 : 0;
+    }
+    table.row()
+        .add(selections[s].name)
+        .add(100.0 * model_rows[s].scores.bleu(), 1)
+        .add(100.0 * model_rows[s].scores.rouge(), 1)
+        .add(100.0 * model_rows[s].scores.car(), 1)
+        .add(100.0 * model_rows[s].win_rate, 1)
+        .add(100.0 * static_cast<double>(agree) /
+                 static_cast<double>(test_docs.size()),
+             1);
+  }
+  table.print(std::cout);
+  std::cout << "(ACC = agreement with the BLEU-maximal selection)\n";
+  std::cout << "wall time: " << util::format_fixed(wall.seconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "doc/generator.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/edit_distance.hpp"
+#include "metrics/rouge.hpp"
+#include "parsers/registry.hpp"
+#include "sched/thread_pool.hpp"
+#include "text/tokenize.hpp"
+
+namespace adaparse::bench {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+std::size_t worker_threads() {
+  const std::size_t configured = env().threads;
+  return configured > 0 ? configured
+                        : std::max(2U, std::thread::hardware_concurrency());
+}
+
+/// Scores one candidate text against one document (all table metrics).
+metrics::DocumentScores score_one(const doc::Document& document,
+                                  const std::string& text,
+                                  int pages_retrieved) {
+  metrics::DocumentScores scores;
+  const std::string reference = document.full_groundtruth();
+  scores.bleu = metrics::bleu(text, reference);
+  scores.rouge = metrics::rouge(text, reference);
+  scores.car = metrics::character_accuracy(text, reference);
+  scores.coverage = document.num_pages() > 0
+                        ? static_cast<double>(pages_retrieved) /
+                              static_cast<double>(document.num_pages())
+                        : 0.0;
+  scores.tokens = text::split_whitespace(text).size();
+  return scores;
+}
+
+}  // namespace
+
+const Env& env() {
+  static const Env e = [] {
+    Env out;
+    out.eval_docs = env_size("ADAPARSE_BENCH_N", 1000);
+    out.train_docs = env_size("ADAPARSE_TRAIN_N", 600);
+    out.fig3_docs = env_size("ADAPARSE_FIG3_N", 4000);
+    out.threads = env_size("ADAPARSE_THREADS", 0);
+    return out;
+  }();
+  return e;
+}
+
+SystemRow evaluate_parser(parsers::ParserKind kind,
+                          const std::vector<doc::Document>& docs) {
+  const auto parser = parsers::make_parser(kind);
+  SystemRow row;
+  row.name = parsers::parser_name(kind);
+  row.outputs.resize(docs.size());
+  row.bleus.resize(docs.size());
+
+  std::vector<metrics::DocumentScores> per_doc(docs.size());
+  sched::ThreadPool pool(worker_threads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    futures.push_back(pool.submit([&, i] {
+      const auto parse = parser->parse(docs[i]);
+      int retrieved = 0;
+      for (const auto& page : parse.pages) {
+        if (!page.empty()) ++retrieved;
+      }
+      row.outputs[i] = parse.full_text();
+      per_doc[i] = score_one(docs[i], row.outputs[i], retrieved);
+      row.bleus[i] = per_doc[i].bleu;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (const auto& scores : per_doc) row.scores.add(scores);
+  row.per_doc = std::move(per_doc);
+  return row;
+}
+
+SystemRow evaluate_outputs(std::string name,
+                           const std::vector<doc::Document>& docs,
+                           const std::vector<std::string>& texts,
+                           const std::vector<int>& pages_retrieved) {
+  SystemRow row;
+  row.name = std::move(name);
+  row.outputs = texts;
+  row.bleus.resize(docs.size());
+  std::vector<metrics::DocumentScores> per_doc(docs.size());
+  sched::ThreadPool pool(worker_threads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    futures.push_back(pool.submit([&, i] {
+      per_doc[i] = score_one(docs[i], texts[i], pages_retrieved[i]);
+      row.bleus[i] = per_doc[i].bleu;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (const auto& scores : per_doc) row.scores.add(scores);
+  row.per_doc = std::move(per_doc);
+  return row;
+}
+
+void fill_win_rates(std::vector<SystemRow>& rows,
+                    const std::vector<doc::Document>& docs,
+                    std::uint64_t seed) {
+  std::vector<std::string> references;
+  references.reserve(docs.size());
+  for (const auto& d : docs) references.push_back(d.full_groundtruth());
+  std::vector<std::vector<std::string>> outputs;
+  std::vector<std::vector<double>> bleus;
+  for (const auto& row : rows) {
+    outputs.push_back(row.outputs);
+    bleus.push_back(row.bleus);
+  }
+  const auto rates =
+      pref::tournament_win_rates(outputs, references, bleus, 3, seed);
+  for (std::size_t s = 0; s < rows.size(); ++s) rows[s].win_rate = rates[s];
+}
+
+const StudyBundle& study_bundle() {
+  static const StudyBundle bundle = [] {
+    StudyBundle out;
+    out.docs =
+        doc::CorpusGenerator(doc::benchmark_config(400, 0x57D)).generate();
+    pref::StudyConfig config;
+    config.num_pages = 642;
+    out.result = pref::run_study(out.docs, parsers::all_parsers(), config);
+    return out;
+  }();
+  return bundle;
+}
+
+const core::TrainedAdaParse& trained_bundle(bool with_dpo) {
+  static std::mutex mutex;
+  static std::unique_ptr<core::TrainedAdaParse> with, without;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = with_dpo ? with : without;
+  if (!slot) {
+    const auto train_docs =
+        doc::CorpusGenerator(doc::benchmark_config(env().train_docs, 0x7EA1))
+            .generate();
+    core::TrainAdaParseOptions options;
+    options.engine.threads = worker_threads();
+    options.engine.batch_size = 256;
+    options.engine.alpha = 0.05;
+    options.regression.epochs = 10;
+    options.apply_dpo = with_dpo;
+    const pref::StudyResult* study = with_dpo ? &study_bundle().result : nullptr;
+    const std::vector<doc::Document>* study_docs =
+        with_dpo ? &study_bundle().docs : nullptr;
+    slot = std::make_unique<core::TrainedAdaParse>(
+        core::train_adaparse(train_docs, study, study_docs, options));
+  }
+  return *slot;
+}
+
+SystemRow evaluate_engine(const std::string& name,
+                          const core::AdaParseEngine& engine,
+                          const std::vector<doc::Document>& docs) {
+  const auto output = engine.run(docs);
+  std::vector<std::string> texts(docs.size());
+  std::vector<int> retrieved(docs.size(), 0);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    texts[i] = output.records[i].text;
+    retrieved[i] = output.records[i].pages_retrieved;
+  }
+  return evaluate_outputs(name, docs, texts, retrieved);
+}
+
+}  // namespace adaparse::bench

@@ -1,0 +1,78 @@
+// Shared machinery for the reproduction benchmarks: corpus sizing (env
+// overridable), parallel corpus scoring with all of the paper's metrics,
+// and a cached trained AdaParse bundle so every bench binary can route.
+//
+// Environment knobs (all optional):
+//   ADAPARSE_BENCH_N  - evaluation corpus size   (default 1000, Tables 1-3)
+//   ADAPARSE_TRAIN_N  - training corpus size     (default 600)
+//   ADAPARSE_FIG3_N   - Figure 3 corpus size     (default 4000; paper 23398)
+//   ADAPARSE_THREADS  - worker threads           (default hardware)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/training.hpp"
+#include "doc/document.hpp"
+#include "metrics/scores.hpp"
+#include "parsers/parser.hpp"
+#include "pref/study.hpp"
+
+namespace adaparse::bench {
+
+struct Env {
+  std::size_t eval_docs = 1000;
+  std::size_t train_docs = 600;
+  std::size_t fig3_docs = 4000;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Reads the environment knobs once.
+const Env& env();
+
+/// One evaluated system (a fixed parser or an AdaParse variant).
+struct SystemRow {
+  std::string name;
+  metrics::CorpusScores scores;       ///< Coverage/BLEU/ROUGE/CAR/AT
+  double win_rate = 0.0;              ///< simulated preference tournament
+  std::vector<std::string> outputs;   ///< full text per document
+  std::vector<double> bleus;          ///< document BLEU per document
+  std::vector<metrics::DocumentScores> per_doc;  ///< all metrics per document
+};
+
+/// Parses `docs` with a fixed parser and scores every document (parallel).
+SystemRow evaluate_parser(parsers::ParserKind kind,
+                          const std::vector<doc::Document>& docs);
+
+/// Scores pre-computed outputs (e.g. an AdaParse run) the same way.
+SystemRow evaluate_outputs(std::string name,
+                           const std::vector<doc::Document>& docs,
+                           const std::vector<std::string>& texts,
+                           const std::vector<int>& pages_retrieved);
+
+/// Fills the win-rate column for a set of rows via the simulated pairwise
+/// preference tournament (pref::tournament_win_rates).
+void fill_win_rates(std::vector<SystemRow>& rows,
+                    const std::vector<doc::Document>& docs,
+                    std::uint64_t seed = 0xF00D);
+
+/// Trains (and caches, per process) the AdaParse bundle used by the
+/// benches: SciBERT-sim predictor (+DPO when `with_dpo`), CLS II improver,
+/// FT and LLM engines. The training corpus is disjoint (by seed) from every
+/// evaluation corpus used in the benches.
+const core::TrainedAdaParse& trained_bundle(bool with_dpo = true);
+
+/// The preference study used for DPO and for bench_pref_study (cached).
+struct StudyBundle {
+  std::vector<doc::Document> docs;
+  pref::StudyResult result;
+};
+const StudyBundle& study_bundle();
+
+/// Runs an AdaParse engine over `docs` and converts the run into a
+/// SystemRow (scored like any parser).
+SystemRow evaluate_engine(const std::string& name,
+                          const core::AdaParseEngine& engine,
+                          const std::vector<doc::Document>& docs);
+
+}  // namespace adaparse::bench

@@ -1,0 +1,77 @@
+// Preference alignment: the paper's DPO workflow, end to end.
+//
+// 1. Run the simulated expert study (23 annotators, pairwise judgments).
+// 2. Train the accuracy predictor (supervised step).
+// 3. Post-train with DPO on the study's training split.
+// 4. Compare parser selections before/after alignment: DPO shifts choices
+//    toward what humans preferred, at (nearly) unchanged BLEU — exactly the
+//    Table 4 SciBERT-vs-SciBERT+DPO contrast.
+//
+// Build & run:  ./build/examples/preference_alignment
+#include <iostream>
+#include <map>
+
+#include "core/training.hpp"
+#include "doc/generator.hpp"
+#include "parsers/registry.hpp"
+#include "pref/study.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+
+int main() {
+  // --- 1. The study. --------------------------------------------------------
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(300, 0xA11)).generate();
+  pref::StudyConfig study_config;
+  study_config.num_pages = 300;
+  const auto study = pref::run_study(docs, parsers::all_parsers(),
+                                     study_config);
+  std::cout << "study: " << study.judgments.size() << " judgments, decision "
+            << "rate " << util::format_fixed(100 * study.decision_rate, 1)
+            << "%, consensus "
+            << util::format_fixed(100 * study.consensus_rate, 1) << "%\n";
+  std::cout << "BLEU<->preference correlation rho="
+            << util::format_fixed(study.bleu_win_correlation.rho, 2)
+            << " (informative, far from 1 -> alignment has signal to add)\n\n";
+
+  // --- 2+3. Train, then align. ----------------------------------------------
+  const auto train_docs =
+      doc::CorpusGenerator(doc::benchmark_config(250, 0xA22)).generate();
+  core::TrainAdaParseOptions base;
+  base.apply_dpo = false;
+  base.regression.epochs = 8;
+  const auto plain = core::train_adaparse(train_docs, nullptr, nullptr, base);
+  core::TrainAdaParseOptions aligned = base;
+  aligned.apply_dpo = true;
+  const auto tuned =
+      core::train_adaparse(train_docs, &study, &docs, aligned);
+
+  // --- 4. Compare selections on fresh documents. -----------------------------
+  const auto eval_docs =
+      doc::CorpusGenerator(doc::benchmark_config(200, 0xA33)).generate();
+  auto selection_histogram = [&](const core::AdaParseEngine& engine) {
+    std::map<std::string, int> hist;
+    for (const auto& decision : engine.route(eval_docs)) {
+      hist[parsers::parser_name(decision.chosen)]++;
+    }
+    return hist;
+  };
+  const auto before = selection_histogram(*plain.llm);
+  const auto after = selection_histogram(*tuned.llm);
+
+  util::Table table({"Chosen parser", "before DPO", "after DPO"});
+  for (const auto& [name, count] : before) {
+    const auto it = after.find(name);
+    table.row().add(name).add(count).add(it != after.end() ? it->second : 0);
+  }
+  for (const auto& [name, count] : after) {
+    if (before.count(name) == 0) {
+      table.row().add(name).add(0).add(count);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(DPO adapter active: " << std::boolalpha
+            << tuned.predictor->has_dpo() << ")\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "core/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace adaparse::core {
+
+std::vector<std::size_t> select_budgeted(const std::vector<double>& gains,
+                                         double alpha,
+                                         bool require_positive_gain) {
+  const auto budget = static_cast<std::size_t>(
+      std::floor(std::clamp(alpha, 0.0, 1.0) * static_cast<double>(gains.size())));
+  if (budget == 0) return {};
+
+  std::vector<std::size_t> order(gains.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable partial selection: largest gains first, index order on ties.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return gains[a] > gains[b];
+                   });
+  std::vector<std::size_t> selected;
+  selected.reserve(budget);
+  for (std::size_t i = 0; i < order.size() && selected.size() < budget; ++i) {
+    if (require_positive_gain && gains[order[i]] <= 0.0) break;
+    selected.push_back(order[i]);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<std::size_t> select_budgeted_batched(
+    const std::vector<double>& gains, double alpha, std::size_t batch_size,
+    bool require_positive_gain) {
+  if (batch_size == 0) batch_size = 1;
+  std::vector<std::size_t> selected;
+  for (std::size_t begin = 0; begin < gains.size(); begin += batch_size) {
+    const std::size_t end = std::min(gains.size(), begin + batch_size);
+    const std::vector<double> slice(gains.begin() + static_cast<long>(begin),
+                                    gains.begin() + static_cast<long>(end));
+    for (std::size_t local : select_budgeted(slice, alpha,
+                                             require_positive_gain)) {
+      selected.push_back(begin + local);
+    }
+  }
+  return selected;
+}
+
+double alpha_for_budget(double total_budget_seconds, std::size_t n,
+                        double t_cheap_avg, double t_expensive_avg) {
+  if (n == 0 || t_expensive_avg <= t_cheap_avg) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double alpha =
+      (total_budget_seconds - nn * t_cheap_avg) /
+      (nn * (t_expensive_avg - t_cheap_avg));
+  return std::clamp(alpha, 0.0, 1.0);
+}
+
+double selection_objective(const std::vector<double>& gains,
+                           const std::vector<std::size_t>& selected) {
+  double total = 0.0;
+  for (std::size_t i : selected) total += gains[i];
+  return total;
+}
+
+}  // namespace adaparse::core

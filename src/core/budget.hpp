@@ -1,0 +1,44 @@
+// The alpha-budget optimizer (paper §4.1 and Appendix C).
+//
+// With the parser cohort reduced to {PyMuPDF, Nougat}, the constrained
+// accuracy-maximization problem reduces to: sort documents by the expected
+// accuracy improvement of Nougat over PyMuPDF and hand the top floor(α n)
+// to Nougat. AdaParse applies this per batch (floor(α k), k=256), trading a
+// provably small optimality gap for streaming operation; this header
+// implements the exact global solution, the per-batch approximation, and
+// the alpha derivation from a wall-clock budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adaparse::core {
+
+/// Picks the indices of the floor(alpha*n) entries with the largest
+/// predicted gain (gain = predicted Nougat accuracy - predicted PyMuPDF
+/// accuracy). Ties broken by lower index. Entries with non-positive gain
+/// are still eligible — the constraint is a cap, not a target — unless
+/// `require_positive_gain` is set (engine default: upgrading a document the
+/// model expects to get *worse* wastes GPU time).
+std::vector<std::size_t> select_budgeted(const std::vector<double>& gains,
+                                         double alpha,
+                                         bool require_positive_gain = true);
+
+/// Per-batch selection: splits [0, n) into consecutive batches of size k
+/// and applies select_budgeted within each. Returns global indices.
+std::vector<std::size_t> select_budgeted_batched(
+    const std::vector<double>& gains, double alpha, std::size_t batch_size,
+    bool require_positive_gain = true);
+
+/// Derives the largest admissible alpha from a total compute budget
+/// (Appendix C):  alpha <= (T - n*T_cheap) / (n * (T_expensive - T_cheap)).
+/// Clamped to [0, 1]; returns 0 when even the cheap parser exceeds T.
+double alpha_for_budget(double total_budget_seconds, std::size_t n,
+                        double t_cheap_avg, double t_expensive_avg);
+
+/// Sum of gains captured by a selection (the objective value relative to
+/// all-cheap parsing); used to measure the per-batch optimality gap.
+double selection_objective(const std::vector<double>& gains,
+                           const std::vector<std::size_t>& selected);
+
+}  // namespace adaparse::core

@@ -1,0 +1,42 @@
+#include "core/cls1.hpp"
+
+namespace adaparse::core {
+
+Cls1Verdict cls1_validate(const text::TextFeatures& f, std::size_t num_pages,
+                          const Cls1Rules& rules) {
+  Cls1Verdict v;
+  const double pages = static_cast<double>(num_pages == 0 ? 1 : num_pages);
+  if (f.char_count / pages < rules.min_chars_per_page) {
+    return {false, "too_few_chars"};
+  }
+  if (f.alpha_ratio < rules.min_alpha_ratio) {
+    return {false, "low_alpha_ratio"};
+  }
+  if (f.whitespace_ratio > rules.max_whitespace_ratio) {
+    return {false, "whitespace_blowup"};
+  }
+  if (f.scrambled_ratio > rules.max_scrambled_ratio) {
+    return {false, "scrambled_text"};
+  }
+  if (f.non_ascii_ratio > rules.max_non_ascii_ratio) {
+    return {false, "mojibake"};
+  }
+  if (f.entropy < rules.min_entropy) {
+    return {false, "degenerate_entropy"};
+  }
+  if (f.entropy > rules.max_entropy) {
+    return {false, "noise_entropy"};
+  }
+  if (f.longest_run > rules.max_longest_run) {
+    return {false, "char_run"};
+  }
+  return v;
+}
+
+Cls1Verdict cls1_validate(std::string_view extracted_text,
+                          std::size_t num_pages, const Cls1Rules& rules) {
+  return cls1_validate(text::compute_features(extracted_text), num_pages,
+                       rules);
+}
+
+}  // namespace adaparse::core

@@ -1,0 +1,44 @@
+// CLS I — rule-based validity check on extracted text (paper Fig. 2).
+//
+// "The first classification stage employs aggregate statistics computed
+// from the extracted text (e.g., number of characters) to infer validity.
+// While simplistic, the features are highly interpretable and permit rapid
+// inference." Documents whose extraction is invalid skip straight to the
+// high-quality parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "text/features.hpp"
+
+namespace adaparse::core {
+
+/// Thresholds of the rule set; defaults tuned on the synthetic corpus and
+/// exposed so operators can tighten or relax stages without recompiling.
+struct Cls1Rules {
+  double min_chars_per_page = 300.0;   ///< nearly-empty extraction
+  double min_alpha_ratio = 0.45;       ///< symbol soup
+  double max_whitespace_ratio = 0.45;  ///< whitespace injection blow-up
+  double max_scrambled_ratio = 0.18;   ///< scrambled-word storm
+  double max_non_ascii_ratio = 0.08;   ///< mojibake storm
+  double min_entropy = 3.0;            ///< degenerate repetition
+  double max_entropy = 5.4;            ///< noise
+  double max_longest_run = 400.0;      ///< pathological char runs
+};
+
+/// Verdict with the first violated rule (for the routing trail).
+struct Cls1Verdict {
+  bool valid = true;
+  std::string reason;  ///< empty when valid
+};
+
+/// Validates extracted text for a document of `num_pages` pages.
+Cls1Verdict cls1_validate(std::string_view extracted_text,
+                          std::size_t num_pages, const Cls1Rules& rules = {});
+
+/// Feature-level entry point when features were already computed.
+Cls1Verdict cls1_validate(const text::TextFeatures& features,
+                          std::size_t num_pages, const Cls1Rules& rules = {});
+
+}  // namespace adaparse::core

@@ -1,0 +1,53 @@
+#include "core/cls2.hpp"
+
+#include <string>
+
+#include "ml/feature_hash.hpp"
+
+namespace adaparse::core {
+
+ml::SparseVec Cls2Improver::featurize(const doc::Metadata& meta) {
+  ml::SparseVec v;
+  constexpr std::uint64_t kSalt = 0xC152;
+  v.push_back(ml::hash_categorical("publisher",
+                                   doc::publisher_name(meta.publisher), kDim,
+                                   kSalt));
+  v.push_back(
+      ml::hash_categorical("domain", doc::domain_name(meta.domain), kDim, kSalt));
+  v.push_back(
+      ml::hash_categorical("format", doc::format_name(meta.format), kDim, kSalt));
+  v.push_back(ml::hash_categorical("producer",
+                                   doc::producer_name(meta.producer), kDim,
+                                   kSalt));
+  // Year bucketed by 3 to avoid one-feature-per-year sparsity.
+  v.push_back(ml::hash_categorical("year3", std::to_string(meta.year / 3), kDim,
+                                   kSalt));
+  v.push_back(ml::hash_categorical("subcat", std::to_string(meta.subcategory),
+                                   kDim, kSalt));
+  v.push_back(ml::hash_categorical("pages4",
+                                   std::to_string(meta.num_pages / 4), kDim,
+                                   kSalt));
+  ml::compact(v);
+  ml::l2_normalize(v);
+  return v;
+}
+
+void Cls2Improver::fit(std::span<const doc::Metadata> metas,
+                       std::span<const int> labels,
+                       const ml::TrainOptions& options) {
+  std::vector<ml::SparseVec> inputs;
+  inputs.reserve(metas.size());
+  for (const auto& meta : metas) inputs.push_back(featurize(meta));
+  model_.fit(inputs, labels, options);
+}
+
+double Cls2Improver::improvement_probability(const doc::Metadata& meta) const {
+  return model_.predict_proba(featurize(meta));
+}
+
+bool Cls2Improver::improvement_likely(const doc::Metadata& meta,
+                                      double threshold) const {
+  return improvement_probability(meta) >= threshold;
+}
+
+}  // namespace adaparse::core

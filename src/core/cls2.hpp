@@ -1,0 +1,45 @@
+// CLS II — metadata-driven improvement classifier (paper Fig. 2).
+//
+// For documents whose extraction is valid, CLS II predicts from metadata
+// (authoring tool, year, format, page count, ...) whether another parser is
+// likely to improve parse quality significantly. "Unlikely" accepts the
+// extracted text immediately — the common, cheap path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "ml/linear.hpp"
+#include "ml/sparse.hpp"
+
+namespace adaparse::core {
+
+/// Logistic model over hashed metadata features.
+class Cls2Improver {
+ public:
+  static constexpr std::uint32_t kDim = 1 << 10;
+
+  Cls2Improver() : model_(kDim) {}
+
+  /// Featurizes metadata (categoricals hashed, year bucketed).
+  static ml::SparseVec featurize(const doc::Metadata& meta);
+
+  /// Trains from (metadata, improvement achievable) labels. Label 1 means
+  /// some parser beat the extraction BLEU by more than the margin used when
+  /// the dataset was built.
+  void fit(std::span<const doc::Metadata> metas, std::span<const int> labels,
+           const ml::TrainOptions& options = {});
+
+  /// Probability that a better parse is available.
+  double improvement_probability(const doc::Metadata& meta) const;
+
+  /// Binary decision at the given threshold.
+  bool improvement_likely(const doc::Metadata& meta,
+                          double threshold = 0.5) const;
+
+ private:
+  ml::LogisticRegression model_;
+};
+
+}  // namespace adaparse::core

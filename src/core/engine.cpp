@@ -1,0 +1,262 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "parsers/registry.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/warm_cache.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace adaparse::core {
+namespace {
+
+constexpr double kMandatoryGain = 1e9;  ///< CLS I-invalid: must upgrade
+
+/// First-page slice of an extraction (what CLS III conditions on).
+std::string_view first_page(const parsers::ParseResult& extraction) {
+  for (const auto& page : extraction.pages) {
+    if (!page.empty()) return page;
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* variant_name(Variant v) {
+  return v == Variant::kFastText ? "AdaParse (FT)" : "AdaParse (LLM)";
+}
+
+AdaParseEngine::AdaParseEngine(
+    EngineConfig config, std::shared_ptr<const AccuracyPredictor> predictor,
+    std::shared_ptr<const Cls2Improver> improver)
+    : config_(std::move(config)),
+      predictor_(std::move(predictor)),
+      improver_(std::move(improver)),
+      extractor_(parsers::make_parser(parsers::ParserKind::kPyMuPdf)),
+      nougat_(parsers::make_parser(parsers::ParserKind::kNougat)) {
+  if (config_.variant == Variant::kLlm && predictor_ == nullptr) {
+    throw std::invalid_argument("LLM variant requires an AccuracyPredictor");
+  }
+  if (config_.variant == Variant::kFastText && improver_ == nullptr) {
+    throw std::invalid_argument("FT variant requires a Cls2Improver");
+  }
+}
+
+void AdaParseEngine::route_batch(
+    const std::vector<doc::Document>& docs,
+    const std::vector<parsers::ParseResult>& extractions, std::size_t begin,
+    std::size_t end, std::vector<RouteDecision>& out) const {
+  const std::size_t k = end - begin;
+  std::vector<double> gains(k, 0.0);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& document = docs[begin + i];
+    const auto& extraction = extractions[begin + i];
+    RouteDecision& decision = out[begin + i];
+    decision.doc_index = begin + i;
+
+    if (!extraction.ok) {
+      // Unreadable input: nothing can parse it; keep the cheap lane so the
+      // budget is not wasted, record the failure downstream.
+      decision.cls1_valid = false;
+      decision.trail = "error:unreadable";
+      gains[i] = 0.0;
+      continue;
+    }
+
+    const auto verdict =
+        cls1_validate(extraction.full_text(), document.num_pages(),
+                      config_.cls1_rules);
+    decision.cls1_valid = verdict.valid;
+    if (!verdict.valid) {
+      decision.trail = "cls1:" + verdict.reason + "|nougat";
+      gains[i] = kMandatoryGain;
+      continue;
+    }
+
+    if (config_.variant == Variant::kFastText) {
+      // Fused CLS I/II: metadata classifier decides "improvement likely".
+      const double p = improver_->improvement_probability(document.meta);
+      decision.predicted_gain = p;
+      if (p >= config_.cls2_threshold) {
+        decision.trail = "cls1:valid|cls2:p=" + util::format_fixed(p, 2) +
+                         "|nougat_candidate";
+        gains[i] = p;
+      } else {
+        decision.trail = "cls1:valid|cls2:p=" + util::format_fixed(p, 2) +
+                         "|accept";
+        gains[i] = 0.0;
+      }
+    } else {
+      // CLS III: predict per-parser accuracy from the extracted first page.
+      const auto scores = predictor_->predict(
+          first_page(extraction), document.meta.title, document.meta);
+      const double cheap =
+          scores[static_cast<std::size_t>(parsers::ParserKind::kPyMuPdf)];
+      const double expensive =
+          scores[static_cast<std::size_t>(parsers::ParserKind::kNougat)];
+      decision.predicted_gain = expensive - cheap;
+      decision.predicted_accuracy = cheap;  // may flip below
+      decision.trail =
+          "cls1:valid|cls3:gain=" + util::format_fixed(expensive - cheap, 3);
+      gains[i] = expensive - cheap;
+    }
+  }
+
+  // Budgeted assignment within the batch: floor(alpha * k) Nougat slots.
+  const auto selected = select_budgeted(gains, config_.alpha,
+                                        /*require_positive_gain=*/true);
+  for (std::size_t local : selected) {
+    RouteDecision& decision = out[begin + local];
+    if (!extractions[begin + local].ok) continue;
+    decision.chosen = parsers::ParserKind::kNougat;
+    decision.trail += "|selected:nougat";
+    decision.predicted_accuracy += decision.predicted_gain < kMandatoryGain
+                                       ? decision.predicted_gain
+                                       : 0.0;
+  }
+}
+
+std::vector<RouteDecision> AdaParseEngine::route(
+    const std::vector<doc::Document>& docs) const {
+  std::vector<parsers::ParseResult> extractions;
+  extractions.reserve(docs.size());
+  for (const auto& document : docs) {
+    extractions.push_back(extractor_->parse(document));
+  }
+  std::vector<RouteDecision> decisions(docs.size());
+  const std::size_t k = std::max<std::size_t>(1, config_.batch_size);
+  for (std::size_t begin = 0; begin < docs.size(); begin += k) {
+    route_batch(docs, extractions, begin, std::min(docs.size(), begin + k),
+                decisions);
+  }
+  return decisions;
+}
+
+RunOutput AdaParseEngine::run(const std::vector<doc::Document>& docs) const {
+  util::Stopwatch wall;
+  RunOutput output;
+  output.decisions.assign(docs.size(), {});
+  output.records.assign(docs.size(), {});
+  output.stats.total_docs = docs.size();
+
+  const std::size_t threads = config_.threads > 0
+                                  ? config_.threads
+                                  : std::max(2U, std::thread::hardware_concurrency());
+  sched::ThreadPool pool(threads);
+
+  // ---- Stage 1: parallel extraction (the default parser runs on every
+  // document; its output feeds both routing and the accept-as-is path). ----
+  std::vector<parsers::ParseResult> extractions(docs.size());
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(docs.size());
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      futures.push_back(pool.submit([this, &docs, &extractions, i] {
+        extractions[i] = extractor_->parse(docs[i]);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  for (const auto& extraction : extractions) {
+    output.stats.extraction_cpu_seconds += extraction.cost.cpu_seconds;
+  }
+
+  // ---- Stage 2: batched routing (CLS I / II / III + alpha budget). -------
+  const std::size_t k = std::max<std::size_t>(1, config_.batch_size);
+  for (std::size_t begin = 0; begin < docs.size(); begin += k) {
+    route_batch(docs, extractions, begin, std::min(docs.size(), begin + k),
+                output.decisions);
+  }
+  const double per_doc_classifier_cost =
+      config_.variant == Variant::kLlm ? predictor_->inference_cost_seconds()
+                                       : 0.02;
+  output.stats.classifier_cpu_seconds =
+      per_doc_classifier_cost * static_cast<double>(docs.size());
+
+  // ---- Stage 3: budgeted high-quality parses on warm models. -------------
+  sched::WarmModelCache cache(/*enabled=*/true);
+  std::vector<std::future<void>> gpu_futures;
+  std::vector<parsers::ParseResult> upgrades(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    if (output.decisions[i].chosen != parsers::ParserKind::kNougat) continue;
+    gpu_futures.push_back(pool.submit([this, &docs, &upgrades, &cache, i] {
+      // Warm start: the model handle is created once per cache, standing in
+      // for one resident copy per GPU worker.
+      cache.get_or_load(
+          "nougat", [] { return std::make_shared<int>(0); },
+          nougat_->model_load_seconds());
+      upgrades[i] = nougat_->parse(docs[i]);
+    }));
+  }
+  for (auto& f : gpu_futures) f.get();
+
+  // ---- Stage 4: assemble records. ----------------------------------------
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto& decision = output.decisions[i];
+    const bool upgraded =
+        decision.chosen == parsers::ParserKind::kNougat && upgrades[i].ok;
+    const parsers::ParseResult& kept = upgraded ? upgrades[i] : extractions[i];
+
+    io::ParseRecord& record = output.records[i];
+    record.document_id = docs[i].id;
+    record.parser = std::string(upgraded ? nougat_->name() : extractor_->name());
+    record.route = decision.trail;
+    record.predicted_accuracy = decision.predicted_accuracy;
+    record.pages = static_cast<int>(docs[i].num_pages());
+    if (!kept.ok) {
+      ++output.stats.failed_docs;
+      record.parser = "none";
+      continue;
+    }
+    record.text = kept.full_text();
+    int retrieved = 0;
+    for (const auto& page : kept.pages) {
+      if (!page.empty()) ++retrieved;
+    }
+    record.pages_retrieved = retrieved;
+
+    if (upgraded) {
+      ++output.stats.routed_to_nougat;
+      output.stats.nougat_gpu_seconds += kept.cost.gpu_seconds;
+    } else {
+      ++output.stats.accepted_extraction;
+    }
+    if (!decision.cls1_valid) ++output.stats.cls1_invalid;
+  }
+  output.stats.wall_seconds = wall.seconds();
+  return output;
+}
+
+std::vector<hpc::TaskSpec> AdaParseEngine::plan_tasks(
+    const std::vector<doc::Document>& docs,
+    const std::vector<RouteDecision>& decisions) const {
+  if (docs.size() != decisions.size()) {
+    throw std::invalid_argument("plan_tasks: size mismatch");
+  }
+  const double per_doc_classifier_cost =
+      config_.variant == Variant::kLlm ? predictor_->inference_cost_seconds()
+                                       : 0.02;
+  std::vector<hpc::TaskSpec> tasks;
+  tasks.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto extraction_cost = extractor_->estimate_cost(docs[i]);
+    hpc::TaskSpec task;
+    task.cpu_seconds = extraction_cost.cpu_seconds + per_doc_classifier_cost;
+    task.bytes_read = extraction_cost.bytes_read;
+    if (decisions[i].chosen == parsers::ParserKind::kNougat) {
+      const auto nougat_cost = nougat_->estimate_cost(docs[i]);
+      task.cpu_seconds += nougat_cost.cpu_seconds;
+      task.gpu_seconds = nougat_cost.gpu_seconds;
+      task.bytes_read += nougat_cost.bytes_read;
+      task.needs_gpu_model = true;
+    }
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+}  // namespace adaparse::core

@@ -1,0 +1,114 @@
+// The AdaParse engine (paper §5): adaptive parser routing under a compute
+// budget, in both published variants.
+//
+//   AdaParse (FT):  CLS I + CLS II fused into one fast routine (fastText
+//                   features + metadata classifier); improvement-likely
+//                   documents go straight to Nougat. No LLM inference.
+//   AdaParse (LLM): CLS I, then the SciBERT-sim accuracy predictor (CLS
+//                   III, optionally DPO-aligned) selects per document;
+//                   Nougat assignments are budgeted per batch (floor(α·k)).
+//
+// The engine exposes three layers: route() (decisions only — used by the
+// scaling simulations), run() (full parallel execution on a thread pool
+// with warm-started GPU models, producing JSONL-ready records), and
+// plan_tasks() (cluster-simulator task specs for Figure 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/cls1.hpp"
+#include "core/cls2.hpp"
+#include "core/predictor.hpp"
+#include "hpc/cluster.hpp"
+#include "io/jsonl.hpp"
+#include "parsers/parser.hpp"
+
+namespace adaparse::core {
+
+enum class Variant : std::uint8_t { kFastText, kLlm };
+const char* variant_name(Variant v);
+
+struct EngineConfig {
+  Variant variant = Variant::kLlm;
+  /// Fraction of documents (per batch) allowed to use the high-quality
+  /// parser. The paper's evaluation fixes alpha = 5%.
+  double alpha = 0.05;
+  /// Budget batch size (paper App. C: k = 256).
+  std::size_t batch_size = 256;
+  /// CLS II probability threshold for "improvement likely" (FT variant).
+  double cls2_threshold = 0.5;
+  /// Worker threads for run(); 0 = hardware concurrency.
+  std::size_t threads = 0;
+  Cls1Rules cls1_rules;
+};
+
+/// Routing outcome for one document.
+struct RouteDecision {
+  std::size_t doc_index = 0;
+  parsers::ParserKind chosen = parsers::ParserKind::kPyMuPdf;
+  bool cls1_valid = true;
+  double predicted_gain = 0.0;  ///< Nougat-over-PyMuPDF predicted gain
+  double predicted_accuracy = 0.0;  ///< predictor's score for chosen parser
+  std::string trail;            ///< e.g. "cls1:valid|cls3:gain=0.12|nougat"
+};
+
+struct EngineStats {
+  std::size_t total_docs = 0;
+  std::size_t cls1_invalid = 0;
+  std::size_t routed_to_nougat = 0;
+  std::size_t accepted_extraction = 0;
+  std::size_t failed_docs = 0;       ///< unreadable inputs
+  double classifier_cpu_seconds = 0.0;  ///< simulated selector cost
+  double extraction_cpu_seconds = 0.0;
+  double nougat_gpu_seconds = 0.0;
+  double wall_seconds = 0.0;         ///< real wall-clock of run()
+};
+
+struct RunOutput {
+  std::vector<io::ParseRecord> records;     ///< one per document, input order
+  std::vector<RouteDecision> decisions;     ///< one per document, input order
+  EngineStats stats;
+};
+
+class AdaParseEngine {
+ public:
+  /// `predictor` is required for the LLM variant (CLS III); `improver` is
+  /// required for the FT variant (fused CLS I/II) and optional otherwise.
+  AdaParseEngine(EngineConfig config,
+                 std::shared_ptr<const AccuracyPredictor> predictor,
+                 std::shared_ptr<const Cls2Improver> improver);
+
+  /// Routes every document (no parsing of routed targets — extraction runs
+  /// once, as it must, since CLS I/III read its output).
+  std::vector<RouteDecision> route(
+      const std::vector<doc::Document>& docs) const;
+
+  /// Full parallel execution: extraction pool, batched routing, budgeted
+  /// Nougat parses on warm models, JSONL-ready records.
+  RunOutput run(const std::vector<doc::Document>& docs) const;
+
+  /// Cluster-simulator tasks implied by a routing (for Figure 5 sweeps).
+  std::vector<hpc::TaskSpec> plan_tasks(
+      const std::vector<doc::Document>& docs,
+      const std::vector<RouteDecision>& decisions) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  /// Routes one contiguous batch given its extraction results.
+  void route_batch(const std::vector<doc::Document>& docs,
+                   const std::vector<parsers::ParseResult>& extractions,
+                   std::size_t begin, std::size_t end,
+                   std::vector<RouteDecision>& out) const;
+
+  EngineConfig config_;
+  std::shared_ptr<const AccuracyPredictor> predictor_;
+  std::shared_ptr<const Cls2Improver> improver_;
+  parsers::ParserPtr extractor_;  ///< the default parser (SimPyMuPdf)
+  parsers::ParserPtr nougat_;     ///< the high-quality parser
+};
+
+}  // namespace adaparse::core

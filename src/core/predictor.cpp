@@ -1,0 +1,79 @@
+#include "core/predictor.hpp"
+
+#include "util/stats.hpp"
+
+namespace adaparse::core {
+
+AccuracyPredictor::AccuracyPredictor(ml::EncoderPtr encoder)
+    : encoder_(std::move(encoder)),
+      head_(encoder_->dim(), parsers::kNumParsers) {}
+
+ml::SparseVec AccuracyPredictor::featurize(std::string_view text,
+                                           std::string_view title,
+                                           const doc::Metadata& metadata) const {
+  ml::EncoderInput input;
+  input.text = text;
+  input.title = title;
+  input.metadata = &metadata;
+  return encoder_->encode(input);
+}
+
+void AccuracyPredictor::fit(std::span<const RegressionExample> examples,
+                            const ml::TrainOptions& options) {
+  std::vector<ml::SparseVec> inputs;
+  std::vector<std::vector<double>> targets;
+  inputs.reserve(examples.size());
+  targets.reserve(examples.size());
+  for (const auto& example : examples) {
+    inputs.push_back(featurize(example.text, example.title, example.metadata));
+    targets.push_back(example.bleu);
+  }
+  head_.fit(inputs, targets, options);
+}
+
+void AccuracyPredictor::apply_dpo(std::span<const Preference> preferences,
+                                  const ml::DpoOptions& options) {
+  std::vector<ml::PreferencePair> pairs;
+  pairs.reserve(preferences.size());
+  for (const auto& preference : preferences) {
+    ml::PreferencePair pair;
+    pair.x = featurize(preference.text, preference.title, preference.metadata);
+    pair.winner = static_cast<std::size_t>(preference.winner);
+    pair.loser = static_cast<std::size_t>(preference.loser);
+    pairs.push_back(std::move(pair));
+  }
+  adapter_ = std::make_unique<ml::DpoAdapter>(head_, options);
+  adapter_->fit(pairs);
+}
+
+std::vector<double> AccuracyPredictor::predict(
+    std::string_view extracted_text, std::string_view title,
+    const doc::Metadata& metadata) const {
+  const auto x = featurize(extracted_text, title, metadata);
+  return adapter_ ? adapter_->predict(x) : head_.predict(x);
+}
+
+std::vector<double> AccuracyPredictor::predict(
+    const RegressionExample& example) const {
+  return predict(example.text, example.title, example.metadata);
+}
+
+std::vector<double> AccuracyPredictor::r_squared(
+    std::span<const RegressionExample> examples) const {
+  std::vector<std::vector<double>> truth(parsers::kNumParsers),
+      pred(parsers::kNumParsers);
+  for (const auto& example : examples) {
+    const auto p = predict(example);
+    for (std::size_t k = 0; k < parsers::kNumParsers; ++k) {
+      truth[k].push_back(example.bleu[k]);
+      pred[k].push_back(p[k]);
+    }
+  }
+  std::vector<double> out(parsers::kNumParsers, 0.0);
+  for (std::size_t k = 0; k < parsers::kNumParsers; ++k) {
+    out[k] = util::r_squared(truth[k], pred[k]);
+  }
+  return out;
+}
+
+}  // namespace adaparse::core

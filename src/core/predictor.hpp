@@ -1,0 +1,79 @@
+// CLS III — the learned per-parser accuracy predictor (paper Fig. 2,
+// Appendix A).
+//
+// Given the default parser's extracted text (plus title/metadata), predicts
+// the BLEU each of the six parsers would achieve on the document. Training
+// follows the paper's recipe: (1) supervised fine-tuning on (text, BLEU
+// vector) pairs; (2) DPO post-training on human preference pairs via a
+// LoRA-style low-rank adapter; the adapted scores drive parser selection.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "ml/dpo.hpp"
+#include "ml/encoder.hpp"
+#include "ml/linear.hpp"
+#include "parsers/parser.hpp"
+
+namespace adaparse::core {
+
+/// One training example: featurizable inputs + the per-parser BLEU targets.
+struct RegressionExample {
+  std::string text;    ///< default parser's (first-page) output
+  std::string title;
+  doc::Metadata metadata;
+  std::vector<double> bleu;  ///< one entry per ParserKind, in kind order
+};
+
+class AccuracyPredictor {
+ public:
+  explicit AccuracyPredictor(ml::EncoderPtr encoder);
+
+  /// Step 1: supervised fit on the regression corpus.
+  void fit(std::span<const RegressionExample> examples,
+           const ml::TrainOptions& options = {});
+
+  /// Step 2: DPO post-training. Each tuple is (featurizable inputs of the
+  /// document, preferred parser, rejected parser).
+  struct Preference {
+    std::string text;
+    std::string title;
+    doc::Metadata metadata;
+    parsers::ParserKind winner{};
+    parsers::ParserKind loser{};
+  };
+  void apply_dpo(std::span<const Preference> preferences,
+                 const ml::DpoOptions& options = {});
+
+  /// Predicted BLEU (or DPO-adjusted score) per parser, in kind order.
+  std::vector<double> predict(std::string_view extracted_text,
+                              std::string_view title,
+                              const doc::Metadata& metadata) const;
+  std::vector<double> predict(const RegressionExample& example) const;
+
+  /// Per-parser R^2 on a held-out set (paper: ~40% PyMuPDF, ~46.5% Nougat).
+  std::vector<double> r_squared(
+      std::span<const RegressionExample> examples) const;
+
+  const ml::TextEncoder& encoder() const { return *encoder_; }
+  bool has_dpo() const { return adapter_ != nullptr; }
+  /// Simulated inference cost per document (encoder + head).
+  double inference_cost_seconds() const {
+    return encoder_->inference_cost_seconds();
+  }
+
+ private:
+  ml::SparseVec featurize(std::string_view text, std::string_view title,
+                          const doc::Metadata& metadata) const;
+
+  ml::EncoderPtr encoder_;
+  ml::MultiOutputRegressor head_;
+  std::unique_ptr<ml::DpoAdapter> adapter_;
+};
+
+}  // namespace adaparse::core

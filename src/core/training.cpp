@@ -1,0 +1,136 @@
+#include "core/training.hpp"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+
+#include "metrics/bleu.hpp"
+#include "parsers/registry.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace adaparse::core {
+namespace {
+
+std::string first_nonempty_page(const parsers::ParseResult& parse) {
+  for (const auto& page : parse.pages) {
+    if (!page.empty()) return page;
+  }
+  return {};
+}
+
+}  // namespace
+
+TrainingData build_training_data(const std::vector<doc::Document>& docs,
+                                 double improvement_margin,
+                                 std::size_t threads) {
+  TrainingData data;
+  data.examples.resize(docs.size());
+  data.metas.resize(docs.size());
+  data.improvement_labels.resize(docs.size());
+
+  const auto cohort = parsers::all_parsers();
+  const std::size_t n_threads =
+      threads > 0 ? threads
+                  : std::max(2U, std::thread::hardware_concurrency());
+  sched::ThreadPool pool(n_threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(docs.size());
+
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    futures.push_back(pool.submit([&, i] {
+      const auto& document = docs[i];
+      const std::string reference = document.full_groundtruth();
+      RegressionExample& example = data.examples[i];
+      example.title = document.meta.title;
+      example.metadata = document.meta;
+      example.bleu.assign(parsers::kNumParsers, 0.0);
+      for (std::size_t j = 0; j < cohort.size(); ++j) {
+        const auto parse = cohort[j]->parse(document);
+        if (!parse.ok) continue;
+        example.bleu[j] = metrics::bleu(parse.full_text(), reference);
+        if (cohort[j]->kind() == parsers::ParserKind::kPyMuPdf) {
+          example.text = first_nonempty_page(parse);
+        }
+      }
+      data.metas[i] = document.meta;
+      const double cheap =
+          example.bleu[static_cast<std::size_t>(parsers::ParserKind::kPyMuPdf)];
+      const double best =
+          *std::max_element(example.bleu.begin(), example.bleu.end());
+      data.improvement_labels[i] = best - cheap > improvement_margin ? 1 : 0;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return data;
+}
+
+std::vector<AccuracyPredictor::Preference> preferences_from_study(
+    const pref::StudyResult& study, const std::vector<doc::Document>& docs,
+    pref::Split split) {
+  // Cache extraction per document (the predictor conditions on it).
+  const auto extractor = parsers::make_parser(parsers::ParserKind::kPyMuPdf);
+  std::vector<std::string> extracted(docs.size());
+  std::vector<bool> ready(docs.size(), false);
+
+  std::vector<AccuracyPredictor::Preference> preferences;
+  for (const auto& judgment : study.judgments) {
+    if (judgment.split != split || judgment.choice == 2) continue;
+    const std::size_t d = judgment.doc_index;
+    if (d >= docs.size()) continue;
+    if (!ready[d]) {
+      extracted[d] = first_nonempty_page(extractor->parse(docs[d]));
+      ready[d] = true;
+    }
+    AccuracyPredictor::Preference preference;
+    preference.text = extracted[d];
+    preference.title = docs[d].meta.title;
+    preference.metadata = docs[d].meta;
+    preference.winner =
+        judgment.choice == 0 ? judgment.parser_a : judgment.parser_b;
+    preference.loser =
+        judgment.choice == 0 ? judgment.parser_b : judgment.parser_a;
+    preferences.push_back(std::move(preference));
+  }
+  return preferences;
+}
+
+TrainedAdaParse train_adaparse(const std::vector<doc::Document>& train_docs,
+                               const pref::StudyResult* study,
+                               const std::vector<doc::Document>* study_docs,
+                               const TrainAdaParseOptions& options) {
+  TrainedAdaParse out;
+
+  const auto data =
+      build_training_data(train_docs, options.improvement_margin,
+                          options.engine.threads);
+
+  // CLS III: supervised fine-tuning (step 1).
+  out.predictor =
+      std::make_shared<AccuracyPredictor>(ml::make_encoder(options.encoder));
+  out.predictor->fit(data.examples, options.regression);
+
+  // Step 2: DPO alignment from the study's training split.
+  if (options.apply_dpo && study != nullptr && study_docs != nullptr) {
+    const auto preferences =
+        preferences_from_study(*study, *study_docs, pref::Split::kTrain);
+    if (!preferences.empty()) {
+      out.predictor->apply_dpo(preferences, options.dpo);
+    }
+  }
+
+  // CLS II: metadata improvement classifier.
+  out.improver = std::make_shared<Cls2Improver>();
+  out.improver->fit(data.metas, data.improvement_labels, options.regression);
+
+  EngineConfig ft_config = options.engine;
+  ft_config.variant = Variant::kFastText;
+  out.ft = std::make_shared<AdaParseEngine>(ft_config, out.predictor,
+                                            out.improver);
+  EngineConfig llm_config = options.engine;
+  llm_config.variant = Variant::kLlm;
+  out.llm = std::make_shared<AdaParseEngine>(llm_config, out.predictor,
+                                             out.improver);
+  return out;
+}
+
+}  // namespace adaparse::core

@@ -1,0 +1,64 @@
+// Training pipelines: builds the regression corpus (paper Appendix A:
+// N pairs of extracted text and the m=6 per-parser BLEU vector), the CLS II
+// labels, converts the preference study into DPO pairs, and assembles ready
+// AdaParse engines.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/predictor.hpp"
+#include "doc/document.hpp"
+#include "ml/encoder.hpp"
+#include "parsers/parser.hpp"
+#include "pref/study.hpp"
+
+namespace adaparse::core {
+
+/// Everything extracted from one training corpus pass.
+struct TrainingData {
+  std::vector<RegressionExample> examples;   ///< per-doc text + BLEU vector
+  std::vector<doc::Metadata> metas;          ///< aligned with examples
+  std::vector<int> improvement_labels;       ///< CLS II targets
+};
+
+/// Runs all six parsers over `docs`, computes document BLEU against
+/// groundtruth, extracts the default parser's first page as model input.
+/// `improvement_margin`: CLS II label is 1 iff some parser beats the
+/// extraction BLEU by more than this.
+TrainingData build_training_data(const std::vector<doc::Document>& docs,
+                                 double improvement_margin = 0.03,
+                                 std::size_t threads = 0);
+
+/// Converts decided study judgments of `split` into DPO preference pairs
+/// conditioned on the judged document's extracted text.
+std::vector<AccuracyPredictor::Preference> preferences_from_study(
+    const pref::StudyResult& study, const std::vector<doc::Document>& docs,
+    pref::Split split);
+
+/// A fully trained AdaParse bundle.
+struct TrainedAdaParse {
+  std::shared_ptr<AccuracyPredictor> predictor;  ///< CLS III (SciBERT-sim)
+  std::shared_ptr<Cls2Improver> improver;        ///< CLS II (metadata)
+  std::shared_ptr<AdaParseEngine> ft;            ///< AdaParse (FT)
+  std::shared_ptr<AdaParseEngine> llm;           ///< AdaParse (LLM)
+};
+
+struct TrainAdaParseOptions {
+  EngineConfig engine;                  ///< alpha, batch size, threads, ...
+  ml::EncoderArch encoder = ml::EncoderArch::kSciBert;
+  ml::TrainOptions regression;          ///< step 1 hyperparameters
+  bool apply_dpo = true;                ///< step 2 on/off (ablation)
+  ml::DpoOptions dpo;
+  double improvement_margin = 0.03;
+};
+
+/// Full pipeline: training data -> supervised fit -> optional DPO -> engines.
+/// `study`/`study_docs` may be null to skip DPO (then apply_dpo is ignored).
+TrainedAdaParse train_adaparse(const std::vector<doc::Document>& train_docs,
+                               const pref::StudyResult* study,
+                               const std::vector<doc::Document>* study_docs,
+                               const TrainAdaParseOptions& options = {});
+
+}  // namespace adaparse::core

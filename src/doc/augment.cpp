@@ -1,0 +1,64 @@
+#include "doc/augment.hpp"
+
+#include "text/corrupt.hpp"
+
+namespace adaparse::doc {
+
+std::size_t augment_image_layer(std::vector<Document>& docs,
+                                const ImageAugmentOptions& options,
+                                util::Rng& rng) {
+  std::size_t modified = 0;
+  for (auto& document : docs) {
+    if (!rng.chance(options.fraction)) continue;
+    auto& img = document.image_layer;
+    img.born_digital = false;
+    img.rotation_deg = rng.uniform(-options.max_rotation_deg,
+                                   options.max_rotation_deg);
+    img.blur_sigma = rng.uniform(0.0, options.max_blur_sigma);
+    img.contrast = rng.uniform(options.contrast_lo, options.contrast_hi);
+    img.compression = rng.uniform(0.0, options.max_compression);
+    ++modified;
+  }
+  return modified;
+}
+
+std::size_t augment_text_layer(std::vector<Document>& docs,
+                               const TextAugmentOptions& options,
+                               util::Rng& rng) {
+  std::size_t modified = 0;
+  for (auto& document : docs) {
+    if (!rng.chance(options.fraction)) continue;
+    auto& layer = document.text_layer;
+    layer.pages.clear();
+    layer.present = true;
+    if (rng.chance(options.tesseract_share)) {
+      // Tesseract-style: character confusions + partial line loss, strength
+      // tied to the page render quality.
+      const double q = document.image_layer.quality();
+      const double char_noise = 0.045 + 0.06 * (1.0 - q);
+      const double word_drop = 0.045 + 0.05 * (1.0 - q);
+      for (const auto& gt : document.groundtruth_pages) {
+        std::string t = text::mangle_latex(gt, 0.92, rng);
+        t = text::drop_words(t, word_drop, rng);
+        t = text::substitute_words(t, 0.05, rng);
+        t = text::substitute_chars(t, char_noise, rng);
+        t = text::scramble_words(t, 0.03, rng);
+        layer.pages.push_back(std::move(t));
+      }
+      layer.fidelity = 0.6 * q;
+    } else {
+      // GROBID-style: clean characters but structural loss — whole regions
+      // (equations, references, captions) dropped from the layer.
+      for (const auto& gt : document.groundtruth_pages) {
+        std::string t = text::mangle_latex(gt, 0.2, rng);
+        t = text::drop_words(t, 0.18, rng);  // lost regions
+        layer.pages.push_back(std::move(t));
+      }
+      layer.fidelity = 0.55;
+    }
+    ++modified;
+  }
+  return modified;
+}
+
+}  // namespace adaparse::doc

@@ -1,0 +1,49 @@
+// Evaluation-time augmentations (paper §6.2, Tables 2 and 3).
+//
+// Table 2: "random rotations, contrast adjustments, Gaussian blurring, and
+// compression ... applied to a subset of 15% of documents" — image-layer
+// degradation that affects OCR/ViT parsers but not text extraction.
+//
+// Table 3: "15% of the embedded text layers are replaced with the output of
+// common tools (Tesseract or GROBID)" — text-layer perturbation that hits
+// extraction parsers but leaves the image layer intact.
+#pragma once
+
+#include <vector>
+
+#include "doc/document.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::doc {
+
+struct ImageAugmentOptions {
+  double fraction = 0.15;        ///< share of documents affected
+  double max_rotation_deg = 6.0;
+  double max_blur_sigma = 2.2;
+  double contrast_lo = 0.6;
+  double contrast_hi = 1.3;
+  double max_compression = 0.7;
+};
+
+/// Degrades the image layer of a random `fraction` of documents in place.
+/// Affected documents are no longer "born digital". Returns the number of
+/// documents modified.
+std::size_t augment_image_layer(std::vector<Document>& docs,
+                                const ImageAugmentOptions& options,
+                                util::Rng& rng);
+
+struct TextAugmentOptions {
+  double fraction = 0.15;  ///< share of documents whose text layer is replaced
+  /// When replacing, probability of using the Tesseract-style degradation
+  /// (otherwise GROBID-style structural loss).
+  double tesseract_share = 0.5;
+};
+
+/// Replaces the embedded text layer of a random `fraction` of documents with
+/// simulated Tesseract/GROBID output derived from the groundtruth. Returns
+/// the number of documents modified.
+std::size_t augment_text_layer(std::vector<Document>& docs,
+                               const TextAugmentOptions& options,
+                               util::Rng& rng);
+
+}  // namespace adaparse::doc

@@ -1,0 +1,131 @@
+// The document model: the synthetic stand-in for a scientific PDF.
+//
+// A real PDF offers a parser three things: an embedded *text layer* (what
+// extraction tools read), a rendered *image layer* (what OCR/ViT models
+// read), and *metadata* (producer tool, format, year, ...). The paper's
+// routing logic consumes exactly those three surfaces, so the model carries
+// all of them plus the hidden groundtruth used for evaluation only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaparse::doc {
+
+/// Scientific domain of a document (the paper's corpus spans these eight).
+enum class Domain : std::uint8_t {
+  kMathematics,
+  kBiology,
+  kChemistry,
+  kPhysics,
+  kEngineering,
+  kMedicine,
+  kEconomics,
+  kComputerScience,
+};
+inline constexpr std::size_t kNumDomains = 8;
+const char* domain_name(Domain d);
+
+/// Source venue (paper §6.2).
+enum class Publisher : std::uint8_t {
+  kArxiv,
+  kBiorxiv,
+  kBmc,
+  kMdpi,
+  kMedrxiv,
+  kNature,
+};
+inline constexpr std::size_t kNumPublishers = 6;
+const char* publisher_name(Publisher p);
+
+/// PDF format/version recorded in metadata (a CLS I/II feature).
+enum class PdfFormat : std::uint8_t { kPdfA, kPdf14, kPdf17, kPdf20 };
+inline constexpr std::size_t kNumFormats = 4;
+const char* format_name(PdfFormat f);
+
+/// Authoring/producing tool recorded in metadata. Strongly correlated with
+/// text-layer quality: LaTeX engines embed clean text; scanner pipelines
+/// embed whatever their OCR produced.
+enum class ProducerTool : std::uint8_t {
+  kPdfTex,
+  kWordProcessor,
+  kInDesign,
+  kGhostscript,
+  kScannerOcr,
+  kUnknown,
+};
+inline constexpr std::size_t kNumProducers = 6;
+const char* producer_name(ProducerTool t);
+
+/// Document metadata available without parsing the content.
+struct Metadata {
+  Publisher publisher = Publisher::kArxiv;
+  Domain domain = Domain::kComputerScience;
+  int subcategory = 0;       ///< 0..66 (the paper's 67 sub-categories)
+  int year = 2023;           ///< publication year
+  PdfFormat format = PdfFormat::kPdf17;
+  ProducerTool producer = ProducerTool::kPdfTex;
+  int num_pages = 1;
+  std::string title;
+};
+
+/// Rendered-page quality descriptor — the state of the "image layer".
+/// Born-digital renders are pristine; scans carry degradation parameters
+/// that raise OCR/ViT error rates.
+struct ImageLayer {
+  bool born_digital = true;
+  double rotation_deg = 0.0;    ///< residual skew of the scan
+  double blur_sigma = 0.0;      ///< Gaussian blur strength
+  double contrast = 1.0;        ///< 1.0 = nominal
+  double compression = 0.0;     ///< JPEG-artifact strength in [0,1]
+
+  /// Aggregate quality in [0,1]; 1 = perfect render. Computed from the
+  /// degradation parameters; OCR-style parsers key their error rates off it.
+  double quality() const;
+};
+
+/// The embedded text layer of the synthetic PDF.
+struct TextLayer {
+  /// Per-page embedded text; may be empty (scan without OCR layer).
+  std::vector<std::string> pages;
+  /// Fidelity of the embedded layer w.r.t. groundtruth in [0,1]; stored for
+  /// inspection/tests — parsers never read it (they see only `pages`).
+  double fidelity = 1.0;
+  bool present = true;  ///< false = no embedded text at all
+};
+
+/// A synthetic scientific document.
+struct Document {
+  std::string id;
+  Metadata meta;
+
+  /// Hidden groundtruth text per page (evaluation only; parsers must not
+  /// read this directly — the simulated parsers access it via their error
+  /// channels, standing in for "reading the page image").
+  std::vector<std::string> groundtruth_pages;
+
+  TextLayer text_layer;
+  ImageLayer image_layer;
+
+  // Latent generation attributes (drive parser error rates; also hidden
+  // from the routing models, which see only text/metadata).
+  double layout_complexity = 0.0;  ///< multi-column/table/figure density, [0,1]
+  double math_density = 0.0;       ///< LaTeX constructs per 100 words
+  double chem_density = 0.0;       ///< SMILES strings per 100 words
+
+  /// Per-document RNG stream seed: parsers fork their noise streams from it
+  /// so every (parser, document) pair is deterministic.
+  std::uint64_t seed = 0;
+
+  /// Failure-injection flag: file is unreadable (truncated/encrypted).
+  bool corrupted = false;
+
+  /// Concatenated groundtruth across pages (newline-separated).
+  std::string full_groundtruth() const;
+  /// Concatenated embedded text across pages (newline-separated).
+  std::string full_text_layer() const;
+  std::size_t num_pages() const { return groundtruth_pages.size(); }
+};
+
+}  // namespace adaparse::doc

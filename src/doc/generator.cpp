@@ -1,0 +1,365 @@
+#include "doc/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "doc/vocab.hpp"
+#include "text/corrupt.hpp"
+
+namespace adaparse::doc {
+namespace {
+
+Domain sample_domain(util::Rng& rng) {
+  // Mixture loosely reflecting preprint-server volume.
+  static const std::vector<double> weights = {0.10, 0.16, 0.10, 0.16,
+                                              0.10, 0.16, 0.06, 0.16};
+  return static_cast<Domain>(rng.categorical(weights));
+}
+
+Publisher sample_publisher(util::Rng& rng, Domain d) {
+  switch (d) {
+    case Domain::kBiology:
+      return rng.chance(0.5) ? Publisher::kBiorxiv
+                             : (rng.chance(0.5) ? Publisher::kBmc
+                                                : Publisher::kNature);
+    case Domain::kMedicine:
+      return rng.chance(0.5) ? Publisher::kMedrxiv
+                             : (rng.chance(0.5) ? Publisher::kBmc
+                                                : Publisher::kMdpi);
+    case Domain::kMathematics:
+    case Domain::kPhysics:
+    case Domain::kComputerScience:
+      return rng.chance(0.8) ? Publisher::kArxiv : Publisher::kNature;
+    default:
+      return static_cast<Publisher>(rng.below(kNumPublishers));
+  }
+}
+
+ProducerTool sample_producer(util::Rng& rng, Domain d, bool scanned) {
+  if (scanned) return ProducerTool::kScannerOcr;
+  switch (d) {
+    case Domain::kMathematics:
+    case Domain::kPhysics:
+    case Domain::kComputerScience:
+      return rng.chance(0.9) ? ProducerTool::kPdfTex
+                             : ProducerTool::kGhostscript;
+    case Domain::kMedicine:
+    case Domain::kBiology:
+      return rng.chance(0.55) ? ProducerTool::kWordProcessor
+                              : (rng.chance(0.5) ? ProducerTool::kInDesign
+                                                 : ProducerTool::kPdfTex);
+    default:
+      return static_cast<ProducerTool>(rng.below(4));  // any born-digital tool
+  }
+}
+
+/// Per-domain densities of math and chemistry constructs (per 100 words).
+void domain_densities(Domain d, util::Rng& rng, double& math_density,
+                      double& chem_density) {
+  switch (d) {
+    case Domain::kMathematics:
+      math_density = rng.uniform(4.0, 10.0);
+      chem_density = 0.0;
+      break;
+    case Domain::kPhysics:
+      math_density = rng.uniform(3.0, 8.0);
+      chem_density = rng.chance(0.1) ? rng.uniform(0.0, 0.5) : 0.0;
+      break;
+    case Domain::kComputerScience:
+      // The paper notes ML papers can "boast hundreds of LaTeX expressions,
+      // more akin to a mathematics paper" — heavy-tailed density.
+      math_density = rng.chance(0.3) ? rng.uniform(4.0, 9.0)
+                                     : rng.uniform(0.5, 3.0);
+      chem_density = 0.0;
+      break;
+    case Domain::kChemistry:
+      math_density = rng.uniform(0.5, 2.5);
+      chem_density = rng.uniform(1.5, 5.0);
+      break;
+    case Domain::kBiology:
+      math_density = rng.uniform(0.1, 1.0);
+      chem_density = rng.chance(0.4) ? rng.uniform(0.2, 2.0) : 0.0;
+      break;
+    case Domain::kEngineering:
+      math_density = rng.uniform(1.0, 4.0);
+      chem_density = 0.0;
+      break;
+    case Domain::kMedicine:
+      math_density = rng.uniform(0.0, 0.8);
+      chem_density = rng.chance(0.25) ? rng.uniform(0.1, 1.0) : 0.0;
+      break;
+    case Domain::kEconomics:
+      math_density = rng.uniform(0.5, 3.5);
+      chem_density = 0.0;
+      break;
+  }
+}
+
+std::string make_page(const Vocabulary& vocab, util::Rng& rng,
+                      int sentences, double math_density, double chem_density,
+                      double layout_complexity, bool is_last_page) {
+  std::string page;
+  for (int s = 0; s < sentences; ++s) {
+    if (s > 0) page += ' ';
+    std::string sentence = vocab.sentence(rng);
+    // Inline math: insert snippets mid-sentence with per-word probability
+    // derived from the per-100-word density.
+    if (math_density > 0.0 && rng.chance(math_density * 0.16)) {
+      const std::size_t cut = sentence.size() / 2;
+      sentence.insert(cut, " " + vocab.latex_snippet(rng) + " ");
+    }
+    if (chem_density > 0.0 && rng.chance(chem_density * 0.08)) {
+      sentence += " " + vocab.smiles(rng);
+    }
+    page += sentence;
+    // Display equations cluster in math-dense, layout-complex documents.
+    if (math_density > 2.0 && rng.chance(0.05 + 0.05 * layout_complexity)) {
+      page += ' ' + vocab.latex_equation(rng);
+    }
+  }
+  if (is_last_page) {
+    page += '\n';
+    const int n_refs = 4 + static_cast<int>(rng.below(10));
+    for (int r = 0; r < n_refs; ++r) {
+      page += vocab.reference(rng, r + 1);
+      page += '\n';
+    }
+  }
+  return page;
+}
+
+/// Builds the embedded text layer from groundtruth, degraded according to
+/// producing tool, age, and (for scans) OCR quality.
+TextLayer make_text_layer(const Document& document, util::Rng& rng,
+                          const GeneratorConfig& config) {
+  TextLayer layer;
+  layer.present = true;
+
+  const auto& meta = document.meta;
+  // Base rates calibrated so that verbatim extraction of a typical layer
+  // scores BLEU ~0.5 against groundtruth (paper Table 1) — real embedded
+  // text diverges from the rendered article through missing figure/caption
+  // text, ligature and hyphenation damage, and reading-order drift.
+  double base_char_noise = 0.0;   // character substitutions
+  double word_sub_rate = 0.0;     // whole-word confusions
+  double word_drop_rate = 0.0;    // text not present in the layer at all
+  double scramble_rate = 0.0;     // scrambled words
+  double whitespace_rate = 0.0;   // injected whitespace
+  double mojibake_rate = 0.0;     // encoding damage
+  double latex_mangle = 0.55;     // extraction always struggles with math
+
+  switch (meta.producer) {
+    case ProducerTool::kPdfTex:
+      base_char_noise = 0.004;
+      word_sub_rate = 0.011;
+      word_drop_rate = 0.013;
+      whitespace_rate = 0.006;
+      scramble_rate = 0.008;
+      latex_mangle = 0.65;  // TeX-heavy docs have the worst math extraction
+      break;
+    case ProducerTool::kWordProcessor:
+      base_char_noise = 0.008;
+      word_sub_rate = 0.020;
+      word_drop_rate = 0.030;
+      whitespace_rate = 0.010;
+      scramble_rate = 0.010;
+      latex_mangle = 0.35;
+      break;
+    case ProducerTool::kInDesign:
+      base_char_noise = 0.010;
+      word_sub_rate = 0.024;
+      word_drop_rate = 0.036;
+      whitespace_rate = 0.016;  // layout-rich: text runs reordered/spaced
+      scramble_rate = 0.016;
+      latex_mangle = 0.45;
+      break;
+    case ProducerTool::kGhostscript:
+      base_char_noise = 0.030;
+      word_sub_rate = 0.050;
+      word_drop_rate = 0.080;
+      whitespace_rate = 0.022;
+      mojibake_rate = 0.006;
+      scramble_rate = 0.050;
+      latex_mangle = 0.80;
+      break;
+    case ProducerTool::kScannerOcr: {
+      // Embedded layer is whatever the scanner's OCR produced: noise scales
+      // with image degradation.
+      const double q = document.image_layer.quality();
+      base_char_noise = 0.020 + 0.08 * (1.0 - q);
+      word_sub_rate = 0.035 + 0.05 * (1.0 - q);
+      word_drop_rate = 0.050 + 0.08 * (1.0 - q);
+      scramble_rate = 0.030 + 0.14 * (1.0 - q);
+      whitespace_rate = 0.008 + 0.02 * (1.0 - q);
+      mojibake_rate = 0.004 + 0.012 * (1.0 - q);
+      latex_mangle = 0.9;
+      break;
+    }
+    case ProducerTool::kUnknown:
+      base_char_noise = 0.022;
+      word_sub_rate = 0.040;
+      word_drop_rate = 0.060;
+      whitespace_rate = 0.014;
+      scramble_rate = 0.025;
+      break;
+  }
+
+  // Old documents accumulated lossy re-processing.
+  const int age = std::max(0, config.max_year - meta.year);
+  base_char_noise *= 1.0 + 0.3 * age;
+  mojibake_rate *= 1.0 + 0.5 * age;
+
+  // Layout complexity leaks whitespace, ordering artifacts, and lost
+  // regions into the embedded layer (multi-column merge errors, text in
+  // figures/tables invisible to extraction).
+  whitespace_rate += 0.015 * document.layout_complexity;
+  scramble_rate += 0.015 * document.layout_complexity;
+  word_drop_rate += 0.05 * document.layout_complexity;
+
+  // Idiosyncratic severity: real documents vary for reasons no metadata
+  // field records (font subsetting, producer versions, template quirks).
+  // This is what keeps parser-accuracy prediction hard (paper: R^2 ~ 40%).
+  const double severity = std::exp(rng.normal(0.0, 0.45));
+  base_char_noise *= severity;
+  word_sub_rate *= severity;
+  word_drop_rate *= severity;
+  scramble_rate *= severity;
+  whitespace_rate *= severity;
+
+  double fidelity_acc = 0.0;
+  layer.pages.reserve(document.groundtruth_pages.size());
+  for (const auto& gt : document.groundtruth_pages) {
+    std::string t = text::mangle_latex(gt, latex_mangle, rng);
+    if (document.chem_density > 0.0) {
+      t = text::corrupt_smiles(t, 0.6, rng);  // embedded chem text is fragile
+    }
+    t = text::drop_words(t, word_drop_rate, rng);
+    t = text::substitute_words(t, word_sub_rate, rng);
+    t = text::substitute_chars(t, base_char_noise, rng);
+    t = text::scramble_words(t, scramble_rate, rng);
+    t = text::inject_whitespace(t, whitespace_rate, rng);
+    t = text::mojibake(t, mojibake_rate, rng);
+    layer.pages.push_back(std::move(t));
+    // Fidelity is a diagnostic summary, not a metric: keep it in (0, 1].
+    fidelity_acc += 1.0 - std::min(0.95, base_char_noise * 8.0 +
+                                             word_sub_rate * 1.5 +
+                                             word_drop_rate * 1.5 +
+                                             scramble_rate * 3.0 +
+                                             whitespace_rate * 2.0);
+  }
+  layer.fidelity = document.groundtruth_pages.empty()
+                       ? 1.0
+                       : fidelity_acc /
+                             static_cast<double>(document.groundtruth_pages.size());
+  return layer;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(GeneratorConfig config)
+    : config_(std::move(config)) {}
+
+Document CorpusGenerator::generate_one(std::size_t index) const {
+  util::Rng corpus_rng(config_.seed);
+  // Stable per-document stream independent of generation order.
+  util::Rng rng(util::mix64(corpus_rng.next_u64(), index + 1));
+
+  Document document;
+  document.id = "doc-" + std::to_string(config_.seed) + "-" +
+                std::to_string(index);
+  document.seed = util::mix64(config_.seed, index * 2 + 1);
+
+  const bool scanned = rng.chance(config_.scanned_fraction);
+
+  document.meta.domain = sample_domain(rng);
+  document.meta.publisher = sample_publisher(rng, document.meta.domain);
+  document.meta.subcategory =
+      static_cast<int>(static_cast<std::size_t>(document.meta.domain) * 8 +
+                       rng.below(9));  // 8 domains x ~8-9 subcats ≈ 67
+  document.meta.year = static_cast<int>(
+      rng.range(config_.min_year, config_.max_year));
+  if (scanned && rng.chance(0.6)) {
+    // Scans skew old.
+    document.meta.year = static_cast<int>(rng.range(1990, config_.min_year));
+  }
+  document.meta.producer = sample_producer(rng, document.meta.domain, scanned);
+  document.meta.format = scanned
+                             ? (rng.chance(0.7) ? PdfFormat::kPdf14
+                                                : PdfFormat::kPdfA)
+                             : (rng.chance(0.6) ? PdfFormat::kPdf17
+                                                : PdfFormat::kPdf20);
+  if (!scanned && rng.chance(config_.legacy_toolchain_fraction)) {
+    document.meta.producer = ProducerTool::kGhostscript;
+    document.meta.format = PdfFormat::kPdf14;
+  }
+
+  document.layout_complexity = std::pow(rng.uniform(), 1.6);  // skew simple
+  domain_densities(document.meta.domain, rng, document.math_density,
+                   document.chem_density);
+
+  Vocabulary vocab(document.meta.domain);
+  document.meta.title = vocab.title(rng);
+
+  const int pages = static_cast<int>(
+      rng.range(config_.min_pages, config_.max_pages));
+  document.meta.num_pages = pages;
+  document.groundtruth_pages.reserve(static_cast<std::size_t>(pages));
+  for (int p = 0; p < pages; ++p) {
+    const int sentences = std::max(
+        4, config_.sentences_per_page +
+               static_cast<int>(rng.range(-4, 4)));
+    document.groundtruth_pages.push_back(
+        make_page(vocab, rng, sentences, document.math_density,
+                  document.chem_density, document.layout_complexity,
+                  p == pages - 1));
+  }
+
+  // Image layer.
+  if (scanned) {
+    document.image_layer.born_digital = false;
+    document.image_layer.rotation_deg = rng.uniform(-4.0, 4.0);
+    document.image_layer.blur_sigma = rng.uniform(0.0, 1.8);
+    document.image_layer.contrast = rng.uniform(0.7, 1.2);
+    document.image_layer.compression = rng.uniform(0.0, 0.6);
+  }
+
+  // Text layer (after image layer: scanner OCR quality depends on it).
+  if (scanned && rng.chance(config_.scan_no_text_layer)) {
+    document.text_layer.present = false;
+    document.text_layer.fidelity = 0.0;
+  } else {
+    document.text_layer = make_text_layer(document, rng, config_);
+  }
+
+  document.corrupted = rng.chance(config_.corrupted_fraction);
+  return document;
+}
+
+std::vector<Document> CorpusGenerator::generate() const {
+  std::vector<Document> docs;
+  docs.reserve(config_.num_documents);
+  for (std::size_t i = 0; i < config_.num_documents; ++i) {
+    docs.push_back(generate_one(i));
+  }
+  return docs;
+}
+
+GeneratorConfig born_digital_config(std::size_t n, std::uint64_t seed) {
+  GeneratorConfig config;
+  config.num_documents = n;
+  config.seed = seed;
+  config.scanned_fraction = 0.0;
+  config.corrupted_fraction = 0.0;
+  return config;
+}
+
+GeneratorConfig benchmark_config(std::size_t n, std::uint64_t seed) {
+  GeneratorConfig config;
+  config.num_documents = n;
+  config.seed = seed;
+  config.scanned_fraction = 0.18;
+  config.legacy_toolchain_fraction = 0.15;
+  return config;
+}
+
+}  // namespace adaparse::doc

@@ -1,0 +1,257 @@
+#include "doc/vocab.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace adaparse::doc {
+namespace {
+
+// Core English vocabulary in rough frequency order (Zipf sampling assumes
+// earlier = more frequent). Function words first, then common academic verbs
+// and nouns — the connective tissue of scientific prose.
+const std::vector<std::string>& core_vocab() {
+  static const std::vector<std::string> v = {
+      "the", "of", "and", "a", "to", "in", "is", "that", "we", "for",
+      "are", "with", "as", "this", "by", "on", "be", "it", "an", "which",
+      "from", "or", "can", "these", "our", "results", "model", "data",
+      "method", "using", "show", "between", "each", "where", "both",
+      "given", "however", "based", "approach", "function", "distribution",
+      "analysis", "system", "values", "observed", "parameters", "measured",
+      "significant", "present", "study", "first", "obtained", "consider",
+      "different", "number", "large", "small", "higher", "lower", "then",
+      "thus", "therefore", "furthermore", "moreover", "respectively",
+      "figure", "table", "section", "equation", "shown", "described",
+      "proposed", "evaluate", "performance", "sample", "samples", "error",
+      "errors", "estimate", "estimates", "experimental", "theoretical",
+      "compared", "comparison", "increase", "decrease", "effect", "effects",
+      "structure", "process", "processes", "condition", "conditions",
+      "observed", "relative", "average", "standard", "deviation", "linear",
+      "nonlinear", "constant", "variable", "variables", "random", "case",
+      "cases", "set", "sets", "total", "rate", "rates", "time", "times",
+      "space", "field", "fields", "order", "term", "terms", "point",
+      "points", "value", "problem", "problems", "solution", "solutions",
+      "property", "properties", "form", "forms", "state", "states",
+      "defined", "definition", "denote", "denotes", "assume", "assumption",
+      "follows", "following", "corresponding", "respect", "obtained",
+      "derive", "derived", "apply", "applied", "general", "particular",
+      "important", "known", "unknown", "possible", "necessary", "sufficient",
+      "result", "implies", "holds", "exists", "unique", "proof", "lemma",
+      "remark", "note", "example", "examples", "further", "work", "recent",
+      "previous", "literature", "review", "novel", "new", "existing",
+      "demonstrate", "demonstrated", "indicates", "indicating", "suggests",
+      "observed", "measurement", "measurements", "procedure", "protocol",
+      "finally", "conclusion", "conclusions", "summary", "discussed",
+      "discussion", "provides", "provide", "enables", "allows", "requires",
+      "required", "within", "across", "under", "over", "during", "after",
+      "before", "while", "although", "despite", "because", "since",
+  };
+  return v;
+}
+
+const std::vector<std::string>& terms_for(Domain d) {
+  static const std::array<std::vector<std::string>, kNumDomains> tables = {{
+      // mathematics
+      {"manifold", "topology", "homomorphism", "eigenvalue", "eigenvector",
+       "convergence", "theorem", "corollary", "isomorphism", "polynomial",
+       "conjecture", "integrable", "measurable", "cardinality", "functor",
+       "sheaf", "cohomology", "operator", "spectrum", "norm", "Banach",
+       "Hilbert", "stochastic", "martingale", "ergodic", "asymptotic",
+       "holomorphic", "algebraic", "combinatorial", "lattice", "modular",
+       "bounded", "compact", "convex", "dense", "orthogonal"},
+      // biology
+      {"genome", "transcription", "phenotype", "genotype", "enzyme",
+       "protein", "mitochondria", "ribosome", "chromosome", "mutation",
+       "expression", "receptor", "ligand", "pathway", "signaling",
+       "apoptosis", "homeostasis", "metabolism", "organism", "species",
+       "evolution", "phylogenetic", "microbiome", "antibody", "antigen",
+       "epithelial", "neuron", "synapse", "plasmid", "vector", "codon",
+       "polymerase", "kinase", "substrate", "in-vitro", "in-vivo"},
+      // chemistry
+      {"catalyst", "synthesis", "oxidation", "reduction", "titration",
+       "molarity", "stoichiometry", "isomer", "polymer", "monomer",
+       "electrophile", "nucleophile", "aromatic", "aliphatic", "chirality",
+       "enantiomer", "spectroscopy", "chromatography", "crystallography",
+       "solvent", "solute", "precipitate", "equilibrium", "kinetics",
+       "thermodynamics", "enthalpy", "entropy", "exothermic", "endothermic",
+       "valence", "orbital", "covalent", "ionic", "ligand", "complex",
+       "yield"},
+      // physics
+      {"quantum", "relativity", "entanglement", "boson", "fermion",
+       "hamiltonian", "lagrangian", "photon", "electron", "neutrino",
+       "superconductor", "plasma", "entropy", "momentum", "angular",
+       "oscillation", "wavelength", "frequency", "amplitude", "interference",
+       "diffraction", "scattering", "cross-section", "decay", "radiation",
+       "magnetic", "electric", "gravitational", "cosmological", "inflaton",
+       "gauge", "symmetry", "renormalization", "perturbation", "lattice",
+       "condensate"},
+      // engineering
+      {"actuator", "sensor", "feedback", "controller", "stability",
+       "robustness", "bandwidth", "latency", "throughput", "impedance",
+       "voltage", "current", "circuit", "transistor", "semiconductor",
+       "fatigue", "stress", "strain", "torque", "vibration", "resonance",
+       "turbine", "compressor", "combustion", "aerodynamic", "hydraulic",
+       "pneumatic", "kinematics", "dynamics", "mechanism", "tolerance",
+       "calibration", "simulation", "prototype", "optimization", "payload"},
+      // medicine
+      {"diagnosis", "prognosis", "etiology", "pathology", "epidemiology",
+       "clinical", "placebo", "randomized", "cohort", "biomarker",
+       "therapeutic", "dosage", "pharmacokinetics", "hypertension",
+       "hypotension", "hyperthyroidism", "hypothyroidism", "oncology",
+       "cardiology", "neurology", "immunology", "inflammation", "lesion",
+       "tumor", "metastasis", "remission", "relapse", "morbidity",
+       "mortality", "comorbidity", "symptom", "syndrome", "chronic",
+       "acute", "intervention", "outcome"},
+      // economics
+      {"elasticity", "equilibrium", "inflation", "deflation", "monetary",
+       "fiscal", "liquidity", "volatility", "arbitrage", "hedging",
+       "portfolio", "dividend", "utility", "welfare", "externality",
+       "oligopoly", "monopoly", "auction", "incentive", "contract",
+       "bargaining", "endogenous", "exogenous", "heteroskedasticity",
+       "regression", "instrumental", "counterfactual", "treatment",
+       "consumption", "investment", "productivity", "unemployment",
+       "tariff", "subsidy", "taxation", "GDP"},
+      // computer science
+      {"algorithm", "complexity", "heuristic", "optimization", "gradient",
+       "backpropagation", "transformer", "attention", "embedding",
+       "tokenizer", "inference", "training", "overfitting", "regularization",
+       "convolution", "recurrent", "reinforcement", "supervised",
+       "unsupervised", "clustering", "classification", "benchmark",
+       "throughput", "latency", "scheduler", "concurrency", "distributed",
+       "cache", "pipeline", "compiler", "semantics", "invariant",
+       "recursion", "hashing", "cryptography", "scalability"},
+  }};
+  return tables[static_cast<std::size_t>(d)];
+}
+
+const std::vector<std::string>& latex_commands() {
+  static const std::vector<std::string> v = {
+      "\\alpha",  "\\beta",   "\\gamma",  "\\delta",  "\\epsilon",
+      "\\lambda", "\\mu",     "\\sigma",  "\\omega",  "\\theta",
+      "\\sum",    "\\prod",   "\\int",    "\\partial", "\\nabla",
+      "\\infty",  "\\forall", "\\exists", "\\approx", "\\leq",
+      "\\geq",    "\\times",  "\\cdot",   "\\pm",     "\\sqrt",
+  };
+  return v;
+}
+
+/// Small stock of SMILES fragments combined at random.
+const std::vector<std::string>& smiles_fragments() {
+  static const std::vector<std::string> v = {
+      "CC(=O)O", "c1ccccc1", "C(=O)N", "C1CCCCC1", "N[C@@H](C)",
+      "OC(=O)",  "c1ccncc1", "S(=O)(=O)", "C#N",   "C=CC=C",
+      "[Na+]",   "[Cl-]",    "CCO",       "CN1C=NC2=C1",
+  };
+  return v;
+}
+
+char upcase(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(Domain domain)
+    : domain_(domain), core_(&core_vocab()), domain_terms_(&terms_for(domain)) {}
+
+std::string Vocabulary::word(util::Rng& rng) const {
+  // ~80% core English (Zipf-weighted), ~20% domain terms (uniform-ish Zipf).
+  if (rng.chance(0.8)) {
+    return (*core_)[rng.zipf(core_->size(), 1.05)];
+  }
+  return (*domain_terms_)[rng.zipf(domain_terms_->size(), 0.7)];
+}
+
+std::string Vocabulary::sentence(util::Rng& rng, std::size_t min_words,
+                                 std::size_t max_words) const {
+  const std::size_t n =
+      min_words + static_cast<std::size_t>(rng.below(max_words - min_words + 1));
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string w = word(rng);
+    if (i == 0 && !w.empty()) w[0] = upcase(w[0]);
+    if (i > 0) out += ' ';
+    out += w;
+    // Occasional inline citation "[12]" or comma.
+    if (i + 1 < n) {
+      if (rng.chance(0.03)) {
+        out += " [" + std::to_string(1 + rng.below(60)) + "]";
+      } else if (rng.chance(0.06)) {
+        out += ',';
+      }
+    }
+  }
+  out += '.';
+  return out;
+}
+
+std::string Vocabulary::latex_snippet(util::Rng& rng) const {
+  const auto& cmds = latex_commands();
+  std::string out = "$";
+  const std::size_t n = 1 + rng.below(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += rng.chance(0.5) ? " + " : " ";
+    out += cmds[rng.below(cmds.size())];
+    if (rng.chance(0.4)) {
+      out += "^{" + std::to_string(2 + rng.below(4)) + "}";
+    } else if (rng.chance(0.3)) {
+      out += "_{i}";
+    }
+  }
+  out += "$";
+  return out;
+}
+
+std::string Vocabulary::latex_equation(util::Rng& rng) const {
+  const auto& cmds = latex_commands();
+  std::string out = "\\begin{equation} ";
+  out += cmds[rng.below(cmds.size())];
+  out += "_{i=1}";
+  if (rng.chance(0.6)) {
+    out += " \\frac{" + std::string(cmds[rng.below(cmds.size())]) + "}{" +
+           std::string(cmds[rng.below(cmds.size())]) + "^{2}}";
+  } else {
+    out += " " + std::string(cmds[rng.below(cmds.size())]) + " \\cdot x_{i}";
+  }
+  out += " \\end{equation}";
+  return out;
+}
+
+std::string Vocabulary::smiles(util::Rng& rng) const {
+  const auto& frags = smiles_fragments();
+  std::string out;
+  const std::size_t n = 2 + rng.below(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += frags[rng.below(frags.size())];
+  }
+  return out;
+}
+
+std::string Vocabulary::reference(util::Rng& rng, int index) const {
+  std::string authors;
+  const std::size_t n_authors = 1 + rng.below(3);
+  for (std::size_t i = 0; i < n_authors; ++i) {
+    if (i > 0) authors += ", ";
+    std::string name = (*domain_terms_)[rng.below(domain_terms_->size())];
+    name[0] = upcase(name[0]);
+    authors += name + " " + static_cast<char>('A' + rng.below(26)) + ".";
+  }
+  return "[" + std::to_string(index) + "] " + authors + " (" +
+         std::to_string(1995 + rng.below(30)) + "). " +
+         sentence(rng, 4, 9);
+}
+
+std::string Vocabulary::title(util::Rng& rng) const {
+  std::string out;
+  const std::size_t n = 4 + rng.below(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string w = rng.chance(0.5)
+                        ? (*domain_terms_)[rng.below(domain_terms_->size())]
+                        : (*core_)[rng.zipf(core_->size(), 1.05)];
+    if (!w.empty()) w[0] = upcase(w[0]);
+    if (i > 0) out += ' ';
+    out += w;
+  }
+  return out;
+}
+
+}  // namespace adaparse::doc

@@ -1,0 +1,55 @@
+// Domain vocabularies and generators for scientific prose constructs.
+//
+// The corpus generator composes document text from (a) a shared core
+// English vocabulary, (b) per-domain technical terms, (c) LaTeX equation
+// snippets, (d) SMILES strings, and (e) citation/reference markers. Terms
+// are drawn Zipf-distributed, which gives parser output realistic n-gram
+// statistics for the BLEU/ROUGE metrics to discriminate on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::doc {
+
+/// Provides the word stock for one domain. Cheap to copy (points into
+/// static storage for the shared lists).
+class Vocabulary {
+ public:
+  explicit Vocabulary(Domain domain);
+
+  /// Draws one word: mixes core English (Zipf) with domain terms.
+  std::string word(util::Rng& rng) const;
+
+  /// Draws a sentence of `min_words..max_words` words with capitalization
+  /// and a terminal period; may embed a citation marker.
+  std::string sentence(util::Rng& rng, std::size_t min_words = 8,
+                       std::size_t max_words = 24) const;
+
+  /// A LaTeX inline-math snippet, e.g. "$\\frac{\\alpha}{\\beta^{2}}$".
+  std::string latex_snippet(util::Rng& rng) const;
+
+  /// A display equation (multi-token LaTeX).
+  std::string latex_equation(util::Rng& rng) const;
+
+  /// A SMILES-like chemical string, e.g. "CC(=O)Oc1ccccc1C(=O)O".
+  std::string smiles(util::Rng& rng) const;
+
+  /// A bibliography-style reference line.
+  std::string reference(util::Rng& rng, int index) const;
+
+  /// A plausible paper title for metadata.
+  std::string title(util::Rng& rng) const;
+
+  Domain domain() const { return domain_; }
+
+ private:
+  Domain domain_;
+  const std::vector<std::string>* core_;
+  const std::vector<std::string>* domain_terms_;
+};
+
+}  // namespace adaparse::doc

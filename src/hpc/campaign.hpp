@@ -1,0 +1,42 @@
+// Campaign drivers: turn (parser, documents) into simulator task lists and
+// run throughput sweeps over node counts — the machinery behind Figure 5.
+#pragma once
+
+#include <vector>
+
+#include "doc/document.hpp"
+#include "hpc/cluster.hpp"
+#include "parsers/parser.hpp"
+
+namespace adaparse::hpc {
+
+/// Builds one TaskSpec per document for a single-parser campaign, using the
+/// parser's cost model (documents are costed, not parsed — the sweep needs
+/// only resource demands).
+std::vector<TaskSpec> campaign_tasks(const parsers::Parser& parser,
+                                     const std::vector<doc::Document>& docs);
+
+/// Cluster configuration appropriate for the given parser's architecture:
+/// GPU parsers need warm-started models; Marker additionally suffers a
+/// centralized coordination stage.
+ClusterConfig cluster_for_parser(parsers::ParserKind kind, int nodes);
+
+/// One point of the Figure 5 sweep.
+struct ScalePoint {
+  int nodes = 0;
+  double throughput = 0.0;  ///< PDF/s
+};
+
+/// Runs the node-count sweep for one parser over the document sample.
+/// `node_counts` is typically {1,2,4,...,128}.
+std::vector<ScalePoint> throughput_sweep(
+    const parsers::Parser& parser, const std::vector<doc::Document>& docs,
+    const std::vector<int>& node_counts);
+
+/// Sweep for a pre-built task list (used for AdaParse, whose tasks mix CPU
+/// extraction, classifier inference, and budgeted GPU parses).
+std::vector<ScalePoint> throughput_sweep_tasks(
+    const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
+    const std::vector<int>& node_counts);
+
+}  // namespace adaparse::hpc

@@ -1,0 +1,171 @@
+#include "hpc/cluster.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace adaparse::hpc {
+namespace {
+
+/// Staging batch: contiguous slice of one node's task list.
+struct Batch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  double bytes = 0.0;
+  double ops = 0.0;
+  double ready_time = 0.0;  ///< when its data is in node-local RAM
+};
+
+}  // namespace
+
+double SimResult::gpu_utilization() const {
+  if (makespan <= 0.0 || gpu_timeline.empty()) return 0.0;
+  double busy = 0.0;
+  int max_gpu_index = 0;
+  for (const auto& iv : gpu_timeline) {
+    busy += iv.end - iv.start;
+    max_gpu_index = std::max(max_gpu_index, iv.node * 1000 + iv.gpu);
+  }
+  // Count distinct GPUs that appeared.
+  std::vector<std::uint64_t> seen;
+  for (const auto& iv : gpu_timeline) {
+    seen.push_back(static_cast<std::uint64_t>(iv.node) * 1000 + iv.gpu);
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return busy / (makespan * static_cast<double>(seen.size()));
+}
+
+SimResult simulate(const ClusterConfig& config,
+                   const std::vector<TaskSpec>& tasks) {
+  if (config.nodes <= 0 || config.cpu_cores_per_node <= 0) {
+    throw std::invalid_argument("simulate: invalid cluster config");
+  }
+  SimResult result;
+  result.tasks = tasks.size();
+  if (tasks.empty()) return result;
+
+  const auto nodes = static_cast<std::size_t>(config.nodes);
+
+  // ---- Distribute tasks round-robin, preserving stream order per node. --
+  std::vector<std::vector<std::size_t>> node_tasks(nodes);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    node_tasks[i % nodes].push_back(i);
+  }
+
+  // ---- Form staging batches per node. -----------------------------------
+  const std::size_t batch_size =
+      config.batch_staging ? std::max<std::size_t>(1, config.batch_size) : 1;
+  std::vector<std::vector<Batch>> node_batches(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const auto& list = node_tasks[n];
+    for (std::size_t b = 0; b < list.size(); b += batch_size) {
+      Batch batch;
+      batch.begin = b;
+      batch.end = std::min(list.size(), b + batch_size);
+      for (std::size_t i = batch.begin; i < batch.end; ++i) {
+        batch.bytes += tasks[list[i]].bytes_read;
+        // Batching collapses per-file operations into one shard read.
+        batch.ops += config.batch_staging ? 0.0 : tasks[list[i]].fs_ops;
+      }
+      if (config.batch_staging) batch.ops = 2.0;  // shard open + index read
+      node_batches[n].push_back(batch);
+    }
+  }
+
+  // ---- Serve staging requests through the shared FS (FIFO). -------------
+  // Each node pipelines: it requests batch b as soon as batch b-1 finished
+  // staging (one-deep prefetch, as the engine's Prefetcher does).
+  struct Request {
+    double time;
+    std::size_t node;
+    std::size_t batch;
+    bool operator>(const Request& other) const { return time > other.time; }
+  };
+  std::priority_queue<Request, std::vector<Request>, std::greater<>> requests;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (!node_batches[n].empty()) requests.push({0.0, n, 0});
+  }
+  double fs_free = 0.0;
+  while (!requests.empty()) {
+    const Request r = requests.top();
+    requests.pop();
+    auto& batch = node_batches[r.node][r.batch];
+    const double start = std::max(fs_free, r.time);
+    const double service =
+        batch.ops * config.fs_op_latency + batch.bytes / config.fs_bandwidth;
+    fs_free = start + service;
+    result.fs_busy_seconds += service;
+    batch.ready_time = fs_free;
+    if (r.batch + 1 < node_batches[r.node].size()) {
+      requests.push({fs_free, r.node, r.batch + 1});
+    }
+  }
+
+  // ---- Compute scheduling per node. --------------------------------------
+  double coordinator_free = 0.0;  // global central service (Marker)
+  double makespan = 0.0;
+
+  for (std::size_t n = 0; n < nodes; ++n) {
+    std::vector<double> cpu_free(
+        static_cast<std::size_t>(config.cpu_cores_per_node), 0.0);
+    std::vector<double> gpu_free(
+        static_cast<std::size_t>(std::max(0, config.gpus_per_node)), 0.0);
+    std::vector<bool> model_loaded(gpu_free.size(), false);
+
+    for (const auto& batch : node_batches[n]) {
+      for (std::size_t i = batch.begin; i < batch.end; ++i) {
+        const TaskSpec& task = tasks[node_tasks[n][i]];
+
+        // CPU phase (every task has one: extraction/classification/prep).
+        auto cpu_it = std::min_element(cpu_free.begin(), cpu_free.end());
+        double t = std::max(*cpu_it, batch.ready_time);
+        const double cpu_time = config.dispatch_overhead + task.cpu_seconds;
+        t += cpu_time;
+        *cpu_it = t;
+        result.cpu_busy_seconds += cpu_time;
+
+        // Central coordination (if the parser architecture has one).
+        if (config.central_service_seconds > 0.0) {
+          const double cstart = std::max(coordinator_free, t);
+          coordinator_free = cstart + config.central_service_seconds;
+          t = coordinator_free;
+        }
+
+        // GPU phase.
+        if (task.gpu_seconds > 0.0) {
+          if (gpu_free.empty()) {
+            throw std::invalid_argument("GPU task on a GPU-less cluster");
+          }
+          auto gpu_it = std::min_element(gpu_free.begin(), gpu_free.end());
+          const auto g = static_cast<std::size_t>(gpu_it - gpu_free.begin());
+          double gstart = std::max(*gpu_it, t);
+          if (task.needs_gpu_model &&
+              (!config.warm_start || !model_loaded[g])) {
+            result.gpu_timeline.push_back(
+                {static_cast<int>(n), static_cast<int>(g), gstart,
+                 gstart + config.model_load_seconds, /*is_model_load=*/true});
+            gstart += config.model_load_seconds;
+            result.model_load_seconds += config.model_load_seconds;
+            model_loaded[g] = true;
+          }
+          const double gend = gstart + task.gpu_seconds;
+          result.gpu_timeline.push_back({static_cast<int>(n),
+                                         static_cast<int>(g), gstart, gend,
+                                         /*is_model_load=*/false});
+          result.gpu_busy_seconds += gend - gstart;
+          *gpu_it = gend;
+          t = gend;
+        }
+        makespan = std::max(makespan, t);
+      }
+    }
+  }
+
+  result.makespan = makespan;
+  result.throughput =
+      makespan > 0.0 ? static_cast<double>(tasks.size()) / makespan : 0.0;
+  return result;
+}
+
+}  // namespace adaparse::hpc

@@ -1,0 +1,62 @@
+#include "hpc/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace adaparse::hpc {
+
+UtilizationTrace build_trace(const SimResult& result, std::size_t buckets) {
+  UtilizationTrace trace;
+  if (result.makespan <= 0.0 || buckets == 0) return trace;
+  trace.bucket_seconds = result.makespan / static_cast<double>(buckets);
+
+  // Discover GPUs in the timeline (node-major order).
+  std::map<std::pair<int, int>, std::size_t> gpu_row;
+  for (const auto& iv : result.gpu_timeline) {
+    gpu_row.emplace(std::make_pair(iv.node, iv.gpu), 0);
+  }
+  std::size_t row = 0;
+  for (auto& [key, index] : gpu_row) {
+    index = row++;
+    trace.gpu_labels.push_back("node" + std::to_string(key.first) + "/gpu" +
+                               std::to_string(key.second));
+  }
+  trace.gpu_busy_fraction.assign(gpu_row.size(),
+                                 std::vector<double>(buckets, 0.0));
+
+  for (const auto& iv : result.gpu_timeline) {
+    const std::size_t r = gpu_row[{iv.node, iv.gpu}];
+    // Distribute the interval across overlapping buckets.
+    const auto first = static_cast<std::size_t>(
+        std::min(static_cast<double>(buckets - 1),
+                 iv.start / trace.bucket_seconds));
+    const auto last = static_cast<std::size_t>(
+        std::min(static_cast<double>(buckets - 1),
+                 iv.end / trace.bucket_seconds));
+    for (std::size_t b = first; b <= last; ++b) {
+      const double bucket_start = static_cast<double>(b) * trace.bucket_seconds;
+      const double bucket_end = bucket_start + trace.bucket_seconds;
+      const double overlap = std::max(
+          0.0, std::min(iv.end, bucket_end) - std::max(iv.start, bucket_start));
+      trace.gpu_busy_fraction[r][b] += overlap / trace.bucket_seconds;
+    }
+  }
+  for (auto& r2 : trace.gpu_busy_fraction) {
+    for (auto& v : r2) v = std::min(1.0, v);
+  }
+  return trace;
+}
+
+std::string render_row(const std::vector<double>& row) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "#"};
+  std::string out;
+  out.reserve(row.size());
+  for (double v : row) {
+    const auto level = static_cast<std::size_t>(
+        std::clamp(v, 0.0, 1.0) * 8.0);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace adaparse::hpc

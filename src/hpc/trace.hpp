@@ -1,0 +1,29 @@
+// Utilization traces from the simulator's GPU timeline — the reproduction
+// substrate for Figure 4 (per-GPU utilization as profiled with Nsight
+// Systems on the real system).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpc/cluster.hpp"
+
+namespace adaparse::hpc {
+
+/// Per-GPU utilization sampled in fixed time buckets.
+struct UtilizationTrace {
+  double bucket_seconds = 0.0;
+  /// rows: one per GPU (node-major); cols: utilization in [0,1] per bucket.
+  std::vector<std::vector<double>> gpu_busy_fraction;
+  std::vector<std::string> gpu_labels;
+};
+
+/// Builds the trace from a simulation result with `buckets` time buckets
+/// over [0, makespan].
+UtilizationTrace build_trace(const SimResult& result, std::size_t buckets);
+
+/// Renders one GPU row as an ASCII sparkline-style bar strip (for the
+/// bench output), e.g. "██▆▁▃...".
+std::string render_row(const std::vector<double>& row);
+
+}  // namespace adaparse::hpc

@@ -1,0 +1,47 @@
+#include "io/jsonl.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace adaparse::io {
+
+util::Json ParseRecord::to_json() const {
+  util::JsonObject obj;
+  obj["id"] = document_id;
+  obj["parser"] = parser;
+  obj["text"] = text;
+  obj["predicted_accuracy"] = predicted_accuracy;
+  obj["route"] = route;
+  obj["pages"] = pages;
+  obj["pages_retrieved"] = pages_retrieved;
+  return util::Json(std::move(obj));
+}
+
+ParseRecord ParseRecord::from_json(const util::Json& j) {
+  ParseRecord r;
+  r.document_id = j.at("id").as_string();
+  r.parser = j.at("parser").as_string();
+  r.text = j.at("text").as_string();
+  r.predicted_accuracy = j.at("predicted_accuracy").as_number();
+  r.route = j.at("route").as_string();
+  r.pages = static_cast<int>(j.at("pages").as_number());
+  r.pages_retrieved = static_cast<int>(j.at("pages_retrieved").as_number());
+  return r;
+}
+
+void JsonlWriter::write(const ParseRecord& record) {
+  os_ << record.to_json().dump() << '\n';
+  ++count_;
+}
+
+std::vector<ParseRecord> read_jsonl(std::istream& is) {
+  std::vector<ParseRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    records.push_back(ParseRecord::from_json(util::Json::parse(line)));
+  }
+  return records;
+}
+
+}  // namespace adaparse::io

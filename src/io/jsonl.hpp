@@ -1,0 +1,46 @@
+// JSONL output records — AdaParse's output format (paper Fig. 2: parsed
+// text is written to storage as JSONL).
+//
+// Each record carries the document id, the parser that produced the accepted
+// text, the text itself, and the routing decision trail, so downstream data
+// curation can filter by provenance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace adaparse::io {
+
+/// One parsed-document record.
+struct ParseRecord {
+  std::string document_id;
+  std::string parser;          ///< name of the parser whose output was kept
+  std::string text;            ///< accepted full text
+  double predicted_accuracy = 0.0;  ///< selector's score for the chosen parser
+  std::string route;           ///< routing trail, e.g. "cls1:valid,cls2:keep"
+  int pages = 0;
+  int pages_retrieved = 0;
+
+  util::Json to_json() const;
+  static ParseRecord from_json(const util::Json& j);
+};
+
+/// Append-oriented JSONL writer over any ostream.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& os) : os_(os) {}
+  void write(const ParseRecord& record);
+  std::size_t count() const { return count_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t count_ = 0;
+};
+
+/// Parses a whole JSONL document (used by tests and the examples).
+std::vector<ParseRecord> read_jsonl(std::istream& is);
+
+}  // namespace adaparse::io

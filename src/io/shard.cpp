@@ -1,0 +1,134 @@
+#include "io/shard.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace adaparse::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xADA90001;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+std::uint32_t get_u32(std::string_view s, std::size_t& pos) {
+  if (pos + 4 > s.size()) {
+    throw std::runtime_error("shard: truncated (u32)");
+  }
+  std::uint32_t v = 0;
+  std::memcpy(&v, s.data() + pos, 4);
+  pos += 4;
+  return v;
+}
+
+std::string_view get_bytes(std::string_view s, std::size_t& pos,
+                           std::size_t n) {
+  if (pos + n > s.size()) {
+    throw std::runtime_error("shard: truncated (bytes)");
+  }
+  const auto out = s.substr(pos, n);
+  pos += n;
+  return out;
+}
+
+}  // namespace
+
+std::string rle_encode(std::string_view s) {
+  // Format: pairs of (count byte 1..255, char). Worst case 2x; typical text
+  // with whitespace runs compresses slightly — enough to exercise the
+  // encode/decode path the way DEFLATE would.
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    std::size_t run = 1;
+    while (i + run < s.size() && s[i + run] == c && run < 255) ++run;
+    out += static_cast<char>(run);
+    out += c;
+    i += run;
+  }
+  return out;
+}
+
+std::string rle_decode(std::string_view s) {
+  if (s.size() % 2 != 0) {
+    throw std::runtime_error("rle: odd-length input");
+  }
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const auto run = static_cast<unsigned char>(s[i]);
+    if (run == 0) throw std::runtime_error("rle: zero run length");
+    out.append(run, s[i + 1]);
+  }
+  return out;
+}
+
+void ShardWriter::add(std::string name, std::string payload) {
+  payload_bytes_ += payload.size();
+  entries_.push_back({std::move(name), std::move(payload)});
+}
+
+std::string ShardWriter::finish() const {
+  std::string out;
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& entry : entries_) {
+    const std::string encoded = rle_encode(entry.payload);
+    put_u32(out, static_cast<std::uint32_t>(entry.name.size()));
+    out += entry.name;
+    put_u32(out, static_cast<std::uint32_t>(encoded.size()));
+    out += encoded;
+  }
+  return out;
+}
+
+ShardReader::ShardReader(std::string blob) : blob_(std::move(blob)) {
+  std::size_t pos = 0;
+  if (get_u32(blob_, pos) != kMagic) {
+    throw std::runtime_error("shard: bad magic");
+  }
+  const std::uint32_t n = get_u32(blob_, pos);
+  entries_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t name_len = get_u32(blob_, pos);
+    const auto name = get_bytes(blob_, pos, name_len);
+    const std::uint32_t data_len = get_u32(blob_, pos);
+    const auto encoded = get_bytes(blob_, pos, data_len);
+    entries_.push_back({std::string(name), rle_decode(encoded)});
+  }
+  if (pos != blob_.size()) {
+    throw std::runtime_error("shard: trailing bytes");
+  }
+}
+
+std::optional<std::string_view> ShardReader::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return std::string_view(entry.payload);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> plan_shards(
+    const std::vector<std::size_t>& payload_sizes, std::size_t shard_bytes) {
+  std::vector<std::pair<std::size_t, std::size_t>> shards;
+  std::size_t begin = 0, acc = 0;
+  for (std::size_t i = 0; i < payload_sizes.size(); ++i) {
+    if (acc > 0 && acc + payload_sizes[i] > shard_bytes) {
+      shards.emplace_back(begin, i);
+      begin = i;
+      acc = 0;
+    }
+    acc += payload_sizes[i];
+  }
+  if (begin < payload_sizes.size()) {
+    shards.emplace_back(begin, payload_sizes.size());
+  }
+  return shards;
+}
+
+}  // namespace adaparse::io

@@ -1,0 +1,81 @@
+#include "metrics/bleu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/ngram.hpp"
+#include "text/tokenize.hpp"
+
+namespace adaparse::metrics {
+
+BleuResult bleu_tokens(std::span<const std::string> candidate,
+                       std::span<const std::string> reference,
+                       const BleuOptions& options) {
+  BleuResult result;
+  result.candidate_len = candidate.size();
+  result.reference_len = reference.size();
+  result.precisions.assign(options.max_order, 0.0);
+
+  if (candidate.empty() || reference.empty()) {
+    result.score = 0.0;
+    return result;
+  }
+
+  double log_sum = 0.0;
+  bool any_order_scored = false;
+  for (std::size_t n = 1; n <= options.max_order; ++n) {
+    if (candidate.size() < n) {
+      // Candidate too short for this order: treat precision as fully smoothed.
+      const double p = options.smoothing_k > 0.0
+                           ? options.smoothing_k / (options.smoothing_k + 1.0)
+                           : 0.0;
+      result.precisions[n - 1] = p;
+      if (p <= 0.0) {
+        result.score = 0.0;
+        return result;
+      }
+      log_sum += std::log(p);
+      any_order_scored = true;
+      continue;
+    }
+    const auto cand_counts = text::count_ngrams(candidate, n);
+    const auto ref_counts = text::count_ngrams(reference, n);
+    const auto matches = text::overlap(cand_counts, ref_counts);
+    const auto possible = candidate.size() - n + 1;
+    double p;
+    if (matches > 0) {
+      p = static_cast<double>(matches) / static_cast<double>(possible);
+    } else if (options.smoothing_k > 0.0) {
+      p = options.smoothing_k /
+          (static_cast<double>(possible) + options.smoothing_k);
+    } else {
+      result.precisions[n - 1] = 0.0;
+      result.score = 0.0;
+      return result;
+    }
+    result.precisions[n - 1] = p;
+    log_sum += std::log(p);
+    any_order_scored = true;
+  }
+  if (!any_order_scored) {
+    result.score = 0.0;
+    return result;
+  }
+
+  const auto c = static_cast<double>(candidate.size());
+  const auto r = static_cast<double>(reference.size());
+  result.brevity_penalty = c >= r ? 1.0 : std::exp(1.0 - r / c);
+  result.score = result.brevity_penalty *
+                 std::exp(log_sum / static_cast<double>(options.max_order));
+  result.score = std::clamp(result.score, 0.0, 1.0);
+  return result;
+}
+
+double bleu(std::string_view candidate, std::string_view reference,
+            const BleuOptions& options) {
+  const auto cand = text::tokenize(candidate);
+  const auto ref = text::tokenize(reference);
+  return bleu_tokens(cand, ref, options).score;
+}
+
+}  // namespace adaparse::metrics

@@ -1,0 +1,41 @@
+// BLEU (Papineni et al., 2002) for parser-output vs groundtruth comparison.
+//
+// We implement the standard corpus/sentence BLEU with modified (clipped)
+// n-gram precision up to order 4, geometric mean, and brevity penalty. A
+// smoothing option (add-k on higher orders, i.e. "method 1" of Chen &
+// Cherry) is provided because document-level candidates occasionally lack
+// any 4-gram match, and an unsmoothed score would collapse to zero — the
+// paper's note that metric hyperparameters are "hardly canonical" applies.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::metrics {
+
+struct BleuOptions {
+  std::size_t max_order = 4;  ///< highest n-gram order (standard: 4)
+  double smoothing_k = 1.0;   ///< add-k smoothing for zero counts; 0 = none
+};
+
+struct BleuResult {
+  double score = 0.0;                  ///< final BLEU in [0,1]
+  double brevity_penalty = 1.0;        ///< exp(1 - r/c) if c < r
+  std::vector<double> precisions;      ///< clipped precision per order
+  std::size_t candidate_len = 0;       ///< candidate token count
+  std::size_t reference_len = 0;       ///< reference token count
+};
+
+/// BLEU over pre-tokenized sequences.
+BleuResult bleu_tokens(std::span<const std::string> candidate,
+                       std::span<const std::string> reference,
+                       const BleuOptions& options = {});
+
+/// Convenience: tokenizes both sides then scores. This is the document-level
+/// accuracy measure A used throughout the reproduction.
+double bleu(std::string_view candidate, std::string_view reference,
+            const BleuOptions& options = {});
+
+}  // namespace adaparse::metrics

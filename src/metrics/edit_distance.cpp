@@ -1,0 +1,89 @@
+#include "metrics/edit_distance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace adaparse::metrics {
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) return levenshtein(b, a);
+  if (b.empty()) return a.size();
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t prev_diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t prev_row = row[j];
+      const std::size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      prev_diag = prev_row;
+    }
+  }
+  return row[b.size()];
+}
+
+std::size_t levenshtein_banded(std::string_view a, std::string_view b,
+                               std::size_t band) {
+  if (a.size() < b.size()) return levenshtein_banded(b, a, band);
+  // Length difference alone forces at least that many edits.
+  if (a.size() - b.size() > band) return band + 1;
+  if (b.empty()) return a.size();
+
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  // Row-wise DP restricted to |i-j| <= band (Ukkonen's cutoff).
+  std::vector<std::size_t> row(b.size() + 1, kInf);
+  for (std::size_t j = 0; j <= std::min(b.size(), band); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(b.size(), i + band);
+    std::size_t prev_diag = lo > 0 ? row[lo - 1] : (i == 1 ? 0 : kInf);
+    if (lo == 0) {
+      prev_diag = row[0];
+      row[0] = i;
+    }
+    std::size_t row_min = lo == 0 ? row[0] : kInf;
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      const std::size_t prev_row = row[j];
+      const std::size_t left = row[j - 1];
+      const std::size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      std::size_t best = sub;
+      if (prev_row != kInf) best = std::min(best, prev_row + 1);
+      if (left != kInf) best = std::min(best, left + 1);
+      row[j] = best;
+      prev_diag = prev_row;
+      row_min = std::min(row_min, best);
+    }
+    // Invalidate cells outside the next row's band.
+    if (hi < b.size()) row[hi + 1] = kInf;
+    if (row_min > band) return band + 1;  // the whole band exceeded the bound
+  }
+  return std::min(row[b.size()], band + 1);
+}
+
+double character_accuracy(std::string_view candidate,
+                          std::string_view reference, double band_frac,
+                          std::size_t max_chars) {
+  if (reference.empty()) return candidate.empty() ? 1.0 : 0.0;
+  if (candidate.empty()) return 0.0;
+  // Compare length-proportional prefixes: both sides are cut at the same
+  // *fraction* of their length, so truncation/padding rates inside the
+  // window mirror the rates of the full texts.
+  const std::size_t max_len = std::max(candidate.size(), reference.size());
+  if (max_len > max_chars) {
+    const double f =
+        static_cast<double>(max_chars) / static_cast<double>(max_len);
+    candidate = candidate.substr(
+        0, static_cast<std::size_t>(f * static_cast<double>(candidate.size())));
+    reference = reference.substr(
+        0, static_cast<std::size_t>(f * static_cast<double>(reference.size())));
+  }
+  const auto ref_len = static_cast<double>(reference.size());
+  const auto band = static_cast<std::size_t>(band_frac * ref_len) + 1;
+  const std::size_t dist = levenshtein_banded(candidate, reference, band);
+  const double acc = 1.0 - static_cast<double>(dist) / ref_len;
+  return std::max(0.0, acc);
+}
+
+}  // namespace adaparse::metrics

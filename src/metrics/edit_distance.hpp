@@ -1,0 +1,35 @@
+// Character-level edit distance and the character accuracy rate (CAR).
+//
+// The paper reports CAR as a character-level accuracy; it is defined as
+// 1 - dist/len(reference), clamped to [0,1]. Full Levenshtein is O(nm),
+// "computationally prohibitive for ultra-long text sequences" (paper §2.2),
+// so we provide a banded variant (Ukkonen): if the true distance exceeds
+// the band it returns the band bound, which is exactly what a bounded
+// accuracy metric needs.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace adaparse::metrics {
+
+/// Exact Levenshtein distance (unit costs). O(nm) time, O(min(nm)) space.
+std::size_t levenshtein(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the exact distance if it is <= `band`,
+/// otherwise returns `band + 1` (a certified lower-bound cutoff).
+std::size_t levenshtein_banded(std::string_view a, std::string_view b,
+                               std::size_t band);
+
+/// Character accuracy rate = max(0, 1 - dist/|reference|).
+/// Uses a relative band of `band_frac * |reference|` so that badly broken
+/// candidates short-circuit toward 0, and compares at most `max_chars` of
+/// each side (prefix) — document-level texts make the full quadratic DP
+/// "computationally prohibitive" (paper §2.2), and a multi-page prefix is
+/// an unbiased sample for a rate metric. An empty candidate scores 0.
+double character_accuracy(std::string_view candidate,
+                          std::string_view reference,
+                          double band_frac = 0.85,
+                          std::size_t max_chars = 6000);
+
+}  // namespace adaparse::metrics

@@ -1,0 +1,107 @@
+#include "metrics/rouge.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "text/ngram.hpp"
+#include "text/tokenize.hpp"
+
+namespace adaparse::metrics {
+namespace {
+
+RougeScore from_counts(double matches, double cand_total, double ref_total) {
+  RougeScore s;
+  s.precision = cand_total > 0.0 ? matches / cand_total : 0.0;
+  s.recall = ref_total > 0.0 ? matches / ref_total : 0.0;
+  s.f1 = (s.precision + s.recall) > 0.0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+/// Deterministically subsamples `tokens` to at most `cap` tokens by taking
+/// evenly spaced contiguous blocks, which keeps local n-gram structure and
+/// global ordering intact (unlike random sampling).
+std::vector<std::string> block_sample(std::span<const std::string> tokens,
+                                      std::size_t cap) {
+  if (tokens.size() <= cap) {
+    return {tokens.begin(), tokens.end()};
+  }
+  const std::size_t block = 64;
+  const std::size_t num_blocks = std::max<std::size_t>(1, cap / block);
+  const double stride =
+      static_cast<double>(tokens.size()) / static_cast<double>(num_blocks);
+  std::vector<std::string> out;
+  out.reserve(num_blocks * block);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto start = static_cast<std::size_t>(static_cast<double>(b) * stride);
+    const std::size_t end = std::min(tokens.size(), start + block);
+    for (std::size_t i = start; i < end; ++i) out.push_back(tokens[i]);
+  }
+  return out;
+}
+
+/// Classic O(nm) LCS length with O(min(n,m)) memory.
+std::size_t lcs_length(std::span<const std::string> a,
+                       std::span<const std::string> b) {
+  if (a.size() < b.size()) return lcs_length(b, a);
+  if (b.empty()) return 0;
+  std::vector<std::uint32_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+RougeScore rouge_n_tokens(std::span<const std::string> candidate,
+                          std::span<const std::string> reference,
+                          std::size_t n) {
+  const auto cand_counts = text::count_ngrams(candidate, n);
+  const auto ref_counts = text::count_ngrams(reference, n);
+  const auto matches = text::overlap(cand_counts, ref_counts);
+  return from_counts(static_cast<double>(matches),
+                     static_cast<double>(text::total(cand_counts)),
+                     static_cast<double>(text::total(ref_counts)));
+}
+
+RougeScore rouge_n(std::string_view candidate, std::string_view reference,
+                   std::size_t n) {
+  const auto cand = text::tokenize(candidate);
+  const auto ref = text::tokenize(reference);
+  return rouge_n_tokens(cand, ref, n);
+}
+
+RougeScore rouge_l_tokens(std::span<const std::string> candidate,
+                          std::span<const std::string> reference,
+                          std::size_t max_tokens) {
+  if (candidate.empty() || reference.empty()) return {};
+  const auto cand = block_sample(candidate, max_tokens);
+  const auto ref = block_sample(reference, max_tokens);
+  const std::size_t lcs = lcs_length(cand, ref);
+  return from_counts(static_cast<double>(lcs),
+                     static_cast<double>(cand.size()),
+                     static_cast<double>(ref.size()));
+}
+
+RougeScore rouge_l(std::string_view candidate, std::string_view reference,
+                   std::size_t max_tokens) {
+  const auto cand = text::tokenize(candidate);
+  const auto ref = text::tokenize(reference);
+  return rouge_l_tokens(cand, ref, max_tokens);
+}
+
+double rouge(std::string_view candidate, std::string_view reference) {
+  return rouge_l(candidate, reference).f1;
+}
+
+}  // namespace adaparse::metrics

@@ -1,0 +1,46 @@
+// ROUGE (Lin, 2004) recall-oriented n-gram and LCS overlap metrics.
+//
+// ROUGE-N reports n-gram recall/precision/F1 against the reference;
+// ROUGE-L uses the longest common subsequence. For document-length inputs
+// an exact O(nm) LCS is too expensive, so rouge_l computes the LCS over
+// token sequences with a window-capped Hunt–Szymanski-style fallback:
+// sequences longer than `max_tokens` are block-sampled deterministically.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace adaparse::metrics {
+
+struct RougeScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// ROUGE-N over pre-tokenized sequences (n >= 1).
+RougeScore rouge_n_tokens(std::span<const std::string> candidate,
+                          std::span<const std::string> reference,
+                          std::size_t n);
+
+/// ROUGE-N over raw strings.
+RougeScore rouge_n(std::string_view candidate, std::string_view reference,
+                   std::size_t n);
+
+/// ROUGE-L (LCS-based) over pre-tokenized sequences. `max_tokens` caps the
+/// quadratic LCS cost; longer inputs are deterministically subsampled in
+/// contiguous blocks, preserving long-range ordering structure.
+RougeScore rouge_l_tokens(std::span<const std::string> candidate,
+                          std::span<const std::string> reference,
+                          std::size_t max_tokens = 4000);
+
+/// ROUGE-L over raw strings.
+RougeScore rouge_l(std::string_view candidate, std::string_view reference,
+                   std::size_t max_tokens = 4000);
+
+/// The single "ROUGE" number reported in the paper's tables: we use the
+/// ROUGE-L F1, the most common headline variant.
+double rouge(std::string_view candidate, std::string_view reference);
+
+}  // namespace adaparse::metrics

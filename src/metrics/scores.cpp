@@ -1,0 +1,56 @@
+#include "metrics/scores.hpp"
+
+#include <algorithm>
+
+#include "metrics/bleu.hpp"
+#include "metrics/edit_distance.hpp"
+#include "metrics/rouge.hpp"
+#include "text/tokenize.hpp"
+
+namespace adaparse::metrics {
+
+DocumentScores score_document(std::span<const std::string> candidate_pages,
+                              std::span<const std::string> reference_pages) {
+  DocumentScores scores;
+  if (reference_pages.empty()) {
+    scores.coverage = candidate_pages.empty() ? 1.0 : 0.0;
+    return scores;
+  }
+
+  std::size_t retrieved = 0;
+  std::string candidate, reference;
+  for (std::size_t p = 0; p < reference_pages.size(); ++p) {
+    if (p < candidate_pages.size() && !candidate_pages[p].empty()) {
+      ++retrieved;
+      if (!candidate.empty()) candidate += '\n';
+      candidate += candidate_pages[p];
+    }
+    if (!reference.empty()) reference += '\n';
+    reference += reference_pages[p];
+  }
+  scores.coverage =
+      static_cast<double>(retrieved) / static_cast<double>(reference_pages.size());
+  scores.bleu = bleu(candidate, reference);
+  scores.rouge = rouge(candidate, reference);
+  scores.car = character_accuracy(candidate, reference);
+  scores.tokens = text::split_whitespace(candidate).size();
+  return scores;
+}
+
+void CorpusScores::add(const DocumentScores& doc) {
+  coverage_.add(doc.coverage);
+  bleu_.add(doc.bleu);
+  rouge_.add(doc.rouge);
+  car_.add(doc.car);
+  bleu_values_.push_back(doc.bleu);
+  total_tokens_ += doc.tokens;
+  if (doc.bleu > accept_threshold_) accepted_tokens_ += doc.tokens;
+}
+
+double CorpusScores::accepted_tokens() const {
+  if (total_tokens_ == 0) return 0.0;
+  return static_cast<double>(accepted_tokens_) /
+         static_cast<double>(total_tokens_);
+}
+
+}  // namespace adaparse::metrics

@@ -1,0 +1,63 @@
+// Aggregate quality scoring: per-document and corpus-level metrics matching
+// the columns of the paper's Tables 1-3 (Coverage, BLEU, ROUGE, CAR, AT).
+// Win rate (WR) is computed from the preference study (src/pref).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace adaparse::metrics {
+
+/// Quality of a single document parse against groundtruth.
+struct DocumentScores {
+  double coverage = 0.0;  ///< retrieved pages / groundtruth pages
+  double bleu = 0.0;      ///< document-level BLEU
+  double rouge = 0.0;     ///< document-level ROUGE-L F1
+  double car = 0.0;       ///< character accuracy rate
+  std::size_t tokens = 0; ///< candidate token count (for AT weighting)
+};
+
+/// Scores a parse given per-page candidate and reference texts. Pages the
+/// parser dropped must appear as empty strings in `candidate_pages` (or the
+/// vector may be shorter); coverage counts non-empty retrieved pages.
+DocumentScores score_document(std::span<const std::string> candidate_pages,
+                              std::span<const std::string> reference_pages);
+
+/// Corpus accumulator for Tables 1-3 style rows.
+class CorpusScores {
+ public:
+  /// Default acceptance threshold for the AT metric: a parse contributes its
+  /// tokens as "accepted" iff its document BLEU exceeds this.
+  static constexpr double kDefaultAcceptThreshold = 0.33;
+
+  explicit CorpusScores(double accept_threshold = kDefaultAcceptThreshold)
+      : accept_threshold_(accept_threshold) {}
+
+  void add(const DocumentScores& doc);
+
+  std::size_t count() const { return coverage_.count(); }
+  double coverage() const { return coverage_.mean(); }
+  double bleu() const { return bleu_.mean(); }
+  double rouge() const { return rouge_.mean(); }
+  double car() const { return car_.mean(); }
+
+  /// Accepted-token rate: fraction of emitted tokens belonging to documents
+  /// whose BLEU exceeded the acceptance threshold.
+  double accepted_tokens() const;
+
+  /// Per-document BLEU values seen so far (used for difficulty ranking and
+  /// correlation studies).
+  const std::vector<double>& bleu_values() const { return bleu_values_; }
+
+ private:
+  double accept_threshold_;
+  util::RunningStats coverage_, bleu_, rouge_, car_;
+  std::size_t accepted_tokens_ = 0;
+  std::size_t total_tokens_ = 0;
+  std::vector<double> bleu_values_;
+};
+
+}  // namespace adaparse::metrics

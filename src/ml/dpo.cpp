@@ -1,0 +1,104 @@
+#include "ml/dpo.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace adaparse::ml {
+
+DpoAdapter::DpoAdapter(const MultiOutputRegressor& base,
+                       const DpoOptions& options)
+    : base_(base),
+      options_(options),
+      a_(options.rank, std::vector<double>(base.input_dim(), 0.0)),
+      u_(base.outputs(), std::vector<double>(options.rank, 0.0)),
+      c_(base.outputs(), 0.0) {
+  // A initialized with small random values (learned); u starts at zero so
+  // the adapter is an exact no-op before training — the DPO model starts at
+  // the reference policy, as the objective requires.
+  util::Rng rng(options.seed);
+  const double scale = 1.0 / std::sqrt(64.0);
+  for (auto& row : a_) {
+    for (auto& w : row) w = rng.normal(0.0, scale);
+  }
+}
+
+std::vector<double> DpoAdapter::project(const SparseVec& x) const {
+  std::vector<double> h(a_.size(), 0.0);
+  for (std::size_t r = 0; r < a_.size(); ++r) {
+    h[r] = dot(x, a_[r]);
+  }
+  return h;
+}
+
+std::vector<double> DpoAdapter::delta(const SparseVec& x) const {
+  const auto h = project(x);
+  std::vector<double> out(u_.size(), 0.0);
+  for (std::size_t k = 0; k < u_.size(); ++k) {
+    double z = c_[k];
+    for (std::size_t r = 0; r < h.size(); ++r) z += u_[k][r] * h[r];
+    // Bounded influence: the preference signal re-ranks near-ties but
+    // cannot override a confident accuracy prediction.
+    out[k] = options_.max_delta * std::tanh(z / options_.max_delta);
+  }
+  return out;
+}
+
+std::vector<double> DpoAdapter::predict(const SparseVec& x) const {
+  auto out = base_.predict(x);
+  const auto d = delta(x);
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] += d[k];
+  return out;
+}
+
+void DpoAdapter::fit(std::span<const PreferencePair> pairs) {
+  if (pairs.empty()) return;
+  util::Rng rng(options_.seed ^ 0xD0D0ULL);
+  std::vector<std::size_t> idx(pairs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double lr = options_.learning_rate /
+                      std::sqrt(1.0 + static_cast<double>(epoch));
+    rng.shuffle(idx);
+    double loss_sum = 0.0;
+    for (std::size_t i : idx) {
+      const auto& pair = pairs[i];
+      const auto h = project(pair.x);
+      // Because the base is frozen and equals the reference model,
+      // s_k - s_k^ref reduces to the adapter delta.
+      auto delta_for = [&](std::size_t k) {
+        double z = c_[k];
+        for (std::size_t r = 0; r < h.size(); ++r) z += u_[k][r] * h[r];
+        return z;
+      };
+      const double z =
+          options_.beta * (delta_for(pair.winner) - delta_for(pair.loser));
+      loss_sum += -std::log(std::max(1e-12, sigmoid(z)));
+      const double g = -sigmoid(-z) * options_.beta;  // dLoss/d(margin term)
+
+      // u and c updates.
+      for (std::size_t r = 0; r < h.size(); ++r) {
+        u_[pair.winner][r] -=
+            lr * (g * h[r] + options_.l2 * u_[pair.winner][r]);
+        u_[pair.loser][r] -=
+            lr * (-g * h[r] + options_.l2 * u_[pair.loser][r]);
+      }
+      c_[pair.winner] -= lr * g;
+      c_[pair.loser] -= lr * -g;
+
+      // A update: dz/dA[r][j] = beta * (u_w[r] - u_l[r]) * x[j].
+      for (std::size_t r = 0; r < a_.size(); ++r) {
+        const double coeff = g * (u_[pair.winner][r] - u_[pair.loser][r]);
+        if (coeff == 0.0) continue;
+        for (const auto& f : pair.x) {
+          a_[r][f.index] -= lr * coeff * static_cast<double>(f.value);
+        }
+      }
+    }
+    last_loss_ = loss_sum / static_cast<double>(pairs.size());
+  }
+}
+
+}  // namespace adaparse::ml

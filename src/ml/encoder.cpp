@@ -1,0 +1,152 @@
+#include "ml/encoder.hpp"
+
+#include "text/features.hpp"
+
+namespace adaparse::ml {
+namespace {
+
+/// Appends the 12 dense malformed-text detector features into reserved
+/// trailing slots of the index space.
+void append_detectors(std::string_view body, std::uint32_t dim,
+                      SparseVec& out) {
+  const auto f = text::compute_features(body).to_array();
+  // Normalize roughly to O(1) scales so they mix well with hashed values.
+  const double scales[text::TextFeatures::kDim] = {
+      1e-4, 1e-3, 0.2, 1.0, 1.0, 1.0, 10.0, 5.0, 0.2, 1.0, 0.2, 0.02};
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    out.push_back({dim - static_cast<std::uint32_t>(f.size()) +
+                       static_cast<std::uint32_t>(i),
+                   static_cast<float>(f[i] * scales[i])});
+  }
+}
+
+void append_metadata(const doc::Metadata& meta, std::uint32_t dim,
+                     std::uint64_t salt, SparseVec& out) {
+  out.push_back(hash_categorical("publisher", doc::publisher_name(meta.publisher),
+                                 dim, salt));
+  out.push_back(
+      hash_categorical("domain", doc::domain_name(meta.domain), dim, salt));
+  out.push_back(
+      hash_categorical("format", doc::format_name(meta.format), dim, salt));
+  out.push_back(hash_categorical("producer",
+                                 doc::producer_name(meta.producer), dim, salt));
+  out.push_back(hash_categorical("year", std::to_string(meta.year), dim, salt));
+  out.push_back(hash_categorical(
+      "subcat", std::to_string(meta.subcategory), dim, salt));
+  // Page count, bucketed.
+  out.push_back(hash_categorical(
+      "pages", std::to_string(meta.num_pages / 4), dim, salt));
+}
+
+class HashingEncoder final : public TextEncoder {
+ public:
+  HashingEncoder(EncoderArch arch, HashOptions options, bool use_detectors,
+                 bool use_metadata, bool use_body, bool use_title,
+                 double cost_seconds)
+      : arch_(arch),
+        options_(options),
+        use_detectors_(use_detectors),
+        use_metadata_(use_metadata),
+        use_body_(use_body),
+        use_title_(use_title),
+        cost_seconds_(cost_seconds) {}
+
+  std::string_view name() const override { return encoder_name(arch_); }
+  std::uint32_t dim() const override { return options_.dim; }
+  double inference_cost_seconds() const override { return cost_seconds_; }
+
+  SparseVec encode(const EncoderInput& input) const override {
+    SparseVec v;
+    if (use_body_ && !input.text.empty()) {
+      v = hash_text(input.text, options_);
+    }
+    if (use_title_ && !input.title.empty()) {
+      HashOptions title_options = options_;
+      title_options.salt ^= 0x717133ULL;
+      title_options.char_ngrams = 0;
+      auto tv = hash_text(input.title, title_options);
+      v.insert(v.end(), tv.begin(), tv.end());
+    }
+    if (use_metadata_ && input.metadata != nullptr) {
+      append_metadata(*input.metadata, options_.dim, options_.salt, v);
+    }
+    if (use_detectors_ && !input.text.empty()) {
+      append_detectors(input.text, options_.dim, v);
+    }
+    compact(v);
+    l2_normalize(v);
+    return v;
+  }
+
+ private:
+  EncoderArch arch_;
+  HashOptions options_;
+  bool use_detectors_;
+  bool use_metadata_;
+  bool use_body_;
+  bool use_title_;
+  double cost_seconds_;
+};
+
+}  // namespace
+
+const char* encoder_name(EncoderArch arch) {
+  switch (arch) {
+    case EncoderArch::kSciBert: return "SciBERT";
+    case EncoderArch::kBert: return "BERT";
+    case EncoderArch::kMiniLm: return "MiniLM-L6";
+    case EncoderArch::kSpecter: return "SPECTER";
+    case EncoderArch::kFastText: return "fastText";
+  }
+  return "?";
+}
+
+EncoderPtr make_encoder(EncoderArch arch) {
+  HashOptions options;
+  switch (arch) {
+    case EncoderArch::kSciBert:
+      // Science-aware: full n-gram stack + artifact detectors + metadata.
+      options.dim = 1 << 14;
+      options.salt = 0x5C1B;
+      return std::make_shared<HashingEncoder>(
+          arch, options, /*detectors=*/true, /*metadata=*/true,
+          /*body=*/true, /*title=*/true, /*cost=*/0.35);
+    case EncoderArch::kBert:
+      // Generic web-scale: same capacity, no science-specific detectors.
+      options.dim = 1 << 14;
+      options.char_ngrams = 0;
+      options.salt = 0xBE27;
+      return std::make_shared<HashingEncoder>(
+          arch, options, /*detectors=*/false, /*metadata=*/true,
+          /*body=*/true, /*title=*/true, /*cost=*/0.35);
+    case EncoderArch::kMiniLm:
+      // Distilled: small index space.
+      options.dim = 1 << 9;
+      options.char_ngrams = 0;
+      options.word_ngrams = 1;
+      options.salt = 0x313A;
+      return std::make_shared<HashingEncoder>(
+          arch, options, /*detectors=*/false, /*metadata=*/true,
+          /*body=*/false, /*title=*/true, /*cost=*/0.08);
+    case EncoderArch::kSpecter:
+      // Citation-informed document embeddings: title + metadata only.
+      options.dim = 1 << 12;
+      options.char_ngrams = 0;
+      options.salt = 0x59EC;
+      return std::make_shared<HashingEncoder>(
+          arch, options, /*detectors=*/false, /*metadata=*/true,
+          /*body=*/false, /*title=*/true, /*cost=*/0.20);
+    case EncoderArch::kFastText:
+      // Pre-defined word/char-gram embeddings (AdaParse (FT)): cheap,
+      // detector-aware, smaller space.
+      options.dim = 1 << 12;
+      options.word_ngrams = 1;
+      options.salt = 0xFA57;
+      return std::make_shared<HashingEncoder>(
+          arch, options, /*detectors=*/true, /*metadata=*/true,
+          /*body=*/true, /*title=*/false, /*cost=*/0.02);
+  }
+  return nullptr;
+}
+
+}  // namespace adaparse::ml

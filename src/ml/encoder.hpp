@@ -1,0 +1,64 @@
+// Text encoders standing in for the paper's pretrained language models.
+//
+// Table 4 compares parser-selection models built on SciBERT, BERT, MiniLM,
+// and SPECTER. We reproduce the *capacity and inductive-bias ordering* of
+// that comparison with hashing encoders:
+//   - SciBertSim: large index space, word+char n-grams, plus the dense
+//     malformed-text detectors (science-aware pretraining ~ sensitivity to
+//     LaTeX/SMILES artifacts);
+//   - BertSim:    same index space, word n-grams only (web-scale generic);
+//   - MiniLmSim:  small index space (distilled capacity);
+//   - SpecterSim: title+metadata oriented (citation-informed doc-level
+//     embeddings; it never reads the body text).
+// All are deterministic and "pretrained" in the sense that their feature
+// map is fixed; only heads on top of them are trained.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "doc/document.hpp"
+#include "ml/feature_hash.hpp"
+#include "ml/sparse.hpp"
+
+namespace adaparse::ml {
+
+/// Input to an encoder: body text (usually the PyMuPDF first-page output),
+/// optional title, optional metadata.
+struct EncoderInput {
+  std::string_view text;
+  std::string_view title;
+  const doc::Metadata* metadata = nullptr;
+};
+
+/// Deterministic featurizer with a fixed output index space.
+class TextEncoder {
+ public:
+  virtual ~TextEncoder() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::uint32_t dim() const = 0;
+  virtual SparseVec encode(const EncoderInput& input) const = 0;
+
+  /// Simulated inference cost in CPU-seconds per input (drives the
+  /// AdaParse(LLM) vs AdaParse(FT) throughput gap).
+  virtual double inference_cost_seconds() const = 0;
+};
+
+using EncoderPtr = std::shared_ptr<const TextEncoder>;
+
+/// Which pretrained model an encoder mimics.
+enum class EncoderArch : std::uint8_t {
+  kSciBert,
+  kBert,
+  kMiniLm,
+  kSpecter,
+  kFastText,
+};
+const char* encoder_name(EncoderArch arch);
+
+/// Factory.
+EncoderPtr make_encoder(EncoderArch arch);
+
+}  // namespace adaparse::ml

@@ -1,0 +1,75 @@
+#include "ml/feature_hash.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "text/tokenize.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::ml {
+namespace {
+
+std::uint32_t bucket(std::uint64_t h, std::uint32_t dim) {
+  // dim is a power of two; fold the high bits in for good mixing anyway.
+  return static_cast<std::uint32_t>((h ^ (h >> 32)) & (dim - 1));
+}
+
+}  // namespace
+
+SparseVec hash_text(std::string_view text, const HashOptions& options) {
+  if (text.size() > options.max_chars) {
+    text = text.substr(0, options.max_chars);
+  }
+  std::unordered_map<std::uint32_t, float> counts;
+
+  // Word n-grams over lowercased tokens.
+  const auto lowered = text::to_lower(text);
+  const auto tokens = text::tokenize(lowered);
+  for (int n = 1; n <= options.word_ngrams; ++n) {
+    const auto order = static_cast<std::size_t>(n);
+    if (tokens.size() < order) break;
+    for (std::size_t i = 0; i + order <= tokens.size(); ++i) {
+      std::uint64_t h = util::mix64(options.salt, 0x517CC1B7ULL + order);
+      for (std::size_t k = 0; k < order; ++k) {
+        h = util::mix64(h, util::hash64(tokens[i + k]));
+      }
+      counts[bucket(h, options.dim)] += 1.0F;
+    }
+  }
+
+  // Character n-grams over the raw (un-lowercased) text: capitalization and
+  // punctuation artifacts are exactly what the malformed-pattern detection
+  // needs to see.
+  if (options.char_ngrams > 0) {
+    for (int n = options.char_ngram_min; n <= options.char_ngrams; ++n) {
+      const auto order = static_cast<std::size_t>(n);
+      if (text.size() < order) break;
+      for (std::size_t i = 0; i + order <= text.size(); ++i) {
+        const std::uint64_t h =
+            util::mix64(options.salt ^ 0xC4A3ULL,
+                        util::mix64(order, util::hash64(text.substr(i, order))));
+        counts[bucket(h, options.dim)] += 0.5F;  // chars weigh less than words
+      }
+    }
+  }
+
+  SparseVec v;
+  v.reserve(counts.size());
+  for (const auto& [index, count] : counts) {
+    v.push_back({index, static_cast<float>(std::log1p(count))});
+  }
+  compact(v);
+  l2_normalize(v);
+  return v;
+}
+
+Feature hash_categorical(std::string_view name, std::string_view value,
+                         std::uint32_t dim, std::uint64_t salt) {
+  const std::uint64_t h =
+      util::mix64(salt ^ 0xFEA7ULL,
+                  util::mix64(util::hash64(name), util::hash64(value)));
+  return {bucket(h, dim), 1.0F};
+}
+
+}  // namespace adaparse::ml

@@ -1,0 +1,34 @@
+// Feature hashing of text into fixed-dimension sparse vectors.
+//
+// The "hashing trick": word n-grams and character n-grams are hashed into a
+// fixed index space, giving fastText-style representations without a stored
+// vocabulary (Xu & Du, 2019 — the embeddings behind AdaParse (FT)). Values
+// are sub-linear term frequencies, L2-normalized.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ml/sparse.hpp"
+
+namespace adaparse::ml {
+
+struct HashOptions {
+  std::uint32_t dim = 1 << 13;   ///< index space size (power of two)
+  int word_ngrams = 2;           ///< max word n-gram order
+  int char_ngrams = 4;           ///< max char n-gram order (0 = off)
+  int char_ngram_min = 3;        ///< min char n-gram order
+  std::uint64_t salt = 0;        ///< decorrelates different encoders
+  std::size_t max_chars = 4000;  ///< truncate long inputs (first page is
+                                 ///< what the selector sees anyway)
+};
+
+/// Hashes `text` into a sparse vector per `options`. Deterministic.
+SparseVec hash_text(std::string_view text, const HashOptions& options);
+
+/// Hashes one categorical feature (name=value) into the index space; used
+/// for metadata features alongside text.
+Feature hash_categorical(std::string_view name, std::string_view value,
+                         std::uint32_t dim, std::uint64_t salt);
+
+}  // namespace adaparse::ml

@@ -1,0 +1,171 @@
+#include "ml/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace adaparse::ml {
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, util::Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  return idx;
+}
+
+}  // namespace
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+MultiOutputRegressor::MultiOutputRegressor(std::uint32_t input_dim,
+                                           std::size_t outputs)
+    : input_dim_(input_dim),
+      weights_(outputs, std::vector<double>(input_dim, 0.0)),
+      biases_(outputs, 0.0) {}
+
+void MultiOutputRegressor::fit(std::span<const SparseVec> inputs,
+                               std::span<const std::vector<double>> targets,
+                               const TrainOptions& options) {
+  if (inputs.size() != targets.size()) {
+    throw std::invalid_argument("regressor fit: size mismatch");
+  }
+  util::Rng rng(options.seed);
+  const std::size_t m = outputs();
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // 1/sqrt decay keeps late epochs stable without a schedule parameter.
+    const double lr =
+        options.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    double loss = 0.0;
+    for (std::size_t i : shuffled_indices(inputs.size(), rng)) {
+      const SparseVec& x = inputs[i];
+      for (std::size_t k = 0; k < m; ++k) {
+        const double err = dot(x, weights_[k]) + biases_[k] - targets[i][k];
+        loss += err * err;
+        const double g = lr * err;
+        // Weight decay applied only to touched coordinates (standard sparse
+        // SGD approximation; exact decay would densify every step).
+        for (const auto& f : x) {
+          double& w = weights_[k][f.index];
+          w -= g * static_cast<double>(f.value) + lr * options.l2 * w;
+        }
+        biases_[k] -= g;
+      }
+    }
+    if (options.verbose) {
+      util::log_info() << "regressor epoch " << epoch << " mse "
+                       << loss / std::max<std::size_t>(1, inputs.size() * m);
+    }
+  }
+}
+
+std::vector<double> MultiOutputRegressor::predict(const SparseVec& input) const {
+  std::vector<double> out(outputs());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = dot(input, weights_[k]) + biases_[k];
+  }
+  return out;
+}
+
+double MultiOutputRegressor::predict_one(const SparseVec& input,
+                                         std::size_t output) const {
+  return dot(input, weights_[output]) + biases_[output];
+}
+
+LogisticRegression::LogisticRegression(std::uint32_t input_dim)
+    : input_dim_(input_dim), w_(input_dim, 0.0) {}
+
+void LogisticRegression::fit(std::span<const SparseVec> inputs,
+                             std::span<const int> labels,
+                             const TrainOptions& options) {
+  if (inputs.size() != labels.size()) {
+    throw std::invalid_argument("logistic fit: size mismatch");
+  }
+  util::Rng rng(options.seed);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr =
+        options.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (std::size_t i : shuffled_indices(inputs.size(), rng)) {
+      const SparseVec& x = inputs[i];
+      const double p = sigmoid(dot(x, w_) + b_);
+      const double err = p - static_cast<double>(labels[i]);
+      for (const auto& f : x) {
+        double& w = w_[f.index];
+        w -= lr * (err * static_cast<double>(f.value) + options.l2 * w);
+      }
+      b_ -= lr * err;
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(const SparseVec& input) const {
+  return sigmoid(dot(input, w_) + b_);
+}
+
+int LogisticRegression::predict(const SparseVec& input,
+                                double threshold) const {
+  return predict_proba(input) >= threshold ? 1 : 0;
+}
+
+LinearSvc::LinearSvc(std::uint32_t input_dim, std::size_t num_classes)
+    : input_dim_(input_dim),
+      w_(num_classes, std::vector<double>(input_dim, 0.0)),
+      b_(num_classes, 0.0) {}
+
+void LinearSvc::fit(std::span<const SparseVec> inputs,
+                    std::span<const int> labels,
+                    const TrainOptions& options) {
+  if (inputs.size() != labels.size()) {
+    throw std::invalid_argument("svc fit: size mismatch");
+  }
+  util::Rng rng(options.seed);
+  const std::size_t classes = w_.size();
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr =
+        options.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (std::size_t i : shuffled_indices(inputs.size(), rng)) {
+      const SparseVec& x = inputs[i];
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double y = labels[i] == static_cast<int>(c) ? 1.0 : -1.0;
+        const double margin = y * (dot(x, w_[c]) + b_[c]);
+        if (margin < 1.0) {  // hinge subgradient
+          for (const auto& f : x) {
+            double& w = w_[c][f.index];
+            w += lr * (y * static_cast<double>(f.value) - options.l2 * w);
+          }
+          b_[c] += lr * y;
+        } else {
+          for (const auto& f : x) {
+            w_[c][f.index] *= 1.0 - lr * options.l2;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LinearSvc::decision(const SparseVec& input) const {
+  std::vector<double> scores(w_.size());
+  for (std::size_t c = 0; c < w_.size(); ++c) {
+    scores[c] = dot(input, w_[c]) + b_[c];
+  }
+  return scores;
+}
+
+int LinearSvc::predict(const SparseVec& input) const {
+  const auto scores = decision(input);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace adaparse::ml

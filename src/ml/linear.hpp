@@ -1,0 +1,99 @@
+// Linear models over sparse features: multi-output ridge regression (the
+// accuracy-prediction head of Appendix A), binary logistic regression
+// (CLS II improvement classifier), and a linear SVC (the metadata baselines
+// of Table 4), all trained with averaged SGD.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::ml {
+
+/// Shared SGD hyperparameters.
+struct TrainOptions {
+  int epochs = 12;
+  double learning_rate = 0.25;
+  double l2 = 1e-5;            ///< weight decay
+  std::uint64_t seed = 17;     ///< shuffling seed
+  bool verbose = false;
+};
+
+/// y = W x + b with m outputs; squared loss; this is the supervised
+/// fine-tuning step (step 1) of the paper's three-step training recipe.
+class MultiOutputRegressor {
+ public:
+  MultiOutputRegressor(std::uint32_t input_dim, std::size_t outputs);
+
+  /// Fits on (x_i, y_i) pairs; y_i must have `outputs()` entries each.
+  void fit(std::span<const SparseVec> inputs,
+           std::span<const std::vector<double>> targets,
+           const TrainOptions& options = {});
+
+  /// Predicts all outputs for one input.
+  std::vector<double> predict(const SparseVec& input) const;
+  /// Predicts a single output (no allocation).
+  double predict_one(const SparseVec& input, std::size_t output) const;
+
+  std::uint32_t input_dim() const { return input_dim_; }
+  std::size_t outputs() const { return biases_.size(); }
+
+  /// Direct weight access for the DPO trainer (reference-model snapshot and
+  /// LoRA-style updates).
+  std::vector<double>& weights(std::size_t output) { return weights_[output]; }
+  const std::vector<double>& weights(std::size_t output) const {
+    return weights_[output];
+  }
+  double& bias(std::size_t output) { return biases_[output]; }
+  double bias(std::size_t output) const { return biases_[output]; }
+
+ private:
+  std::uint32_t input_dim_;
+  std::vector<std::vector<double>> weights_;  ///< [output][feature]
+  std::vector<double> biases_;
+};
+
+/// Binary logistic regression: p(y=1|x) = sigmoid(w.x + b).
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(std::uint32_t input_dim);
+
+  void fit(std::span<const SparseVec> inputs, std::span<const int> labels,
+           const TrainOptions& options = {});
+
+  double predict_proba(const SparseVec& input) const;
+  int predict(const SparseVec& input, double threshold = 0.5) const;
+
+ private:
+  std::uint32_t input_dim_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Linear SVC (hinge loss, one-vs-rest for multiclass) — the "SVC" rows of
+/// Table 4's metadata-driven baselines.
+class LinearSvc {
+ public:
+  LinearSvc(std::uint32_t input_dim, std::size_t num_classes);
+
+  void fit(std::span<const SparseVec> inputs, std::span<const int> labels,
+           const TrainOptions& options = {});
+
+  /// Per-class decision scores.
+  std::vector<double> decision(const SparseVec& input) const;
+  int predict(const SparseVec& input) const;
+
+  std::size_t num_classes() const { return w_.size(); }
+
+ private:
+  std::uint32_t input_dim_;
+  std::vector<std::vector<double>> w_;
+  std::vector<double> b_;
+};
+
+double sigmoid(double z);
+
+}  // namespace adaparse::ml

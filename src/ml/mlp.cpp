@@ -1,0 +1,95 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace adaparse::ml {
+
+Mlp::Mlp(std::uint32_t input_dim, std::size_t hidden, std::size_t outputs,
+         std::uint64_t seed)
+    : input_dim_(input_dim),
+      w1_(hidden, std::vector<double>(input_dim, 0.0)),
+      b1_(hidden, 0.0),
+      w2_(outputs, std::vector<double>(hidden, 0.0)),
+      b2_(outputs, 0.0) {
+  util::Rng rng(seed);
+  // He-style initialization scaled for unit-norm sparse inputs.
+  const double s1 = std::sqrt(2.0 / 64.0);  // effective fan-in of sparse x
+  for (auto& row : w1_) {
+    for (auto& w : row) w = rng.normal(0.0, s1);
+  }
+  const double s2 = std::sqrt(2.0 / static_cast<double>(hidden));
+  for (auto& row : w2_) {
+    for (auto& w : row) w = rng.normal(0.0, s2);
+  }
+}
+
+void Mlp::forward(const SparseVec& input, std::vector<double>& hidden,
+                  std::vector<double>& out) const {
+  hidden.assign(b1_.size(), 0.0);
+  for (std::size_t h = 0; h < b1_.size(); ++h) {
+    hidden[h] = std::max(0.0, dot(input, w1_[h]) + b1_[h]);
+  }
+  out.assign(b2_.size(), 0.0);
+  for (std::size_t k = 0; k < b2_.size(); ++k) {
+    double z = b2_[k];
+    for (std::size_t h = 0; h < hidden.size(); ++h) {
+      z += w2_[k][h] * hidden[h];
+    }
+    out[k] = z;
+  }
+}
+
+void Mlp::fit(std::span<const SparseVec> inputs,
+              std::span<const std::vector<double>> targets,
+              const TrainOptions& options) {
+  if (inputs.size() != targets.size()) {
+    throw std::invalid_argument("mlp fit: size mismatch");
+  }
+  util::Rng rng(options.seed);
+  std::vector<std::size_t> idx(inputs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<double> hidden, out, delta_out, delta_hidden;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr =
+        options.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    rng.shuffle(idx);
+    for (std::size_t i : idx) {
+      const SparseVec& x = inputs[i];
+      forward(x, hidden, out);
+      delta_out.assign(out.size(), 0.0);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        delta_out[k] = out[k] - targets[i][k];
+      }
+      delta_hidden.assign(hidden.size(), 0.0);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        for (std::size_t h = 0; h < hidden.size(); ++h) {
+          if (hidden[h] > 0.0) {
+            delta_hidden[h] += delta_out[k] * w2_[k][h];
+          }
+          w2_[k][h] -= lr * (delta_out[k] * hidden[h] + options.l2 * w2_[k][h]);
+        }
+        b2_[k] -= lr * delta_out[k];
+      }
+      for (std::size_t h = 0; h < hidden.size(); ++h) {
+        if (delta_hidden[h] == 0.0) continue;
+        for (const auto& f : x) {
+          w1_[h][f.index] -= lr * delta_hidden[h] * static_cast<double>(f.value);
+        }
+        b1_[h] -= lr * delta_hidden[h];
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::predict(const SparseVec& input) const {
+  std::vector<double> hidden, out;
+  forward(input, hidden, out);
+  return out;
+}
+
+}  // namespace adaparse::ml

@@ -1,0 +1,42 @@
+// Small multi-layer perceptron over sparse inputs — the nonlinear option
+// for the accuracy-prediction head (used in ablation benchmarks against the
+// linear head).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/linear.hpp"
+#include "ml/sparse.hpp"
+
+namespace adaparse::ml {
+
+/// One hidden ReLU layer: y = W2 relu(W1 x + b1) + b2.
+class Mlp {
+ public:
+  Mlp(std::uint32_t input_dim, std::size_t hidden, std::size_t outputs,
+      std::uint64_t seed = 3);
+
+  void fit(std::span<const SparseVec> inputs,
+           std::span<const std::vector<double>> targets,
+           const TrainOptions& options = {});
+
+  std::vector<double> predict(const SparseVec& input) const;
+
+  std::size_t hidden_size() const { return b1_.size(); }
+  std::size_t outputs() const { return b2_.size(); }
+
+ private:
+  /// Forward pass into caller-provided buffers; returns output activations.
+  void forward(const SparseVec& input, std::vector<double>& hidden,
+               std::vector<double>& out) const;
+
+  std::uint32_t input_dim_;
+  std::vector<std::vector<double>> w1_;  ///< [hidden][input]
+  std::vector<double> b1_;
+  std::vector<std::vector<double>> w2_;  ///< [output][hidden]
+  std::vector<double> b2_;
+};
+
+}  // namespace adaparse::ml

@@ -1,0 +1,76 @@
+#include "ml/serialize.hpp"
+
+#include <stdexcept>
+
+namespace adaparse::ml {
+namespace {
+
+constexpr const char* kFormat = "adaparse.regressor.v1";
+
+}  // namespace
+
+util::Json to_json(const MultiOutputRegressor& model) {
+  util::JsonObject root;
+  root["format"] = kFormat;
+  root["input_dim"] = static_cast<std::size_t>(model.input_dim());
+  root["outputs"] = model.outputs();
+  util::JsonArray heads;
+  for (std::size_t k = 0; k < model.outputs(); ++k) {
+    util::JsonObject head;
+    head["bias"] = model.bias(k);
+    // Sparse weight storage: [index, value] pairs for non-zeros.
+    util::JsonArray weights;
+    const auto& w = model.weights(k);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (w[i] != 0.0) {
+        weights.push_back(util::Json(util::JsonArray{
+            util::Json(static_cast<std::size_t>(i)), util::Json(w[i])}));
+      }
+    }
+    head["weights"] = std::move(weights);
+    heads.push_back(util::Json(std::move(head)));
+  }
+  root["heads"] = std::move(heads);
+  return util::Json(std::move(root));
+}
+
+MultiOutputRegressor regressor_from_json(const util::Json& j) {
+  if (!j.contains("format") || j.at("format").as_string() != kFormat) {
+    throw std::runtime_error("regressor_from_json: unknown format");
+  }
+  const auto input_dim =
+      static_cast<std::uint32_t>(j.at("input_dim").as_number());
+  const auto outputs = static_cast<std::size_t>(j.at("outputs").as_number());
+  const auto& heads = j.at("heads").as_array();
+  if (heads.size() != outputs) {
+    throw std::runtime_error("regressor_from_json: head count mismatch");
+  }
+  MultiOutputRegressor model(input_dim, outputs);
+  for (std::size_t k = 0; k < outputs; ++k) {
+    const auto& head = heads[k];
+    model.bias(k) = head.at("bias").as_number();
+    auto& w = model.weights(k);
+    for (const auto& entry : head.at("weights").as_array()) {
+      const auto& pair = entry.as_array();
+      if (pair.size() != 2) {
+        throw std::runtime_error("regressor_from_json: malformed weight");
+      }
+      const auto index = static_cast<std::size_t>(pair[0].as_number());
+      if (index >= w.size()) {
+        throw std::runtime_error("regressor_from_json: index out of range");
+      }
+      w[index] = pair[1].as_number();
+    }
+  }
+  return model;
+}
+
+std::string save_regressor(const MultiOutputRegressor& model) {
+  return to_json(model).dump();
+}
+
+MultiOutputRegressor load_regressor(const std::string& text) {
+  return regressor_from_json(util::Json::parse(text));
+}
+
+}  // namespace adaparse::ml

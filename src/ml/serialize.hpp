@@ -1,0 +1,30 @@
+// JSON (de)serialization of trained models.
+//
+// A production deployment trains the routing models once (paper: the
+// preferences are "collected only once and used offline ... no further
+// human input is required when the model is deployed") and then ships the
+// weights to every worker. This module persists the regression head and
+// the logistic CLS II model as JSON documents so campaigns can reload them
+// without retraining. Weights are stored sparsely (non-zero entries only) —
+// hashed-feature models are mostly zeros.
+#pragma once
+
+#include <string>
+
+#include "ml/linear.hpp"
+#include "util/json.hpp"
+
+namespace adaparse::ml {
+
+/// Serializes a multi-output regressor (weights + biases) to JSON.
+util::Json to_json(const MultiOutputRegressor& model);
+
+/// Restores a regressor; throws std::runtime_error on malformed input or
+/// dimension mismatch markers.
+MultiOutputRegressor regressor_from_json(const util::Json& j);
+
+/// Round-trip helpers over strings (what a file or object store would hold).
+std::string save_regressor(const MultiOutputRegressor& model);
+MultiOutputRegressor load_regressor(const std::string& text);
+
+}  // namespace adaparse::ml

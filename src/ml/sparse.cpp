@@ -1,0 +1,45 @@
+#include "ml/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaparse::ml {
+
+void compact(SparseVec& v) {
+  if (v.empty()) return;
+  std::sort(v.begin(), v.end(),
+            [](const Feature& a, const Feature& b) { return a.index < b.index; });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].index == v[out].index) {
+      v[out].value += v[i].value;
+    } else {
+      v[++out] = v[i];
+    }
+  }
+  v.resize(out + 1);
+}
+
+void l2_normalize(SparseVec& v) {
+  double norm_sq = 0.0;
+  for (const auto& f : v) norm_sq += static_cast<double>(f.value) * f.value;
+  if (norm_sq <= 0.0) return;
+  const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (auto& f : v) f.value *= inv;
+}
+
+double dot(const SparseVec& v, const std::vector<double>& w) {
+  double s = 0.0;
+  for (const auto& f : v) {
+    if (f.index < w.size()) s += static_cast<double>(f.value) * w[f.index];
+  }
+  return s;
+}
+
+void axpy(double alpha, const SparseVec& v, std::vector<double>& y) {
+  for (const auto& f : v) {
+    if (f.index < y.size()) y[f.index] += alpha * static_cast<double>(f.value);
+  }
+}
+
+}  // namespace adaparse::ml

@@ -1,0 +1,35 @@
+// Sparse feature vectors for the text models.
+//
+// All learned components in this repo consume L2-normalized sparse feature
+// vectors (hashed n-gram bags plus dense side features); this header defines
+// the representation and the few operations models need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adaparse::ml {
+
+/// One feature: (index into [0, dim), value).
+struct Feature {
+  std::uint32_t index = 0;
+  float value = 0.0F;
+};
+
+/// Sparse vector: unordered list of (index, value); indices may repeat
+/// before `compact()` merges them.
+using SparseVec = std::vector<Feature>;
+
+/// Merges duplicate indices (sums values) and sorts by index.
+void compact(SparseVec& v);
+
+/// Scales the vector to unit L2 norm (no-op on zero vectors).
+void l2_normalize(SparseVec& v);
+
+/// Dot product with a dense weight slice w[0..dim).
+double dot(const SparseVec& v, const std::vector<double>& w);
+
+/// y += alpha * v (dense accumulate).
+void axpy(double alpha, const SparseVec& v, std::vector<double>& y);
+
+}  // namespace adaparse::ml

@@ -1,0 +1,34 @@
+// Text-extraction parsers (paper §3.1.1): read the embedded text layer.
+//
+// Fast and language-agnostic, but entirely at the mercy of the layer's
+// quality — they "falter when text is either not embedded explicitly or is
+// of poor quality". SimPyMuPdf models MuPDF's clean, fast extraction;
+// SimPypdf models pypdf's slower pure-Python extraction with its
+// characteristic whitespace/layout damage (the paper measures pypdf's CAR
+// at 32.3%, by far the worst character-level fidelity of the cohort).
+#pragma once
+
+#include "parsers/parser.hpp"
+
+namespace adaparse::parsers {
+
+/// MuPDF-style extraction: near-verbatim text layer, minimal overhead.
+class SimPyMuPdf final : public Parser {
+ public:
+  ParserKind kind() const override { return ParserKind::kPyMuPdf; }
+  Resource resource() const override { return Resource::kCpu; }
+  Cost estimate_cost(const doc::Document& document) const override;
+  ParseResult parse(const doc::Document& document) const override;
+};
+
+/// pypdf-style extraction: pure-Python, ~13x slower, heavy whitespace and
+/// line-layout artifacts (low CAR), occasional lost words.
+class SimPypdf final : public Parser {
+ public:
+  ParserKind kind() const override { return ParserKind::kPypdf; }
+  Resource resource() const override { return Resource::kCpu; }
+  Cost estimate_cost(const doc::Document& document) const override;
+  ParseResult parse(const doc::Document& document) const override;
+};
+
+}  // namespace adaparse::parsers

@@ -1,0 +1,36 @@
+// OCR-class parsers (paper §3.1.2): rasterize pages and transcribe them.
+//
+// Robust to missing/broken text layers (they never read one), but pay a
+// large compute cost and inherit the render quality of the page image.
+// SimTesseract models the Tesseract 5 LSTM line recognizer; SimGrobid
+// models GROBID's structured extraction (clean body text, but whole
+// non-body regions — references, equations, captions — are dropped, which
+// is why the paper measures its coverage at 81% and BLEU at 26.5%).
+#pragma once
+
+#include "parsers/parser.hpp"
+
+namespace adaparse::parsers {
+
+/// Tesseract-style OCR: character-accurate on clean renders, math-blind,
+/// error rate scales with scan degradation.
+class SimTesseract final : public Parser {
+ public:
+  ParserKind kind() const override { return ParserKind::kTesseract; }
+  Resource resource() const override { return Resource::kCpu; }
+  double model_load_seconds() const override { return 1.5; }  // LSTM models
+  Cost estimate_cost(const doc::Document& document) const override;
+  ParseResult parse(const doc::Document& document) const override;
+};
+
+/// GROBID-style structured extraction: ML segmentation + text assembly.
+class SimGrobid final : public Parser {
+ public:
+  ParserKind kind() const override { return ParserKind::kGrobid; }
+  Resource resource() const override { return Resource::kCpu; }
+  double model_load_seconds() const override { return 6.0; }  // CRF/DL models
+  Cost estimate_cost(const doc::Document& document) const override;
+  ParseResult parse(const doc::Document& document) const override;
+};
+
+}  // namespace adaparse::parsers

@@ -1,0 +1,29 @@
+#include "parsers/parser.hpp"
+
+namespace adaparse::parsers {
+
+const char* parser_name(ParserKind k) {
+  switch (k) {
+    case ParserKind::kPyMuPdf: return "PyMuPDF";
+    case ParserKind::kPypdf: return "pypdf";
+    case ParserKind::kTesseract: return "Tesseract";
+    case ParserKind::kGrobid: return "GROBID";
+    case ParserKind::kMarker: return "Marker";
+    case ParserKind::kNougat: return "Nougat";
+  }
+  return "?";
+}
+
+std::string ParseResult::full_text() const {
+  std::string out;
+  bool first = true;
+  for (const auto& page : pages) {
+    if (page.empty()) continue;
+    if (!first) out += '\n';
+    first = false;
+    out += page;
+  }
+  return out;
+}
+
+}  // namespace adaparse::parsers

@@ -1,0 +1,32 @@
+#include "parsers/registry.hpp"
+
+#include <stdexcept>
+
+#include "parsers/extraction.hpp"
+#include "parsers/ocr.hpp"
+#include "parsers/vit.hpp"
+
+namespace adaparse::parsers {
+
+ParserPtr make_parser(ParserKind kind) {
+  switch (kind) {
+    case ParserKind::kPyMuPdf: return std::make_shared<SimPyMuPdf>();
+    case ParserKind::kPypdf: return std::make_shared<SimPypdf>();
+    case ParserKind::kTesseract: return std::make_shared<SimTesseract>();
+    case ParserKind::kGrobid: return std::make_shared<SimGrobid>();
+    case ParserKind::kMarker: return std::make_shared<SimMarker>();
+    case ParserKind::kNougat: return std::make_shared<SimNougat>();
+  }
+  throw std::invalid_argument("unknown parser kind");
+}
+
+std::vector<ParserPtr> all_parsers() {
+  std::vector<ParserPtr> parsers;
+  parsers.reserve(kNumParsers);
+  for (ParserKind kind : all_kinds()) {
+    parsers.push_back(make_parser(kind));
+  }
+  return parsers;
+}
+
+}  // namespace adaparse::parsers

@@ -1,0 +1,23 @@
+// Factory for the simulated parser cohort.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "parsers/parser.hpp"
+
+namespace adaparse::parsers {
+
+/// Creates a parser of the given kind.
+ParserPtr make_parser(ParserKind kind);
+
+/// All six constituent parsers in ParserKind order.
+std::vector<ParserPtr> all_parsers();
+
+/// All ParserKind values in order.
+constexpr std::array<ParserKind, kNumParsers> all_kinds() {
+  return {ParserKind::kPyMuPdf, ParserKind::kPypdf,  ParserKind::kTesseract,
+          ParserKind::kGrobid,  ParserKind::kMarker, ParserKind::kNougat};
+}
+
+}  // namespace adaparse::parsers

@@ -1,0 +1,43 @@
+// Vision-Transformer parsers (paper §3.1.3): end-to-end page-image decoding.
+//
+// SimNougat models Nougat (Blecher et al., 2023): a Swin-based ViT trained
+// on scientific documents — it decodes LaTeX correctly, tolerates the scan
+// augmentations it was trained with, but exhibits the paper's "most severe
+// failure mode": dropping entire pages (repetition collapse), and is highly
+// compute-intensive (quadratic in image patches). SimMarker models Marker:
+// explicit layout detection followed by per-element recognition (texify) —
+// the best page coverage of the cohort, but the slowest throughput and the
+// worst parallel scaling (centralized coordination, Figure 5).
+#pragma once
+
+#include "parsers/parser.hpp"
+
+namespace adaparse::parsers {
+
+/// Nougat-style ViT: fixed 896x672 input, page batch size Bp.
+class SimNougat final : public Parser {
+ public:
+  /// Page batch size (paper §5.2 finds Bp=10 maximizes throughput within
+  /// A100 memory).
+  static constexpr int kPageBatch = 10;
+
+  ParserKind kind() const override { return ParserKind::kNougat; }
+  Resource resource() const override { return Resource::kGpu; }
+  /// Swin ViT weights take ~15 s to load on an A100 (paper §5.2) — the
+  /// motivation for the warm-start mechanism in the runtime.
+  double model_load_seconds() const override { return 15.0; }
+  Cost estimate_cost(const doc::Document& document) const override;
+  ParseResult parse(const doc::Document& document) const override;
+};
+
+/// Marker-style pipeline: layout detection + element-wise recognition.
+class SimMarker final : public Parser {
+ public:
+  ParserKind kind() const override { return ParserKind::kMarker; }
+  Resource resource() const override { return Resource::kGpu; }
+  double model_load_seconds() const override { return 22.0; }
+  Cost estimate_cost(const doc::Document& document) const override;
+  ParseResult parse(const doc::Document& document) const override;
+};
+
+}  // namespace adaparse::parsers

@@ -1,0 +1,68 @@
+#include "pref/annotator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/detect.hpp"
+
+namespace adaparse::pref {
+
+StyleScore compute_style(std::string_view candidate,
+                         std::string_view reference) {
+  StyleScore s;
+  if (candidate.empty()) {
+    s.truncation = 1.0;
+    return s;
+  }
+  const double per_kchar = 1000.0 / static_cast<double>(candidate.size());
+  s.latex_residue =
+      static_cast<double>(text::latex_artifact_count(candidate)) * per_kchar;
+  // Whitespace beyond the ~16% typical of prose.
+  s.whitespace_mess =
+      std::max(0.0, text::whitespace_ratio(candidate) - 0.16) * 10.0;
+  s.scrambled = text::scrambled_token_ratio(candidate);
+  if (!reference.empty()) {
+    s.truncation = std::clamp(
+        1.0 - static_cast<double>(candidate.size()) /
+                  static_cast<double>(reference.size()),
+        0.0, 1.0);
+  }
+  s.mojibake = text::non_ascii_ratio(candidate) * 20.0;
+  return s;
+}
+
+Annotator::Annotator(std::size_t id, std::uint64_t pool_seed) : id_(id) {
+  util::Rng rng(util::mix64(pool_seed, id * 977 + 13));
+  // Population means chosen so that, over the parser cohort's output
+  // distribution, BLEU explains roughly half the variance in choices.
+  w_accuracy_ = rng.normal(3.0, 0.4);
+  w_latex_ = rng.normal(-0.55, 0.15);       // residue is very visible
+  w_whitespace_ = rng.normal(-0.50, 0.15);
+  w_scrambled_ = rng.normal(-2.2, 0.4);
+  w_truncation_ = rng.normal(-1.6, 0.3);
+  w_mojibake_ = rng.normal(-0.8, 0.2);
+  noise_sigma_ = std::max(0.15, rng.normal(0.42, 0.08));
+  indifference_ = std::max(0.02, rng.normal(0.105, 0.03));
+}
+
+double Annotator::utility(double bleu, const StyleScore& style,
+                          util::Rng& rng) const {
+  double u = w_accuracy_ * bleu;
+  u += w_latex_ * std::min(style.latex_residue, 8.0) / 8.0;
+  u += w_whitespace_ * std::min(style.whitespace_mess, 3.0);
+  u += w_scrambled_ * style.scrambled;
+  u += w_truncation_ * style.truncation;
+  u += w_mojibake_ * std::min(style.mojibake, 1.0);
+  u += rng.normal(0.0, noise_sigma_);
+  return u;
+}
+
+std::vector<Annotator> make_annotator_pool(std::size_t n,
+                                           std::uint64_t seed) {
+  std::vector<Annotator> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pool.emplace_back(i, seed);
+  return pool;
+}
+
+}  // namespace adaparse::pref

@@ -1,0 +1,302 @@
+#include "pref/study.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "metrics/bleu.hpp"
+#include "pref/annotator.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::pref {
+namespace {
+
+/// Key for a unique comparison item (page + unordered parser pair).
+struct TripletKey {
+  std::size_t page_item;
+  int pa;
+  int pb;
+  bool operator==(const TripletKey&) const = default;
+};
+
+struct TripletKeyHash {
+  std::size_t operator()(const TripletKey& k) const {
+    return static_cast<std::size_t>(
+        util::mix64(k.page_item, static_cast<std::uint64_t>(k.pa * 31 + k.pb)));
+  }
+};
+
+/// Cached per-(page item, parser) candidate state.
+struct Candidate {
+  std::string text;
+  double bleu = 0.0;
+  StyleScore style;
+};
+
+}  // namespace
+
+StudyResult run_study(const std::vector<doc::Document>& docs,
+                      const std::vector<parsers::ParserPtr>& parser_list,
+                      const StudyConfig& config) {
+  StudyResult result;
+  if (docs.empty() || parser_list.size() < 2) return result;
+  util::Rng rng(config.seed);
+
+  // --- Sample distinct (doc, page) items. ------------------------------
+  result.pages.reserve(config.num_pages);
+  for (std::size_t i = 0; i < config.num_pages; ++i) {
+    const auto d = static_cast<std::size_t>(rng.below(docs.size()));
+    const auto& document = docs[d];
+    if (document.num_pages() == 0 || document.corrupted) continue;
+    const auto p = static_cast<std::size_t>(rng.below(document.num_pages()));
+    result.pages.emplace_back(d, p);
+  }
+
+  // --- Run each parser once per referenced document; cache page outputs. --
+  std::unordered_map<std::size_t, std::vector<parsers::ParseResult>> parses;
+  for (const auto& [d, p] : result.pages) {
+    if (parses.count(d) > 0) continue;
+    auto& per_parser = parses[d];
+    per_parser.reserve(parser_list.size());
+    for (const auto& parser : parser_list) {
+      per_parser.push_back(parser->parse(docs[d]));
+    }
+  }
+
+  // Candidate cache: page text + page BLEU + style, per (item, parser).
+  std::vector<std::vector<Candidate>> candidates(result.pages.size());
+  for (std::size_t item = 0; item < result.pages.size(); ++item) {
+    const auto [d, p] = result.pages[item];
+    const auto& reference = docs[d].groundtruth_pages[p];
+    candidates[item].resize(parser_list.size());
+    for (std::size_t j = 0; j < parser_list.size(); ++j) {
+      auto& c = candidates[item][j];
+      const auto& pages = parses[d][j].pages;
+      c.text = p < pages.size() ? pages[p] : std::string();
+      c.bleu = metrics::bleu(c.text, reference);
+      c.style = compute_style(c.text, reference);
+    }
+  }
+
+  const auto annotators =
+      make_annotator_pool(config.num_annotators, config.seed ^ 0xA77);
+
+  // --- Assign page items to splits (split by page, as in the paper). ----
+  std::vector<std::size_t> item_order(result.pages.size());
+  for (std::size_t i = 0; i < item_order.size(); ++i) item_order[i] = i;
+  rng.shuffle(item_order);
+  const double total_judgments = static_cast<double>(
+      config.train_judgments + config.val_judgments + config.test_judgments);
+  const auto n_train_pages = static_cast<std::size_t>(
+      static_cast<double>(item_order.size()) *
+      static_cast<double>(config.train_judgments) / total_judgments);
+  const auto n_val_pages = static_cast<std::size_t>(
+      static_cast<double>(item_order.size()) *
+      static_cast<double>(config.val_judgments) / total_judgments);
+  auto split_of_item = [&](std::size_t item) {
+    const auto pos = static_cast<std::size_t>(
+        std::find(item_order.begin(), item_order.end(), item) -
+        item_order.begin());
+    if (pos < n_train_pages) return Split::kTrain;
+    if (pos < n_train_pages + n_val_pages) return Split::kVal;
+    return Split::kTest;
+  };
+  std::vector<std::size_t> items_by_split[3];
+  for (std::size_t pos = 0; pos < item_order.size(); ++pos) {
+    const Split s = pos < n_train_pages
+                        ? Split::kTrain
+                        : (pos < n_train_pages + n_val_pages ? Split::kVal
+                                                             : Split::kTest);
+    items_by_split[static_cast<int>(s)].push_back(item_order[pos]);
+  }
+  (void)split_of_item;
+
+  // --- Generate judgments. ----------------------------------------------
+  std::vector<TripletKey> seen_triplets;  // candidates for repetition
+  auto judge = [&](Split split, std::size_t count) {
+    const auto& pool = items_by_split[static_cast<int>(split)];
+    if (pool.empty()) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      TripletKey key{};
+      const bool repeat = split == Split::kTest && !seen_triplets.empty() &&
+                          rng.chance(config.repeat_fraction);
+      if (repeat) {
+        key = seen_triplets[rng.below(seen_triplets.size())];
+      } else {
+        key.page_item = pool[rng.below(pool.size())];
+        key.pa = static_cast<int>(rng.below(parser_list.size()));
+        do {
+          key.pb = static_cast<int>(rng.below(parser_list.size()));
+        } while (key.pb == key.pa);
+        if (key.pa > key.pb) std::swap(key.pa, key.pb);
+        if (split == Split::kTest) seen_triplets.push_back(key);
+      }
+      const auto& annotator = annotators[rng.below(annotators.size())];
+      const auto& ca =
+          candidates[key.page_item][static_cast<std::size_t>(key.pa)];
+      const auto& cb =
+          candidates[key.page_item][static_cast<std::size_t>(key.pb)];
+      const double ua = annotator.utility(ca.bleu, ca.style, rng);
+      const double ub = annotator.utility(cb.bleu, cb.style, rng);
+      Judgment judgment;
+      judgment.doc_index = result.pages[key.page_item].first;
+      judgment.page = result.pages[key.page_item].second;
+      judgment.parser_a = static_cast<parsers::ParserKind>(key.pa);
+      judgment.parser_b = static_cast<parsers::ParserKind>(key.pb);
+      judgment.annotator = annotator.id();
+      judgment.split = split;
+      if (std::abs(ua - ub) < annotator.indifference()) {
+        judgment.choice = 2;
+      } else {
+        judgment.choice = ua > ub ? 0 : 1;
+      }
+      result.judgments.push_back(judgment);
+    }
+  };
+  judge(Split::kTrain, config.train_judgments);
+  judge(Split::kVal, config.val_judgments);
+  judge(Split::kTest, config.test_judgments);
+
+  // --- Statistics. --------------------------------------------------------
+  std::map<parsers::ParserKind, std::pair<std::size_t, std::size_t>> tally;
+  std::size_t decided = 0;
+  for (const auto& judgment : result.judgments) {
+    if (judgment.choice == 2) continue;
+    ++decided;
+    const auto winner =
+        judgment.choice == 0 ? judgment.parser_a : judgment.parser_b;
+    const auto loser =
+        judgment.choice == 0 ? judgment.parser_b : judgment.parser_a;
+    ++tally[winner].first;
+    ++tally[winner].second;
+    ++tally[loser].second;
+  }
+  result.decision_rate = result.judgments.empty()
+                             ? 0.0
+                             : static_cast<double>(decided) /
+                                   static_cast<double>(result.judgments.size());
+  for (const auto& [kind, counts] : tally) {
+    result.win_rate[kind] =
+        counts.second > 0
+            ? static_cast<double>(counts.first) /
+                  static_cast<double>(counts.second)
+            : 0.0;
+  }
+
+  // Consensus over repeated triplets: majority-agreement frequency among
+  // decided judgments sharing a triplet.
+  std::unordered_map<TripletKey, std::vector<int>, TripletKeyHash> by_triplet;
+  for (const auto& judgment : result.judgments) {
+    if (judgment.split != Split::kTest || judgment.choice == 2) continue;
+    TripletKey key{0, static_cast<int>(judgment.parser_a),
+                   static_cast<int>(judgment.parser_b)};
+    // Recover the page item index.
+    for (std::size_t item = 0; item < result.pages.size(); ++item) {
+      if (result.pages[item].first == judgment.doc_index &&
+          result.pages[item].second == judgment.page) {
+        key.page_item = item;
+        break;
+      }
+    }
+    by_triplet[key].push_back(judgment.choice);
+  }
+  std::size_t agreeing_pairs = 0, total_pairs = 0;
+  std::size_t multi_triplets = 0;
+  for (const auto& [key, choices] : by_triplet) {
+    if (choices.size() < 2) continue;
+    ++multi_triplets;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      for (std::size_t j = i + 1; j < choices.size(); ++j) {
+        ++total_pairs;
+        if (choices[i] == choices[j]) ++agreeing_pairs;
+      }
+    }
+  }
+  result.consensus_rate =
+      total_pairs > 0 ? static_cast<double>(agreeing_pairs) /
+                            static_cast<double>(total_pairs)
+                      : 0.0;
+
+  // BLEU vs win-rate correlation over (page item, parser) cells.
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+      cell_tally;  // key = item * kNumParsers + parser
+  for (const auto& judgment : result.judgments) {
+    if (judgment.choice == 2) continue;
+    std::size_t item = 0;
+    for (std::size_t i = 0; i < result.pages.size(); ++i) {
+      if (result.pages[i].first == judgment.doc_index &&
+          result.pages[i].second == judgment.page) {
+        item = i;
+        break;
+      }
+    }
+    const auto ka = static_cast<std::uint64_t>(
+        item * parsers::kNumParsers + static_cast<std::size_t>(judgment.parser_a));
+    const auto kb = static_cast<std::uint64_t>(
+        item * parsers::kNumParsers + static_cast<std::size_t>(judgment.parser_b));
+    ++cell_tally[ka].second;
+    ++cell_tally[kb].second;
+    ++cell_tally[judgment.choice == 0 ? ka : kb].first;
+  }
+  std::vector<double> cell_bleu, cell_wr;
+  for (const auto& [cell, counts] : cell_tally) {
+    const std::size_t item = cell / parsers::kNumParsers;
+    const std::size_t parser = cell % parsers::kNumParsers;
+    cell_bleu.push_back(candidates[item][parser].bleu);
+    cell_wr.push_back(static_cast<double>(counts.first) /
+                      static_cast<double>(counts.second));
+  }
+  result.bleu_win_correlation = util::correlation_test(cell_bleu, cell_wr);
+  return result;
+}
+
+std::vector<double> tournament_win_rates(
+    const std::vector<std::vector<std::string>>& outputs,
+    const std::vector<std::string>& references,
+    const std::vector<std::vector<double>>& bleus,
+    std::size_t judgments_per_pair, std::uint64_t seed) {
+  const std::size_t systems = outputs.size();
+  std::vector<double> rates(systems, 0.0);
+  if (systems < 2 || references.empty()) return rates;
+  util::Rng rng(seed);
+  const auto annotators = make_annotator_pool(23, seed ^ 0x5EED);
+
+  // Cache style scores lazily per (system, doc).
+  std::vector<std::vector<char>> style_ready(
+      systems, std::vector<char>(references.size(), 0));
+  std::vector<std::vector<StyleScore>> styles(
+      systems, std::vector<StyleScore>(references.size()));
+  auto style_of = [&](std::size_t s, std::size_t d) -> const StyleScore& {
+    if (style_ready[s][d] == 0) {
+      styles[s][d] = compute_style(outputs[s][d], references[d]);
+      style_ready[s][d] = 1;
+    }
+    return styles[s][d];
+  };
+
+  std::vector<std::size_t> wins(systems, 0), involved(systems, 0);
+  for (std::size_t d = 0; d < references.size(); ++d) {
+    for (std::size_t a = 0; a < systems; ++a) {
+      for (std::size_t b = a + 1; b < systems; ++b) {
+        for (std::size_t k = 0; k < judgments_per_pair; ++k) {
+          const auto& annotator = annotators[rng.below(annotators.size())];
+          const double ua =
+              annotator.utility(bleus[a][d], style_of(a, d), rng);
+          const double ub =
+              annotator.utility(bleus[b][d], style_of(b, d), rng);
+          if (std::abs(ua - ub) < annotator.indifference()) continue;
+          ++involved[a];
+          ++involved[b];
+          ++wins[ua > ub ? a : b];
+        }
+      }
+    }
+  }
+  for (std::size_t s = 0; s < systems; ++s) {
+    rates[s] = involved[s] > 0 ? static_cast<double>(wins[s]) /
+                                     static_cast<double>(involved[s])
+                               : 0.0;
+  }
+  return rates;
+}
+
+}  // namespace adaparse::pref

@@ -1,0 +1,79 @@
+// The preference-collection study and its statistics (paper §6.3, §7.1).
+//
+// Samples document pages, runs all seven parsers' outputs through simulated
+// expert pairwise judgments, and produces: the preference dataset with the
+// paper's train/val/test page-level split (712/234/1848 judgments), per-
+// parser normalized win rates, the consensus rate over repeated triplets,
+// and the BLEU-vs-win-rate correlation test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "doc/document.hpp"
+#include "parsers/parser.hpp"
+#include "util/stats.hpp"
+
+namespace adaparse::pref {
+
+/// Which split a judgment belongs to (split by page, as in the paper).
+enum class Split : std::uint8_t { kTrain, kVal, kTest };
+
+/// One pairwise judgment. `choice`: 0 = parser_a, 1 = parser_b, 2 = neither.
+struct Judgment {
+  std::size_t doc_index = 0;
+  std::size_t page = 0;
+  parsers::ParserKind parser_a{};
+  parsers::ParserKind parser_b{};
+  int choice = 2;
+  std::size_t annotator = 0;
+  Split split = Split::kTrain;
+};
+
+struct StudyConfig {
+  std::size_t num_annotators = 23;
+  std::size_t num_pages = 642;       ///< distinct (doc, page) items
+  std::size_t train_judgments = 712;
+  std::size_t val_judgments = 234;
+  std::size_t test_judgments = 1848;
+  /// Fraction of test triplets deliberately repeated across annotators to
+  /// measure consensus.
+  double repeat_fraction = 0.45;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct StudyResult {
+  std::vector<Judgment> judgments;
+  /// Sampled items: (document index, page index).
+  std::vector<std::pair<std::size_t, std::size_t>> pages;
+
+  /// Normalized win rate per parser: wins / decided comparisons involving
+  /// that parser (paper reports these, noting they do not sum to 100%).
+  std::map<parsers::ParserKind, double> win_rate;
+  /// Fraction of judgments where a preference was expressed (paper: 91.3%).
+  double decision_rate = 0.0;
+  /// Agreement among repeated triplets (paper: 82.2%).
+  double consensus_rate = 0.0;
+  /// Correlation of page BLEU with win rate over (page, parser) cells
+  /// (paper: rho ~ 0.47, p ~ 1e-49).
+  util::CorrelationTest bleu_win_correlation;
+};
+
+/// Runs the full simulated study on `docs` with the given parser cohort.
+StudyResult run_study(const std::vector<doc::Document>& docs,
+                      const std::vector<parsers::ParserPtr>& parsers,
+                      const StudyConfig& config = {});
+
+/// Round-robin pairwise win rates for arbitrary candidate texts: used to
+/// fill the WR column of Tables 1-3 where AdaParse (not a fixed parser) is
+/// among the systems. `outputs[s][d]` is system s's text for document d;
+/// `references[d]` the groundtruth; `bleus[s][d]` the document BLEU.
+/// Returns one normalized win rate per system.
+std::vector<double> tournament_win_rates(
+    const std::vector<std::vector<std::string>>& outputs,
+    const std::vector<std::string>& references,
+    const std::vector<std::vector<double>>& bleus,
+    std::size_t judgments_per_pair = 3, std::uint64_t seed = 0x7EAA);
+
+}  // namespace adaparse::pref

@@ -1,0 +1,53 @@
+// Accumulates items into fixed-size batches.
+//
+// AdaParse applies its alpha-budget per batch of k documents (paper App. C:
+// "for a batch of size k at most floor(alpha*k) documents will be parsed by
+// Nougat", k=256), and the LLM selector runs inference per batch. Batcher
+// is the piece that forms those batches from the document stream.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace adaparse::sched {
+
+template <typename T>
+class Batcher {
+ public:
+  using FlushFn = std::function<void(std::vector<T>&&)>;
+
+  Batcher(std::size_t batch_size, FlushFn flush)
+      : batch_size_(batch_size == 0 ? 1 : batch_size),
+        flush_(std::move(flush)) {
+    pending_.reserve(batch_size_);
+  }
+
+  /// Adds one item; triggers a flush when the batch fills.
+  void add(T item) {
+    pending_.push_back(std::move(item));
+    if (pending_.size() >= batch_size_) flush_now();
+  }
+
+  /// Flushes a partial batch (end of stream).
+  void flush_now() {
+    if (pending_.empty()) return;
+    std::vector<T> batch;
+    batch.reserve(batch_size_);
+    batch.swap(pending_);
+    flush_(std::move(batch));
+    ++batches_flushed_;
+  }
+
+  std::size_t pending() const { return pending_.size(); }
+  std::size_t batches_flushed() const { return batches_flushed_; }
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  std::size_t batch_size_;
+  FlushFn flush_;
+  std::vector<T> pending_;
+  std::size_t batches_flushed_ = 0;
+};
+
+}  // namespace adaparse::sched

@@ -1,0 +1,62 @@
+#include "sched/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace adaparse::sched {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      ++completed_;
+      if (tasks_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+}  // namespace adaparse::sched

@@ -1,0 +1,67 @@
+// Fixed-size thread pool — the worker substrate of the execution engine.
+//
+// Plays the role Parsl's worker processes play in the paper's deployment:
+// tasks are pure functions dispatched to idle workers; the pool never
+// re-enters user code on the submitting thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaparse::sched {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1 enforced).
+  explicit ThreadPool(std::size_t num_threads);
+  /// Drains remaining tasks, then joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its result. Throws
+  /// std::runtime_error if the pool is already shutting down.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      tasks_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every queued task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+  /// Number of tasks executed so far.
+  std::size_t completed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        ///< wakes workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  std::size_t completed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace adaparse::sched

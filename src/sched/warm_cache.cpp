@@ -1,0 +1,44 @@
+#include "sched/warm_cache.hpp"
+
+namespace adaparse::sched {
+
+WarmModelCache::Handle WarmModelCache::get_or_load(const std::string& key,
+                                                   const Loader& loader,
+                                                   double load_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (enabled_) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_[key].hits;
+      return it->second;
+    }
+  }
+  // Pay the load. (Loader runs under the lock: model loads are rare and
+  // serializing them mirrors real GPU memory allocation behaviour.)
+  auto& s = stats_[key];
+  ++s.loads;
+  s.load_seconds_paid += load_seconds;
+  Handle handle = loader();
+  if (enabled_) cache_[key] = handle;
+  return handle;
+}
+
+WarmCacheStats WarmModelCache::stats(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stats_.find(key);
+  return it != stats_.end() ? it->second : WarmCacheStats{};
+}
+
+double WarmModelCache::total_load_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& [key, s] : stats_) total += s.load_seconds_paid;
+  return total;
+}
+
+void WarmModelCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace adaparse::sched

@@ -1,0 +1,369 @@
+#include "text/corrupt.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenize.hpp"
+
+namespace adaparse::text {
+namespace {
+
+/// Domain-confusable word pairs highlighted by the paper (§2.2): small edit
+/// distance, opposite meaning.
+const std::unordered_map<std::string, std::string>& confusion_table() {
+  static const std::unordered_map<std::string, std::string> table = {
+      {"hyperthyroidism", "hypothyroidism"},
+      {"hypothyroidism", "hyperthyroidism"},
+      {"pH", "Ph"},
+      {"Ph", "pH"},
+      {"causal", "casual"},
+      {"casual", "causal"},
+      {"inhibitor", "inhibiter"},
+      {"absorption", "adsorption"},
+      {"adsorption", "absorption"},
+      {"affect", "effect"},
+      {"effect", "affect"},
+      {"ordered", "orderd"},
+      {"proportional", "propotional"},
+      {"theorem", "theorm"},
+  };
+  return table;
+}
+
+char confusable_glyph(char c, util::Rng& rng) {
+  switch (c) {
+    case 'l': return '1';
+    case '1': return 'l';
+    case 'O': return '0';
+    case '0': return 'O';
+    case 'I': return 'l';
+    case 'S': return '5';
+    case '5': return 'S';
+    case 'B': return '8';
+    case 'g': return 'q';
+    case 'e': return 'c';
+    case 'c': return 'e';
+    case 'a': return 'o';
+    case 'o': return 'a';
+    case 'u': return 'v';
+    case 'v': return 'u';
+    case 'i': return 'j';
+    default: {
+      // Fallback: shift within the same case class.
+      if (std::islower(static_cast<unsigned char>(c)) != 0) {
+        return static_cast<char>('a' + rng.below(26));
+      }
+      if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+        return static_cast<char>('A' + rng.below(26));
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        return static_cast<char>('0' + rng.below(10));
+      }
+      return c;
+    }
+  }
+}
+
+bool looks_like_smiles(std::string_view token) {
+  if (token.size() < 6) return false;
+  std::size_t structural = 0, letters = 0;
+  for (char c : token) {
+    if (c == '=' || c == '#' || c == '(' || c == ')' || c == '[' || c == ']') {
+      ++structural;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      ++letters;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '@' &&
+               c != '+' && c != '-' && c != '/' && c != '\\') {
+      return false;
+    }
+  }
+  return structural >= 2 && letters >= 2;
+}
+
+}  // namespace
+
+std::string inject_whitespace(std::string_view s, double rate,
+                              util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + static_cast<std::size_t>(rate * s.size()) + 8);
+  for (char c : s) {
+    out += c;
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 && rng.chance(rate)) {
+      // Mostly single spaces; occasionally a newline (column-break artifact).
+      out += rng.chance(0.15) ? '\n' : ' ';
+    }
+  }
+  return out;
+}
+
+std::string substitute_words(std::string_view s, double rate,
+                             util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  const auto& table = confusion_table();
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (std::isalpha(static_cast<unsigned char>(s[i])) == 0) {
+      out += s[i++];
+      continue;
+    }
+    std::size_t j = i;
+    while (j < s.size() &&
+           std::isalpha(static_cast<unsigned char>(s[j])) != 0) {
+      ++j;
+    }
+    std::string word(s.substr(i, j - i));
+    if (word.size() >= 2 && rng.chance(rate)) {
+      auto it = table.find(word);
+      if (it != table.end()) {
+        word = it->second;
+      } else {
+        // Generated near-miss: one interior character replaced by a glyph
+        // confusion (keeps the word pronounceable-looking).
+        const std::size_t pos =
+            1 + static_cast<std::size_t>(rng.below(word.size() - 1));
+        word[pos] = confusable_glyph(word[pos], rng);
+      }
+    }
+    out += word;
+    i = j;
+  }
+  return out;
+}
+
+std::string scramble_words(std::string_view s, double rate, util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (std::isalpha(static_cast<unsigned char>(s[i])) == 0) {
+      out += s[i++];
+      continue;
+    }
+    std::size_t j = i;
+    while (j < s.size() &&
+           std::isalpha(static_cast<unsigned char>(s[j])) != 0) {
+      ++j;
+    }
+    std::string word(s.substr(i, j - i));
+    if (word.size() >= 4 && rng.chance(rate)) {
+      // Shuffle the interior, keep first/last characters anchored.
+      std::vector<char> interior(word.begin() + 1, word.end() - 1);
+      std::vector<char> shuffled = interior;
+      rng.shuffle(shuffled);
+      for (std::size_t k = 0; k < shuffled.size(); ++k) {
+        word[k + 1] = shuffled[k];
+      }
+    }
+    out += word;
+    i = j;
+  }
+  return out;
+}
+
+std::string substitute_chars(std::string_view s, double rate,
+                             util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  std::string out(s);
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 && rng.chance(rate)) {
+      c = confusable_glyph(c, rng);
+    }
+  }
+  return out;
+}
+
+std::string corrupt_smiles(std::string_view s, double rate, util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+      out += s[i++];
+      continue;
+    }
+    std::size_t j = i;
+    while (j < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[j])) == 0) {
+      ++j;
+    }
+    std::string token(s.substr(i, j - i));
+    if (looks_like_smiles(token) && rng.chance(rate)) {
+      // Mutate 1-3 characters: ring indices and bonds are the fragile parts.
+      const std::size_t edits = 1 + rng.below(3);
+      for (std::size_t e = 0; e < edits && !token.empty(); ++e) {
+        const auto pos = static_cast<std::size_t>(rng.below(token.size()));
+        const char c = token[pos];
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+          token[pos] = static_cast<char>('0' + rng.below(10));
+        } else if (c == '=' || c == '#') {
+          token[pos] = c == '=' ? '#' : '=';
+        } else if (c == '(' || c == ')') {
+          token.erase(pos, 1);  // unbalance the branches
+        } else {
+          token[pos] = confusable_glyph(c, rng);
+        }
+      }
+    }
+    out += token;
+    i = j;
+  }
+  return out;
+}
+
+std::string mangle_latex(std::string_view s, double rate, util::Rng& rng) {
+  if (rate < 0.0) rate = 0.0;
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\\' && i + 1 < s.size() &&
+        std::isalpha(static_cast<unsigned char>(s[i + 1])) != 0) {
+      std::size_t j = i + 1;
+      while (j < s.size() &&
+             std::isalpha(static_cast<unsigned char>(s[j])) != 0) {
+        ++j;
+      }
+      const std::string_view command = s.substr(i, j - i);
+      if (rng.chance(rate)) {
+        // Mangled conversion: the renderer draws a glyph the recognizer
+        // cannot name, so the output is genuinely wrong — garbled symbol
+        // soup, dropped content, or residue with corrupted letters. (A
+        // naive "keep the command name" residue would still match the
+        // reference's own LaTeX tokens and cost nothing under BLEU.)
+        switch (rng.below(3)) {
+          case 0: {  // glyph soup: ~half the characters replaced
+            std::string garbled(command.substr(1));
+            for (char& c : garbled) {
+              if (rng.chance(0.6)) c = confusable_glyph(c, rng);
+            }
+            out += garbled;
+            break;
+          }
+          case 1:  // symbol dropped entirely
+            break;
+          default: {  // residue with a dangling brace and damaged name
+            std::string garbled(command);
+            if (garbled.size() > 2) {
+              garbled[1 + rng.below(garbled.size() - 1)] =
+                  confusable_glyph(garbled.back(), rng);
+            }
+            out += garbled;
+            out += '{';
+            break;
+          }
+        }
+      } else {
+        // Clean conversion: command name becomes a plain word.
+        out.append(command.substr(1));
+      }
+      i = j;
+    } else if (c == '$' || c == '{' || c == '}') {
+      if (rng.chance(rate)) out += c;  // residue survives
+      ++i;
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string drop_words(std::string_view s, double rate, util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  const auto words = split_whitespace(s);
+  std::vector<std::string> kept;
+  kept.reserve(words.size());
+  for (const auto& w : words) {
+    if (!rng.chance(rate)) kept.push_back(w);
+  }
+  return join(kept);
+}
+
+std::string mojibake(std::string_view s, double rate, util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  static constexpr std::array<const char*, 6> kArtifacts = {
+      "\xEF\xBF\xBD",  // U+FFFD replacement character
+      "\xC3\xA2\xE2\x82\xAC",  // classic UTF-8/CP1252 mojibake
+      "\xC2\xAD",      // soft hyphen
+      "\xE2\x80\x94",  // em dash run-in
+      "\xC3\xAF",      // ï
+      "\xC2\xA0",      // NBSP
+  };
+  std::string out;
+  out.reserve(s.size() + 16);
+  for (char c : s) {
+    if (rng.chance(rate)) {
+      out += kArtifacts[rng.below(kArtifacts.size())];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string pad_whitespace(std::string_view s, double rate, util::Rng& rng) {
+  if (rate <= 0.0) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + static_cast<std::size_t>(rate * s.size() / 5) + 16);
+  for (char c : s) {
+    out += c;
+    if (c == ' ' || c == '\n') {
+      // Geometric-ish run of extra blanks with the requested mean.
+      double budget = rate;
+      while (budget > 0.0 && rng.chance(std::min(1.0, budget))) {
+        out += c == '\n' && rng.chance(0.3) ? '\n' : ' ';
+        budget -= 1.0;
+      }
+    }
+  }
+  return out;
+}
+
+std::string layout_artifacts(std::string_view s, double intensity,
+                             util::Rng& rng) {
+  if (intensity <= 0.0) return std::string(s);
+  static constexpr std::array<const char*, 4> kHeaders = {
+      "Preprint under review", "Journal of Synthetic Results",
+      "CONFIDENTIAL DRAFT", "Author manuscript"};
+  std::string out;
+  out.reserve(s.size() + 64);
+  // Running header with a page number.
+  if (rng.chance(0.4 * intensity + 0.1)) {
+    out += kHeaders[rng.below(kHeaders.size())];
+    out += "  ";
+    out += std::to_string(1 + rng.below(40));
+    out += '\n';
+  }
+  const double reflow_rate = 0.5 * intensity;     // space -> newline
+  const double hyphenate_rate = 0.02 * intensity; // split long words
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == ' ' && rng.chance(reflow_rate)) {
+      out += '\n';
+      continue;
+    }
+    out += c;
+    // Hyphenate inside long alphabetic runs, as line wrapping does.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 && i + 3 < s.size() &&
+        std::isalpha(static_cast<unsigned char>(s[i + 1])) != 0 &&
+        rng.chance(hyphenate_rate)) {
+      out += "-\n";
+    }
+  }
+  if (rng.chance(0.5 * intensity)) {
+    out += "\n";
+    out += std::to_string(1 + rng.below(40));  // bare page number footer
+  }
+  return out;
+}
+
+}  // namespace adaparse::text

@@ -1,0 +1,48 @@
+// Detectors for the malformed-text patterns of Figure 1 in the paper.
+//
+// AdaParse's insight is that text-extraction *failure artifacts* in the
+// cheap PyMuPDF pass are informative features for deciding whether a more
+// expensive parser is warranted. These routines quantify the presence of
+// those artifacts in a text.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace adaparse::text {
+
+/// Counts LaTeX-ish residue: backslash commands, unmatched math delimiters,
+/// and brace imbalance — the signature of failure mode (f), "LaTeX to
+/// plaintext conversion".
+std::size_t latex_artifact_count(std::string_view s);
+
+/// Counts tokens that look like corrupted SMILES strings (failure mode (e)):
+/// long runs of ring/bond/branch characters mixed with uppercase atoms.
+std::size_t smiles_like_count(std::string_view s);
+
+/// Fraction of alphabetic tokens that look "scrambled" — improbable
+/// consonant runs or shuffled-character words (failure modes (c)/(d)).
+/// Returns 0 for token-free text.
+double scrambled_token_ratio(std::string_view s);
+
+/// Fraction of characters that are whitespace; whitespace injection
+/// (failure mode (a)) drives this far above prose-typical ~0.15.
+double whitespace_ratio(std::string_view s);
+
+/// Fraction of characters that are ASCII alphabetic.
+double alpha_ratio(std::string_view s);
+
+/// Fraction of characters that are digits.
+double digit_ratio(std::string_view s);
+
+/// Fraction of bytes outside printable ASCII (mojibake / encoding damage).
+double non_ascii_ratio(std::string_view s);
+
+/// Longest run of identical consecutive characters (e.g. "     " or "aaaa").
+std::size_t longest_char_run(std::string_view s);
+
+/// Shannon entropy (bits/char) over the byte distribution. Natural prose
+/// sits near 4.1–4.4; scrambled or degenerate text drifts away.
+double char_entropy(std::string_view s);
+
+}  // namespace adaparse::text

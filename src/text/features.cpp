@@ -1,0 +1,39 @@
+#include "text/features.hpp"
+
+#include "text/detect.hpp"
+#include "text/tokenize.hpp"
+
+namespace adaparse::text {
+
+std::array<double, TextFeatures::kDim> TextFeatures::to_array() const {
+  return {char_count,     token_count,    avg_token_len,  alpha_ratio,
+          digit_ratio,    whitespace_ratio, non_ascii_ratio, scrambled_ratio,
+          latex_density,  smiles_density, entropy,        longest_run};
+}
+
+TextFeatures compute_features(std::string_view s) {
+  TextFeatures f;
+  f.char_count = static_cast<double>(s.size());
+  const auto tokens = split_whitespace(s);
+  f.token_count = static_cast<double>(tokens.size());
+  if (!tokens.empty()) {
+    std::size_t total_len = 0;
+    for (const auto& t : tokens) total_len += t.size();
+    f.avg_token_len =
+        static_cast<double>(total_len) / static_cast<double>(tokens.size());
+  }
+  f.alpha_ratio = alpha_ratio(s);
+  f.digit_ratio = digit_ratio(s);
+  f.whitespace_ratio = whitespace_ratio(s);
+  f.non_ascii_ratio = non_ascii_ratio(s);
+  f.scrambled_ratio = scrambled_token_ratio(s);
+  const double per_kchar =
+      s.empty() ? 0.0 : 1000.0 / static_cast<double>(s.size());
+  f.latex_density = static_cast<double>(latex_artifact_count(s)) * per_kchar;
+  f.smiles_density = static_cast<double>(smiles_like_count(s)) * per_kchar;
+  f.entropy = char_entropy(s);
+  f.longest_run = static_cast<double>(longest_char_run(s));
+  return f;
+}
+
+}  // namespace adaparse::text

@@ -1,0 +1,39 @@
+// Aggregate text features — the CLS I feature vector.
+//
+// The paper's first classification stage infers validity of the extracted
+// text from "coarse but fast-to-compute features (e.g., text length)". This
+// struct is that feature set; it is also reused as part of the input to the
+// learned CLS III predictor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace adaparse::text {
+
+/// Cheap aggregate statistics over a parsed text.
+struct TextFeatures {
+  double char_count = 0.0;          ///< total characters
+  double token_count = 0.0;         ///< whitespace tokens
+  double avg_token_len = 0.0;       ///< mean token length
+  double alpha_ratio = 0.0;         ///< alphabetic char fraction
+  double digit_ratio = 0.0;         ///< digit char fraction
+  double whitespace_ratio = 0.0;    ///< whitespace char fraction
+  double non_ascii_ratio = 0.0;     ///< bytes outside printable ASCII
+  double scrambled_ratio = 0.0;     ///< scrambled-looking token fraction
+  double latex_density = 0.0;       ///< LaTeX artifacts per 1k chars
+  double smiles_density = 0.0;      ///< SMILES-like tokens per 1k chars
+  double entropy = 0.0;             ///< char-level Shannon entropy (bits)
+  double longest_run = 0.0;         ///< longest identical-char run
+
+  static constexpr std::size_t kDim = 12;
+
+  /// Dense vector view in a fixed, documented order (the order above).
+  std::array<double, kDim> to_array() const;
+};
+
+/// Computes all features in one pass over `s`.
+TextFeatures compute_features(std::string_view s);
+
+}  // namespace adaparse::text

@@ -1,0 +1,47 @@
+#include "text/ngram.hpp"
+
+#include "util/rng.hpp"
+
+namespace adaparse::text {
+
+std::uint64_t ngram_key(std::span<const std::string> tokens, std::size_t begin,
+                        std::size_t n) {
+  // Chain per-token FNV hashes through the splitmix finalizer so that
+  // ("ab","c") and ("a","bc") map to different keys.
+  std::uint64_t h = 0x243F6A8885A308D3ULL ^ n;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = util::mix64(h, util::hash64(tokens[begin + i]));
+  }
+  return h;
+}
+
+NgramCounts count_ngrams(std::span<const std::string> tokens, std::size_t n) {
+  NgramCounts counts;
+  if (n == 0 || tokens.size() < n) return counts;
+  counts.reserve(tokens.size());
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    ++counts[ngram_key(tokens, i, n)];
+  }
+  return counts;
+}
+
+std::uint64_t overlap(const NgramCounts& a, const NgramCounts& b) {
+  const NgramCounts& small = a.size() <= b.size() ? a : b;
+  const NgramCounts& large = a.size() <= b.size() ? b : a;
+  std::uint64_t matches = 0;
+  for (const auto& [key, count] : small) {
+    auto it = large.find(key);
+    if (it != large.end()) {
+      matches += std::min(count, it->second);
+    }
+  }
+  return matches;
+}
+
+std::uint64_t total(const NgramCounts& counts) {
+  std::uint64_t t = 0;
+  for (const auto& [key, count] : counts) t += count;
+  return t;
+}
+
+}  // namespace adaparse::text

@@ -1,0 +1,35 @@
+// N-gram counting over token sequences.
+//
+// BLEU and ROUGE-n both reduce to multiset intersection of n-gram counts.
+// We hash token n-grams to 64-bit keys instead of materializing string
+// tuples, which keeps metric computation linear-time over multi-page parser
+// output (the paper stresses that naive edit-distance routines do not scale
+// to document-length text).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adaparse::text {
+
+/// Multiset of hashed n-grams -> occurrence count.
+using NgramCounts = std::unordered_map<std::uint64_t, std::uint32_t>;
+
+/// Hashes one n-gram (tokens[begin, begin+n)) to a stable 64-bit key.
+std::uint64_t ngram_key(std::span<const std::string> tokens, std::size_t begin,
+                        std::size_t n);
+
+/// Counts all n-grams of order `n` in `tokens`.
+NgramCounts count_ngrams(std::span<const std::string> tokens, std::size_t n);
+
+/// Sum over keys of min(a[k], b[k]) — the clipped match count used by BLEU
+/// and the overlap count used by ROUGE-n.
+std::uint64_t overlap(const NgramCounts& a, const NgramCounts& b);
+
+/// Total number of n-grams in a counted multiset.
+std::uint64_t total(const NgramCounts& counts);
+
+}  // namespace adaparse::text

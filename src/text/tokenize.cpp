@@ -1,0 +1,87 @@
+#include "text/tokenize.hpp"
+
+#include <cctype>
+
+namespace adaparse::text {
+namespace {
+
+bool is_word_char(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '-' || c == '\'' || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  tokens.reserve(s.size() / 6 + 1);
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto c = static_cast<unsigned char>(s[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (is_word_char(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && is_word_char(static_cast<unsigned char>(s[j]))) {
+        ++j;
+      }
+      tokens.emplace_back(s.substr(i, j - i));
+      i = j;
+    } else {
+      tokens.emplace_back(1, s[i]);
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_whitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& tokens) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& t : tokens) total += t.size() + 1;
+  out.reserve(total);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool is_alpha(std::string_view token) {
+  if (token.empty()) return false;
+  for (unsigned char c : token) {
+    if (std::isalpha(c) == 0) return false;
+  }
+  return true;
+}
+
+bool has_digit(std::string_view token) {
+  for (unsigned char c : token) {
+    if (std::isdigit(c) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace adaparse::text

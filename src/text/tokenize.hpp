@@ -1,0 +1,37 @@
+// Tokenization for metric computation and feature extraction.
+//
+// PDF parser output is plain text; BLEU/ROUGE operate on word tokens, CAR on
+// characters. The tokenizer splits on whitespace and separates punctuation,
+// matching the conventional pre-processing for these metrics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::text {
+
+/// Splits `s` into word tokens: maximal runs of alphanumeric characters
+/// (plus a few in-word characters such as '-' and '\'') with punctuation
+/// emitted as single-character tokens. Whitespace is discarded.
+std::vector<std::string> tokenize(std::string_view s);
+
+/// Splits into whitespace-delimited chunks without touching punctuation.
+/// Used where the raw visual layout matters (e.g. whitespace-injection
+/// detection).
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Joins tokens with single spaces (inverse-ish of tokenize, used by the
+/// synthetic parsers when re-emitting perturbed token streams).
+std::string join(const std::vector<std::string>& tokens);
+
+/// Lowercases ASCII characters in place-free fashion.
+std::string to_lower(std::string_view s);
+
+/// True if every character in the token is ASCII alphabetic.
+bool is_alpha(std::string_view token);
+
+/// True if the token contains at least one digit.
+bool has_digit(std::string_view token);
+
+}  // namespace adaparse::text

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation for the whole repository.
+//
+// Every stochastic component (corpus generation, parser error channels,
+// annotator noise, schedulers under test) draws from an explicitly seeded
+// `Rng`.  Experiments are therefore reproducible bit-for-bit across runs,
+// which the benchmark harness relies on when comparing against the paper's
+// reported tables.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::util {
+
+/// xoshiro256** PRNG with splitmix64 seeding.
+///
+/// Chosen over std::mt19937 because its state is small (32 bytes), it is
+/// trivially copyable (cheap to fork per-document streams), and its output
+/// is identical across standard libraries — std::uniform_* distributions
+/// are *not* portable, so we implement our own draws on top of raw 64-bit
+/// output.
+class Rng {
+ public:
+  /// Seeds the generator from a single 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent stream, e.g. one per document: the child is
+  /// seeded from this generator's next output mixed with `stream_id`.
+  /// Forking does not perturb the parent beyond one draw.
+  Rng fork(std::uint64_t stream_id);
+
+  /// Raw 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second draw).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Exponential with the given rate (lambda). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Zipf-like draw over [0, n): rank r with weight 1/(r+1)^s.
+  /// Used for vocabulary sampling in the corpus generator.
+  std::size_t zipf(std::size_t n, double s = 1.1);
+
+  /// Samples an index proportionally to `weights` (must be non-empty,
+  /// non-negative, not all zero).
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stable 64-bit FNV-1a hash of a string; used to derive per-entity seeds
+/// (e.g. per-document RNG streams keyed by document id).
+std::uint64_t hash64(std::string_view s);
+
+/// Mixes two 64-bit values into one (splitmix64 finalizer over the sum).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+}  // namespace adaparse::util

@@ -1,0 +1,66 @@
+// Small statistics toolkit used across evaluation code: summary statistics,
+// Pearson correlation with a significance test, coefficient of determination,
+// and an online accumulator for streaming summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adaparse::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Result of testing H0: rho = 0 for a Pearson correlation.
+struct CorrelationTest {
+  double rho = 0.0;       ///< sample correlation
+  double t_stat = 0.0;    ///< t statistic with n-2 dof
+  double p_value = 1.0;   ///< two-sided p-value (normal approximation)
+  std::size_t n = 0;      ///< sample count
+};
+
+/// Tests whether the correlation between x and y is significantly nonzero.
+/// Uses the t transform with a normal-tail approximation — adequate for the
+/// large n used in the preference study reproduction.
+CorrelationTest correlation_test(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Coefficient of determination R^2 = 1 - SS_res/SS_tot.
+/// Returns 0 when the targets are constant.
+double r_squared(std::span<const double> truth, std::span<const double> pred);
+
+/// Quantile with linear interpolation; q in [0,1]. xs need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Spearman rank correlation (ties get average ranks).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace adaparse::util

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit
+// the paper's tables in a diff-friendly layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adaparse::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Numeric convenience overloads format with a fixed precision so benchmark
+/// output is stable across runs of the deterministic pipeline.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls append cells to it.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 1);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` decimal places.
+std::string format_fixed(double value, int precision);
+
+}  // namespace adaparse::util

@@ -1,0 +1,399 @@
+// Tests for the core module: CLS I rules, CLS II classifier, the accuracy
+// predictor, the alpha-budget optimizer, and the AdaParse engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/budget.hpp"
+#include "core/cls1.hpp"
+#include "core/cls2.hpp"
+#include "core/engine.hpp"
+#include "core/predictor.hpp"
+#include "core/training.hpp"
+#include "doc/generator.hpp"
+#include "parsers/registry.hpp"
+#include "text/corrupt.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::core {
+namespace {
+
+// --------------------------------------------------------------- CLS I ----
+
+TEST(Cls1, AcceptsHealthyProse) {
+  std::string page;
+  for (int i = 0; i < 30; ++i) {
+    page += "The measured distribution shows significant structure across "
+            "samples and conditions. ";
+  }
+  const auto verdict = cls1_validate(page, 1);
+  EXPECT_TRUE(verdict.valid) << verdict.reason;
+}
+
+TEST(Cls1, RejectsEmptyExtraction) {
+  const auto verdict = cls1_validate("", 5);
+  EXPECT_FALSE(verdict.valid);
+  EXPECT_EQ(verdict.reason, "too_few_chars");
+}
+
+TEST(Cls1, RejectsWhitespaceBlowup) {
+  std::string page;
+  for (int i = 0; i < 2000; ++i) page += "a    \n  ";
+  const auto verdict = cls1_validate(page, 1);
+  EXPECT_FALSE(verdict.valid);
+}
+
+TEST(Cls1, RejectsScrambledText) {
+  std::string base;
+  for (int i = 0; i < 60; ++i) {
+    base += "comprehensive experimental measurements demonstrate variation ";
+  }
+  util::Rng rng(3);
+  const auto scrambled = text::scramble_words(base, 0.9, rng);
+  const auto verdict = cls1_validate(scrambled, 1);
+  EXPECT_FALSE(verdict.valid);
+}
+
+TEST(Cls1, RejectsDegenerateRepetition) {
+  const std::string page(5000, 'a');
+  EXPECT_FALSE(cls1_validate(page, 1).valid);
+}
+
+TEST(Cls1, RejectsMojibakeStorm) {
+  std::string base;
+  for (int i = 0; i < 80; ++i) {
+    base += "normal scientific words with content here ";
+  }
+  util::Rng rng(5);
+  const auto damaged = text::mojibake(base, 0.2, rng);
+  EXPECT_FALSE(cls1_validate(damaged, 1).valid);
+}
+
+TEST(Cls1, PerPageThresholdScalesWithPages) {
+  std::string one_page_worth;
+  for (int i = 0; i < 12; ++i) {
+    one_page_worth += "adequate text for a single page of content here ";
+  }
+  EXPECT_TRUE(cls1_validate(one_page_worth, 1).valid);
+  EXPECT_FALSE(cls1_validate(one_page_worth, 20).valid);
+}
+
+TEST(Cls1, CustomRulesRespected) {
+  Cls1Rules lax;
+  lax.min_chars_per_page = 1.0;
+  lax.min_alpha_ratio = 0.0;
+  lax.min_entropy = 0.0;
+  EXPECT_TRUE(cls1_validate("tiny ok", 1, lax).valid);
+}
+
+// --------------------------------------------------------------- CLS II ----
+
+TEST(Cls2, LearnsProducerSignal) {
+  // Synthetic truth: scanner/ghostscript docs benefit from re-parsing.
+  util::Rng rng(7);
+  std::vector<doc::Metadata> metas;
+  std::vector<int> labels;
+  for (int i = 0; i < 800; ++i) {
+    doc::Metadata meta;
+    meta.producer = static_cast<doc::ProducerTool>(rng.below(6));
+    meta.year = 2015 + static_cast<int>(rng.below(10));
+    meta.num_pages = 4 + static_cast<int>(rng.below(12));
+    const bool improvable =
+        meta.producer == doc::ProducerTool::kScannerOcr ||
+        meta.producer == doc::ProducerTool::kGhostscript;
+    metas.push_back(meta);
+    labels.push_back(improvable ? 1 : 0);
+  }
+  Cls2Improver improver;
+  ml::TrainOptions options;
+  options.epochs = 20;
+  improver.fit(metas, labels, options);
+  int correct = 0;
+  for (std::size_t i = 0; i < metas.size(); ++i) {
+    correct += improver.improvement_likely(metas[i]) == (labels[i] == 1);
+  }
+  EXPECT_GT(correct, 700);
+}
+
+TEST(Cls2, ProbabilityBounded) {
+  Cls2Improver improver;
+  doc::Metadata meta;
+  const double p = improver.improvement_probability(meta);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+// --------------------------------------------------------------- budget ----
+
+TEST(Budget, SelectsTopGains) {
+  const std::vector<double> gains = {0.1, 0.5, 0.3, 0.05, 0.4};
+  const auto selected = select_budgeted(gains, 0.4);  // floor(0.4*5)=2
+  EXPECT_EQ(selected, (std::vector<std::size_t>{1, 4}));
+}
+
+TEST(Budget, ZeroAlphaSelectsNothing) {
+  EXPECT_TRUE(select_budgeted({0.9, 0.8}, 0.0).empty());
+}
+
+TEST(Budget, AlphaOneSelectsAllPositive) {
+  const auto selected = select_budgeted({0.1, -0.2, 0.3}, 1.0);
+  EXPECT_EQ(selected, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Budget, NegativeGainsSkippedByDefault) {
+  EXPECT_TRUE(select_budgeted({-0.1, -0.5, -0.2}, 1.0).empty());
+  EXPECT_EQ(select_budgeted({-0.1, -0.5, -0.2}, 1.0, false).size(), 3U);
+}
+
+TEST(Budget, NeverExceedsFloorAlphaN) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> gains(1 + rng.below(200));
+    for (auto& g : gains) g = rng.uniform(-0.2, 0.6);
+    const double alpha = rng.uniform(0.0, 1.0);
+    const auto selected = select_budgeted(gains, alpha);
+    EXPECT_LE(selected.size(),
+              static_cast<std::size_t>(alpha * static_cast<double>(gains.size())));
+  }
+}
+
+TEST(Budget, BatchedRespectsPerBatchCap) {
+  std::vector<double> gains(1000, 0.5);
+  const auto selected = select_budgeted_batched(gains, 0.05, 256);
+  // floor(0.05*256)=12 per full batch; last partial batch floor(0.05*232)=11.
+  EXPECT_EQ(selected.size(), 12U * 3 + 11U);
+  for (std::size_t i : selected) EXPECT_LT(i, gains.size());
+}
+
+TEST(Budget, BatchedMatchesGlobalOnUniformGains) {
+  // With identical gains the batched solution loses at most one floor()
+  // rounding per batch (4 batches of 128 at alpha=0.1 -> up to 4 * 0.3).
+  std::vector<double> gains(512, 0.3);
+  const double global =
+      selection_objective(gains, select_budgeted(gains, 0.1));
+  const double batched =
+      selection_objective(gains, select_budgeted_batched(gains, 0.1, 128));
+  EXPECT_LE(batched, global + 1e-9);
+  EXPECT_GE(batched, global - 4 * 0.3 - 1e-9);
+}
+
+TEST(Budget, BatchedGapSmallOnRandomGains) {
+  // Paper App. C: the per-batch optimality gap is negligible for large k.
+  util::Rng rng(13);
+  std::vector<double> gains(4096);
+  for (auto& g : gains) g = rng.uniform(0.0, 0.5);
+  const double global =
+      selection_objective(gains, select_budgeted(gains, 0.05));
+  const double batched = selection_objective(
+      gains, select_budgeted_batched(gains, 0.05, 256));
+  EXPECT_GT(batched, 0.9 * global);
+}
+
+TEST(Budget, AlphaForBudgetFormula) {
+  // n=100 docs, cheap 1s, expensive 11s, budget 200s:
+  // alpha = (200 - 100) / (100 * 10) = 0.1.
+  EXPECT_NEAR(alpha_for_budget(200.0, 100, 1.0, 11.0), 0.1, 1e-12);
+  // Budget below all-cheap cost -> 0.
+  EXPECT_EQ(alpha_for_budget(50.0, 100, 1.0, 11.0), 0.0);
+  // Huge budget -> clamped to 1.
+  EXPECT_EQ(alpha_for_budget(1e9, 100, 1.0, 11.0), 1.0);
+  // Degenerate cost ordering -> 0.
+  EXPECT_EQ(alpha_for_budget(100.0, 100, 2.0, 2.0), 0.0);
+}
+
+// ------------------------------------------------ predictor + training ----
+
+class TrainedFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    train_docs_ = new std::vector<doc::Document>(
+        doc::CorpusGenerator(doc::benchmark_config(260, 101)).generate());
+    test_docs_ = new std::vector<doc::Document>(
+        doc::CorpusGenerator(doc::benchmark_config(120, 202)).generate());
+    TrainAdaParseOptions options;
+    options.engine.threads = 4;
+    options.regression.epochs = 10;
+    options.apply_dpo = false;
+    bundle_ = new TrainedAdaParse(
+        train_adaparse(*train_docs_, nullptr, nullptr, options));
+    test_data_ = new TrainingData(build_training_data(*test_docs_, 0.03, 4));
+  }
+  static void TearDownTestSuite() {
+    delete train_docs_;
+    delete test_docs_;
+    delete bundle_;
+    delete test_data_;
+    train_docs_ = test_docs_ = nullptr;
+    bundle_ = nullptr;
+    test_data_ = nullptr;
+  }
+  static std::vector<doc::Document>* train_docs_;
+  static std::vector<doc::Document>* test_docs_;
+  static TrainedAdaParse* bundle_;
+  static TrainingData* test_data_;
+};
+
+std::vector<doc::Document>* TrainedFixture::train_docs_ = nullptr;
+std::vector<doc::Document>* TrainedFixture::test_docs_ = nullptr;
+TrainedAdaParse* TrainedFixture::bundle_ = nullptr;
+TrainingData* TrainedFixture::test_data_ = nullptr;
+
+TEST_F(TrainedFixture, TrainingDataShape) {
+  const auto data = build_training_data(
+      std::vector<doc::Document>(train_docs_->begin(), train_docs_->begin() + 10),
+      0.03, 4);
+  ASSERT_EQ(data.examples.size(), 10U);
+  for (const auto& example : data.examples) {
+    EXPECT_EQ(example.bleu.size(), parsers::kNumParsers);
+    for (double b : example.bleu) {
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0);
+    }
+  }
+}
+
+TEST_F(TrainedFixture, PredictorBeatsMeanBaseline) {
+  // Paper reports R^2 ~ 40-47% for PyMuPDF/Nougat BLEU prediction.
+  const auto r2 = bundle_->predictor->r_squared(test_data_->examples);
+  const auto mupdf = static_cast<std::size_t>(parsers::ParserKind::kPyMuPdf);
+  const auto nougat = static_cast<std::size_t>(parsers::ParserKind::kNougat);
+  EXPECT_GT(r2[mupdf], 0.15);
+  EXPECT_GT(r2[nougat], 0.10);
+}
+
+TEST_F(TrainedFixture, PredictionsAreFiniteAndOrdered) {
+  for (const auto& example : test_data_->examples) {
+    const auto p = bundle_->predictor->predict(example);
+    ASSERT_EQ(p.size(), parsers::kNumParsers);
+    for (double v : p) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(TrainedFixture, EngineRespectsAlphaBudget) {
+  EngineConfig config;
+  config.alpha = 0.05;
+  config.batch_size = 64;
+  config.threads = 4;
+  const AdaParseEngine engine(config, bundle_->predictor, bundle_->improver);
+  const auto decisions = engine.route(*test_docs_);
+  std::size_t to_nougat = 0;
+  for (const auto& d : decisions) {
+    to_nougat += d.chosen == parsers::ParserKind::kNougat ? 1 : 0;
+  }
+  // ceil cap: floor(0.05*64)=3 per batch of 64.
+  const std::size_t batches = (test_docs_->size() + 63) / 64;
+  EXPECT_LE(to_nougat, batches * 3);
+}
+
+TEST_F(TrainedFixture, FtVariantRoutesToo) {
+  EngineConfig config;
+  config.variant = Variant::kFastText;
+  config.alpha = 0.10;
+  config.threads = 4;
+  const AdaParseEngine engine(config, nullptr, bundle_->improver);
+  const auto decisions = engine.route(*test_docs_);
+  EXPECT_EQ(decisions.size(), test_docs_->size());
+}
+
+TEST_F(TrainedFixture, RunProducesRecordForEveryDoc) {
+  EngineConfig config;
+  config.threads = 4;
+  config.batch_size = 64;
+  const AdaParseEngine engine(config, bundle_->predictor, bundle_->improver);
+  const auto output = engine.run(*test_docs_);
+  ASSERT_EQ(output.records.size(), test_docs_->size());
+  ASSERT_EQ(output.decisions.size(), test_docs_->size());
+  EXPECT_EQ(output.stats.total_docs, test_docs_->size());
+  EXPECT_EQ(output.stats.accepted_extraction + output.stats.routed_to_nougat +
+                output.stats.failed_docs,
+            test_docs_->size());
+  for (std::size_t i = 0; i < output.records.size(); ++i) {
+    EXPECT_EQ(output.records[i].document_id, (*test_docs_)[i].id);
+    EXPECT_FALSE(output.records[i].route.empty());
+  }
+}
+
+TEST_F(TrainedFixture, PlanTasksMirrorsDecisions) {
+  EngineConfig config;
+  config.threads = 4;
+  const AdaParseEngine engine(config, bundle_->predictor, bundle_->improver);
+  const auto decisions = engine.route(*test_docs_);
+  const auto tasks = engine.plan_tasks(*test_docs_, decisions);
+  ASSERT_EQ(tasks.size(), test_docs_->size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const bool routed =
+        decisions[i].chosen == parsers::ParserKind::kNougat;
+    EXPECT_EQ(tasks[i].gpu_seconds > 0.0, routed);
+    EXPECT_EQ(tasks[i].needs_gpu_model, routed);
+    EXPECT_GT(tasks[i].cpu_seconds, 0.0);
+  }
+}
+
+TEST_F(TrainedFixture, CorruptedDocumentsSurfaceAsFailures) {
+  auto docs = *test_docs_;
+  docs[0].corrupted = true;
+  docs[5].corrupted = true;
+  EngineConfig config;
+  config.threads = 4;
+  const AdaParseEngine engine(config, bundle_->predictor, bundle_->improver);
+  const auto output = engine.run(docs);
+  EXPECT_EQ(output.stats.failed_docs, 2U);
+  EXPECT_EQ(output.records[0].parser, "none");
+}
+
+TEST_F(TrainedFixture, DpoChangesSelections) {
+  // Build a tiny synthetic preference set that always prefers Nougat, and
+  // check that DPO shifts the predictor's Nougat scores upward.
+  std::vector<AccuracyPredictor::Preference> preferences;
+  for (const auto& example :
+       std::vector<RegressionExample>(test_data_->examples.begin(),
+                                      test_data_->examples.begin() + 40)) {
+    AccuracyPredictor::Preference p;
+    p.text = example.text;
+    p.title = example.title;
+    p.metadata = example.metadata;
+    p.winner = parsers::ParserKind::kNougat;
+    p.loser = parsers::ParserKind::kPyMuPdf;
+    preferences.push_back(std::move(p));
+  }
+  AccuracyPredictor tuned(ml::make_encoder(ml::EncoderArch::kSciBert));
+  ml::TrainOptions fit_options;
+  fit_options.epochs = 6;
+  tuned.fit(test_data_->examples, fit_options);
+  const auto idx_n = static_cast<std::size_t>(parsers::ParserKind::kNougat);
+  const auto idx_m = static_cast<std::size_t>(parsers::ParserKind::kPyMuPdf);
+  double before_gap = 0.0;
+  for (const auto& example : test_data_->examples) {
+    const auto p = tuned.predict(example);
+    before_gap += p[idx_n] - p[idx_m];
+  }
+  tuned.apply_dpo(preferences);
+  EXPECT_TRUE(tuned.has_dpo());
+  double after_gap = 0.0;
+  for (const auto& example : test_data_->examples) {
+    const auto p = tuned.predict(example);
+    after_gap += p[idx_n] - p[idx_m];
+  }
+  EXPECT_GT(after_gap, before_gap);
+}
+
+TEST(Engine, LlmVariantRequiresPredictor) {
+  EngineConfig config;
+  EXPECT_THROW(AdaParseEngine(config, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Engine, FtVariantRequiresImprover) {
+  EngineConfig config;
+  config.variant = Variant::kFastText;
+  EXPECT_THROW(AdaParseEngine(config, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Engine, VariantNames) {
+  EXPECT_STREQ(variant_name(Variant::kFastText), "AdaParse (FT)");
+  EXPECT_STREQ(variant_name(Variant::kLlm), "AdaParse (LLM)");
+}
+
+}  // namespace
+}  // namespace adaparse::core

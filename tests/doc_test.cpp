@@ -1,0 +1,292 @@
+// Tests for the document model, vocabulary, corpus generator, and
+// evaluation-time augmentations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "doc/augment.hpp"
+#include "doc/document.hpp"
+#include "doc/generator.hpp"
+#include "doc/vocab.hpp"
+#include "text/detect.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::doc {
+namespace {
+
+// ----------------------------------------------------------- document ----
+
+TEST(Document, EnumNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::size_t d = 0; d < kNumDomains; ++d) {
+    names.insert(domain_name(static_cast<Domain>(d)));
+  }
+  EXPECT_EQ(names.size(), kNumDomains);
+  names.clear();
+  for (std::size_t p = 0; p < kNumPublishers; ++p) {
+    names.insert(publisher_name(static_cast<Publisher>(p)));
+  }
+  EXPECT_EQ(names.size(), kNumPublishers);
+}
+
+TEST(Document, ImageQualityPerfectWhenPristine) {
+  ImageLayer img;
+  EXPECT_EQ(img.quality(), 1.0);
+}
+
+TEST(Document, ImageQualityDegradesMonotonically) {
+  ImageLayer img;
+  img.born_digital = false;
+  const double base = img.quality();
+  img.blur_sigma = 1.0;
+  const double blurred = img.quality();
+  img.rotation_deg = 4.0;
+  const double rotated = img.quality();
+  EXPECT_LT(base, 1.0);
+  EXPECT_LT(blurred, base);
+  EXPECT_LT(rotated, blurred);
+  EXPECT_GE(rotated, 0.0);
+}
+
+TEST(Document, FullTextJoinsPages) {
+  Document d;
+  d.groundtruth_pages = {"one", "two"};
+  EXPECT_EQ(d.full_groundtruth(), "one\ntwo");
+  d.text_layer.pages = {"a", "b", "c"};
+  EXPECT_EQ(d.full_text_layer(), "a\nb\nc");
+}
+
+// -------------------------------------------------------------- vocab ----
+
+TEST(VocabTest, SentencesLookLikeProse) {
+  Vocabulary vocab(Domain::kPhysics);
+  util::Rng rng(1);
+  const auto s = vocab.sentence(rng);
+  EXPECT_GE(s.size(), 20U);
+  EXPECT_EQ(s.back(), '.');
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(s.front())));
+}
+
+TEST(VocabTest, LatexSnippetsContainMath) {
+  Vocabulary vocab(Domain::kMathematics);
+  util::Rng rng(2);
+  const auto snippet = vocab.latex_snippet(rng);
+  EXPECT_EQ(snippet.front(), '$');
+  EXPECT_EQ(snippet.back(), '$');
+  EXPECT_NE(snippet.find('\\'), std::string::npos);
+}
+
+TEST(VocabTest, EquationHasEnvironment) {
+  Vocabulary vocab(Domain::kPhysics);
+  util::Rng rng(3);
+  const auto eq = vocab.latex_equation(rng);
+  EXPECT_NE(eq.find("\\begin{equation}"), std::string::npos);
+  EXPECT_NE(eq.find("\\end{equation}"), std::string::npos);
+}
+
+TEST(VocabTest, SmilesDetectable) {
+  Vocabulary vocab(Domain::kChemistry);
+  util::Rng rng(4);
+  const auto s = vocab.smiles(rng);
+  EXPECT_GE(text::smiles_like_count(s), 0U);  // may fall below len cutoff
+  EXPECT_GE(s.size(), 6U);
+}
+
+TEST(VocabTest, DomainTermsDiffer) {
+  util::Rng rng_a(5), rng_b(5);
+  Vocabulary math(Domain::kMathematics);
+  Vocabulary bio(Domain::kBiology);
+  // Same RNG stream, different domains: term pools differ so long samples
+  // should diverge.
+  std::string a, b;
+  for (int i = 0; i < 50; ++i) {
+    a += math.word(rng_a) + " ";
+    b += bio.word(rng_b) + " ";
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(VocabTest, ReferenceFormat) {
+  Vocabulary vocab(Domain::kEconomics);
+  util::Rng rng(6);
+  const auto ref = vocab.reference(rng, 12);
+  EXPECT_EQ(ref.find("[12]"), 0U);
+  EXPECT_NE(ref.find('('), std::string::npos);
+}
+
+// ----------------------------------------------------------- generator ----
+
+TEST(Generator, DeterministicAcrossCalls) {
+  const CorpusGenerator gen(born_digital_config(5, 77));
+  const auto a = gen.generate();
+  const auto b = gen.generate();
+  ASSERT_EQ(a.size(), 5U);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].full_groundtruth(), b[i].full_groundtruth());
+    EXPECT_EQ(a[i].full_text_layer(), b[i].full_text_layer());
+  }
+}
+
+TEST(Generator, GenerateOneMatchesBatch) {
+  const CorpusGenerator gen(born_digital_config(4, 123));
+  const auto batch = gen.generate();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto one = gen.generate_one(i);
+    EXPECT_EQ(one.id, batch[i].id);
+    EXPECT_EQ(one.full_groundtruth(), batch[i].full_groundtruth());
+  }
+}
+
+TEST(Generator, SeedChangesCorpus) {
+  const auto a = CorpusGenerator(born_digital_config(3, 1)).generate();
+  const auto b = CorpusGenerator(born_digital_config(3, 2)).generate();
+  EXPECT_NE(a[0].full_groundtruth(), b[0].full_groundtruth());
+}
+
+TEST(Generator, RespectsPageBounds) {
+  GeneratorConfig config = born_digital_config(50, 9);
+  config.min_pages = 3;
+  config.max_pages = 7;
+  for (const auto& d : CorpusGenerator(config).generate()) {
+    EXPECT_GE(d.num_pages(), 3U);
+    EXPECT_LE(d.num_pages(), 7U);
+    EXPECT_EQ(d.meta.num_pages, static_cast<int>(d.num_pages()));
+  }
+}
+
+TEST(Generator, BornDigitalConfigHasNoScans) {
+  const auto docs = CorpusGenerator(born_digital_config(100, 21)).generate();
+  for (const auto& d : docs) {
+    EXPECT_TRUE(d.image_layer.born_digital);
+    EXPECT_TRUE(d.text_layer.present);
+    EXPECT_FALSE(d.corrupted);
+  }
+}
+
+TEST(Generator, MixedCorpusContainsScans) {
+  GeneratorConfig config = benchmark_config(300, 33);
+  const auto docs = CorpusGenerator(config).generate();
+  std::size_t scans = 0, no_layer = 0;
+  for (const auto& d : docs) {
+    if (!d.image_layer.born_digital) ++scans;
+    if (!d.text_layer.present) ++no_layer;
+  }
+  EXPECT_GT(scans, 20U);   // ~18% of 300
+  EXPECT_GT(no_layer, 0U); // some scans lack a text layer
+  EXPECT_LT(no_layer, scans + 1);
+}
+
+TEST(Generator, CorruptedFractionHonored) {
+  GeneratorConfig config = born_digital_config(400, 5);
+  config.corrupted_fraction = 0.25;
+  const auto docs = CorpusGenerator(config).generate();
+  std::size_t corrupted = 0;
+  for (const auto& d : docs) corrupted += d.corrupted ? 1 : 0;
+  EXPECT_GT(corrupted, 60U);
+  EXPECT_LT(corrupted, 140U);
+}
+
+TEST(Generator, TextLayerIsDegradedCopyOfGroundtruth) {
+  const auto docs = CorpusGenerator(born_digital_config(20, 8)).generate();
+  for (const auto& d : docs) {
+    ASSERT_EQ(d.text_layer.pages.size(), d.groundtruth_pages.size());
+    EXPECT_GT(d.text_layer.fidelity, 0.0);
+    EXPECT_LE(d.text_layer.fidelity, 1.0);
+    // The layer preserves the bulk of the content.
+    EXPECT_GT(d.full_text_layer().size(),
+              d.full_groundtruth().size() / 2);
+  }
+}
+
+TEST(Generator, MathDomainsHaveMathDensity) {
+  GeneratorConfig config = born_digital_config(200, 13);
+  const auto docs = CorpusGenerator(config).generate();
+  double math_sum = 0.0, med_sum = 0.0;
+  std::size_t math_n = 0, med_n = 0;
+  for (const auto& d : docs) {
+    if (d.meta.domain == Domain::kMathematics) {
+      math_sum += d.math_density;
+      ++math_n;
+    }
+    if (d.meta.domain == Domain::kMedicine) {
+      med_sum += d.math_density;
+      ++med_n;
+    }
+  }
+  if (math_n > 0 && med_n > 0) {
+    EXPECT_GT(math_sum / static_cast<double>(math_n),
+              med_sum / static_cast<double>(med_n));
+  }
+}
+
+TEST(Generator, SubcategoriesSpanPaperRange) {
+  const auto docs = CorpusGenerator(benchmark_config(800, 3)).generate();
+  std::set<int> subcats;
+  for (const auto& d : docs) {
+    EXPECT_GE(d.meta.subcategory, 0);
+    EXPECT_LT(d.meta.subcategory, 72);
+    subcats.insert(d.meta.subcategory);
+  }
+  EXPECT_GT(subcats.size(), 40U);  // wide coverage of the ~67 subcategories
+}
+
+TEST(Generator, LastPageCarriesReferences) {
+  const auto doc = CorpusGenerator(born_digital_config(1, 55)).generate_one(0);
+  const auto& last = doc.groundtruth_pages.back();
+  EXPECT_NE(last.find("[1]"), std::string::npos);
+}
+
+// ------------------------------------------------------------ augment ----
+
+TEST(Augment, ImageAugmentationTouchesRequestedFraction) {
+  auto docs = CorpusGenerator(born_digital_config(500, 17)).generate();
+  util::Rng rng(2);
+  ImageAugmentOptions options;
+  options.fraction = 0.15;
+  const std::size_t modified = augment_image_layer(docs, options, rng);
+  EXPECT_GT(modified, 40U);
+  EXPECT_LT(modified, 120U);
+  std::size_t degraded = 0;
+  for (const auto& d : docs) degraded += d.image_layer.born_digital ? 0 : 1;
+  EXPECT_EQ(degraded, modified);
+}
+
+TEST(Augment, ImageAugmentationLowersQuality) {
+  auto docs = CorpusGenerator(born_digital_config(100, 19)).generate();
+  util::Rng rng(3);
+  ImageAugmentOptions options;
+  options.fraction = 1.0;
+  augment_image_layer(docs, options, rng);
+  for (const auto& d : docs) {
+    EXPECT_LT(d.image_layer.quality(), 1.0);
+  }
+}
+
+TEST(Augment, TextAugmentationReplacesLayer) {
+  auto docs = CorpusGenerator(born_digital_config(60, 23)).generate();
+  const auto original = docs[0].full_text_layer();
+  util::Rng rng(4);
+  TextAugmentOptions options;
+  options.fraction = 1.0;
+  const std::size_t modified = augment_text_layer(docs, options, rng);
+  EXPECT_EQ(modified, docs.size());
+  for (const auto& d : docs) {
+    EXPECT_TRUE(d.text_layer.present);
+    EXPECT_EQ(d.text_layer.pages.size(), d.groundtruth_pages.size());
+    EXPECT_LT(d.text_layer.fidelity, 0.9);
+  }
+  EXPECT_NE(docs[0].full_text_layer(), original);
+}
+
+TEST(Augment, ZeroFractionIsNoOp) {
+  auto docs = CorpusGenerator(born_digital_config(30, 29)).generate();
+  const auto before = docs[5].full_text_layer();
+  util::Rng rng(5);
+  EXPECT_EQ(augment_image_layer(docs, {.fraction = 0.0}, rng), 0U);
+  EXPECT_EQ(augment_text_layer(docs, {.fraction = 0.0}, rng), 0U);
+  EXPECT_EQ(docs[5].full_text_layer(), before);
+}
+
+}  // namespace
+}  // namespace adaparse::doc

@@ -1,0 +1,155 @@
+// Tests for the io module: JSONL records and shard archives.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/jsonl.hpp"
+#include "io/shard.hpp"
+
+namespace adaparse::io {
+namespace {
+
+ParseRecord sample_record() {
+  ParseRecord r;
+  r.document_id = "doc-42";
+  r.parser = "PyMuPDF";
+  r.text = "line one\nline \"two\" with quotes";
+  r.predicted_accuracy = 0.52;
+  r.route = "cls1:valid|accept";
+  r.pages = 12;
+  r.pages_retrieved = 11;
+  return r;
+}
+
+TEST(Jsonl, RecordRoundTrip) {
+  const auto r = sample_record();
+  const auto back = ParseRecord::from_json(util::Json::parse(r.to_json().dump()));
+  EXPECT_EQ(back.document_id, r.document_id);
+  EXPECT_EQ(back.parser, r.parser);
+  EXPECT_EQ(back.text, r.text);
+  EXPECT_NEAR(back.predicted_accuracy, r.predicted_accuracy, 1e-12);
+  EXPECT_EQ(back.route, r.route);
+  EXPECT_EQ(back.pages, r.pages);
+  EXPECT_EQ(back.pages_retrieved, r.pages_retrieved);
+}
+
+TEST(Jsonl, WriterProducesOneLinePerRecord) {
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  writer.write(sample_record());
+  writer.write(sample_record());
+  EXPECT_EQ(writer.count(), 2U);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Jsonl, ReadSkipsBlankLines) {
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  writer.write(sample_record());
+  std::istringstream is(os.str() + "\n\n");
+  const auto records = read_jsonl(is);
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].document_id, "doc-42");
+}
+
+TEST(Jsonl, NewlinesInTextSurviveRoundTrip) {
+  ParseRecord r = sample_record();
+  r.text = "a\nb\nc";
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  writer.write(r);
+  std::istringstream is(os.str());
+  const auto records = read_jsonl(is);
+  ASSERT_EQ(records.size(), 1U);  // newline stayed escaped inside one line
+  EXPECT_EQ(records[0].text, "a\nb\nc");
+}
+
+// --------------------------------------------------------------- shard ----
+
+TEST(Rle, RoundTrip) {
+  const std::string payloads[] = {"", "a", "aaabbbccc", "no runs here!",
+                                  std::string(1000, 'x')};
+  for (const auto& p : payloads) {
+    EXPECT_EQ(rle_decode(rle_encode(p)), p);
+  }
+}
+
+TEST(Rle, CompressesRuns) {
+  const std::string runs(500, ' ');
+  EXPECT_LT(rle_encode(runs).size(), runs.size() / 10);
+}
+
+TEST(Rle, RejectsMalformed) {
+  EXPECT_THROW(rle_decode("abc"), std::runtime_error);  // odd length
+  std::string zero_run;
+  zero_run += '\0';
+  zero_run += 'a';
+  EXPECT_THROW(rle_decode(zero_run), std::runtime_error);
+}
+
+TEST(Shard, WriteReadRoundTrip) {
+  ShardWriter writer;
+  writer.add("doc-0.txt", "first document body");
+  writer.add("doc-1.txt", "second   body   with   runs");
+  EXPECT_EQ(writer.count(), 2U);
+  EXPECT_GT(writer.payload_bytes(), 0U);
+
+  ShardReader reader(writer.finish());
+  ASSERT_EQ(reader.count(), 2U);
+  EXPECT_EQ(reader.entries()[0].name, "doc-0.txt");
+  EXPECT_EQ(reader.entries()[0].payload, "first document body");
+  const auto found = reader.find("doc-1.txt");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, "second   body   with   runs");
+  EXPECT_FALSE(reader.find("missing").has_value());
+}
+
+TEST(Shard, EmptyShard) {
+  ShardWriter writer;
+  ShardReader reader(writer.finish());
+  EXPECT_EQ(reader.count(), 0U);
+}
+
+TEST(Shard, RejectsCorruptedBlobs) {
+  ShardWriter writer;
+  writer.add("a", "payload");
+  std::string blob = writer.finish();
+  // Bad magic.
+  std::string bad = blob;
+  bad[0] = static_cast<char>(~bad[0]);
+  EXPECT_THROW(ShardReader{bad}, std::runtime_error);
+  // Truncation.
+  EXPECT_THROW(ShardReader{blob.substr(0, blob.size() - 3)},
+               std::runtime_error);
+  // Trailing garbage.
+  EXPECT_THROW(ShardReader{blob + "x"}, std::runtime_error);
+}
+
+TEST(Shard, PlanShardsRespectsByteBudget) {
+  const std::vector<std::size_t> sizes = {100, 200, 300, 400, 500};
+  const auto shards = plan_shards(sizes, 600);
+  // Greedy packing: {100,200,300}, {400}, {500}... 100+200+300=600 fits.
+  ASSERT_GE(shards.size(), 2U);
+  std::size_t covered = 0;
+  for (const auto& [begin, end] : shards) {
+    std::size_t total = 0;
+    for (std::size_t i = begin; i < end; ++i) total += sizes[i];
+    EXPECT_TRUE(total <= 600 || end - begin == 1);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, sizes.size());
+}
+
+TEST(Shard, PlanShardsSingleOversizedEntry) {
+  const auto shards = plan_shards({10'000}, 100);
+  ASSERT_EQ(shards.size(), 1U);
+  EXPECT_EQ(shards[0], std::make_pair(std::size_t{0}, std::size_t{1}));
+}
+
+TEST(Shard, PlanShardsEmpty) {
+  EXPECT_TRUE(plan_shards({}, 100).empty());
+}
+
+}  // namespace
+}  // namespace adaparse::io

@@ -1,0 +1,314 @@
+// Unit and property tests for the metrics module: BLEU, ROUGE, edit
+// distance / CAR, and corpus aggregation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/bleu.hpp"
+#include "metrics/edit_distance.hpp"
+#include "metrics/rouge.hpp"
+#include "metrics/scores.hpp"
+#include "text/corrupt.hpp"
+#include "text/tokenize.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::metrics {
+namespace {
+
+const char* kReference =
+    "The gravitational force between two masses is directly proportional "
+    "to the product of their masses and inversely proportional to the "
+    "square of the distance between them.";
+
+// --------------------------------------------------------------- BLEU ----
+
+TEST(Bleu, IdentityScoresOne) {
+  EXPECT_NEAR(bleu(kReference, kReference), 1.0, 1e-9);
+}
+
+TEST(Bleu, EmptyCandidateScoresZero) {
+  EXPECT_EQ(bleu("", kReference), 0.0);
+  EXPECT_EQ(bleu(kReference, ""), 0.0);
+  EXPECT_EQ(bleu("", ""), 0.0);
+}
+
+TEST(Bleu, DisjointTextNearZero) {
+  EXPECT_LT(bleu("completely unrelated words appear here", kReference), 0.05);
+}
+
+TEST(Bleu, ScoreWithinUnitInterval) {
+  util::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto candidate =
+        text::scramble_words(kReference, 0.05 * i, rng);
+    const double score = bleu(candidate, kReference);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(Bleu, PaperExampleScrambledSentenceScoresLow) {
+  // Paper §2.2: the scrambled gravitational-force sentence gets BLEU ~0.32.
+  const char* scrambled =
+      "The gravitational force inversely masses the proportional distance "
+      "between two products and is directly proportional to the square of "
+      "objects.";
+  const double score = bleu(scrambled, kReference);
+  EXPECT_GT(score, 0.1);
+  EXPECT_LT(score, 0.55);
+}
+
+TEST(Bleu, BrevityPenaltyAppliesToShortCandidates) {
+  const auto ref_tokens = text::tokenize(kReference);
+  const std::vector<std::string> half(ref_tokens.begin(),
+                                      ref_tokens.begin() + ref_tokens.size() / 2);
+  const auto result = bleu_tokens(half, ref_tokens);
+  EXPECT_LT(result.brevity_penalty, 1.0);
+  // Precisions are perfect (it is a prefix), so the gap is the penalty.
+  EXPECT_NEAR(result.precisions[0], 1.0, 1e-9);
+}
+
+TEST(Bleu, NoSmoothingZeroesOnMissingOrder) {
+  BleuOptions options;
+  options.smoothing_k = 0.0;
+  // Candidate shares unigrams but no 4-grams.
+  EXPECT_EQ(bleu("masses distance force the", kReference, options), 0.0);
+}
+
+TEST(Bleu, MonotoneUnderIncreasingCharNoise) {
+  util::Rng rng(42);
+  double prev = 1.1;
+  for (double rate : {0.0, 0.05, 0.15, 0.35}) {
+    util::Rng local(7);  // same noise stream per rate level
+    const auto candidate = text::substitute_chars(kReference, rate, local);
+    const double score = bleu(candidate, kReference);
+    EXPECT_LE(score, prev + 0.05);  // allow small non-monotonic wiggle
+    prev = score;
+  }
+}
+
+// -------------------------------------------------------------- ROUGE ----
+
+TEST(Rouge, IdentityScoresOne) {
+  const auto s = rouge_l(kReference, kReference);
+  EXPECT_NEAR(s.f1, 1.0, 1e-9);
+  EXPECT_NEAR(s.precision, 1.0, 1e-9);
+  EXPECT_NEAR(s.recall, 1.0, 1e-9);
+}
+
+TEST(Rouge, EmptyCases) {
+  EXPECT_EQ(rouge_l("", kReference).f1, 0.0);
+  EXPECT_EQ(rouge_l(kReference, "").f1, 0.0);
+}
+
+TEST(Rouge, RougeNIdentity) {
+  for (std::size_t n : {1U, 2U, 3U}) {
+    EXPECT_NEAR(rouge_n(kReference, kReference, n).f1, 1.0, 1e-9);
+  }
+}
+
+TEST(Rouge, PaperExampleScrambledScoresHigh) {
+  // Paper §2.2: ROUGE ~0.82 for the incoherent permutation — the metric's
+  // known blindness to word order at the unigram level.
+  const char* scrambled =
+      "The gravitational force inversely masses the proportional distance "
+      "between two products and is directly proportional to the square of "
+      "objects.";
+  EXPECT_GT(rouge_n(scrambled, kReference, 1).f1, 0.75);
+}
+
+TEST(Rouge, LcsRespectsOrder) {
+  // Same bag of words, reversed order: ROUGE-1 high, ROUGE-L lower.
+  const std::string ref = "alpha beta gamma delta epsilon zeta";
+  const std::string rev = "zeta epsilon delta gamma beta alpha";
+  EXPECT_NEAR(rouge_n(rev, ref, 1).f1, 1.0, 1e-9);
+  EXPECT_LT(rouge_l(rev, ref).f1, 0.5);
+}
+
+TEST(Rouge, SubsamplingKeepsIdentityPerfect) {
+  // Long identical texts must still score 1.0 after block sampling.
+  std::string longtext;
+  for (int i = 0; i < 3000; ++i) {
+    longtext += "token" + std::to_string(i % 97) + " ";
+  }
+  EXPECT_NEAR(rouge_l(longtext, longtext, 1000).f1, 1.0, 1e-9);
+}
+
+TEST(Rouge, PrecisionRecallAsymmetry) {
+  const std::string ref = "a b c d e f g h";
+  const std::string partial = "a b c d";
+  const auto s = rouge_l(partial, ref);
+  EXPECT_NEAR(s.precision, 1.0, 1e-9);
+  EXPECT_NEAR(s.recall, 0.5, 1e-9);
+}
+
+// ------------------------------------------------------ edit distance ----
+
+TEST(Levenshtein, KnownDistances) {
+  EXPECT_EQ(levenshtein("kitten", "sitting"), 3U);
+  EXPECT_EQ(levenshtein("", "abc"), 3U);
+  EXPECT_EQ(levenshtein("abc", ""), 3U);
+  EXPECT_EQ(levenshtein("abc", "abc"), 0U);
+}
+
+TEST(Levenshtein, PaperExampleHyperHypo) {
+  // Paper §2.2: edit distance between the thyroid terms is 2.
+  EXPECT_EQ(levenshtein("hyperthyroidism", "hypothyroidism"), 2U);
+}
+
+TEST(Levenshtein, Symmetric) {
+  EXPECT_EQ(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+}
+
+TEST(LevenshteinBanded, MatchesExactWithinBand) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a, b;
+    const auto len = 5 + rng.below(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      a += static_cast<char>('a' + rng.below(4));
+      b += static_cast<char>('a' + rng.below(4));
+    }
+    const std::size_t exact = levenshtein(a, b);
+    const std::size_t banded = levenshtein_banded(a, b, a.size() + b.size());
+    EXPECT_EQ(banded, exact) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(LevenshteinBanded, CutsOffBeyondBand) {
+  const std::string a(100, 'a');
+  const std::string b(100, 'b');
+  EXPECT_EQ(levenshtein_banded(a, b, 10), 11U);
+}
+
+TEST(LevenshteinBanded, LengthGapShortCircuits) {
+  const std::string a(1000, 'a');
+  EXPECT_EQ(levenshtein_banded(a, "a", 5), 6U);
+}
+
+TEST(Car, IdentityIsOne) {
+  EXPECT_EQ(character_accuracy(kReference, kReference), 1.0);
+}
+
+TEST(Car, EmptyCandidateIsZero) {
+  EXPECT_EQ(character_accuracy("", kReference), 0.0);
+}
+
+TEST(Car, EmptyReferenceEdge) {
+  EXPECT_EQ(character_accuracy("", ""), 1.0);
+  EXPECT_EQ(character_accuracy("x", ""), 0.0);
+}
+
+TEST(Car, DegradesWithNoise) {
+  util::Rng rng(9);
+  const auto light = text::substitute_chars(kReference, 0.02, rng);
+  const auto heavy = text::substitute_chars(kReference, 0.30, rng);
+  EXPECT_GT(character_accuracy(light, kReference),
+            character_accuracy(heavy, kReference));
+}
+
+TEST(Car, NeverNegative) {
+  EXPECT_GE(character_accuracy("zzzzzz", kReference), 0.0);
+}
+
+// ------------------------------------------------------------- scores ----
+
+TEST(Scores, PerfectParseScoresPerfect) {
+  const std::vector<std::string> pages = {"page one text here",
+                                          "page two text here"};
+  const auto s = score_document(pages, pages);
+  EXPECT_EQ(s.coverage, 1.0);
+  EXPECT_NEAR(s.bleu, 1.0, 1e-9);
+  EXPECT_NEAR(s.car, 1.0, 1e-9);
+  EXPECT_GT(s.tokens, 0U);
+}
+
+TEST(Scores, DroppedPageReducesCoverage) {
+  const std::vector<std::string> ref = {"page one content words",
+                                        "page two content words"};
+  const std::vector<std::string> cand = {"page one content words", ""};
+  const auto s = score_document(cand, ref);
+  EXPECT_NEAR(s.coverage, 0.5, 1e-12);
+  EXPECT_LT(s.bleu, 1.0);
+}
+
+TEST(Scores, ShortCandidateVectorCountsAsDrops) {
+  const std::vector<std::string> ref = {"a b c", "d e f", "g h i"};
+  const std::vector<std::string> cand = {"a b c"};
+  EXPECT_NEAR(score_document(cand, ref).coverage, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Scores, EmptyReferenceEdge) {
+  const std::vector<std::string> none;
+  EXPECT_EQ(score_document(none, none).coverage, 1.0);
+}
+
+TEST(CorpusScoresTest, AggregatesMeans) {
+  CorpusScores corpus(0.4);
+  corpus.add({1.0, 0.6, 0.7, 0.8, 100});
+  corpus.add({0.5, 0.2, 0.3, 0.4, 50});
+  EXPECT_EQ(corpus.count(), 2U);
+  EXPECT_NEAR(corpus.coverage(), 0.75, 1e-12);
+  EXPECT_NEAR(corpus.bleu(), 0.4, 1e-12);
+  // Only the first document exceeds the 0.4 BLEU acceptance threshold.
+  EXPECT_NEAR(corpus.accepted_tokens(), 100.0 / 150.0, 1e-12);
+}
+
+TEST(CorpusScoresTest, EmptyCorpus) {
+  CorpusScores corpus;
+  EXPECT_EQ(corpus.count(), 0U);
+  EXPECT_EQ(corpus.accepted_tokens(), 0.0);
+}
+
+// -------------------------------------------- property sweeps (TEST_P) ----
+
+/// BLEU/ROUGE/CAR must all degrade (weakly) as word-drop severity rises.
+class MetricMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(DropRates, MetricMonotonicityTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.6));
+
+TEST_P(MetricMonotonicityTest, DamagedTextScoresBelowIdentity) {
+  util::Rng rng(31);
+  // Long enough that even a 5% drop rate removes some words almost surely.
+  std::string reference;
+  for (int i = 0; i < 8; ++i) {
+    reference += kReference;
+    reference += ' ';
+  }
+  const std::string_view kReference = reference;
+  const auto damaged = text::drop_words(kReference, GetParam(), rng);
+  EXPECT_LT(bleu(damaged, kReference), 1.0);
+  EXPECT_LT(rouge_l(damaged, kReference).f1, 1.0 + 1e-12);
+  EXPECT_LE(character_accuracy(damaged, kReference), 1.0);
+  EXPECT_GE(bleu(damaged, kReference), 0.0);
+}
+
+/// All metrics stay in [0,1] for arbitrary corruption cocktails.
+class MetricRangeTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cocktails, MetricRangeTest,
+    ::testing::Values(std::make_tuple(0.0, 0.0, 0.0),
+                      std::make_tuple(0.2, 0.0, 0.1),
+                      std::make_tuple(0.0, 0.5, 0.0),
+                      std::make_tuple(0.3, 0.3, 0.3),
+                      std::make_tuple(0.8, 0.8, 0.8)));
+
+TEST_P(MetricRangeTest, ScoresBounded) {
+  const auto [sub, scramble, drop] = GetParam();
+  util::Rng rng(17);
+  auto candidate = text::substitute_chars(kReference, sub, rng);
+  candidate = text::scramble_words(candidate, scramble, rng);
+  candidate = text::drop_words(candidate, drop, rng);
+  const double b = bleu(candidate, kReference);
+  const auto r = rouge_l(candidate, kReference);
+  const double c = character_accuracy(candidate, kReference);
+  EXPECT_GE(b, 0.0); EXPECT_LE(b, 1.0);
+  EXPECT_GE(r.f1, 0.0); EXPECT_LE(r.f1, 1.0);
+  EXPECT_GE(c, 0.0); EXPECT_LE(c, 1.0);
+}
+
+}  // namespace
+}  // namespace adaparse::metrics

@@ -1,0 +1,332 @@
+// Tests for the simulated parser cohort: determinism, error-profile shape,
+// cost-model ordering, and failure handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doc/generator.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/scores.hpp"
+#include "parsers/registry.hpp"
+#include "util/stats.hpp"
+
+namespace adaparse::parsers {
+namespace {
+
+std::vector<doc::Document> small_corpus(std::size_t n, std::uint64_t seed,
+                                        bool born_digital = true) {
+  const auto config = born_digital
+                          ? doc::born_digital_config(n, seed)
+                          : doc::benchmark_config(n, seed);
+  return doc::CorpusGenerator(config).generate();
+}
+
+double corpus_bleu(const Parser& parser,
+                   const std::vector<doc::Document>& docs) {
+  util::RunningStats stats;
+  for (const auto& d : docs) {
+    const auto parse = parser.parse(d);
+    if (!parse.ok) continue;
+    stats.add(metrics::bleu(parse.full_text(), d.full_groundtruth()));
+  }
+  return stats.mean();
+}
+
+TEST(ParserRegistry, CreatesAllSixKinds) {
+  const auto cohort = all_parsers();
+  ASSERT_EQ(cohort.size(), kNumParsers);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(cohort[i]->kind()), i);
+  }
+}
+
+TEST(ParserRegistry, NamesMatchPaperCohort) {
+  EXPECT_STREQ(parser_name(ParserKind::kPyMuPdf), "PyMuPDF");
+  EXPECT_STREQ(parser_name(ParserKind::kPypdf), "pypdf");
+  EXPECT_STREQ(parser_name(ParserKind::kTesseract), "Tesseract");
+  EXPECT_STREQ(parser_name(ParserKind::kGrobid), "GROBID");
+  EXPECT_STREQ(parser_name(ParserKind::kMarker), "Marker");
+  EXPECT_STREQ(parser_name(ParserKind::kNougat), "Nougat");
+}
+
+TEST(ParserRegistry, ResourceClasses) {
+  // Paper §5.2: PyMuPDF runs exclusively on CPUs; ViTs need GPUs.
+  EXPECT_EQ(make_parser(ParserKind::kPyMuPdf)->resource(), Resource::kCpu);
+  EXPECT_EQ(make_parser(ParserKind::kPypdf)->resource(), Resource::kCpu);
+  EXPECT_EQ(make_parser(ParserKind::kTesseract)->resource(), Resource::kCpu);
+  EXPECT_EQ(make_parser(ParserKind::kNougat)->resource(), Resource::kGpu);
+  EXPECT_EQ(make_parser(ParserKind::kMarker)->resource(), Resource::kGpu);
+}
+
+TEST(Parsers, DeterministicPerDocument) {
+  const auto docs = small_corpus(5, 42);
+  for (const auto& parser : all_parsers()) {
+    for (const auto& d : docs) {
+      const auto a = parser->parse(d);
+      const auto b = parser->parse(d);
+      EXPECT_EQ(a.full_text(), b.full_text())
+          << parser->name() << " on " << d.id;
+    }
+  }
+}
+
+TEST(Parsers, PageCountMatchesDocument) {
+  const auto docs = small_corpus(5, 7);
+  for (const auto& parser : all_parsers()) {
+    for (const auto& d : docs) {
+      const auto parse = parser->parse(d);
+      ASSERT_TRUE(parse.ok);
+      EXPECT_EQ(parse.pages.size(), d.num_pages())
+          << parser->name() << " on " << d.id;
+    }
+  }
+}
+
+TEST(Parsers, CorruptedDocumentFailsGracefully) {
+  auto docs = small_corpus(1, 9);
+  docs[0].corrupted = true;
+  for (const auto& parser : all_parsers()) {
+    const auto parse = parser->parse(docs[0]);
+    EXPECT_FALSE(parse.ok);
+    EXPECT_FALSE(parse.error.empty());
+    EXPECT_TRUE(parse.pages.empty());
+  }
+}
+
+TEST(Parsers, ExtractionReturnsEmptyWithoutTextLayer) {
+  auto docs = small_corpus(1, 11);
+  docs[0].text_layer.present = false;
+  for (ParserKind kind : {ParserKind::kPyMuPdf, ParserKind::kPypdf}) {
+    const auto parse = make_parser(kind)->parse(docs[0]);
+    ASSERT_TRUE(parse.ok);
+    EXPECT_TRUE(parse.full_text().empty());
+  }
+  // OCR-class parsers read the image and are unaffected.
+  const auto ocr = make_parser(ParserKind::kTesseract)->parse(docs[0]);
+  EXPECT_FALSE(ocr.full_text().empty());
+}
+
+TEST(Parsers, CostModelOrdering) {
+  // Throughput ordering of the paper: PyMuPDF fastest; pypdf ~13x slower;
+  // GROBID/Tesseract mid; Nougat GPU-heavy; Marker the slowest.
+  const auto docs = small_corpus(10, 13);
+  auto total_cost = [&](ParserKind kind) {
+    const auto parser = make_parser(kind);
+    double cpu = 0.0, gpu = 0.0;
+    for (const auto& d : docs) {
+      const auto c = parser->estimate_cost(d);
+      cpu += c.cpu_seconds;
+      gpu += c.gpu_seconds;
+    }
+    return std::make_pair(cpu, gpu);
+  };
+  const auto [mupdf_cpu, mupdf_gpu] = total_cost(ParserKind::kPyMuPdf);
+  const auto [pypdf_cpu, pypdf_gpu] = total_cost(ParserKind::kPypdf);
+  const auto [tess_cpu, tess_gpu] = total_cost(ParserKind::kTesseract);
+  const auto [nougat_cpu, nougat_gpu] = total_cost(ParserKind::kNougat);
+  const auto [marker_cpu, marker_gpu] = total_cost(ParserKind::kMarker);
+
+  EXPECT_LT(mupdf_cpu, pypdf_cpu);
+  EXPECT_LT(pypdf_cpu, tess_cpu);
+  EXPECT_EQ(mupdf_gpu, 0.0);
+  EXPECT_EQ(pypdf_gpu, 0.0);
+  EXPECT_EQ(tess_gpu, 0.0);
+  EXPECT_GT(nougat_gpu, 0.0);
+  EXPECT_GT(marker_gpu, nougat_gpu);
+  // pypdf per-page cost ~3x MuPDF's (13x throughput difference arrives with
+  // the 4x FS-op multiplier in the cluster model).
+  EXPECT_GT(pypdf_cpu, 2.0 * mupdf_cpu);
+}
+
+TEST(Parsers, NougatLoadTimeMatchesPaper) {
+  EXPECT_NEAR(make_parser(ParserKind::kNougat)->model_load_seconds(), 15.0,
+              1e-9);
+  EXPECT_EQ(make_parser(ParserKind::kPyMuPdf)->model_load_seconds(), 0.0);
+}
+
+TEST(Parsers, ParseCostMatchesEstimate) {
+  const auto docs = small_corpus(3, 17);
+  for (const auto& parser : all_parsers()) {
+    for (const auto& d : docs) {
+      const auto estimate = parser->estimate_cost(d);
+      const auto parse = parser->parse(d);
+      EXPECT_DOUBLE_EQ(parse.cost.cpu_seconds, estimate.cpu_seconds);
+      EXPECT_DOUBLE_EQ(parse.cost.gpu_seconds, estimate.gpu_seconds);
+    }
+  }
+}
+
+// ------------------------------ quality-shape properties (born-digital) ----
+
+TEST(ParserQuality, ExtractionBeatsOcrOnCleanBornDigital) {
+  // Born-digital documents have good embedded text: extraction should beat
+  // OCR on average (paper Table 1: PyMuPDF BLEU 51.9 vs Tesseract 48.8).
+  const auto docs = small_corpus(40, 19);
+  const double mupdf = corpus_bleu(*make_parser(ParserKind::kPyMuPdf), docs);
+  const double grobid = corpus_bleu(*make_parser(ParserKind::kGrobid), docs);
+  EXPECT_GT(mupdf, grobid + 0.1);
+}
+
+TEST(ParserQuality, PypdfWorstCharacterAccuracy) {
+  const auto docs = small_corpus(25, 23);
+  auto car_of = [&](ParserKind kind) {
+    const auto parser = make_parser(kind);
+    util::RunningStats stats;
+    for (const auto& d : docs) {
+      const auto parse = parser->parse(d);
+      std::vector<std::string> ref = d.groundtruth_pages;
+      stats.add(metrics::score_document(parse.pages, ref).car);
+    }
+    return stats.mean();
+  };
+  const double pypdf = car_of(ParserKind::kPypdf);
+  const double mupdf = car_of(ParserKind::kPyMuPdf);
+  const double nougat = car_of(ParserKind::kNougat);
+  EXPECT_LT(pypdf, mupdf - 0.1);  // pypdf's CAR collapse (32.3 vs 67.0)
+  EXPECT_LT(pypdf, nougat - 0.1);
+}
+
+TEST(ParserQuality, MarkerHasBestCoverage) {
+  const auto docs = small_corpus(40, 29);
+  auto coverage_of = [&](ParserKind kind) {
+    const auto parser = make_parser(kind);
+    util::RunningStats stats;
+    for (const auto& d : docs) {
+      const auto parse = parser->parse(d);
+      std::size_t retrieved = 0;
+      for (const auto& page : parse.pages) {
+        if (!page.empty()) ++retrieved;
+      }
+      stats.add(static_cast<double>(retrieved) /
+                static_cast<double>(d.num_pages()));
+    }
+    return stats.mean();
+  };
+  const double marker = coverage_of(ParserKind::kMarker);
+  EXPECT_GT(marker, coverage_of(ParserKind::kNougat));
+  EXPECT_GT(marker, coverage_of(ParserKind::kGrobid) + 0.1);
+  EXPECT_GT(marker, 0.9);
+}
+
+TEST(ParserQuality, GrobidLowestCoverage) {
+  const auto docs = small_corpus(40, 31);
+  const auto grobid = make_parser(ParserKind::kGrobid);
+  util::RunningStats stats;
+  for (const auto& d : docs) {
+    const auto parse = grobid->parse(d);
+    std::size_t retrieved = 0;
+    for (const auto& page : parse.pages) {
+      if (!page.empty()) ++retrieved;
+    }
+    stats.add(static_cast<double>(retrieved) /
+              static_cast<double>(d.num_pages()));
+  }
+  EXPECT_LT(stats.mean(), 0.92);
+  EXPECT_GT(stats.mean(), 0.6);
+}
+
+TEST(ParserQuality, NougatRobustToScanDegradation) {
+  // Table 2 shape: Nougat degrades far less than Tesseract under scans.
+  auto clean = small_corpus(25, 37);
+  auto degraded = clean;
+  for (auto& d : degraded) {
+    d.image_layer.born_digital = false;
+    d.image_layer.blur_sigma = 1.6;
+    d.image_layer.rotation_deg = 3.0;
+    d.image_layer.compression = 0.5;
+  }
+  const auto nougat = make_parser(ParserKind::kNougat);
+  const auto tesseract = make_parser(ParserKind::kTesseract);
+  const double nougat_drop =
+      corpus_bleu(*nougat, clean) - corpus_bleu(*nougat, degraded);
+  const double tess_drop =
+      corpus_bleu(*tesseract, clean) - corpus_bleu(*tesseract, degraded);
+  EXPECT_LT(nougat_drop, tess_drop);
+}
+
+TEST(ParserQuality, ExtractionUnaffectedByImageDegradation) {
+  // Text extraction never looks at the image layer (paper excludes it from
+  // Table 2 for exactly this reason).
+  auto clean = small_corpus(10, 41);
+  auto degraded = clean;
+  for (auto& d : degraded) {
+    d.image_layer.born_digital = false;
+    d.image_layer.blur_sigma = 2.0;
+  }
+  const auto mupdf = make_parser(ParserKind::kPyMuPdf);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(mupdf->parse(clean[i]).full_text(),
+              mupdf->parse(degraded[i]).full_text());
+  }
+}
+
+TEST(ParserQuality, NougatWinsOnMathHeavyBadLayerDocs) {
+  // The crossover that motivates adaptive parsing: when the embedded layer
+  // is bad (legacy toolchain + heavy math), the ViT wins.
+  auto docs = small_corpus(30, 43);
+  std::size_t compared = 0;
+  double nougat_sum = 0.0, mupdf_sum = 0.0;
+  const auto nougat = make_parser(ParserKind::kNougat);
+  const auto mupdf = make_parser(ParserKind::kPyMuPdf);
+  for (auto& d : docs) {
+    d.meta.producer = doc::ProducerTool::kGhostscript;  // force bad layer
+    // Rebuild not possible without regenerating; emulate by dropping layer.
+    d.text_layer.present = false;
+    const auto ref = d.full_groundtruth();
+    nougat_sum += metrics::bleu(nougat->parse(d).full_text(), ref);
+    mupdf_sum += metrics::bleu(mupdf->parse(d).full_text(), ref);
+    ++compared;
+  }
+  ASSERT_GT(compared, 0U);
+  EXPECT_GT(nougat_sum / compared, mupdf_sum / compared + 0.2);
+}
+
+class AllParsersTest : public ::testing::TestWithParam<ParserKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cohort, AllParsersTest,
+    ::testing::ValuesIn(std::vector<ParserKind>(all_kinds().begin(),
+                                                all_kinds().end())),
+    [](const ::testing::TestParamInfo<ParserKind>& info) {
+      // Index-prefixed names: gtest requires case-insensitively unique
+      // parameterized test names ("PyMuPDF" vs "pypdf" would collide).
+      std::string name = "k" + std::to_string(info.index) + "_";
+      for (char c : std::string(parser_name(info.param))) {
+        name += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      }
+      return name;
+    });
+
+TEST_P(AllParsersTest, OutputIsNonTrivialOnHealthyDocs) {
+  const auto docs = small_corpus(8, 47);
+  const auto parser = make_parser(GetParam());
+  std::size_t nonempty = 0;
+  for (const auto& d : docs) {
+    const auto parse = parser->parse(d);
+    ASSERT_TRUE(parse.ok);
+    if (parse.full_text().size() > 200) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 6U);
+}
+
+TEST_P(AllParsersTest, BleuWithinPlausibleBand) {
+  const auto docs = small_corpus(20, 53);
+  const double score = corpus_bleu(*make_parser(GetParam()), docs);
+  EXPECT_GT(score, 0.05);
+  EXPECT_LT(score, 0.98);
+}
+
+TEST_P(AllParsersTest, CostsArePositiveAndFinite) {
+  const auto docs = small_corpus(5, 59);
+  const auto parser = make_parser(GetParam());
+  for (const auto& d : docs) {
+    const auto cost = parser->estimate_cost(d);
+    EXPECT_GT(cost.cpu_seconds + cost.gpu_seconds, 0.0);
+    EXPECT_GT(cost.bytes_read, 0.0);
+    EXPECT_TRUE(std::isfinite(cost.cpu_seconds));
+    EXPECT_TRUE(std::isfinite(cost.gpu_seconds));
+  }
+}
+
+}  // namespace
+}  // namespace adaparse::parsers

@@ -1,0 +1,193 @@
+// Tests for the simulated preference study: annotator utility model,
+// study statistics, and the tournament win-rate machinery.
+#include <gtest/gtest.h>
+
+#include "doc/generator.hpp"
+#include "parsers/registry.hpp"
+#include "pref/annotator.hpp"
+#include "pref/study.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::pref {
+namespace {
+
+TEST(Style, CleanTextScoresClean) {
+  const std::string reference =
+      "The analysis shows significant results across samples.";
+  const auto s = compute_style(reference, reference);
+  EXPECT_LT(s.latex_residue, 1.0);
+  EXPECT_LT(s.whitespace_mess, 0.2);
+  EXPECT_EQ(s.truncation, 0.0);
+}
+
+TEST(Style, EmptyCandidateIsFullTruncation) {
+  const auto s = compute_style("", "reference text");
+  EXPECT_EQ(s.truncation, 1.0);
+}
+
+TEST(Style, LatexResidueDetected) {
+  const auto s = compute_style("text \\frac{a}{b} ${residue}$ here and more",
+                               "text here and more");
+  EXPECT_GT(s.latex_residue, 1.0);
+}
+
+TEST(Annotator, PrefersHigherBleuOnAverage) {
+  const auto pool = make_annotator_pool(23, 7);
+  util::Rng rng(3);
+  StyleScore neutral;
+  std::size_t good_wins = 0;
+  const std::size_t trials = 2000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto& annotator = pool[i % pool.size()];
+    const double ua = annotator.utility(0.7, neutral, rng);
+    const double ub = annotator.utility(0.4, neutral, rng);
+    if (ua > ub) ++good_wins;
+  }
+  EXPECT_GT(static_cast<double>(good_wins) / trials, 0.8);
+}
+
+TEST(Annotator, StylePenaltiesMatter) {
+  const auto pool = make_annotator_pool(23, 7);
+  util::Rng rng(5);
+  StyleScore messy;
+  messy.scrambled = 0.5;
+  messy.whitespace_mess = 2.0;
+  messy.truncation = 0.4;
+  StyleScore clean;
+  std::size_t clean_wins = 0;
+  const std::size_t trials = 2000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto& annotator = pool[i % pool.size()];
+    // Same BLEU; style alone decides.
+    const double um = annotator.utility(0.5, messy, rng);
+    const double uc = annotator.utility(0.5, clean, rng);
+    if (uc > um) ++clean_wins;
+  }
+  EXPECT_GT(static_cast<double>(clean_wins) / trials, 0.85);
+}
+
+TEST(Annotator, PoolIsHeterogeneousButDeterministic) {
+  const auto a = make_annotator_pool(5, 11);
+  const auto b = make_annotator_pool(5, 11);
+  util::Rng r1(1), r2(1);
+  StyleScore s;
+  EXPECT_EQ(a[0].utility(0.5, s, r1), b[0].utility(0.5, s, r2));
+  EXPECT_NE(a[0].indifference(), a[3].indifference());
+}
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    docs_ = new std::vector<doc::Document>(
+        doc::CorpusGenerator(doc::benchmark_config(120, 91)).generate());
+    StudyConfig config;
+    config.num_pages = 150;
+    config.train_judgments = 712;
+    config.val_judgments = 234;
+    config.test_judgments = 1848;
+    study_ = new StudyResult(
+        run_study(*docs_, parsers::all_parsers(), config));
+  }
+  static void TearDownTestSuite() {
+    delete docs_;
+    delete study_;
+    docs_ = nullptr;
+    study_ = nullptr;
+  }
+  static std::vector<doc::Document>* docs_;
+  static StudyResult* study_;
+};
+
+std::vector<doc::Document>* StudyTest::docs_ = nullptr;
+StudyResult* StudyTest::study_ = nullptr;
+
+TEST_F(StudyTest, JudgmentCountsMatchConfig) {
+  EXPECT_EQ(study_->judgments.size(), 712U + 234U + 1848U);
+  std::size_t train = 0, val = 0, test = 0;
+  for (const auto& j : study_->judgments) {
+    switch (j.split) {
+      case Split::kTrain: ++train; break;
+      case Split::kVal: ++val; break;
+      case Split::kTest: ++test; break;
+    }
+  }
+  EXPECT_EQ(train, 712U);
+  EXPECT_EQ(val, 234U);
+  EXPECT_EQ(test, 1848U);
+}
+
+TEST_F(StudyTest, DecisionRateNearPaper) {
+  // Paper: users expressed a preference 91.3% of the time.
+  EXPECT_GT(study_->decision_rate, 0.80);
+  EXPECT_LT(study_->decision_rate, 0.99);
+}
+
+TEST_F(StudyTest, ConsensusIsHigh) {
+  // Paper: 82.2% agreement on repeated triplets.
+  EXPECT_GT(study_->consensus_rate, 0.65);
+  EXPECT_LE(study_->consensus_rate, 1.0);
+}
+
+TEST_F(StudyTest, BleuCorrelatesButDoesNotExplainEverything) {
+  // Paper §7.1: rho ~ 0.47, strongly significant, far from 1.
+  const auto& corr = study_->bleu_win_correlation;
+  EXPECT_GT(corr.rho, 0.25);
+  EXPECT_LT(corr.rho, 0.85);
+  EXPECT_LT(corr.p_value, 1e-6);
+}
+
+TEST_F(StudyTest, PypdfHasLowWinRate) {
+  // Paper: pypdf wins only ~2.1% of its comparisons.
+  ASSERT_TRUE(study_->win_rate.count(parsers::ParserKind::kPypdf));
+  EXPECT_LT(study_->win_rate.at(parsers::ParserKind::kPypdf), 0.25);
+  // And it is the worst (or near-worst) of the cohort.
+  double min_rate = 1.0;
+  for (const auto& [kind, rate] : study_->win_rate) min_rate = std::min(min_rate, rate);
+  EXPECT_LE(study_->win_rate.at(parsers::ParserKind::kPypdf),
+            min_rate + 0.05);
+}
+
+TEST_F(StudyTest, ValidParserPairsOnly) {
+  for (const auto& j : study_->judgments) {
+    EXPECT_NE(j.parser_a, j.parser_b);
+    EXPECT_LT(j.annotator, 23U);
+    EXPECT_GE(j.choice, 0);
+    EXPECT_LE(j.choice, 2);
+  }
+}
+
+TEST(Tournament, CleanCandidateBeatsDamagedOne) {
+  // Two systems over 30 docs: identity parse vs truncated/mangled parse.
+  std::vector<std::string> references;
+  std::vector<std::vector<std::string>> outputs(2);
+  util::Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    std::string ref =
+        "The proposed framework achieves robust accuracy across all "
+        "experimental conditions while remaining computationally cheap " +
+        std::to_string(i);
+    outputs[0].push_back(ref);
+    outputs[1].push_back(ref.substr(0, ref.size() / 3));
+    references.push_back(std::move(ref));
+  }
+  std::vector<std::vector<double>> bleus = {
+      std::vector<double>(30, 1.0), std::vector<double>(30, 0.25)};
+  const auto rates = tournament_win_rates(outputs, references, bleus, 5);
+  ASSERT_EQ(rates.size(), 2U);
+  EXPECT_GT(rates[0], rates[1] + 0.3);
+}
+
+TEST(Tournament, DegenerateInputs) {
+  EXPECT_TRUE(tournament_win_rates({}, {}, {}).empty());
+  const auto one = tournament_win_rates({{"a"}}, {"a"}, {{1.0}});
+  ASSERT_EQ(one.size(), 1U);
+  EXPECT_EQ(one[0], 0.0);
+}
+
+TEST(Study, EmptyDocsYieldEmptyResult) {
+  const auto result = run_study({}, parsers::all_parsers(), {});
+  EXPECT_TRUE(result.judgments.empty());
+}
+
+}  // namespace
+}  // namespace adaparse::pref

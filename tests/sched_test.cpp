@@ -1,0 +1,274 @@
+// Tests for the concurrent runtime: thread pool, bounded queue, batcher,
+// and the warm model cache — including contention stress tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "sched/batcher.hpp"
+#include "sched/queue.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/warm_cache.hpp"
+
+namespace adaparse::sched {
+namespace {
+
+// --------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+  // get() returns when the result is set, which precedes the worker's
+  // bookkeeping update; wait_idle() synchronizes with it.
+  pool.wait_idle();
+  EXPECT_EQ(pool.completed(), 1000U);
+}
+
+TEST(ThreadPoolTest, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1U);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelismActuallyHappens) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = ++concurrent;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      --concurrent;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GT(peak.load(), 1);
+}
+
+// -------------------------------------------------------------- queue ----
+
+TEST(BoundedQueueTest, FifoOrderSingleThread) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2U);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, NoLossUnderContention) {
+  // 4 producers x 2500 items through a tiny queue into 4 consumers:
+  // every item must arrive exactly once.
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4, kPerProducer = 2500, kConsumers = 4;
+  std::vector<std::thread> producers, consumers;
+  std::mutex sink_mutex;
+  std::multiset<int> sink;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        sink.insert(*v);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  // Exactly once: no duplicates.
+  EXPECT_EQ(std::set<int>(sink.begin(), sink.end()).size(), sink.size());
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksProducer) {
+  BoundedQueue<int> q(1);
+  q.push(0);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(1);  // blocks until a pop frees space
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  q.pop();
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+// ------------------------------------------------------------- batcher ----
+
+TEST(BatcherTest, FlushesFullBatches) {
+  std::vector<std::vector<int>> batches;
+  Batcher<int> batcher(3, [&](std::vector<int>&& b) {
+    batches.push_back(std::move(b));
+  });
+  for (int i = 0; i < 7; ++i) batcher.add(i);
+  EXPECT_EQ(batches.size(), 2U);
+  EXPECT_EQ(batcher.pending(), 1U);
+  batcher.flush_now();
+  ASSERT_EQ(batches.size(), 3U);
+  EXPECT_EQ(batches[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(batches[2], (std::vector<int>{6}));
+  EXPECT_EQ(batcher.batches_flushed(), 3U);
+}
+
+TEST(BatcherTest, FlushOnEmptyIsNoOp) {
+  int flushes = 0;
+  Batcher<int> batcher(4, [&](std::vector<int>&&) { ++flushes; });
+  batcher.flush_now();
+  EXPECT_EQ(flushes, 0);
+}
+
+TEST(BatcherTest, ZeroBatchSizeClampedToOne) {
+  std::vector<std::vector<int>> batches;
+  Batcher<int> batcher(0, [&](std::vector<int>&& b) {
+    batches.push_back(std::move(b));
+  });
+  batcher.add(1);
+  EXPECT_EQ(batches.size(), 1U);
+  EXPECT_EQ(batcher.batch_size(), 1U);
+}
+
+// ---------------------------------------------------------- warm cache ----
+
+TEST(WarmCacheTest, LoadsOncePerKey) {
+  WarmModelCache cache(true);
+  std::atomic<int> loads{0};
+  auto loader = [&loads] {
+    ++loads;
+    return std::make_shared<int>(1);
+  };
+  for (int i = 0; i < 100; ++i) {
+    cache.get_or_load("nougat", loader, 15.0);
+  }
+  EXPECT_EQ(loads.load(), 1);
+  const auto stats = cache.stats("nougat");
+  EXPECT_EQ(stats.loads, 1U);
+  EXPECT_EQ(stats.hits, 99U);
+  EXPECT_NEAR(stats.load_seconds_paid, 15.0, 1e-12);
+}
+
+TEST(WarmCacheTest, ColdModeReloadsEveryTime) {
+  WarmModelCache cache(false);
+  std::atomic<int> loads{0};
+  auto loader = [&loads] {
+    ++loads;
+    return std::make_shared<int>(1);
+  };
+  for (int i = 0; i < 10; ++i) {
+    cache.get_or_load("nougat", loader, 15.0);
+  }
+  EXPECT_EQ(loads.load(), 10);
+  EXPECT_NEAR(cache.total_load_seconds(), 150.0, 1e-12);
+}
+
+TEST(WarmCacheTest, DistinctKeysLoadSeparately) {
+  WarmModelCache cache(true);
+  cache.get_or_load("a", [] { return std::make_shared<int>(1); }, 1.0);
+  cache.get_or_load("b", [] { return std::make_shared<int>(2); }, 2.0);
+  EXPECT_NEAR(cache.total_load_seconds(), 3.0, 1e-12);
+}
+
+TEST(WarmCacheTest, SameHandleReturned) {
+  WarmModelCache cache(true);
+  auto h1 = cache.get_or_load("k", [] { return std::make_shared<int>(7); }, 0.1);
+  auto h2 = cache.get_or_load("k", [] { return std::make_shared<int>(8); }, 0.1);
+  EXPECT_EQ(h1.get(), h2.get());
+}
+
+TEST(WarmCacheTest, ThreadSafeSingleLoad) {
+  WarmModelCache cache(true);
+  std::atomic<int> loads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        cache.get_or_load("model", [&loads] {
+          ++loads;
+          return std::make_shared<int>(0);
+        }, 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(loads.load(), 1);
+}
+
+TEST(WarmCacheTest, ClearForcesReload) {
+  WarmModelCache cache(true);
+  std::atomic<int> loads{0};
+  auto loader = [&loads] {
+    ++loads;
+    return std::make_shared<int>(0);
+  };
+  cache.get_or_load("k", loader, 1.0);
+  cache.clear();
+  cache.get_or_load("k", loader, 1.0);
+  EXPECT_EQ(loads.load(), 2);
+}
+
+}  // namespace
+}  // namespace adaparse::sched

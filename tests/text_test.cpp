@@ -1,0 +1,277 @@
+// Unit and property tests for the text module: tokenization, n-grams,
+// malformed-pattern detectors, features, and corruption channels.
+#include <gtest/gtest.h>
+
+#include "text/corrupt.hpp"
+#include "text/detect.hpp"
+#include "text/features.hpp"
+#include "text/ngram.hpp"
+#include "text/tokenize.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::text {
+namespace {
+
+// ----------------------------------------------------------- tokenize ----
+
+TEST(Tokenize, SplitsWordsAndPunctuation) {
+  const auto tokens = tokenize("Hello, world!");
+  ASSERT_EQ(tokens.size(), 4U);
+  EXPECT_EQ(tokens[0], "Hello");
+  EXPECT_EQ(tokens[1], ",");
+  EXPECT_EQ(tokens[2], "world");
+  EXPECT_EQ(tokens[3], "!");
+}
+
+TEST(Tokenize, KeepsHyphensAndApostrophesInWords) {
+  const auto tokens = tokenize("state-of-the-art isn't");
+  ASSERT_EQ(tokens.size(), 2U);
+  EXPECT_EQ(tokens[0], "state-of-the-art");
+  EXPECT_EQ(tokens[1], "isn't");
+}
+
+TEST(Tokenize, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("  \n\t ").empty());
+}
+
+TEST(Tokenize, SplitWhitespacePreservesPunctuation) {
+  const auto chunks = split_whitespace("a b,c  d\ne");
+  ASSERT_EQ(chunks.size(), 4U);
+  EXPECT_EQ(chunks[1], "b,c");
+}
+
+TEST(Tokenize, JoinInvertsSplit) {
+  const std::string s = "alpha beta gamma";
+  EXPECT_EQ(join(split_whitespace(s)), s);
+}
+
+TEST(Tokenize, ToLower) {
+  EXPECT_EQ(to_lower("AbC12!"), "abc12!");
+}
+
+TEST(Tokenize, IsAlphaAndHasDigit) {
+  EXPECT_TRUE(is_alpha("abc"));
+  EXPECT_FALSE(is_alpha("ab1"));
+  EXPECT_FALSE(is_alpha(""));
+  EXPECT_TRUE(has_digit("a1"));
+  EXPECT_FALSE(has_digit("abc"));
+}
+
+// -------------------------------------------------------------- ngram ----
+
+TEST(Ngram, CountsUnigrams) {
+  const std::vector<std::string> tokens = {"a", "b", "a"};
+  const auto counts = count_ngrams(tokens, 1);
+  EXPECT_EQ(counts.size(), 2U);
+  EXPECT_EQ(total(counts), 3U);
+}
+
+TEST(Ngram, BigramBoundaries) {
+  const std::vector<std::string> tokens = {"a", "b", "c"};
+  EXPECT_EQ(total(count_ngrams(tokens, 2)), 2U);
+  EXPECT_EQ(total(count_ngrams(tokens, 3)), 1U);
+  EXPECT_TRUE(count_ngrams(tokens, 4).empty());
+  EXPECT_TRUE(count_ngrams(tokens, 0).empty());
+}
+
+TEST(Ngram, OverlapIsClipped) {
+  const std::vector<std::string> a = {"x", "x", "x"};
+  const std::vector<std::string> b = {"x"};
+  const auto ca = count_ngrams(a, 1);
+  const auto cb = count_ngrams(b, 1);
+  EXPECT_EQ(overlap(ca, cb), 1U);   // min(3,1)
+  EXPECT_EQ(overlap(cb, ca), 1U);   // symmetric
+}
+
+TEST(Ngram, KeyDistinguishesSegmentation) {
+  const std::vector<std::string> ab_c = {"ab", "c"};
+  const std::vector<std::string> a_bc = {"a", "bc"};
+  EXPECT_NE(ngram_key(ab_c, 0, 2), ngram_key(a_bc, 0, 2));
+}
+
+// ------------------------------------------------------------- detect ----
+
+TEST(Detect, LatexArtifacts) {
+  EXPECT_GT(latex_artifact_count("\\frac{a}{b} and $x^{2}$"), 2U);
+  EXPECT_EQ(latex_artifact_count("plain prose text here"), 0U);
+}
+
+TEST(Detect, UnbalancedBracesCount) {
+  EXPECT_GT(latex_artifact_count("{{{"), 0U);
+}
+
+TEST(Detect, SmilesLikeTokens) {
+  EXPECT_GE(smiles_like_count("the compound CC(=O)Oc1ccccc1C(=O)O was"), 1U);
+  EXPECT_EQ(smiles_like_count("ordinary text without chemistry"), 0U);
+}
+
+TEST(Detect, ScrambledTokens) {
+  // Heavy consonant runs look scrambled.
+  const double high = scrambled_token_ratio("xkcdqrtz bvnmkl wqrtsk plain");
+  const double low = scrambled_token_ratio("these are normal english words");
+  EXPECT_GT(high, low);
+  EXPECT_EQ(scrambled_token_ratio(""), 0.0);
+}
+
+TEST(Detect, WhitespaceRatio) {
+  EXPECT_NEAR(whitespace_ratio("a b"), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(whitespace_ratio(""), 0.0);
+}
+
+TEST(Detect, AlphaDigitNonAsciiRatios) {
+  EXPECT_NEAR(alpha_ratio("ab12"), 0.5, 1e-12);
+  EXPECT_NEAR(digit_ratio("ab12"), 0.5, 1e-12);
+  EXPECT_GT(non_ascii_ratio("a\xEF\xBF\xBD"), 0.0);
+  EXPECT_EQ(non_ascii_ratio("abc\n"), 0.0);
+}
+
+TEST(Detect, LongestCharRun) {
+  EXPECT_EQ(longest_char_run("aabbbbc"), 4U);
+  EXPECT_EQ(longest_char_run(""), 0U);
+  EXPECT_EQ(longest_char_run("abc"), 1U);
+}
+
+TEST(Detect, EntropyOrdering) {
+  const double degenerate = char_entropy("aaaaaaaaaaaaaaaa");
+  const double prose = char_entropy(
+      "The gravitational force between two masses is proportional.");
+  EXPECT_LT(degenerate, 0.5);
+  EXPECT_GT(prose, 3.0);
+}
+
+// ----------------------------------------------------------- features ----
+
+TEST(Features, CleanProseLooksClean) {
+  const auto f = compute_features(
+      "We present results of the analysis between both models. "
+      "The distribution of observed values is shown in the table.");
+  EXPECT_GT(f.alpha_ratio, 0.6);
+  EXPECT_LT(f.scrambled_ratio, 0.1);
+  EXPECT_EQ(f.latex_density, 0.0);
+  EXPECT_GT(f.token_count, 10.0);
+}
+
+TEST(Features, ArrayOrderMatchesFields) {
+  const auto f = compute_features("abc def");
+  const auto a = f.to_array();
+  EXPECT_EQ(a[0], f.char_count);
+  EXPECT_EQ(a[1], f.token_count);
+  EXPECT_EQ(a[10], f.entropy);
+  EXPECT_EQ(a[11], f.longest_run);
+}
+
+TEST(Features, EmptyText) {
+  const auto f = compute_features("");
+  EXPECT_EQ(f.char_count, 0.0);
+  EXPECT_EQ(f.token_count, 0.0);
+  EXPECT_EQ(f.avg_token_len, 0.0);
+}
+
+// ------------------------------------------------------------ corrupt ----
+
+class CorruptChannelTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Rates, CorruptChannelTest,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2, 0.5));
+
+const char* kSample =
+    "The proposed method improves accuracy across different conditions "
+    "while keeping computational cost low for large scale analysis.";
+
+TEST_P(CorruptChannelTest, ZeroRateIsIdentityAndHigherRatesDamageMore) {
+  const double rate = GetParam();
+  util::Rng rng(1234);
+  const auto ws = inject_whitespace(kSample, rate, rng);
+  if (rate == 0.0) {
+    EXPECT_EQ(ws, kSample);
+  } else {
+    EXPECT_GE(ws.size(), std::string(kSample).size());
+  }
+}
+
+TEST_P(CorruptChannelTest, SubstituteCharsPreservesLength) {
+  util::Rng rng(99);
+  const auto out = substitute_chars(kSample, GetParam(), rng);
+  EXPECT_EQ(out.size(), std::string(kSample).size());
+}
+
+TEST_P(CorruptChannelTest, DropWordsNeverGrows) {
+  util::Rng rng(7);
+  const auto out = drop_words(kSample, GetParam(), rng);
+  EXPECT_LE(out.size(), std::string(kSample).size());
+}
+
+TEST(Corrupt, ScrambleKeepsFirstAndLastLetters) {
+  util::Rng rng(5);
+  const auto out = scramble_words("wonderful", 1.0, rng);
+  ASSERT_EQ(out.size(), 9U);
+  EXPECT_EQ(out.front(), 'w');
+  EXPECT_EQ(out.back(), 'l');
+  // Same multiset of characters.
+  auto sorted_in = std::string("wonderful");
+  auto sorted_out = out;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+}
+
+TEST(Corrupt, SubstituteWordsUsesConfusionTable) {
+  util::Rng rng(3);
+  const auto out = substitute_words("hyperthyroidism", 1.0, rng);
+  EXPECT_EQ(out, "hypothyroidism");
+}
+
+TEST(Corrupt, MangleLatexCleanConversionStripsCommands) {
+  util::Rng rng(11);
+  const auto out = mangle_latex("\\alpha + \\beta", 0.0, rng);
+  EXPECT_EQ(out.find('\\'), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(Corrupt, MangleLatexHighRateLeavesResidue) {
+  util::Rng rng(13);
+  std::size_t residues = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto out = mangle_latex("$\\frac{a}{b}$ \\sum_{i}", 1.0, rng);
+    if (out.find('\\') != std::string::npos ||
+        out.find('{') != std::string::npos) {
+      ++residues;
+    }
+  }
+  EXPECT_GT(residues, 25U);
+}
+
+TEST(Corrupt, CorruptSmilesOnlyTouchesSmiles) {
+  util::Rng rng(17);
+  const std::string input = "prose stays CC(=O)Oc1ccccc1C(=O)O here";
+  const auto out = corrupt_smiles(input, 1.0, rng);
+  EXPECT_NE(out.find("prose stays"), std::string::npos);
+  EXPECT_NE(out.find("here"), std::string::npos);
+  EXPECT_NE(out, input);  // the SMILES token itself was mutated
+}
+
+TEST(Corrupt, MojibakeInsertsArtifacts) {
+  util::Rng rng(19);
+  const auto out = mojibake(kSample, 0.1, rng);
+  EXPECT_GT(non_ascii_ratio(out), 0.0);
+}
+
+TEST(Corrupt, LayoutArtifactsRaiseWhitespaceStructure) {
+  util::Rng rng(23);
+  const auto out = layout_artifacts(kSample, 1.0, rng);
+  // Reflow converts spaces to newlines; token stream survives.
+  const auto in_tokens = tokenize(kSample);
+  const auto out_tokens = tokenize(out);
+  EXPECT_GE(out_tokens.size(), in_tokens.size());  // + headers/pagenums
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(Corrupt, DeterministicGivenSameRngSeed) {
+  util::Rng a(77), b(77);
+  EXPECT_EQ(substitute_chars(kSample, 0.2, a),
+            substitute_chars(kSample, 0.2, b));
+}
+
+}  // namespace
+}  // namespace adaparse::text

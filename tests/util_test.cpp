@@ -382,7 +382,9 @@ TEST(TableTest, FormatFixedPrecision) {
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GE(sw.seconds(), 0.0);
   EXPECT_GE(sw.millis(), sw.seconds() * 1000.0 - 1e-6);
   sw.reset();

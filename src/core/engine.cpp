@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/pipeline.hpp"
 #include "parsers/registry.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
@@ -45,18 +46,29 @@ AdaParseEngine::AdaParseEngine(
   }
 }
 
-void AdaParseEngine::route_batch(
-    const std::vector<doc::Document>& docs,
-    const std::vector<parsers::ParseResult>& extractions, std::size_t begin,
-    std::size_t end, std::vector<RouteDecision>& out) const {
-  const std::size_t k = end - begin;
-  std::vector<double> gains(k, 0.0);
+double AdaParseEngine::per_doc_classifier_seconds() const {
+  return config_.variant == Variant::kLlm
+             ? predictor_->inference_cost_seconds()
+             : 0.02;
+}
 
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto& document = docs[begin + i];
-    const auto& extraction = extractions[begin + i];
-    RouteDecision& decision = out[begin + i];
-    decision.doc_index = begin + i;
+std::size_t AdaParseEngine::worker_threads() const {
+  return config_.threads > 0
+             ? config_.threads
+             : std::max<std::size_t>(2, std::thread::hardware_concurrency());
+}
+
+void AdaParseEngine::route_window(
+    const doc::Document* const* docs,
+    const parsers::ParseResult* const* extractions, std::size_t count,
+    std::size_t base_index, RouteDecision* out) const {
+  std::vector<double> gains(count, 0.0);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& document = *docs[i];
+    const auto& extraction = *extractions[i];
+    RouteDecision& decision = out[i];
+    decision.doc_index = base_index + i;
 
     if (!extraction.ok) {
       // Unreadable input: nothing can parse it; keep the cheap lane so the
@@ -110,8 +122,8 @@ void AdaParseEngine::route_batch(
   const auto selected = select_budgeted(gains, config_.alpha,
                                         /*require_positive_gain=*/true);
   for (std::size_t local : selected) {
-    RouteDecision& decision = out[begin + local];
-    if (!extractions[begin + local].ok) continue;
+    RouteDecision& decision = out[local];
+    if (!extractions[local]->ok) continue;
     decision.chosen = parsers::ParserKind::kNougat;
     decision.trail += "|selected:nougat";
     decision.predicted_accuracy += decision.predicted_gain < kMandatoryGain
@@ -120,13 +132,75 @@ void AdaParseEngine::route_batch(
   }
 }
 
+void AdaParseEngine::route_batch(
+    const std::vector<doc::Document>& docs,
+    const std::vector<parsers::ParseResult>& extractions, std::size_t begin,
+    std::size_t end, std::vector<RouteDecision>& out) const {
+  const std::size_t k = end - begin;
+  std::vector<const doc::Document*> doc_ptrs(k);
+  std::vector<const parsers::ParseResult*> extraction_ptrs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    doc_ptrs[i] = &docs[begin + i];
+    extraction_ptrs[i] = &extractions[begin + i];
+  }
+  route_window(doc_ptrs.data(), extraction_ptrs.data(), k, begin,
+               out.data() + begin);
+}
+
+std::vector<parsers::ParseResult> AdaParseEngine::extract_all(
+    const std::vector<doc::Document>& docs, sched::ThreadPool& pool) const {
+  std::vector<parsers::ParseResult> extractions(docs.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    futures.push_back(pool.submit([this, &docs, &extractions, i] {
+      extractions[i] = extractor_->parse(docs[i]);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return extractions;
+}
+
+io::ParseRecord AdaParseEngine::make_record(
+    const doc::Document& document, const RouteDecision& decision,
+    const parsers::ParseResult& extraction,
+    const parsers::ParseResult* upgrade, EngineStats& stats) const {
+  const bool upgraded = decision.chosen == parsers::ParserKind::kNougat &&
+                        upgrade != nullptr && upgrade->ok;
+  const parsers::ParseResult& kept = upgraded ? *upgrade : extraction;
+
+  io::ParseRecord record;
+  record.document_id = document.id;
+  record.parser = std::string(upgraded ? nougat_->name() : extractor_->name());
+  record.route = decision.trail;
+  record.predicted_accuracy = decision.predicted_accuracy;
+  record.pages = static_cast<int>(document.num_pages());
+  if (!kept.ok) {
+    ++stats.failed_docs;
+    record.parser = "none";
+    return record;
+  }
+  record.text = kept.full_text();
+  int retrieved = 0;
+  for (const auto& page : kept.pages) {
+    if (!page.empty()) ++retrieved;
+  }
+  record.pages_retrieved = retrieved;
+
+  if (upgraded) {
+    ++stats.routed_to_nougat;
+    stats.nougat_gpu_seconds += kept.cost.gpu_seconds;
+  } else {
+    ++stats.accepted_extraction;
+  }
+  if (!decision.cls1_valid) ++stats.cls1_invalid;
+  return record;
+}
+
 std::vector<RouteDecision> AdaParseEngine::route(
     const std::vector<doc::Document>& docs) const {
-  std::vector<parsers::ParseResult> extractions;
-  extractions.reserve(docs.size());
-  for (const auto& document : docs) {
-    extractions.push_back(extractor_->parse(document));
-  }
+  sched::ThreadPool pool(worker_threads());
+  const auto extractions = extract_all(docs, pool);
   std::vector<RouteDecision> decisions(docs.size());
   const std::size_t k = std::max<std::size_t>(1, config_.batch_size);
   for (std::size_t begin = 0; begin < docs.size(); begin += k) {
@@ -137,30 +211,22 @@ std::vector<RouteDecision> AdaParseEngine::route(
 }
 
 RunOutput AdaParseEngine::run(const std::vector<doc::Document>& docs) const {
+  return Pipeline(*this).run_collect(docs);
+}
+
+RunOutput AdaParseEngine::run_barrier(
+    const std::vector<doc::Document>& docs) const {
   util::Stopwatch wall;
   RunOutput output;
   output.decisions.assign(docs.size(), {});
   output.records.assign(docs.size(), {});
   output.stats.total_docs = docs.size();
 
-  const std::size_t threads = config_.threads > 0
-                                  ? config_.threads
-                                  : std::max(2U, std::thread::hardware_concurrency());
-  sched::ThreadPool pool(threads);
+  sched::ThreadPool pool(worker_threads());
 
   // ---- Stage 1: parallel extraction (the default parser runs on every
   // document; its output feeds both routing and the accept-as-is path). ----
-  std::vector<parsers::ParseResult> extractions(docs.size());
-  {
-    std::vector<std::future<void>> futures;
-    futures.reserve(docs.size());
-    for (std::size_t i = 0; i < docs.size(); ++i) {
-      futures.push_back(pool.submit([this, &docs, &extractions, i] {
-        extractions[i] = extractor_->parse(docs[i]);
-      }));
-    }
-    for (auto& f : futures) f.get();
-  }
+  const auto extractions = extract_all(docs, pool);
   for (const auto& extraction : extractions) {
     output.stats.extraction_cpu_seconds += extraction.cost.cpu_seconds;
   }
@@ -171,18 +237,17 @@ RunOutput AdaParseEngine::run(const std::vector<doc::Document>& docs) const {
     route_batch(docs, extractions, begin, std::min(docs.size(), begin + k),
                 output.decisions);
   }
-  const double per_doc_classifier_cost =
-      config_.variant == Variant::kLlm ? predictor_->inference_cost_seconds()
-                                       : 0.02;
   output.stats.classifier_cpu_seconds =
-      per_doc_classifier_cost * static_cast<double>(docs.size());
+      per_doc_classifier_seconds() * static_cast<double>(docs.size());
 
   // ---- Stage 3: budgeted high-quality parses on warm models. -------------
   sched::WarmModelCache cache(/*enabled=*/true);
   std::vector<std::future<void>> gpu_futures;
   std::vector<parsers::ParseResult> upgrades(docs.size());
+  std::vector<bool> attempted(docs.size(), false);
   for (std::size_t i = 0; i < docs.size(); ++i) {
     if (output.decisions[i].chosen != parsers::ParserKind::kNougat) continue;
+    attempted[i] = true;
     gpu_futures.push_back(pool.submit([this, &docs, &upgrades, &cache, i] {
       // Warm start: the model handle is created once per cache, standing in
       // for one resident copy per GPU worker.
@@ -196,36 +261,9 @@ RunOutput AdaParseEngine::run(const std::vector<doc::Document>& docs) const {
 
   // ---- Stage 4: assemble records. ----------------------------------------
   for (std::size_t i = 0; i < docs.size(); ++i) {
-    const auto& decision = output.decisions[i];
-    const bool upgraded =
-        decision.chosen == parsers::ParserKind::kNougat && upgrades[i].ok;
-    const parsers::ParseResult& kept = upgraded ? upgrades[i] : extractions[i];
-
-    io::ParseRecord& record = output.records[i];
-    record.document_id = docs[i].id;
-    record.parser = std::string(upgraded ? nougat_->name() : extractor_->name());
-    record.route = decision.trail;
-    record.predicted_accuracy = decision.predicted_accuracy;
-    record.pages = static_cast<int>(docs[i].num_pages());
-    if (!kept.ok) {
-      ++output.stats.failed_docs;
-      record.parser = "none";
-      continue;
-    }
-    record.text = kept.full_text();
-    int retrieved = 0;
-    for (const auto& page : kept.pages) {
-      if (!page.empty()) ++retrieved;
-    }
-    record.pages_retrieved = retrieved;
-
-    if (upgraded) {
-      ++output.stats.routed_to_nougat;
-      output.stats.nougat_gpu_seconds += kept.cost.gpu_seconds;
-    } else {
-      ++output.stats.accepted_extraction;
-    }
-    if (!decision.cls1_valid) ++output.stats.cls1_invalid;
+    output.records[i] =
+        make_record(docs[i], output.decisions[i], extractions[i],
+                    attempted[i] ? &upgrades[i] : nullptr, output.stats);
   }
   output.stats.wall_seconds = wall.seconds();
   return output;
@@ -237,9 +275,7 @@ std::vector<hpc::TaskSpec> AdaParseEngine::plan_tasks(
   if (docs.size() != decisions.size()) {
     throw std::invalid_argument("plan_tasks: size mismatch");
   }
-  const double per_doc_classifier_cost =
-      config_.variant == Variant::kLlm ? predictor_->inference_cost_seconds()
-                                       : 0.02;
+  const double per_doc_classifier_cost = per_doc_classifier_seconds();
   std::vector<hpc::TaskSpec> tasks;
   tasks.reserve(docs.size());
   for (std::size_t i = 0; i < docs.size(); ++i) {

@@ -9,9 +9,11 @@
 //                   Nougat assignments are budgeted per batch (floor(α·k)).
 //
 // The engine exposes three layers: route() (decisions only — used by the
-// scaling simulations), run() (full parallel execution on a thread pool
-// with warm-started GPU models, producing JSONL-ready records), and
-// plan_tasks() (cluster-simulator task specs for Figure 5).
+// scaling simulations), run() (full execution through the streaming
+// pipeline with warm-started GPU models, producing JSONL-ready records),
+// and plan_tasks() (cluster-simulator task specs for Figure 5).
+// run_barrier() keeps the original four-stage barrier-synchronized
+// execution as the equivalence/throughput baseline.
 #pragma once
 
 #include <memory>
@@ -26,7 +28,13 @@
 #include "io/jsonl.hpp"
 #include "parsers/parser.hpp"
 
+namespace adaparse::sched {
+class ThreadPool;
+}  // namespace adaparse::sched
+
 namespace adaparse::core {
+
+class Pipeline;
 
 enum class Variant : std::uint8_t { kFastText, kLlm };
 const char* variant_name(Variant v);
@@ -55,6 +63,29 @@ struct RouteDecision {
   std::string trail;            ///< e.g. "cls1:valid|cls3:gain=0.12|nougat"
 };
 
+/// Timing/throughput observability for one pipeline stage.
+struct StageStats {
+  double busy_seconds = 0.0;  ///< time spent doing the stage's work
+  double idle_seconds = 0.0;  ///< time blocked on queue pop/push
+  std::size_t items = 0;      ///< items the stage completed
+  std::size_t peak_queue_depth = 0;  ///< high-water mark of the stage's
+                                     ///< output queue (0 for the sink)
+};
+
+/// Observability of the streaming pipeline behind run(). Default-initialized
+/// (streaming = false) when the output came from run_barrier().
+struct PipelineStats {
+  bool streaming = false;          ///< produced by the streaming pipeline
+  std::size_t queue_capacity = 0;  ///< per-stage bound (backpressure window)
+  /// Effective admission-credit window: documents in flight (admitted but
+  /// not yet written) never exceed this, regardless of corpus size.
+  std::size_t resident_window = 0;
+  /// Peak number of extractions resident at once (extracted but not yet
+  /// written); <= resident_window by construction.
+  std::size_t peak_resident_extractions = 0;
+  StageStats prefetch, extract, route, upgrade, write;
+};
+
 struct EngineStats {
   std::size_t total_docs = 0;
   std::size_t cls1_invalid = 0;
@@ -65,6 +96,7 @@ struct EngineStats {
   double extraction_cpu_seconds = 0.0;
   double nougat_gpu_seconds = 0.0;
   double wall_seconds = 0.0;         ///< real wall-clock of run()
+  PipelineStats pipeline;            ///< streaming-run observability
 };
 
 struct RunOutput {
@@ -82,13 +114,20 @@ class AdaParseEngine {
                  std::shared_ptr<const Cls2Improver> improver);
 
   /// Routes every document (no parsing of routed targets — extraction runs
-  /// once, as it must, since CLS I/III read its output).
+  /// once, as it must, since CLS I/III read its output). Extraction uses
+  /// the same parallel path as run().
   std::vector<RouteDecision> route(
       const std::vector<doc::Document>& docs) const;
 
-  /// Full parallel execution: extraction pool, batched routing, budgeted
-  /// Nougat parses on warm models, JSONL-ready records.
+  /// Full execution through the streaming pipeline (core::Pipeline):
+  /// prefetch → extract → route → upgrade → write over bounded queues.
+  /// Records/decisions are byte-identical to run_barrier().
   RunOutput run(const std::vector<doc::Document>& docs) const;
+
+  /// The original barrier-staged execution (extract everything, then route
+  /// everything, then upgrade, then assemble). Kept as the reference
+  /// implementation for equivalence tests and the bench_pipeline baseline.
+  RunOutput run_barrier(const std::vector<doc::Document>& docs) const;
 
   /// Cluster-simulator tasks implied by a routing (for Figure 5 sweeps).
   std::vector<hpc::TaskSpec> plan_tasks(
@@ -98,11 +137,42 @@ class AdaParseEngine {
   const EngineConfig& config() const { return config_; }
 
  private:
+  friend class Pipeline;  ///< the streaming engine reuses the stage kernels
+
+  /// Routes one window of `count` documents whose global indices start at
+  /// `base_index`, applying the per-batch floor(alpha*k) budget. The
+  /// pointer spans let the streaming pipeline route non-contiguous storage.
+  void route_window(const doc::Document* const* docs,
+                    const parsers::ParseResult* const* extractions,
+                    std::size_t count, std::size_t base_index,
+                    RouteDecision* out) const;
+
   /// Routes one contiguous batch given its extraction results.
   void route_batch(const std::vector<doc::Document>& docs,
                    const std::vector<parsers::ParseResult>& extractions,
                    std::size_t begin, std::size_t end,
                    std::vector<RouteDecision>& out) const;
+
+  /// Runs the default extractor over every document on `pool` (the shared
+  /// parallel-extraction path of route() and run_barrier()).
+  std::vector<parsers::ParseResult> extract_all(
+      const std::vector<doc::Document>& docs, sched::ThreadPool& pool) const;
+
+  /// Assembles the JSONL record for one finished document and updates the
+  /// per-document counters in `stats`. `upgrade` is null when no Nougat
+  /// parse was attempted. Both execution paths share this, so their
+  /// records are identical by construction.
+  io::ParseRecord make_record(const doc::Document& document,
+                              const RouteDecision& decision,
+                              const parsers::ParseResult& extraction,
+                              const parsers::ParseResult* upgrade,
+                              EngineStats& stats) const;
+
+  /// Simulated selector cost per document (CLS III inference vs CLS II).
+  double per_doc_classifier_seconds() const;
+
+  /// Worker-thread count implied by the config (0 = hardware concurrency).
+  std::size_t worker_threads() const;
 
   EngineConfig config_;
   std::shared_ptr<const AccuracyPredictor> predictor_;

@@ -1,0 +1,399 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/jsonl.hpp"
+#include "sched/queue.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/warm_cache.hpp"
+#include "util/stopwatch.hpp"
+
+namespace adaparse::core {
+namespace {
+
+using DocPtr = std::shared_ptr<const doc::Document>;
+
+/// prefetch -> extract.
+struct DocItem {
+  std::size_t index = 0;
+  DocPtr doc;
+};
+
+/// extract -> route.
+struct ExtractedItem {
+  std::size_t index = 0;
+  DocPtr doc;
+  parsers::ParseResult extraction;
+};
+
+/// route -> upgrade -> write. `upgrade` is set iff a Nougat parse ran.
+struct DoneItem {
+  std::size_t index = 0;
+  DocPtr doc;
+  parsers::ParseResult extraction;
+  RouteDecision decision;
+  std::optional<parsers::ParseResult> upgrade;
+};
+
+/// One stage thread's busy/idle accounting, merged under a lock at exit.
+struct StageClock {
+  double busy = 0.0;
+  double idle = 0.0;
+  std::size_t items = 0;
+};
+
+}  // namespace
+
+Pipeline::Pipeline(const AdaParseEngine& engine, PipelineConfig config)
+    : engine_(engine), config_(config) {}
+
+EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
+  util::Stopwatch wall;
+  EngineStats stats;
+
+  const std::size_t cap = std::max<std::size_t>(1, config_.queue_capacity);
+  const std::size_t extract_workers = config_.extract_workers > 0
+                                          ? config_.extract_workers
+                                          : engine_.worker_threads();
+  const std::size_t upgrade_workers =
+      std::max<std::size_t>(1, config_.upgrade_workers);
+
+  sched::BoundedQueue<DocItem> prefetched(cap);
+  sched::BoundedQueue<ExtractedItem> extracted(cap);
+  sched::BoundedQueue<DoneItem> routed(cap);
+  sched::BoundedQueue<DoneItem> completed(cap);
+
+  // Admission credits: the prefetcher takes one credit per document, the
+  // writer returns it once the record is emitted, so at most
+  // `resident_window` documents are in flight — the hard memory bound.
+  // The window must fit one full routing batch plus everything that can
+  // sit downstream of the router (q_routed + upgraders + q_done + writer
+  // reorder buffer), or the router could starve waiting for a document
+  // the prefetcher is not allowed to admit.
+  const std::size_t k = std::max<std::size_t>(1, engine_.config_.batch_size);
+  const std::size_t min_window = k + 3 * cap + 2 * upgrade_workers + 8;
+  const std::size_t resident_window =
+      std::max(config_.max_resident_documents,
+               config_.max_resident_documents > 0
+                   ? min_window
+                   : min_window + extract_workers + 8);
+  sched::BoundedQueue<char> credits(resident_window);
+
+  auto close_all = [&] {
+    prefetched.close();
+    extracted.close();
+    routed.close();
+    completed.close();
+    credits.close();
+  };
+
+  // Guards the stage clocks and the first stage error. A stage that throws
+  // closes every queue so its neighbors drain and exit instead of blocking.
+  std::mutex shared_mutex;
+  std::exception_ptr first_error;
+  auto record_error = [&](std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(shared_mutex);
+      if (!first_error) first_error = error;
+    }
+    close_all();
+  };
+
+  StageClock prefetch_clock, extract_clock, route_clock, upgrade_clock,
+      write_clock;
+  auto merge = [&shared_mutex](StageClock& into, const StageClock& from) {
+    std::lock_guard<std::mutex> lock(shared_mutex);
+    into.busy += from.busy;
+    into.idle += from.idle;
+    into.items += from.items;
+  };
+
+  // Extractions alive right now (extracted but not yet written) — the
+  // memory-boundedness claim of the streaming design, tracked as evidence.
+  std::atomic<std::size_t> resident{0};
+  std::atomic<std::size_t> peak_resident{0};
+  std::atomic<std::size_t> extractors_left{extract_workers};
+  std::atomic<std::size_t> upgraders_left{upgrade_workers};
+
+  sched::WarmModelCache cache(/*enabled=*/true);
+  sched::ThreadPool pool(extract_workers + upgrade_workers);
+
+  // ---- Stage 1: prefetch — pulls the source on a dedicated thread (the
+  // moral equivalent of staging shards into node-local storage). ----------
+  std::thread prefetcher([&] {
+    StageClock clock;
+    try {
+      std::size_t index = 0;
+      for (;;) {
+        util::Stopwatch op;
+        DocPtr doc = source.next();
+        clock.busy += op.seconds();
+        if (!doc) break;
+        op.reset();
+        // Blocks while `resident_window` documents are in flight.
+        if (!credits.push(0)) break;
+        const bool pushed = prefetched.push(DocItem{index, std::move(doc)});
+        clock.idle += op.seconds();
+        if (!pushed) break;
+        ++index;
+        ++clock.items;
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    prefetched.close();
+    merge(prefetch_clock, clock);
+  });
+
+  // ---- Stage 2: parallel extraction workers on the shared pool. ----------
+  std::vector<std::future<void>> worker_futures;
+  worker_futures.reserve(extract_workers + upgrade_workers);
+  for (std::size_t w = 0; w < extract_workers; ++w) {
+    worker_futures.push_back(pool.submit([&] {
+      StageClock clock;
+      try {
+        for (;;) {
+          util::Stopwatch op;
+          auto item = prefetched.pop();
+          clock.idle += op.seconds();
+          if (!item) break;
+          op.reset();
+          ExtractedItem out;
+          out.index = item->index;
+          out.doc = std::move(item->doc);
+          out.extraction = engine_.extractor_->parse(*out.doc);
+          const std::size_t now = ++resident;
+          std::size_t seen = peak_resident.load();
+          while (now > seen &&
+                 !peak_resident.compare_exchange_weak(seen, now)) {
+          }
+          clock.busy += op.seconds();
+          op.reset();
+          const bool pushed = extracted.push(std::move(out));
+          clock.idle += op.seconds();
+          if (!pushed) {
+            prefetched.close();  // downstream gone: unblock the prefetcher
+            break;
+          }
+          ++clock.items;
+        }
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      merge(extract_clock, clock);
+      if (extractors_left.fetch_sub(1) == 1) extracted.close();
+    }));
+  }
+
+  // ---- Stage 3: sliding-window router. Per-batch floor(alpha*k) budget
+  // semantics need k *consecutive* documents, so out-of-order extractions
+  // are buffered here until each window is contiguous, then routed as one
+  // batch — identical decisions to the barrier path, without waiting for
+  // the whole corpus. ------------------------------------------------------
+  std::thread router([&] {
+    StageClock clock;
+    try {
+      std::map<std::size_t, ExtractedItem> out_of_order;
+      std::vector<ExtractedItem> window;  // contiguous run from `base`
+      window.reserve(k);
+      std::size_t base = 0;  // global index of window.front()
+      bool downstream_open = true;
+
+      auto flush_window = [&] {
+        if (window.empty()) return;
+        std::vector<const doc::Document*> docs(window.size());
+        std::vector<const parsers::ParseResult*> extractions(window.size());
+        for (std::size_t i = 0; i < window.size(); ++i) {
+          docs[i] = window[i].doc.get();
+          extractions[i] = &window[i].extraction;
+        }
+        std::vector<RouteDecision> decisions(window.size());
+        util::Stopwatch work;
+        engine_.route_window(docs.data(), extractions.data(), window.size(),
+                             base, decisions.data());
+        clock.busy += work.seconds();
+        for (std::size_t i = 0; i < window.size(); ++i) {
+          DoneItem out;
+          out.index = window[i].index;
+          out.doc = std::move(window[i].doc);
+          out.extraction = std::move(window[i].extraction);
+          out.decision = std::move(decisions[i]);
+          util::Stopwatch op;
+          const bool pushed = routed.push(std::move(out));
+          clock.idle += op.seconds();
+          if (!pushed) {
+            downstream_open = false;
+            break;
+          }
+          ++clock.items;
+        }
+        base += window.size();
+        window.clear();
+      };
+
+      while (downstream_open) {
+        util::Stopwatch op;
+        auto item = extracted.pop();
+        clock.idle += op.seconds();
+        if (!item) break;
+        util::Stopwatch work;
+        out_of_order.emplace(item->index, std::move(*item));
+        for (auto it = out_of_order.find(base + window.size());
+             it != out_of_order.end();
+             it = out_of_order.find(base + window.size())) {
+          window.push_back(std::move(it->second));
+          out_of_order.erase(it);
+          if (window.size() == k) {
+            clock.busy += work.seconds();
+            flush_window();
+            work.reset();
+            if (!downstream_open) break;
+          }
+        }
+        clock.busy += work.seconds();
+      }
+      if (downstream_open) flush_window();  // the final partial batch
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    extracted.close();  // unblock extractors if we exited early
+    routed.close();
+    merge(route_clock, clock);
+  });
+
+  // ---- Stage 4: budgeted upgrades on warm models (one resident model per
+  // worker slot, loaded once — paper §5.2). --------------------------------
+  for (std::size_t g = 0; g < upgrade_workers; ++g) {
+    worker_futures.push_back(pool.submit([&] {
+      StageClock clock;
+      try {
+        for (;;) {
+          util::Stopwatch op;
+          auto item = routed.pop();
+          clock.idle += op.seconds();
+          if (!item) break;
+          op.reset();
+          if (item->decision.chosen == parsers::ParserKind::kNougat) {
+            cache.get_or_load(
+                "nougat", [] { return std::make_shared<int>(0); },
+                engine_.nougat_->model_load_seconds());
+            item->upgrade = engine_.nougat_->parse(*item->doc);
+          }
+          clock.busy += op.seconds();
+          op.reset();
+          const bool pushed = completed.push(std::move(*item));
+          clock.idle += op.seconds();
+          if (!pushed) {
+            routed.close();  // downstream gone: unblock the router
+            break;
+          }
+          ++clock.items;
+        }
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      merge(upgrade_clock, clock);
+      if (upgraders_left.fetch_sub(1) == 1) completed.close();
+    }));
+  }
+
+  // ---- Stage 5: order-restoring writer — emits each record through the
+  // sink the moment every earlier document has been emitted. ---------------
+  std::thread writer([&] {
+    StageClock clock;
+    try {
+      std::map<std::size_t, DoneItem> out_of_order;
+      std::size_t next = 0;
+      for (;;) {
+        util::Stopwatch op;
+        auto item = completed.pop();
+        clock.idle += op.seconds();
+        if (!item) break;
+        op.reset();
+        out_of_order.emplace(item->index, std::move(*item));
+        for (auto it = out_of_order.find(next); it != out_of_order.end();
+             it = out_of_order.find(next)) {
+          DoneItem done = std::move(it->second);
+          out_of_order.erase(it);
+          stats.extraction_cpu_seconds += done.extraction.cost.cpu_seconds;
+          const io::ParseRecord record = engine_.make_record(
+              *done.doc, done.decision, done.extraction,
+              done.upgrade ? &*done.upgrade : nullptr, stats);
+          --resident;
+          credits.pop();  // return the admission credit
+          sink(next, record, done.decision);
+          ++stats.total_docs;
+          ++next;
+          ++clock.items;
+        }
+        clock.busy += op.seconds();
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    merge(write_clock, clock);
+  });
+
+  prefetcher.join();
+  router.join();
+  writer.join();
+  for (auto& f : worker_futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+
+  stats.classifier_cpu_seconds = engine_.per_doc_classifier_seconds() *
+                                 static_cast<double>(stats.total_docs);
+
+  auto fill = [](StageStats& out, const StageClock& clock,
+                 std::size_t peak_queue_depth) {
+    out.busy_seconds = clock.busy;
+    out.idle_seconds = clock.idle;
+    out.items = clock.items;
+    out.peak_queue_depth = peak_queue_depth;
+  };
+  stats.pipeline.streaming = true;
+  stats.pipeline.queue_capacity = cap;
+  stats.pipeline.resident_window = resident_window;
+  stats.pipeline.peak_resident_extractions = peak_resident.load();
+  fill(stats.pipeline.prefetch, prefetch_clock, prefetched.peak_size());
+  fill(stats.pipeline.extract, extract_clock, extracted.peak_size());
+  fill(stats.pipeline.route, route_clock, routed.peak_size());
+  fill(stats.pipeline.upgrade, upgrade_clock, completed.peak_size());
+  fill(stats.pipeline.write, write_clock, 0);
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+EngineStats Pipeline::run_to_jsonl(DocumentSource& source,
+                                   std::ostream& os) const {
+  io::JsonlWriter writer(os);
+  return run(source, [&writer](std::size_t, const io::ParseRecord& record,
+                               const RouteDecision&) {
+    writer.write(record);
+  });
+}
+
+RunOutput Pipeline::run_collect(const std::vector<doc::Document>& docs) const {
+  RunOutput output;
+  output.records.assign(docs.size(), {});
+  output.decisions.assign(docs.size(), {});
+  VectorSource source(docs);
+  output.stats = run(source, [&output](std::size_t index,
+                                       const io::ParseRecord& record,
+                                       const RouteDecision& decision) {
+    output.records[index] = record;
+    output.decisions[index] = decision;
+  });
+  return output;
+}
+
+}  // namespace adaparse::core

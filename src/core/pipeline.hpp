@@ -1,0 +1,75 @@
+// The streaming pipeline engine (paper §5–6): documents flow continuously
+// through bounded-queue-connected stages instead of the barrier-staged
+// run_barrier() phases —
+//
+//   source ─▶ [prefetch] ─q─▶ [extract ×W] ─q─▶ [route] ─q─▶ [upgrade ×G]
+//                                                                  │
+//                                                  sink ◀─ [write] ◀q
+//
+// Every queue is a sched::BoundedQueue, so a slow stage back-pressures the
+// prefetcher instead of letting extractions pile up in RAM (the same
+// reason the paper stages shard batches into node-local storage rather
+// than unboundedly). Routing preserves the per-batch floor(alpha*k) budget
+// semantics by assembling sliding windows of k consecutive documents;
+// upgrades run on warm models (sched::WarmModelCache); the write stage
+// restores input order and emits each io::ParseRecord the moment its
+// document completes — so output streams to JSONL incrementally and the
+// peak number of resident extractions is bounded by the batch size plus
+// the queue capacities, never by the corpus size.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/doc_source.hpp"
+#include "core/engine.hpp"
+
+namespace adaparse::core {
+
+struct PipelineConfig {
+  /// Capacity of each inter-stage queue (the backpressure window).
+  std::size_t queue_capacity = 32;
+  /// Extraction workers; 0 = the engine's `threads` setting (which itself
+  /// defaults to hardware concurrency).
+  std::size_t extract_workers = 0;
+  /// Upgrade workers — stand-ins for resident GPU model slots.
+  std::size_t upgrade_workers = 2;
+  /// Hard cap on documents admitted but not yet written (the credit
+  /// window). 0 = sized automatically from batch size + queue capacities;
+  /// explicit values are clamped up to the deadlock-free minimum (one full
+  /// routing batch must fit alongside everything in flight downstream).
+  std::size_t max_resident_documents = 0;
+};
+
+/// Drives documents from a DocumentSource through the five stages into a
+/// sink. One Pipeline is reusable (each run owns its queues and threads);
+/// the referenced engine must outlive it.
+class Pipeline {
+ public:
+  explicit Pipeline(const AdaParseEngine& engine, PipelineConfig config = {});
+
+  /// Called once per document, in strict input order, as soon as the
+  /// document's record is final.
+  using Sink = std::function<void(std::size_t index,
+                                  const io::ParseRecord& record,
+                                  const RouteDecision& decision)>;
+
+  /// Streams every document from `source` through the stages into `sink`.
+  EngineStats run(DocumentSource& source, const Sink& sink) const;
+
+  /// Streams records into a JSONL stream as documents complete (the
+  /// incremental counterpart of writing RunOutput::records at the end).
+  EngineStats run_to_jsonl(DocumentSource& source, std::ostream& os) const;
+
+  /// In-memory convenience: same output shape as AdaParseEngine::run().
+  RunOutput run_collect(const std::vector<doc::Document>& docs) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  const AdaParseEngine& engine_;
+  PipelineConfig config_;
+};
+
+}  // namespace adaparse::core

@@ -7,6 +7,7 @@
 // rather than unboundedly.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -26,6 +27,7 @@ class BoundedQueue {
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    peak_ = std::max(peak_, items_.size());
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -37,6 +39,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      peak_ = std::max(peak_, items_.size());
     }
     not_empty_.notify_one();
     return true;
@@ -74,12 +77,21 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// High-water mark of the queue depth (pipeline observability).
+  std::size_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   std::size_t capacity_;
+  std::size_t peak_ = 0;
   bool closed_ = false;
 };
 

@@ -1,8 +1,11 @@
-// Tests for the io module: JSONL records and shard archives.
+// Tests for the io module: JSONL records, shard archives, and the document
+// codec used by shard-backed streaming sources.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "doc/generator.hpp"
+#include "io/doc_codec.hpp"
 #include "io/jsonl.hpp"
 #include "io/shard.hpp"
 
@@ -149,6 +152,64 @@ TEST(Shard, PlanShardsSingleOversizedEntry) {
 
 TEST(Shard, PlanShardsEmpty) {
   EXPECT_TRUE(plan_shards({}, 100).empty());
+}
+
+// ----------------------------------------------------------- doc codec ----
+
+TEST(DocCodec, DocumentRoundTripPreservesEveryField) {
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(6, /*seed=*/31)).generate();
+  for (const auto& original : docs) {
+    const auto back = document_from_json(
+        util::Json::parse(document_to_json(original).dump()));
+    EXPECT_EQ(back.id, original.id);
+    EXPECT_EQ(back.meta.publisher, original.meta.publisher);
+    EXPECT_EQ(back.meta.domain, original.meta.domain);
+    EXPECT_EQ(back.meta.subcategory, original.meta.subcategory);
+    EXPECT_EQ(back.meta.year, original.meta.year);
+    EXPECT_EQ(back.meta.format, original.meta.format);
+    EXPECT_EQ(back.meta.producer, original.meta.producer);
+    EXPECT_EQ(back.meta.num_pages, original.meta.num_pages);
+    EXPECT_EQ(back.meta.title, original.meta.title);
+    EXPECT_EQ(back.groundtruth_pages, original.groundtruth_pages);
+    EXPECT_EQ(back.text_layer.pages, original.text_layer.pages);
+    EXPECT_NEAR(back.text_layer.fidelity, original.text_layer.fidelity, 1e-12);
+    EXPECT_EQ(back.text_layer.present, original.text_layer.present);
+    EXPECT_EQ(back.image_layer.born_digital, original.image_layer.born_digital);
+    EXPECT_NEAR(back.layout_complexity, original.layout_complexity, 1e-12);
+    EXPECT_EQ(back.seed, original.seed);
+    EXPECT_EQ(back.corrupted, original.corrupted);
+  }
+}
+
+TEST(DocCodec, SeedSurvivesAbove53Bits) {
+  // JSON numbers are doubles; the codec must not round 64-bit seeds.
+  doc::Document document;
+  document.id = "seed-test";
+  document.seed = 0xFFFFFFFFFFFFFFFFULL;
+  const auto back =
+      document_from_json(util::Json::parse(document_to_json(document).dump()));
+  EXPECT_EQ(back.seed, 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(DocCodec, PackedCorpusShardReadsBack) {
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(5, /*seed=*/32)).generate();
+  ShardReader reader(pack_corpus_shard(docs));
+  ASSERT_EQ(reader.count(), docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(reader.entries()[i].name, docs[i].id);
+    const auto back = document_from_json(
+        util::Json::parse(reader.entries()[i].payload));
+    EXPECT_EQ(back.id, docs[i].id);
+    EXPECT_EQ(back.groundtruth_pages, docs[i].groundtruth_pages);
+  }
+}
+
+TEST(DocCodec, RejectsOutOfRangeEnum) {
+  auto j = document_to_json(doc::Document{});
+  j.as_object()["producer"] = 99;
+  EXPECT_THROW(document_from_json(j), std::runtime_error);
 }
 
 }  // namespace

@@ -158,6 +158,105 @@ TEST(BoundedQueueTest, BackpressureBlocksProducer) {
   EXPECT_TRUE(pushed.load());
 }
 
+TEST(BoundedQueueTest, PeakSizeTracksHighWater) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  q.pop();
+  q.pop();
+  q.push(4);
+  EXPECT_EQ(q.peak_size(), 3U);
+  EXPECT_EQ(q.capacity(), 8U);
+}
+
+// ------------------------------------------------- multi-stage chains ----
+// The streaming pipeline connects stages with BoundedQueues; these tests
+// exercise the chain properties it relies on: capacity-1 chains make
+// progress, and closing the head mid-stream drains cleanly with no
+// deadlock and no loss of already-enqueued items.
+
+/// Relays every item from `in` to `out`, then closes `out`. A failed push
+/// (downstream closed) also closes `in` so upstream producers unblock —
+/// the same bidirectional shutdown cascade the pipeline stages use.
+template <typename T>
+std::thread relay_stage(BoundedQueue<T>& in, BoundedQueue<T>& out) {
+  return std::thread([&in, &out] {
+    while (auto v = in.pop()) {
+      if (!out.push(std::move(*v))) {
+        in.close();
+        break;
+      }
+    }
+    out.close();
+  });
+}
+
+TEST(BoundedQueueTest, CapacityOneChainMakesProgress) {
+  BoundedQueue<int> a(1), b(1), c(1);
+  auto t1 = relay_stage(a, b);
+  auto t2 = relay_stage(b, c);
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto v = c.pop()) received.push_back(*v);
+  });
+  constexpr int kItems = 200;
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(a.push(i));
+  a.close();
+  t1.join();
+  t2.join();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);  // FIFO held
+}
+
+TEST(BoundedQueueTest, ChainCloseMidStreamDrainsCleanly) {
+  BoundedQueue<int> a(2), b(2), c(2);
+  auto t1 = relay_stage(a, b);
+  auto t2 = relay_stage(b, c);
+  std::atomic<int> accepted{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100000; ++i) {
+      if (!a.push(i)) break;  // close() mid-stream lands here
+      ++accepted;
+    }
+  });
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto v = c.pop()) received.push_back(*v);
+  });
+  while (accepted.load() < 50) std::this_thread::yield();
+  a.close();  // shut the head down mid-stream
+  producer.join();
+  t1.join();
+  t2.join();
+  consumer.join();
+  // Every accepted item must come out the far end, in order, exactly once.
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(accepted.load()));
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    EXPECT_EQ(received[i], static_cast<int>(i));
+  }
+}
+
+TEST(BoundedQueueTest, ChainTailCloseUnblocksUpstream) {
+  // Closing the *tail* must not wedge producers blocked mid-chain: the
+  // relay sees push() fail and exits, closing its own output.
+  BoundedQueue<int> a(1), b(1);
+  auto t = relay_stage(a, b);
+  std::thread producer([&] {
+    for (int i = 0; i < 100000; ++i) {
+      if (!a.push(i)) break;
+    }
+    // Relay stopped consuming; the producer must not deadlock.
+    a.close();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  b.close();  // downstream consumer disappears
+  t.join();
+  producer.join();
+  SUCCEED();  // reaching here means no deadlock
+}
+
 // ------------------------------------------------------------- batcher ----
 
 TEST(BatcherTest, FlushesFullBatches) {

@@ -1,0 +1,171 @@
+// Multi-tenant service benchmark: an open-loop workload driver against
+// serve::ParseService.
+//
+// Three tenants submit jobs on independent Poisson arrival processes,
+// regardless of completion (open loop — arrival pressure does not slacken
+// when the service falls behind):
+//   alpha  weight 2.0, bulk jobs
+//   beta   weight 1.0, bulk jobs
+//   gamma  weight 1.0, small jobs with tight deadlines (boosted)
+// Reports per-tenant throughput, queue waits, and p50/p95/p99 job latency
+// from the service's own MetricsRegistry, verifies the service drains
+// cleanly (every job terminal, gauges at zero), and emits BENCH_serve.json.
+//
+//   ADAPARSE_BENCH_N       total documents across all jobs (default 1000)
+//   ADAPARSE_SERVE_DOCS    documents per job               (default 25)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/doc_source.hpp"
+#include "doc/generator.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+using namespace std::chrono_literals;
+
+int main() {
+  util::Stopwatch total;
+  const std::size_t n = bench::env().eval_docs;
+  std::size_t docs_per_job = 25;
+  if (const char* env_docs = std::getenv("ADAPARSE_SERVE_DOCS")) {
+    docs_per_job = std::max(1, std::atoi(env_docs));
+  }
+  const std::size_t num_jobs = std::max<std::size_t>(6, n / docs_per_job);
+  std::cout << "== multi-tenant parse service, open-loop workload ("
+            << num_jobs << " jobs x " << docs_per_job << " docs) ==\n";
+
+  serve::ServiceConfig config;
+  config.dispatchers = 2;
+  config.slice_batches = 1;
+  config.quantum_docs = 64;
+  config.deadline_slack = std::chrono::milliseconds(250);
+  serve::ParseService service(config, nullptr,
+                              std::make_shared<core::Cls2Improver>());
+  service.set_tenant_weight("alpha", 2.0);
+  service.set_tenant_weight("beta", 1.0);
+  service.set_tenant_weight("gamma", 1.0);
+
+  core::EngineConfig engine;
+  engine.variant = core::Variant::kFastText;
+  engine.batch_size = 32;
+  engine.alpha = 0.10;
+
+  // Precompute each tenant's Poisson arrival schedule so submission cost
+  // doesn't perturb the process.
+  struct Arrival {
+    double at_seconds;
+    const char* tenant;
+    std::uint64_t seed;
+  };
+  std::vector<Arrival> arrivals;
+  util::Rng rng(0x5EB5E);
+  const char* tenants[] = {"alpha", "beta", "gamma"};
+  const double mean_interarrival = 0.008;  // seconds, per tenant
+  for (std::size_t t = 0; t < 3; ++t) {
+    double at = 0.0;
+    for (std::size_t j = 0; j < num_jobs / 3 + (t < num_jobs % 3 ? 1 : 0);
+         ++j) {
+      at += rng.exponential(1.0 / mean_interarrival);
+      arrivals.push_back({at, tenants[t], rng.next_u64()});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+
+  std::vector<serve::JobHandle> jobs;
+  jobs.reserve(arrivals.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const Arrival& arrival : arrivals) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration<double>(arrival.at_seconds));
+    serve::JobRequest request;
+    request.tenant = arrival.tenant;
+    request.engine = engine;
+    request.source = std::make_unique<core::GeneratorSource>(
+        doc::benchmark_config(docs_per_job, arrival.seed));
+    if (request.tenant == std::string("gamma")) {
+      request.deadline = std::chrono::milliseconds(200);
+    }
+    jobs.push_back(service.submit(std::move(request)));
+  }
+  service.drain();
+  const double wall = total.seconds();
+
+  // ---- clean-drain check: every job terminal, service gauges at zero. ----
+  std::size_t completed = 0, rejected = 0, nonterminal = 0;
+  for (const auto& job : jobs) {
+    const auto state = job->state();
+    if (!serve::job_state_terminal(state)) ++nonterminal;
+    if (state == serve::JobState::kCompleted) ++completed;
+    if (state == serve::JobState::kRejected) ++rejected;
+  }
+  const bool clean = nonterminal == 0 && service.queued_jobs() == 0 &&
+                     service.running_jobs() == 0 &&
+                     service.resident_documents() == 0;
+
+  const auto snap = service.metrics();
+  util::Table table({"Tenant", "jobs", "done", "docs", "docs/s", "wait (ms)",
+                     "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  for (const auto& t : snap.tenants) {
+    table.row()
+        .add(t.tenant)
+        .add(t.jobs_submitted)
+        .add(t.jobs_completed)
+        .add(t.docs_completed)
+        .add(t.throughput_docs_per_second, 1)
+        .add(t.queue_wait_mean_seconds * 1e3, 1)
+        .add(t.latency_p50_seconds * 1e3, 1)
+        .add(t.latency_p95_seconds * 1e3, 1)
+        .add(t.latency_p99_seconds * 1e3, 1);
+  }
+  table.print(std::cout);
+  std::cout << "jobs: " << jobs.size() << " submitted, " << completed
+            << " completed, " << rejected << " rejected; clean drain: "
+            << (clean ? "yes" : "NO") << "; wall "
+            << util::format_fixed(wall, 2) << " s\n";
+
+  util::JsonObject out;
+  out["bench"] = "serve";
+  out["jobs"] = jobs.size();
+  out["docs_per_job"] = docs_per_job;
+  out["completed"] = completed;
+  out["rejected"] = rejected;
+  out["clean_drain"] = clean;
+  out["wall_seconds"] = wall;
+  out["pool_threads"] = service.pool_threads();
+  out["dispatchers"] = config.dispatchers;
+  util::JsonObject tenants_obj;
+  for (const auto& t : snap.tenants) {
+    util::JsonObject tenant;
+    tenant["jobs_submitted"] = t.jobs_submitted;
+    tenant["jobs_completed"] = t.jobs_completed;
+    tenant["jobs_rejected"] = t.jobs_rejected;
+    tenant["docs_completed"] = t.docs_completed;
+    tenant["throughput_docs_per_second"] = t.throughput_docs_per_second;
+    tenant["queue_wait_mean_seconds"] = t.queue_wait_mean_seconds;
+    tenant["latency_p50_seconds"] = t.latency_p50_seconds;
+    tenant["latency_p95_seconds"] = t.latency_p95_seconds;
+    tenant["latency_p99_seconds"] = t.latency_p99_seconds;
+    tenants_obj[t.tenant] = util::Json(std::move(tenant));
+  }
+  out["tenants"] = util::Json(std::move(tenants_obj));
+  {
+    std::ofstream json_file("BENCH_serve.json");
+    json_file << util::Json(std::move(out)).dump() << '\n';
+  }
+  std::cout << "wrote BENCH_serve.json; total wall time: "
+            << util::format_fixed(total.seconds(), 1) << " s\n";
+  return clean ? 0 : 1;
+}

@@ -76,6 +76,9 @@ struct StageStats {
 /// (streaming = false) when the output came from run_barrier().
 struct PipelineStats {
   bool streaming = false;          ///< produced by the streaming pipeline
+  /// True when a cooperative cancel stopped admission early (the run still
+  /// drained and emitted every admitted document).
+  bool cancelled = false;
   std::size_t queue_capacity = 0;  ///< per-stage bound (backpressure window)
   /// Effective admission-credit window: documents in flight (admitted but
   /// not yet written) never exceed this, regardless of corpus size.

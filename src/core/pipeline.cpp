@@ -125,8 +125,18 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
   std::atomic<std::size_t> extractors_left{extract_workers};
   std::atomic<std::size_t> upgraders_left{upgrade_workers};
 
-  sched::WarmModelCache cache(/*enabled=*/true);
-  sched::ThreadPool pool(extract_workers + upgrade_workers);
+  // Shared-infrastructure hooks: a service can hand every run one worker
+  // pool and one warm-model cache; standalone runs own theirs.
+  sched::WarmModelCache local_cache(/*enabled=*/true);
+  sched::WarmModelCache& cache =
+      config_.warm_cache != nullptr ? *config_.warm_cache : local_cache;
+  std::optional<sched::ThreadPool> local_pool;
+  if (config_.pool == nullptr) {
+    local_pool.emplace(extract_workers + upgrade_workers);
+  }
+  sched::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : *local_pool;
+  std::atomic<bool> saw_cancel{false};
 
   // ---- Stage 1: prefetch — pulls the source on a dedicated thread (the
   // moral equivalent of staging shards into node-local storage). ----------
@@ -135,6 +145,11 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
     try {
       std::size_t index = 0;
       for (;;) {
+        if (config_.cancel != nullptr &&
+            config_.cancel->load(std::memory_order_relaxed)) {
+          saw_cancel.store(true, std::memory_order_relaxed);
+          break;  // stop admitting; everything in flight still drains
+        }
         util::Stopwatch op;
         DocPtr doc = source.next();
         clock.busy += op.seconds();
@@ -335,6 +350,7 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
           ++stats.total_docs;
           ++next;
           ++clock.items;
+          if (config_.on_progress) config_.on_progress(stats.total_docs);
         }
         clock.busy += op.seconds();
       }
@@ -361,6 +377,7 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
     out.peak_queue_depth = peak_queue_depth;
   };
   stats.pipeline.streaming = true;
+  stats.pipeline.cancelled = saw_cancel.load(std::memory_order_relaxed);
   stats.pipeline.queue_capacity = cap;
   stats.pipeline.resident_window = resident_window;
   stats.pipeline.peak_resident_extractions = peak_resident.load();

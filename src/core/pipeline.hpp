@@ -18,12 +18,17 @@
 // the queue capacities, never by the corpus size.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <vector>
 
 #include "core/doc_source.hpp"
 #include "core/engine.hpp"
+
+namespace adaparse::sched {
+class WarmModelCache;
+}  // namespace adaparse::sched
 
 namespace adaparse::core {
 
@@ -40,6 +45,24 @@ struct PipelineConfig {
   /// explicit values are clamped up to the deadlock-free minimum (one full
   /// routing batch must fit alongside everything in flight downstream).
   std::size_t max_resident_documents = 0;
+  /// Optional shared worker pool (e.g. one pool multiplexed across service
+  /// jobs). When null, the run owns a pool sized extract + upgrade workers.
+  /// A shared pool must be able to run this run's full worker complement
+  /// (extract_workers + upgrade_workers) concurrently, or a stage can
+  /// starve and deadlock the run — serve::ParseService sizes for this.
+  sched::ThreadPool* pool = nullptr;
+  /// Optional shared warm-model cache so upgrades across runs (service
+  /// jobs) reuse one resident model per key. When null, each run warms its
+  /// own cache.
+  sched::WarmModelCache* warm_cache = nullptr;
+  /// Optional cooperative cancellation flag. Checked by the prefetcher
+  /// before each admission: once set, no further documents are admitted;
+  /// documents already in flight drain to the sink, so a cancelled run
+  /// still emits every admitted record (bounded by the credit window).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional progress callback, invoked on the writer thread after each
+  /// record reaches the sink, with the number of records emitted so far.
+  std::function<void(std::size_t emitted)> on_progress;
 };
 
 /// Drives documents from a DocumentSource through the five stages into a

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -50,11 +51,28 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return item;
+    return pop_locked(lock);
+  }
+
+  /// Non-blocking pop; returns nullopt when the queue is currently empty
+  /// (closed or not).
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Blocks until an item arrives, the timeout expires, or the queue is
+  /// closed and drained. Returns nullopt on timeout or close-and-drained;
+  /// callers that need to tell the two apart check closed(). Lets a
+  /// dispatch loop interleave popping with periodic admission/shutdown
+  /// checks instead of parking forever in pop().
+  std::optional<T> pop_for(std::chrono::steady_clock::duration timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
   }
 
   /// Closes the queue: pending pops drain remaining items, new pushes fail.
@@ -86,6 +104,15 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Pops the front item and releases `lock` before notifying.
+  T pop_locked(std::unique_lock<std::mutex>& lock) {
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -29,20 +30,38 @@ class ThreadPool {
   /// std::runtime_error if the pool is already shutting down.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    if (auto future = try_submit(std::forward<F>(f))) {
+      return std::move(*future);
+    }
+    throw std::runtime_error("ThreadPool: submit after shutdown");
+  }
+
+  /// Non-throwing submit: returns nullopt instead of throwing when the pool
+  /// is shutting down. The race matters for services: a dispatcher may race
+  /// an in-flight enqueue against shutdown(), and a rejected task must be a
+  /// normal outcome, not a crash. A task accepted here is guaranteed to run
+  /// (shutdown drains the queue before joining).
+  template <typename F>
+  auto try_submit(F&& f)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     auto future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      }
+      if (stopping_) return std::nullopt;
       tasks_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
     return future;
   }
+
+  /// Stops accepting new tasks, drains the queued ones, and joins the
+  /// workers. Idempotent; the destructor calls it. Safe to race against
+  /// try_submit from other threads (they observe the rejection instead of
+  /// throwing).
+  void shutdown();
 
   /// Blocks until every queued task has finished.
   void wait_idle();
@@ -59,6 +78,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   ///< wakes wait_idle
   std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
   std::size_t active_ = 0;
   std::size_t completed_ = 0;
   bool stopping_ = false;

@@ -1,0 +1,94 @@
+#include "serve/job.hpp"
+
+#include <utility>
+
+namespace adaparse::serve {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool job_state_terminal(JobState state) {
+  return state == JobState::kCompleted || state == JobState::kCancelled ||
+         state == JobState::kRejected || state == JobState::kFailed;
+}
+
+ParseJob::ParseJob(std::uint64_t id, JobRequest request, Clock::time_point now)
+    : id_(id),
+      tenant_(std::move(request.tenant)),
+      engine_config_(request.engine),
+      priority_(request.priority),
+      submitted_(now),
+      source_(std::move(request.source)) {
+  if (request.deadline.count() > 0) deadline_ = now + request.deadline;
+  if (source_) total_hint_ = source_->size_hint();
+}
+
+JobState ParseJob::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+JobProgress ParseJob::progress() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobProgress progress;
+  progress.state = state_;
+  progress.docs_completed = docs_completed_;
+  progress.docs_total_hint = total_hint_;
+  if (started_set_) {
+    progress.queue_wait_seconds =
+        std::chrono::duration<double>(started_ - submitted_).count();
+  }
+  if (finished_set_) {
+    progress.latency_seconds =
+        std::chrono::duration<double>(finished_ - submitted_).count();
+  }
+  return progress;
+}
+
+std::string ParseJob::error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+void ParseJob::cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+std::vector<JobRecord> ParseJob::take_results() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> taken(std::make_move_iterator(pending_.begin()),
+                               std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  return taken;
+}
+
+void ParseJob::wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return job_state_terminal(state_); });
+}
+
+bool ParseJob::wait_for(std::chrono::steady_clock::duration timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout,
+                      [this] { return job_state_terminal(state_); });
+}
+
+core::EngineStats ParseJob::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace adaparse::serve

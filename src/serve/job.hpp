@@ -1,0 +1,159 @@
+// Jobs — the unit of work a serve::ParseService multiplexes.
+//
+// A job is one tenant's parse request: a DocumentSource plus the
+// EngineConfig to run it under, with a priority (within the tenant) and an
+// optional deadline (across tenants: deadline-near jobs are boosted by the
+// scheduler). The service executes a job as a sequence of document slices
+// through the shared streaming pipeline, so many jobs interleave on one
+// worker pool; the handle exposes the full lifecycle
+//
+//   queued -> running -> completed | cancelled | failed
+//                \-> rejected (admission controller, never queued)
+//
+// plus incremental result retrieval: records stream into the handle in
+// strict input order as their slice completes, and take_results() drains
+// whatever has accumulated since the last call.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/doc_source.hpp"
+#include "core/engine.hpp"
+#include "io/jsonl.hpp"
+
+namespace adaparse::serve {
+
+class ParseService;
+
+enum class JobState : std::uint8_t {
+  kQueued,     ///< admitted, waiting for its next slice to be scheduled
+  kRunning,    ///< at least one slice executed, more remain
+  kCompleted,  ///< source exhausted, every record emitted
+  kCancelled,  ///< cooperatively stopped; partial results retained
+  kRejected,   ///< refused by the admission controller, never queued
+  kFailed,     ///< a slice threw; error() carries the message
+};
+
+const char* job_state_name(JobState state);
+bool job_state_terminal(JobState state);
+
+/// One parse request as submitted by a tenant.
+struct JobRequest {
+  std::string tenant = "default";
+  /// Per-job engine configuration (alpha, batch size, variant). The
+  /// `threads` field is ignored: the service owns the worker pool.
+  core::EngineConfig engine;
+  std::unique_ptr<core::DocumentSource> source;
+  /// Higher runs earlier among this tenant's queued jobs (FIFO within a
+  /// priority level).
+  int priority = 0;
+  /// Time allowed from submission before the job becomes deadline-urgent;
+  /// zero = no deadline. Urgent jobs jump the fair-share rotation.
+  std::chrono::milliseconds deadline{0};
+};
+
+/// One finished document, exactly as the engine would have produced it in
+/// a standalone run of the same corpus/config. `index` is the document's
+/// position in the job's source.
+struct JobRecord {
+  std::size_t index = 0;
+  io::ParseRecord record;
+  core::RouteDecision decision;
+};
+
+/// Point-in-time view of a job's lifecycle.
+struct JobProgress {
+  JobState state = JobState::kQueued;
+  std::size_t docs_completed = 0;
+  /// The source's size hint at submission (0 = unknown/unbounded).
+  std::size_t docs_total_hint = 0;
+  /// Seconds from submission to the first scheduled slice (0 until then).
+  double queue_wait_seconds = 0.0;
+  /// Seconds from submission to the terminal state (0 while active).
+  double latency_seconds = 0.0;
+};
+
+/// Shared handle to a submitted job. Thread-safe; the service writes
+/// results and state transitions, any number of client threads may poll,
+/// wait, drain results, or cancel.
+class ParseJob {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& tenant() const { return tenant_; }
+  const core::EngineConfig& engine_config() const { return engine_config_; }
+  int priority() const { return priority_; }
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+
+  JobState state() const;
+  JobProgress progress() const;
+  /// Rejection reason (kRejected) or slice error message (kFailed).
+  std::string error() const;
+
+  /// Requests cooperative cancellation: the current slice stops admitting
+  /// documents (in-flight ones drain into the results), and the job is
+  /// terminal at its next scheduling point. Already-retrieved and pending
+  /// results are retained. No-op on terminal jobs.
+  void cancel();
+
+  /// Drains every record accumulated since the last call, in input order.
+  std::vector<JobRecord> take_results();
+
+  /// Blocks until the job reaches a terminal state.
+  void wait() const;
+  /// Waits up to `timeout`; true iff the job is terminal on return.
+  bool wait_for(std::chrono::steady_clock::duration timeout) const;
+
+  /// Engine statistics aggregated over every executed slice.
+  core::EngineStats stats() const;
+
+ private:
+  friend class ParseService;
+
+  ParseJob(std::uint64_t id, JobRequest request, Clock::time_point now);
+
+  // ---- immutable after construction ----
+  std::uint64_t id_;
+  std::string tenant_;
+  core::EngineConfig engine_config_;
+  int priority_;
+  std::optional<Clock::time_point> deadline_;
+  Clock::time_point submitted_;
+  std::size_t total_hint_ = 0;
+
+  // ---- service-side execution state (dispatcher-only, unsynchronized) ----
+  std::unique_ptr<core::DocumentSource> source_;
+  std::unique_ptr<core::AdaParseEngine> engine_;
+  std::size_t docs_pulled_ = 0;  ///< documents drawn from the source so far
+  /// Documents this job charges against the resident-work watermark
+  /// (max(1, size hint)); released when the job reaches a terminal state.
+  std::size_t resident_estimate_ = 0;
+
+  // ---- shared state ----
+  std::atomic<bool> cancel_{false};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobState state_ = JobState::kQueued;
+  std::string error_;
+  std::deque<JobRecord> pending_;  ///< emitted but not yet taken
+  std::size_t docs_completed_ = 0;
+  core::EngineStats stats_;  ///< summed over slices
+  Clock::time_point started_;
+  Clock::time_point finished_;
+  bool started_set_ = false;
+  bool finished_set_ = false;
+};
+
+using JobHandle = std::shared_ptr<ParseJob>;
+
+}  // namespace adaparse::serve

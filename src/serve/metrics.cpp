@@ -1,0 +1,218 @@
+#include "serve/metrics.hpp"
+
+#include <sstream>
+
+namespace adaparse::serve {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Escapes a Prometheus label value (tenant names are client-supplied):
+/// backslash, double quote, and newline must be escaped or the whole
+/// exposition payload becomes unparsable — and a raw newline would let one
+/// tenant inject arbitrary metric lines.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : start_(std::chrono::steady_clock::now()) {}
+
+MetricsRegistry::Tenant& MetricsRegistry::tenant_locked(
+    const std::string& tenant) {
+  return tenants_.try_emplace(tenant).first->second;
+}
+
+void MetricsRegistry::observe_latency_locked(Tenant& t,
+                                             double latency_seconds) {
+  t.latency_p50.add(latency_seconds);
+  t.latency_p95.add(latency_seconds);
+  t.latency_p99.add(latency_seconds);
+}
+
+void MetricsRegistry::on_submitted(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tenant_locked(tenant).submitted;
+}
+
+void MetricsRegistry::on_rejected(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tenant_locked(tenant).rejected;
+}
+
+void MetricsRegistry::on_started(const std::string& tenant,
+                                 double queue_wait_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).queue_wait.add(queue_wait_seconds);
+}
+
+void MetricsRegistry::on_docs_completed(const std::string& tenant,
+                                        std::size_t docs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).docs += docs;
+}
+
+void MetricsRegistry::on_completed(const std::string& tenant,
+                                   double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenant_locked(tenant);
+  ++t.completed;
+  observe_latency_locked(t, latency_seconds);
+}
+
+void MetricsRegistry::on_cancelled(const std::string& tenant,
+                                   double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenant_locked(tenant);
+  ++t.cancelled;
+  observe_latency_locked(t, latency_seconds);
+}
+
+void MetricsRegistry::on_failed(const std::string& tenant,
+                                double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenant_locked(tenant);
+  ++t.failed;
+  observe_latency_locked(t, latency_seconds);
+}
+
+void MetricsRegistry::set_gauges(std::size_t queued_jobs,
+                                 std::size_t running_jobs,
+                                 std::size_t resident_documents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queued_jobs_ = queued_jobs;
+  running_jobs_ = running_jobs;
+  resident_documents_ = resident_documents;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.uptime_seconds = seconds_since(start_);
+  snap.queued_jobs = queued_jobs_;
+  snap.running_jobs = running_jobs_;
+  snap.resident_documents = resident_documents_;
+  snap.tenants.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantSnapshot ts;
+    ts.tenant = name;
+    ts.jobs_submitted = t.submitted;
+    ts.jobs_completed = t.completed;
+    ts.jobs_cancelled = t.cancelled;
+    ts.jobs_rejected = t.rejected;
+    ts.jobs_failed = t.failed;
+    ts.docs_completed = t.docs;
+    ts.queue_wait_mean_seconds = t.queue_wait.mean();
+    ts.queue_wait_max_seconds = t.queue_wait.max();
+    ts.latency_p50_seconds = t.latency_p50.value();
+    ts.latency_p95_seconds = t.latency_p95.value();
+    ts.latency_p99_seconds = t.latency_p99.value();
+    ts.throughput_docs_per_second =
+        snap.uptime_seconds > 0.0
+            ? static_cast<double>(t.docs) / snap.uptime_seconds
+            : 0.0;
+    snap.tenants.push_back(std::move(ts));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream os;
+
+  const auto counter = [&os](const char* name, const char* help) {
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << " counter\n";
+  };
+  const auto gauge = [&os](const char* name, const char* help) {
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << " gauge\n";
+  };
+
+  counter("adaparse_serve_jobs_total",
+          "Jobs by tenant and terminal-or-submitted outcome");
+  for (const auto& t : snap.tenants) {
+    const std::pair<const char*, std::size_t> outcomes[] = {
+        {"submitted", t.jobs_submitted}, {"completed", t.jobs_completed},
+        {"cancelled", t.jobs_cancelled}, {"rejected", t.jobs_rejected},
+        {"failed", t.jobs_failed}};
+    for (const auto& [outcome, count] : outcomes) {
+      os << "adaparse_serve_jobs_total{tenant=\"" << escape_label(t.tenant)
+         << "\",outcome=\"" << outcome << "\"} " << count << '\n';
+    }
+  }
+
+  counter("adaparse_serve_docs_completed_total",
+          "Documents parsed to completion by tenant");
+  for (const auto& t : snap.tenants) {
+    os << "adaparse_serve_docs_completed_total{tenant=\""
+       << escape_label(t.tenant) << "\"} " << t.docs_completed << '\n';
+  }
+
+  gauge("adaparse_serve_queue_wait_seconds_mean",
+        "Mean seconds jobs waited from submission to first slice");
+  for (const auto& t : snap.tenants) {
+    os << "adaparse_serve_queue_wait_seconds_mean{tenant=\""
+       << escape_label(t.tenant) << "\"} " << t.queue_wait_mean_seconds
+       << '\n';
+  }
+
+  gauge("adaparse_serve_job_latency_seconds",
+        "Job latency (submission to terminal state) quantile estimates");
+  for (const auto& t : snap.tenants) {
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", t.latency_p50_seconds},
+        {"0.95", t.latency_p95_seconds},
+        {"0.99", t.latency_p99_seconds}};
+    for (const auto& [q, value] : quantiles) {
+      os << "adaparse_serve_job_latency_seconds{tenant=\""
+         << escape_label(t.tenant) << "\",quantile=\"" << q << "\"} "
+         << value << '\n';
+    }
+  }
+
+  gauge("adaparse_serve_tenant_throughput_docs_per_second",
+        "Completed documents per second of service uptime");
+  for (const auto& t : snap.tenants) {
+    os << "adaparse_serve_tenant_throughput_docs_per_second{tenant=\""
+       << escape_label(t.tenant) << "\"} " << t.throughput_docs_per_second
+       << '\n';
+  }
+
+  gauge("adaparse_serve_queued_jobs", "Jobs admitted and waiting");
+  os << "adaparse_serve_queued_jobs " << snap.queued_jobs << '\n';
+  gauge("adaparse_serve_running_jobs", "Jobs with a slice executing now");
+  os << "adaparse_serve_running_jobs " << snap.running_jobs << '\n';
+  gauge("adaparse_serve_resident_documents",
+        "Estimated documents of admitted-but-unfinished work");
+  os << "adaparse_serve_resident_documents " << snap.resident_documents
+     << '\n';
+  gauge("adaparse_serve_uptime_seconds", "Seconds since service start");
+  os << "adaparse_serve_uptime_seconds " << snap.uptime_seconds << '\n';
+  return os.str();
+}
+
+}  // namespace adaparse::serve

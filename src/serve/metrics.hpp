@@ -1,0 +1,95 @@
+// Service-wide metrics (the observability half of the serving story).
+//
+// Tracks, per tenant: job outcomes, completed documents, queue-wait, and
+// job latency quantiles (p50/p95/p99 via util::P2Quantile — O(1) memory
+// per quantile, no sample buffers), plus service-level gauges (queued /
+// running jobs, resident documents). snapshot() returns plain values;
+// render_prometheus() emits the standard text exposition format so the
+// service can back a /metrics endpoint.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace adaparse::serve {
+
+/// Plain-value view of one tenant's counters and latency estimates.
+struct TenantSnapshot {
+  std::string tenant;
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_cancelled = 0;
+  std::size_t jobs_rejected = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t docs_completed = 0;
+  double queue_wait_mean_seconds = 0.0;
+  double queue_wait_max_seconds = 0.0;
+  double latency_p50_seconds = 0.0;  ///< job latency: submit -> terminal
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+  /// Completed docs per second of service uptime.
+  double throughput_docs_per_second = 0.0;
+};
+
+/// Plain-value view of the whole service.
+struct MetricsSnapshot {
+  double uptime_seconds = 0.0;
+  std::size_t queued_jobs = 0;
+  std::size_t running_jobs = 0;
+  std::size_t resident_documents = 0;
+  std::vector<TenantSnapshot> tenants;  ///< sorted by tenant name
+};
+
+/// Thread-safe metrics sink; one per ParseService.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  void on_submitted(const std::string& tenant);
+  void on_rejected(const std::string& tenant);
+  /// First slice scheduled; `queue_wait_seconds` = submit -> start.
+  void on_started(const std::string& tenant, double queue_wait_seconds);
+  void on_docs_completed(const std::string& tenant, std::size_t docs);
+  void on_completed(const std::string& tenant, double latency_seconds);
+  void on_cancelled(const std::string& tenant, double latency_seconds);
+  void on_failed(const std::string& tenant, double latency_seconds);
+
+  void set_gauges(std::size_t queued_jobs, std::size_t running_jobs,
+                  std::size_t resident_documents);
+
+  MetricsSnapshot snapshot() const;
+  /// Prometheus text exposition format (counters, gauges, and the latency
+  /// quantiles as a summary-style metric).
+  std::string render_prometheus() const;
+
+ private:
+  struct Tenant {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t cancelled = 0;
+    std::size_t rejected = 0;
+    std::size_t failed = 0;
+    std::size_t docs = 0;
+    util::RunningStats queue_wait;
+    util::P2Quantile latency_p50{0.50};
+    util::P2Quantile latency_p95{0.95};
+    util::P2Quantile latency_p99{0.99};
+  };
+
+  Tenant& tenant_locked(const std::string& tenant);
+  void observe_latency_locked(Tenant& t, double latency_seconds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Tenant> tenants_;
+  std::size_t queued_jobs_ = 0;
+  std::size_t running_jobs_ = 0;
+  std::size_t resident_documents_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace adaparse::serve

@@ -1,0 +1,205 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace adaparse::serve {
+
+namespace {
+constexpr double kMinWeight = 0.01;
+}  // namespace
+
+FairScheduler::FairScheduler(FairSchedulerConfig config) : config_(config) {
+  config_.quantum_docs = std::max<std::size_t>(1, config_.quantum_docs);
+}
+
+void FairScheduler::set_weight(const std::string& tenant, double weight) {
+  weights_[tenant] = std::max(kMinWeight, weight);
+}
+
+double FairScheduler::weight(const std::string& tenant) const {
+  return weight_locked(tenant);
+}
+
+double FairScheduler::weight_locked(const std::string& tenant) const {
+  const auto it = weights_.find(tenant);
+  return it != weights_.end() ? it->second : 1.0;
+}
+
+void FairScheduler::insert(ScheduleItem item, bool front_of_priority_class) {
+  Tenant& t = tenants_.try_emplace(item.tenant).first->second;
+  if (t.items.empty()) rotation_.push_back(item.tenant);
+  // Queues are ordered by priority (descending), FIFO within a class; a
+  // requeued (mid-run) job goes to the front of its class so it finishes
+  // before the tenant's next job of the same priority starts.
+  const int p = item.priority;
+  auto pos = front_of_priority_class
+                 ? std::find_if(t.items.begin(), t.items.end(),
+                                [p](const ScheduleItem& existing) {
+                                  return existing.priority <= p;
+                                })
+                 : std::find_if(t.items.begin(), t.items.end(),
+                                [p](const ScheduleItem& existing) {
+                                  return existing.priority < p;
+                                });
+  if (item.deadline) ++deadline_queued_;
+  t.items.insert(pos, std::move(item));
+  ++queued_;
+}
+
+void FairScheduler::enqueue(ScheduleItem item) {
+  insert(std::move(item), /*front_of_priority_class=*/false);
+}
+
+void FairScheduler::requeue(ScheduleItem item) {
+  insert(std::move(item), /*front_of_priority_class=*/true);
+}
+
+void FairScheduler::drop_from_rotation(const std::string& tenant) {
+  const auto it = std::find(rotation_.begin(), rotation_.end(), tenant);
+  if (it == rotation_.end()) return;
+  const auto idx = static_cast<std::size_t>(it - rotation_.begin());
+  if (idx == cursor_) visit_granted_ = false;  // that visit is over
+  rotation_.erase(it);
+  if (rotation_.empty()) {
+    cursor_ = 0;
+    return;
+  }
+  if (idx < cursor_) --cursor_;
+  if (cursor_ >= rotation_.size()) cursor_ = 0;
+}
+
+void FairScheduler::after_pop(const std::string& tenant, Tenant& t) {
+  --queued_;
+  if (t.items.empty()) {
+    // Classic DRR resets an idling tenant's counter, but only the credit
+    // side: debt from deadline boosts must survive the empty/requeue cycle
+    // a single sliced job goes through constantly, or boost debt would be
+    // wiped before it is ever repaid.
+    t.deficit = std::min(t.deficit, 0.0);
+    drop_from_rotation(tenant);
+  }
+}
+
+std::optional<ScheduleItem> FairScheduler::next(TimePoint now) {
+  if (queued_ == 0) return std::nullopt;
+
+  // ---- Deadline boost: earliest deadline within the slack window. A
+  // boost *borrows* future fair-share capacity, and the borrowing is
+  // bounded: once a tenant's debt would exceed its borrow cap the item is
+  // no longer boosted (it stays eligible through the normal rotation), so
+  // stamping tight deadlines on everything cannot starve other tenants. ----
+  if (deadline_queued_ > 0) {  // skip the scan for deadline-free workloads
+    Tenant* urgent_tenant = nullptr;
+    std::deque<ScheduleItem>::iterator urgent_it;
+    const std::string* urgent_name = nullptr;
+    const TimePoint horizon = now + config_.deadline_slack;
+    for (auto& [name, t] : tenants_) {
+      const double borrow_cap = 2.0 *
+                                static_cast<double>(config_.quantum_docs) *
+                                weight_locked(name);
+      for (auto it = t.items.begin(); it != t.items.end(); ++it) {
+        if (!it->deadline || *it->deadline > horizon) continue;
+        if (t.deficit - static_cast<double>(it->slice_cost) < -borrow_cap) {
+          continue;  // borrow allowance exhausted: no more jumping the line
+        }
+        if (urgent_tenant == nullptr ||
+            *it->deadline < *urgent_it->deadline) {
+          urgent_tenant = &t;
+          urgent_it = it;
+          urgent_name = &name;
+        }
+      }
+    }
+    if (urgent_tenant != nullptr) {
+      ScheduleItem item = std::move(*urgent_it);
+      urgent_tenant->items.erase(urgent_it);
+      // Urgency is not free capacity: the slice still spends tenant
+      // credit, possibly driving the deficit negative until the rotation
+      // repays it.
+      urgent_tenant->deficit -= static_cast<double>(item.slice_cost);
+      --deadline_queued_;
+      after_pop(*urgent_name, *urgent_tenant);
+      return item;
+    }
+  }
+
+  // ---- Deficit round-robin. Each *visit* (the cursor opening a tenant's
+  // service opportunity) grants quantum * weight credit exactly once; the
+  // tenant then dispatches slices until its credit no longer covers the
+  // next one, at which point the cursor moves on and the leftover credit
+  // carries to its next visit. The once-per-visit grant is load-bearing:
+  // granting on every call would let the tenant under the cursor mint
+  // credit forever, and granting only on cursor *movement* starves a
+  // tenant that re-enters the rotation under a parked cursor (a single
+  // job being requeued between slices does exactly that). Every full
+  // rotation grants every backlogged tenant fresh credit, so the loop
+  // always terminates with a dispatch. ----
+  for (;;) {
+    const std::string tenant = rotation_[cursor_];
+    Tenant& t = tenants_[tenant];
+    const double w = weight_locked(tenant);
+    const double cost = static_cast<double>(t.items.front().slice_cost);
+    if (!visit_granted_) {
+      visit_granted_ = true;
+      t.deficit += static_cast<double>(config_.quantum_docs) * w;
+      // Cap banked credit so a lone busy tenant cannot hoard an unbounded
+      // burst against tenants that arrive later.
+      t.deficit = std::min(
+          t.deficit,
+          cost + 2.0 * static_cast<double>(config_.quantum_docs) * w);
+    }
+    if (t.deficit >= cost) {
+      ScheduleItem item = std::move(t.items.front());
+      t.items.pop_front();
+      t.deficit -= cost;
+      if (item.deadline) --deadline_queued_;
+      after_pop(tenant, t);
+      if (cursor_ >= rotation_.size()) cursor_ = 0;
+      return item;
+    }
+    // Opportunity over: leftover credit carries; next tenant's visit opens.
+    cursor_ = (cursor_ + 1) % rotation_.size();
+    visit_granted_ = false;
+  }
+}
+
+void FairScheduler::refund(const std::string& tenant, std::size_t docs) {
+  const auto it = tenants_.find(tenant);
+  // Only meaningful while the tenant still has backlog: an idle tenant's
+  // deficit was reset on empty and stays reset.
+  if (it == tenants_.end() || it->second.items.empty()) return;
+  it->second.deficit += static_cast<double>(docs);
+}
+
+bool FairScheduler::remove(std::uint64_t id) {
+  for (auto& [name, t] : tenants_) {
+    const auto it =
+        std::find_if(t.items.begin(), t.items.end(),
+                     [id](const ScheduleItem& item) { return item.id == id; });
+    if (it == t.items.end()) continue;
+    if (it->deadline) --deadline_queued_;
+    t.items.erase(it);
+    after_pop(name, t);
+    return true;
+  }
+  return false;
+}
+
+std::vector<ScheduleItem> FairScheduler::take_all() {
+  std::vector<ScheduleItem> all;
+  all.reserve(queued_);
+  for (auto& [name, t] : tenants_) {
+    for (auto& item : t.items) all.push_back(std::move(item));
+    t.items.clear();
+    t.deficit = 0.0;
+  }
+  rotation_.clear();
+  cursor_ = 0;
+  visit_granted_ = false;
+  queued_ = 0;
+  deadline_queued_ = 0;
+  return all;
+}
+
+}  // namespace adaparse::serve

@@ -1,0 +1,139 @@
+// Weighted fair-share scheduling across tenants (deficit round-robin).
+//
+// Each tenant has a FIFO-within-priority queue of schedulable jobs and a
+// deficit counter. Every visit in the round-robin rotation grants the
+// tenant `quantum_docs * weight` document credits; a job's next slice is
+// dispatched once the tenant's credit covers its planned cost, and the
+// cost is charged on dispatch (with a refund when the slice turns out
+// shorter — the final slice of a job usually is). Backlogged tenants with
+// equal weights therefore complete documents at equal rates regardless of
+// how many or how large their jobs are, and a weight-2 tenant gets twice
+// the share of a weight-1 tenant.
+//
+// Deadline boost: jobs whose deadline is within `deadline_slack` of now
+// (or already past) bypass the rotation — earliest deadline first — by
+// *borrowing* their tenant's future capacity: the slice cost drives the
+// deficit negative, debt survives the tenant's queue emptying, and the
+// rotation withholds normal service until visits repay it. Borrowing is
+// capped at two quanta (scaled by weight); past the cap deadline-stamped
+// jobs fall back to the ordinary rotation, so a tenant cannot mint free
+// capacity — or starve anyone — by stamping tight deadlines on everything.
+//
+// Not thread-safe: the service serializes access under its own mutex (the
+// tests drive it single-threaded).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace adaparse::serve {
+
+/// One schedulable unit: a job waiting for its next slice. `job` is an
+/// opaque payload for the service; the scheduler decides from the rest
+/// (unit tests leave it null).
+struct ScheduleItem {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Planned document cost of the next slice (charged on dispatch).
+  std::size_t slice_cost = 1;
+  JobHandle job;
+};
+
+struct FairSchedulerConfig {
+  /// Document credits granted per rotation visit, scaled by tenant weight.
+  std::size_t quantum_docs = 64;
+  /// Jobs whose deadline falls within this window of "now" jump the
+  /// rotation (earliest deadline first).
+  std::chrono::milliseconds deadline_slack{250};
+};
+
+class FairScheduler {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit FairScheduler(FairSchedulerConfig config = {});
+
+  /// Sets a tenant's fair-share weight (clamped to >= 0.01; default 1).
+  void set_weight(const std::string& tenant, double weight);
+  double weight(const std::string& tenant) const;
+
+  /// Adds a newly admitted job behind the tenant's other jobs of the same
+  /// priority (higher priority still runs first).
+  void enqueue(ScheduleItem item);
+  /// Re-adds a job between slices, ahead of equal-priority peers so one
+  /// job finishes before the tenant starts its next one.
+  void requeue(ScheduleItem item);
+
+  /// Picks the next slice to run: the most urgent deadline-near job if any,
+  /// else deficit round-robin. nullopt when nothing is queued.
+  std::optional<ScheduleItem> next(TimePoint now);
+
+  /// Returns unused credit when a dispatched slice processed fewer
+  /// documents than planned.
+  void refund(const std::string& tenant, std::size_t docs);
+
+  /// Removes a queued item by job id (cancellation); false if not found.
+  bool remove(std::uint64_t id);
+
+  /// Removes and returns every queued item matching `pred` — the service's
+  /// reap pass for jobs cancelled while still queued, so their admission
+  /// capacity is released without waiting for their fair-share turn.
+  template <typename Pred>
+  std::vector<ScheduleItem> take_if(Pred pred) {
+    std::vector<ScheduleItem> taken;
+    for (auto& [name, t] : tenants_) {
+      for (auto it = t.items.begin(); it != t.items.end();) {
+        if (pred(static_cast<const ScheduleItem&>(*it))) {
+          if (it->deadline) --deadline_queued_;
+          taken.push_back(std::move(*it));
+          it = t.items.erase(it);
+          after_pop(name, t);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return taken;
+  }
+
+  /// Drains every queued item (service shutdown).
+  std::vector<ScheduleItem> take_all();
+
+  std::size_t queued() const { return queued_; }
+  bool empty() const { return queued_ == 0; }
+
+ private:
+  struct Tenant {
+    std::deque<ScheduleItem> items;
+    double deficit = 0.0;
+  };
+
+  double weight_locked(const std::string& tenant) const;
+  void insert(ScheduleItem item, bool front_of_priority_class);
+  void after_pop(const std::string& tenant, Tenant& t);
+  void drop_from_rotation(const std::string& tenant);
+
+  FairSchedulerConfig config_;
+  std::map<std::string, Tenant> tenants_;
+  std::map<std::string, double> weights_;
+  std::vector<std::string> rotation_;  ///< tenants with backlog, visit order
+  std::size_t cursor_ = 0;
+  /// Whether the tenant under the cursor already received this visit's
+  /// quantum grant (credit is granted once per visit, not per call).
+  bool visit_granted_ = false;
+  std::size_t queued_ = 0;
+  /// Queued items carrying a deadline; the EDF scan is skipped entirely
+  /// (the common, deadline-free case) while this is zero.
+  std::size_t deadline_queued_ = 0;
+};
+
+}  // namespace adaparse::serve

@@ -1,0 +1,449 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "core/pipeline.hpp"
+
+namespace adaparse::serve {
+namespace {
+
+/// Serves at most `limit` documents from the job's source — the slice the
+/// scheduler granted. Remembers whether the underlying stream ended so the
+/// dispatcher can tell "slice full" from "job done".
+class LimitSource final : public core::DocumentSource {
+ public:
+  LimitSource(core::DocumentSource& inner, std::size_t limit)
+      : inner_(inner), limit_(limit) {}
+
+  std::shared_ptr<const doc::Document> next() override {
+    if (pulled_ >= limit_) return nullptr;
+    auto doc = inner_.next();
+    if (!doc) {
+      exhausted_ = true;
+      return nullptr;
+    }
+    ++pulled_;
+    return doc;
+  }
+
+  std::size_t pulled() const { return pulled_; }
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  core::DocumentSource& inner_;
+  std::size_t limit_;
+  std::size_t pulled_ = 0;
+  bool exhausted_ = false;
+};
+
+std::size_t resolve_pool_threads(const ServiceConfig& config) {
+  std::size_t threads = config.pool_threads > 0
+                            ? config.pool_threads
+                            : std::max<std::size_t>(
+                                  2, std::thread::hardware_concurrency());
+  // Every concurrent slice needs its full worker complement (>= 1 extract
+  // + 1 upgrade) runnable at once, or a pipeline stage could starve and
+  // deadlock the slice — the shared-pool invariant of core::Pipeline.
+  const std::size_t dispatchers =
+      std::max<std::size_t>(1, config.dispatchers);
+  return std::max(threads, 2 * dispatchers);
+}
+
+FairSchedulerConfig scheduler_config(const ServiceConfig& config) {
+  FairSchedulerConfig sc;
+  sc.quantum_docs = config.quantum_docs;
+  sc.deadline_slack = config.deadline_slack;
+  return sc;
+}
+
+void accumulate_stage(core::StageStats& into, const core::StageStats& slice) {
+  into.busy_seconds += slice.busy_seconds;
+  into.idle_seconds += slice.idle_seconds;
+  into.items += slice.items;
+  into.peak_queue_depth =
+      std::max(into.peak_queue_depth, slice.peak_queue_depth);
+}
+
+void accumulate(core::EngineStats& into, const core::EngineStats& slice) {
+  into.total_docs += slice.total_docs;
+  into.cls1_invalid += slice.cls1_invalid;
+  into.routed_to_nougat += slice.routed_to_nougat;
+  into.accepted_extraction += slice.accepted_extraction;
+  into.failed_docs += slice.failed_docs;
+  into.classifier_cpu_seconds += slice.classifier_cpu_seconds;
+  into.extraction_cpu_seconds += slice.extraction_cpu_seconds;
+  into.nougat_gpu_seconds += slice.nougat_gpu_seconds;
+  into.wall_seconds += slice.wall_seconds;
+  into.pipeline.streaming = true;
+  into.pipeline.cancelled |= slice.pipeline.cancelled;
+  into.pipeline.queue_capacity = slice.pipeline.queue_capacity;
+  into.pipeline.resident_window =
+      std::max(into.pipeline.resident_window, slice.pipeline.resident_window);
+  into.pipeline.peak_resident_extractions =
+      std::max(into.pipeline.peak_resident_extractions,
+               slice.pipeline.peak_resident_extractions);
+  accumulate_stage(into.pipeline.prefetch, slice.pipeline.prefetch);
+  accumulate_stage(into.pipeline.extract, slice.pipeline.extract);
+  accumulate_stage(into.pipeline.route, slice.pipeline.route);
+  accumulate_stage(into.pipeline.upgrade, slice.pipeline.upgrade);
+  accumulate_stage(into.pipeline.write, slice.pipeline.write);
+}
+
+double seconds_between(ParseJob::Clock::time_point from,
+                       ParseJob::Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+ParseService::ParseService(
+    ServiceConfig config,
+    std::shared_ptr<const core::AccuracyPredictor> predictor,
+    std::shared_ptr<const core::Cls2Improver> improver)
+    : config_(config),
+      predictor_(std::move(predictor)),
+      improver_(std::move(improver)),
+      cache_(/*enabled=*/true),
+      pool_(resolve_pool_threads(config)),
+      scheduler_(scheduler_config(config)),
+      wake_(256) {
+  config_.dispatchers = std::max<std::size_t>(1, config_.dispatchers);
+  config_.slice_batches = std::max<std::size_t>(1, config_.slice_batches);
+  // Split the pool evenly across concurrent slices; favor extraction (the
+  // paper's cheap-lane bulk) and keep one upgrade slot per slice unless
+  // there is room for the pipeline's default of two.
+  const std::size_t per_slice =
+      std::max<std::size_t>(2, pool_.size() / config_.dispatchers);
+  slice_upgrade_workers_ = per_slice >= 6 ? 2 : 1;
+  slice_extract_workers_ = per_slice - slice_upgrade_workers_;
+  dispatchers_.reserve(config_.dispatchers);
+  for (std::size_t d = 0; d < config_.dispatchers; ++d) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+ParseService::~ParseService() { shutdown(); }
+
+std::size_t ParseService::slice_docs_for(const ParseJob& job) const {
+  const std::size_t k =
+      std::max<std::size_t>(1, job.engine_config().batch_size);
+  return config_.slice_batches * k;
+}
+
+ScheduleItem ParseService::make_item(const JobHandle& job) const {
+  ScheduleItem item;
+  item.id = job->id();
+  item.tenant = job->tenant();
+  item.priority = job->priority();
+  item.deadline = job->deadline();
+  item.slice_cost = slice_docs_for(*job);
+  item.job = job;
+  return item;
+}
+
+JobHandle ParseService::submit(JobRequest request) {
+  const auto now = ParseJob::Clock::now();
+  const std::string tenant = request.tenant;
+  metrics_.on_submitted(tenant);
+
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_job_id_++;
+  }
+  JobHandle job(new ParseJob(id, std::move(request), now));
+  job->resident_estimate_ = std::max<std::size_t>(1, job->total_hint_);
+
+  const auto reject = [&](std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(job->mutex_);
+      job->state_ = JobState::kRejected;
+      job->error_ = std::move(reason);
+      job->finished_ = ParseJob::Clock::now();
+      job->finished_set_ = true;
+    }
+    job->cv_.notify_all();
+    metrics_.on_rejected(tenant);
+    update_gauges();
+    return job;
+  };
+
+  if (!job->source_) return reject("no document source");
+  try {
+    job->engine_ = std::make_unique<core::AdaParseEngine>(
+        job->engine_config_, predictor_, improver_);
+  } catch (const std::exception& e) {
+    return reject(std::string("engine: ") + e.what());
+  }
+
+  // Admission control: shed load once either watermark is exceeded, so
+  // queue depth (and with it the queue-wait tail) stays bounded.
+  std::string reject_reason;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_ || stopping_.load(std::memory_order_relaxed)) {
+      reject_reason = "service shutdown";
+    } else if (scheduler_.queued() >= config_.max_queued_jobs) {
+      reject_reason = "admission: queued-jobs watermark";
+    } else if (resident_docs_ + job->resident_estimate_ >
+               config_.max_resident_documents) {
+      reject_reason = "admission: resident-work watermark";
+    } else {
+      resident_docs_ += job->resident_estimate_;
+      scheduler_.enqueue(make_item(job));
+    }
+  }
+  if (!reject_reason.empty()) return reject(std::move(reject_reason));
+  wake_.try_push(0);
+  update_gauges();
+  return job;
+}
+
+void ParseService::set_tenant_weight(const std::string& tenant,
+                                     double weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scheduler_.set_weight(tenant, weight);
+}
+
+std::size_t ParseService::queued_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_.queued();
+}
+
+std::size_t ParseService::running_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::size_t ParseService::resident_documents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_docs_;
+}
+
+void ParseService::update_gauges() const {
+  std::size_t queued, running, resident;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queued = scheduler_.queued();
+    running = running_;
+    resident = resident_docs_;
+  }
+  metrics_.set_gauges(queued, running, resident);
+}
+
+MetricsSnapshot ParseService::metrics() const {
+  update_gauges();
+  return metrics_.snapshot();
+}
+
+std::string ParseService::metrics_text() const {
+  update_gauges();
+  return metrics_.render_prometheus();
+}
+
+void ParseService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return scheduler_.empty() && running_ == 0; });
+}
+
+void ParseService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  wake_.close();
+  for (auto& dispatcher : dispatchers_) dispatcher.join();
+  std::vector<ScheduleItem> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftovers = scheduler_.take_all();
+  }
+  for (auto& item : leftovers) {
+    finalize(item.job, JobState::kCancelled, "service shutdown");
+  }
+  pool_.shutdown();
+  update_gauges();
+}
+
+void ParseService::dispatcher_loop() {
+  for (;;) {
+    // The wake channel makes fresh submits immediate; its timeout bounds
+    // how stale a shutdown or cancel check can get (satellite: pop_for).
+    (void)wake_.pop_for(config_.dispatch_poll);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+
+    // Reap jobs cancelled while still queued: finalizing them here (instead
+    // of when their fair-share turn would have come) releases their
+    // admission capacity immediately, so cancelled work cannot keep the
+    // watermarks tripped against other tenants.
+    std::vector<ScheduleItem> reaped;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      reaped = scheduler_.take_if([](const ScheduleItem& item) {
+        return item.job &&
+               item.job->cancel_.load(std::memory_order_relaxed);
+      });
+    }
+    for (const auto& item : reaped) {
+      finalize(item.job, JobState::kCancelled, "");
+    }
+
+    JobHandle job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto item = scheduler_.next(ParseJob::Clock::now());
+      if (item) {
+        job = std::move(item->job);
+        ++running_;
+      }
+    }
+    if (!job) continue;
+    update_gauges();
+
+    run_slice(job);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    idle_cv_.notify_all();
+    update_gauges();
+    // More work may be queued (including this job's next slice); keep the
+    // dispatchers hot instead of waiting out the poll timeout.
+    wake_.try_push(0);
+  }
+}
+
+void ParseService::run_slice(const JobHandle& job) {
+  ParseJob& j = *job;
+
+  if (j.cancel_.load(std::memory_order_relaxed)) {
+    finalize(job, JobState::kCancelled, "");
+    return;
+  }
+
+  // First slice: queued -> running, and the queue-wait sample.
+  {
+    std::lock_guard<std::mutex> lock(j.mutex_);
+    if (j.state_ == JobState::kQueued) {
+      j.state_ = JobState::kRunning;
+      j.started_ = ParseJob::Clock::now();
+      j.started_set_ = true;
+      metrics_.on_started(j.tenant_,
+                          seconds_between(j.submitted_, j.started_));
+    }
+  }
+
+  const std::size_t planned = slice_docs_for(j);
+  const std::size_t base = j.docs_pulled_;
+  LimitSource slice_source(*j.source_, planned);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.queue_capacity = config_.queue_capacity;
+  pipeline_config.extract_workers = slice_extract_workers_;
+  pipeline_config.upgrade_workers = slice_upgrade_workers_;
+  pipeline_config.pool = &pool_;
+  pipeline_config.warm_cache = &cache_;
+  pipeline_config.cancel = &j.cancel_;
+  const core::Pipeline pipeline(*j.engine_, pipeline_config);
+
+  core::EngineStats slice_stats;
+  bool failed = false;
+  std::string error;
+  // The sink runs on the slice's writer thread only, so this counter needs
+  // no lock; the registry is charged once per slice, not per record (the
+  // sink is the ordered-emit hot path, shared-mutex-free by design).
+  std::size_t slice_docs_done = 0;
+  try {
+    slice_stats = pipeline.run(
+        slice_source,
+        [&](std::size_t index, const io::ParseRecord& record,
+            const core::RouteDecision& decision) {
+          JobRecord out;
+          out.index = base + index;
+          out.record = record;
+          out.decision = decision;
+          // Slice-local indices become corpus-global ones, matching what
+          // a standalone run would have produced.
+          out.decision.doc_index = base + decision.doc_index;
+          {
+            std::lock_guard<std::mutex> lock(j.mutex_);
+            j.pending_.push_back(std::move(out));
+            ++j.docs_completed_;
+          }
+          ++slice_docs_done;
+        });
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  } catch (...) {
+    failed = true;
+    error = "unknown slice error";
+  }
+  j.docs_pulled_ += slice_source.pulled();
+  if (slice_docs_done > 0) {
+    metrics_.on_docs_completed(j.tenant_, slice_docs_done);
+  }
+  if (!failed) {
+    std::lock_guard<std::mutex> lock(j.mutex_);
+    accumulate(j.stats_, slice_stats);
+  }
+
+  // Return unused credit for a short (usually final) slice.
+  if (slice_source.pulled() < planned) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scheduler_.refund(j.tenant_, planned - slice_source.pulled());
+  }
+
+  if (failed) {
+    finalize(job, JobState::kFailed, std::move(error));
+  } else if (j.cancel_.load(std::memory_order_relaxed)) {
+    finalize(job, JobState::kCancelled, "");
+  } else if (slice_source.exhausted()) {
+    finalize(job, JobState::kCompleted, "");
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scheduler_.requeue(make_item(job));
+  }
+}
+
+void ParseService::finalize(const JobHandle& job, JobState state,
+                            std::string error) {
+  ParseJob& j = *job;
+  double latency;
+  {
+    std::lock_guard<std::mutex> lock(j.mutex_);
+    if (job_state_terminal(j.state_)) return;  // already settled
+    j.state_ = state;
+    j.error_ = std::move(error);
+    j.finished_ = ParseJob::Clock::now();
+    j.finished_set_ = true;
+    latency = seconds_between(j.submitted_, j.finished_);
+  }
+  j.cv_.notify_all();
+  switch (state) {
+    case JobState::kCompleted:
+      metrics_.on_completed(j.tenant_, latency);
+      break;
+    case JobState::kCancelled:
+      metrics_.on_cancelled(j.tenant_, latency);
+      break;
+    case JobState::kFailed:
+      metrics_.on_failed(j.tenant_, latency);
+      break;
+    default:
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    resident_docs_ -= std::min(resident_docs_, j.resident_estimate_);
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace adaparse::serve

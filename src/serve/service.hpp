@@ -1,0 +1,184 @@
+// serve::ParseService — a long-running, multi-tenant parse service.
+//
+// The paper runs AdaParse as one-shot HPC campaigns; this layer turns the
+// same engine into a service many clients share. Jobs (DocumentSource +
+// EngineConfig + tenant + priority/deadline) pass through three stages:
+//
+//   submit() ──▶ [ admission controller ] ──▶ reject (watermarks exceeded)
+//                        │ admit
+//                        ▼
+//               [ FairScheduler ]  per-tenant queues, weighted deficit
+//                        │         round-robin + deadline boost
+//                        ▼ one slice at a time
+//               [ dispatchers ×D ] each slice = slice_batches routing
+//                        │         batches through core::Pipeline on the
+//                        ▼         shared ThreadPool + WarmModelCache
+//                 JobHandle        records stream in, in input order
+//
+// Because execution is sliced, a tenant's 100k-document job cannot
+// monopolize the pool: between any two of its slices the scheduler is free
+// to run other tenants' slices, and completed-document share converges to
+// the weight ratio. Slices are whole routing batches (multiples of the
+// job's batch_size k), so the per-batch floor(alpha*k) budget semantics —
+// and therefore every record and decision — are byte-identical to a
+// standalone AdaParseEngine::run() over the same corpus and config.
+//
+// serve::MetricsRegistry snapshots per-tenant throughput, queue waits, and
+// p50/p95/p99 job latency (util::P2Quantile) in Prometheus text format.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/queue.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/warm_cache.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+
+namespace adaparse::serve {
+
+/// Tuning knobs for ParseService. Defaults suit a mid-size shared box;
+/// tests shrink them to force contention.
+struct ServiceConfig {
+  /// Worker threads in the shared pool that all jobs' pipeline stages run
+  /// on. 0 = hardware concurrency. Raised to at least 2 * dispatchers so
+  /// every concurrent slice can run one extract and one upgrade worker —
+  /// the deadlock-free minimum for a shared-pool pipeline run.
+  std::size_t pool_threads = 0;
+
+  /// Dispatcher threads = slices that may execute concurrently. Each
+  /// dispatcher picks the next slice from the fair scheduler and drives it
+  /// through the pipeline to completion before picking again. 1 gives
+  /// strict slice-by-slice interleaving (most predictable fairness);
+  /// more dispatchers trade some short-window fairness for throughput.
+  std::size_t dispatchers = 1;
+
+  /// Slice length in routing batches: each scheduled slice pulls
+  /// slice_batches * job.batch_size documents from the job's source.
+  /// Slices are whole batches so routing is byte-identical to a standalone
+  /// run. Smaller = finer interleaving and faster cancellation; larger =
+  /// less scheduling overhead.
+  std::size_t slice_batches = 1;
+
+  /// Admission watermark: reject a submit once this many jobs are queued
+  /// (running slices don't count). Keeps the queue — and the queue-wait
+  /// tail — bounded under overload, shedding load back to clients.
+  std::size_t max_queued_jobs = 64;
+
+  /// Admission watermark on resident work: reject a submit when admitted-
+  /// but-unfinished documents (by source size hint; unknown sizes count as
+  /// 1) would exceed this.
+  std::size_t max_resident_documents = 100000;
+
+  /// Fair-share quantum: document credits granted to a tenant per
+  /// scheduler-rotation visit, scaled by its weight. Tenants burst up to
+  /// roughly quantum/slice-cost consecutive slices before yielding.
+  std::size_t quantum_docs = 64;
+
+  /// Jobs whose deadline is within this window of now (or past it) bypass
+  /// the fair-share rotation, earliest deadline first. The boosted slice
+  /// still spends the tenant's credit.
+  std::chrono::milliseconds deadline_slack{250};
+
+  /// Idle dispatcher poll period: the upper bound on how long shutdown,
+  /// a fresh submit, or a cancel can go unnoticed when the wake channel
+  /// is quiet.
+  std::chrono::milliseconds dispatch_poll{5};
+
+  /// Per-stage bounded-queue capacity inside each slice's pipeline run.
+  std::size_t queue_capacity = 16;
+};
+
+/// The service. Construct with the shared models (predictor for LLM-variant
+/// jobs, improver for FT-variant jobs; either may be null if no job will
+/// need it), submit jobs from any thread, and read metrics at will.
+/// Destruction (or shutdown()) stops dispatchers after their current slice
+/// and cancels still-queued jobs.
+class ParseService {
+ public:
+  explicit ParseService(
+      ServiceConfig config,
+      std::shared_ptr<const core::AccuracyPredictor> predictor = nullptr,
+      std::shared_ptr<const core::Cls2Improver> improver = nullptr);
+  ~ParseService();
+
+  ParseService(const ParseService&) = delete;
+  ParseService& operator=(const ParseService&) = delete;
+
+  /// Admits, or rejects, one job. Always returns a handle: on rejection it
+  /// is already terminal (JobState::kRejected) with error() explaining
+  /// which watermark tripped. Thread-safe.
+  JobHandle submit(JobRequest request);
+
+  /// Sets a tenant's fair-share weight (default 1.0; clamped to >= 0.01).
+  /// Takes effect at the tenant's next scheduler visit.
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Blocks until no job is queued or running.
+  void drain();
+
+  /// Stops dispatchers (after their in-flight slices), cancels queued
+  /// jobs, and joins. Idempotent; submits during/after are rejected.
+  void shutdown();
+
+  /// Snapshot with the queue/running/resident gauges refreshed first.
+  MetricsSnapshot metrics() const;
+  /// Prometheus text exposition of the current metrics.
+  std::string metrics_text() const;
+
+  /// The shared warm-model cache (one resident model per key across every
+  /// job — the service-wide analogue of the paper's per-GPU persistence).
+  const sched::WarmModelCache& warm_cache() const { return cache_; }
+
+  const ServiceConfig& config() const { return config_; }
+  std::size_t pool_threads() const { return pool_.size(); }
+  std::size_t queued_jobs() const;
+  std::size_t running_jobs() const;
+  std::size_t resident_documents() const;
+
+ private:
+  void dispatcher_loop();
+  /// Runs one slice of `job` on this dispatcher thread, then finalizes or
+  /// requeues it.
+  void run_slice(const JobHandle& job);
+  void finalize(const JobHandle& job, JobState state, std::string error);
+  ScheduleItem make_item(const JobHandle& job) const;
+  std::size_t slice_docs_for(const ParseJob& job) const;
+  void update_gauges() const;
+
+  ServiceConfig config_;
+  std::shared_ptr<const core::AccuracyPredictor> predictor_;
+  std::shared_ptr<const core::Cls2Improver> improver_;
+  /// Internally synchronized; mutable so const snapshots can refresh the
+  /// gauges from the live counters first.
+  mutable MetricsRegistry metrics_;
+  sched::WarmModelCache cache_;
+  sched::ThreadPool pool_;
+  std::size_t slice_extract_workers_ = 1;  ///< per concurrent slice
+  std::size_t slice_upgrade_workers_ = 1;
+
+  mutable std::mutex mutex_;  ///< guards scheduler_ and the counters below
+  std::condition_variable idle_cv_;  ///< drain() waiters
+  FairScheduler scheduler_;
+  std::size_t running_ = 0;
+  std::size_t resident_docs_ = 0;
+  std::uint64_t next_job_id_ = 1;
+  bool shut_down_ = false;
+
+  std::atomic<bool> stopping_{false};
+  /// Wake channel: submits/requeues push tokens so idle dispatchers react
+  /// immediately; pop_for's timeout keeps shutdown and cancel responsive
+  /// even when the channel is quiet. Closed on shutdown.
+  sched::BoundedQueue<char> wake_;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace adaparse::serve

@@ -160,4 +160,78 @@ double spearman(std::span<const double> x, std::span<const double> y) {
   return pearson(rx, ry);
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  }
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    // Bootstrap: collect the first five observations sorted.
+    heights_[count_] = x;
+    ++count_;
+    std::sort(heights_.begin(), heights_.begin() + count_);
+    for (std::size_t i = 0; i < 5; ++i) {
+      positions_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+
+  // Find the cell k containing x and clamp the extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions, using
+  // the piecewise-parabolic (P^2) height update, falling back to linear
+  // interpolation when the parabolic step would break monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const std::size_t j = d >= 1.0 ? i + 1 : i - 1;
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over the sorted bootstrap buffer.
+    std::vector<double> xs(heights_.begin(),
+                           heights_.begin() + count_);
+    return quantile(std::move(xs), q_);
+  }
+  return heights_[2];
+}
+
 }  // namespace adaparse::util

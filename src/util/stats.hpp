@@ -3,6 +3,7 @@
 // and an online accumulator for streaming summaries.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -59,6 +60,32 @@ double r_squared(std::span<const double> truth, std::span<const double> pred);
 
 /// Quantile with linear interpolation; q in [0,1]. xs need not be sorted.
 double quantile(std::vector<double> xs, double q);
+
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm, 1985):
+/// tracks one quantile of an unbounded stream in O(1) memory with five
+/// markers whose heights are adjusted by piecewise-parabolic interpolation.
+/// The service latency metrics use one instance per tracked quantile
+/// (p50/p95/p99) per tenant — no sample buffer, no sort at snapshot time.
+/// For the first five observations the estimate is exact.
+class P2Quantile {
+ public:
+  /// `q` in (0,1): the quantile to track (e.g. 0.95).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; 0 before any observation.
+  double value() const;
+  std::size_t count() const { return count_; }
+  double q() const { return q_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    ///< marker heights (q[i])
+  std::array<double, 5> positions_{};  ///< actual marker positions (n[i])
+  std::array<double, 5> desired_{};    ///< desired marker positions (n'[i])
+  std::array<double, 5> increments_{};  ///< dn'[i] per observation
+};
 
 /// Spearman rank correlation (ties get average ranks).
 double spearman(std::span<const double> x, std::span<const double> y);

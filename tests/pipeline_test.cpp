@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <vector>
 
@@ -190,6 +191,64 @@ TEST_F(PipelineFixture, JsonlSinkStreamsEveryRecord) {
     EXPECT_EQ(records[i].to_json().dump(),
               reference.records[i].to_json().dump());
   }
+}
+
+// ------------------------------------------------------------- hooks ----
+
+TEST(PipelineHooks, OnProgressReportsEveryEmittedRecordInOrder) {
+  EngineConfig config;
+  config.variant = Variant::kFastText;
+  const AdaParseEngine engine(config, nullptr,
+                              std::make_shared<Cls2Improver>());
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(40, 343)).generate();
+
+  std::vector<std::size_t> progress;
+  PipelineConfig pipeline_config;
+  pipeline_config.on_progress = [&progress](std::size_t emitted) {
+    progress.push_back(emitted);
+  };
+  VectorSource source(docs);
+  std::size_t sunk = 0;
+  Pipeline(engine, pipeline_config)
+      .run(source, [&](std::size_t, const io::ParseRecord&,
+                       const RouteDecision&) { ++sunk; });
+
+  // Called once per record, on the writer thread, with the running total.
+  ASSERT_EQ(progress.size(), docs.size());
+  ASSERT_EQ(sunk, docs.size());
+  for (std::size_t i = 0; i < progress.size(); ++i) {
+    EXPECT_EQ(progress[i], i + 1);
+  }
+}
+
+TEST(PipelineHooks, CancelFlagStopsAdmissionAndDrainsInFlight) {
+  EngineConfig config;
+  config.variant = Variant::kFastText;
+  const AdaParseEngine engine(config, nullptr,
+                              std::make_shared<Cls2Improver>());
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(400, 454)).generate();
+
+  std::atomic<bool> cancel{false};
+  PipelineConfig pipeline_config;
+  pipeline_config.cancel = &cancel;
+  pipeline_config.queue_capacity = 4;
+  VectorSource source(docs);
+  std::size_t emitted = 0;
+  const auto stats =
+      Pipeline(engine, pipeline_config)
+          .run(source, [&](std::size_t index, const io::ParseRecord&,
+                           const RouteDecision&) {
+            EXPECT_EQ(index, emitted);  // drained records stay in order
+            ++emitted;
+            if (emitted == 20) cancel.store(true);
+          });
+
+  EXPECT_TRUE(stats.pipeline.cancelled);
+  EXPECT_GE(emitted, 20U);          // everything admitted still drained
+  EXPECT_LT(emitted, docs.size());  // but admission stopped early
+  EXPECT_EQ(stats.total_docs, emitted);
 }
 
 // --------------------------------------------------------- boundedness ----

@@ -62,6 +62,48 @@ TEST(ThreadPoolTest, AtLeastOneWorker) {
   EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
 }
 
+TEST(ThreadPoolTest, TrySubmitRunsLikeSubmit) {
+  ThreadPool pool(2);
+  auto f = pool.try_submit([] { return 21 * 2; });
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get(), 42);
+}
+
+TEST(ThreadPoolTest, TrySubmitAfterShutdownRejectsInsteadOfThrowing) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_FALSE(pool.try_submit([] {}).has_value());
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, SubmitShutdownRaceNeverCrashesAndAcceptedTasksRun) {
+  // Regression for the service-shutdown race: submitters racing shutdown()
+  // must observe clean rejection, and every *accepted* task must still run
+  // (shutdown drains the queue before joining).
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 2000; ++i) {
+        auto f = pool.try_submit([&executed] { ++executed; });
+        if (!f.has_value()) break;  // pool is gone: a normal outcome
+        ++accepted;
+      }
+    });
+  }
+  go = true;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.shutdown();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_FALSE(pool.try_submit([] {}).has_value());
+}
+
 TEST(ThreadPoolTest, ParallelismActuallyHappens) {
   ThreadPool pool(4);
   std::atomic<int> concurrent{0};
@@ -156,6 +198,52 @@ TEST(BoundedQueueTest, BackpressureBlocksProducer) {
   q.pop();
   producer.join();
   EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, TryPopReturnsItemOrNullopt) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(7);
+  EXPECT_EQ(q.try_pop().value(), 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(8);
+  q.close();
+  EXPECT_EQ(q.try_pop().value(), 8);  // close still drains
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueueTest, PopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, std::chrono::milliseconds(25));
+  EXPECT_FALSE(q.closed());  // timeout, not shutdown
+}
+
+TEST(BoundedQueueTest, PopForReturnsEarlyWhenItemArrives) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(5);
+  });
+  // Far shorter than the 10s bound: the wait must end at the push.
+  EXPECT_EQ(q.pop_for(std::chrono::seconds(10)).value(), 5);
+  producer.join();
+}
+
+TEST(BoundedQueueTest, PopForUnblocksOnCloseWhileWaiting) {
+  BoundedQueue<int> q(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::seconds(10)).has_value());
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(waited, std::chrono::seconds(5));  // not the full timeout
+  EXPECT_TRUE(q.closed());
+  closer.join();
 }
 
 TEST(BoundedQueueTest, PeakSizeTracksHighWater) {

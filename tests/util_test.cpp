@@ -287,6 +287,74 @@ TEST(Stats, QuantileEndpointsAndMedian) {
   EXPECT_EQ(quantile(xs, 0.5), 3.0);
 }
 
+TEST(P2QuantileTest, ExactForFewerThanFiveSamples) {
+  P2Quantile p50(0.5);
+  EXPECT_EQ(p50.value(), 0.0);  // no observations yet
+  p50.add(9.0);
+  EXPECT_EQ(p50.value(), 9.0);
+  p50.add(1.0);
+  p50.add(5.0);
+  // Three samples: the estimate is the exact interpolated median.
+  EXPECT_NEAR(p50.value(), 5.0, 1e-12);
+  EXPECT_EQ(p50.count(), 3U);
+}
+
+TEST(P2QuantileTest, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2QuantileTest, TracksUniformDistributionQuantiles) {
+  // Uniform [0,1): the true q-quantile is q itself.
+  for (const double q : {0.5, 0.95, 0.99}) {
+    P2Quantile estimator(q);
+    Rng rng(0xACE5);
+    for (int i = 0; i < 20000; ++i) estimator.add(rng.uniform());
+    EXPECT_NEAR(estimator.value(), q, 0.02)
+        << "uniform quantile q=" << q;
+  }
+}
+
+TEST(P2QuantileTest, TracksExponentialTailQuantiles) {
+  // Exponential(rate=2): quantile q is -ln(1-q)/2. Checks the estimator on
+  // a skewed, heavy-ish-tailed distribution like service latencies.
+  for (const double q : {0.5, 0.95, 0.99}) {
+    P2Quantile estimator(q);
+    Rng rng(0xBEEF);
+    for (int i = 0; i < 30000; ++i) estimator.add(rng.exponential(2.0));
+    const double truth = -std::log(1.0 - q) / 2.0;
+    EXPECT_NEAR(estimator.value(), truth, 0.08 * truth + 0.01)
+        << "exponential quantile q=" << q;
+  }
+}
+
+TEST(P2QuantileTest, MatchesExactQuantileOnNormalStream) {
+  P2Quantile p95(0.95);
+  std::vector<double> xs;
+  Rng rng(0x9E3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    p95.add(x);
+    xs.push_back(x);
+  }
+  const double exact = quantile(xs, 0.95);
+  EXPECT_NEAR(p95.value(), exact, 0.15);
+  EXPECT_EQ(p95.count(), xs.size());
+}
+
+TEST(P2QuantileTest, OrderedQuantilesStayOrdered) {
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  Rng rng(0x77);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(1.0);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_LT(p50.value(), p95.value());
+  EXPECT_LT(p95.value(), p99.value());
+}
+
 TEST(Stats, SpearmanMonotoneNonlinear) {
   std::vector<double> x, y;
   for (int i = 1; i <= 20; ++i) {

@@ -2,7 +2,23 @@
 // metrics over document-length text, feature hashing, corruption channels,
 // parser simulation, and the thread pool. Also quantifies the raw
 // extraction-vs-ViT cost ratio underlying the paper's "135x" claim.
+//
+// The per-document featurization/scoring benchmarks come in pairs: the
+// optimized hot path and its frozen seed counterpart (`*_Seed`, from
+// src/reference/seed_impl.*). After the run, a custom reporter writes
+// BENCH_micro.json with ns/op, throughput, and the seed-vs-optimized
+// speedups for hash_text / compute_features / rouge. Setting
+// ADAPARSE_BENCH_BASELINE=<path to bench_micro_baseline.json> turns the run
+// into a regression gate: the process exits non-zero if any tracked speedup
+// falls more than `tolerance` (default 25%) below the checked-in baseline.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
 
 #include "core/cls1.hpp"
 #include "doc/generator.hpp"
@@ -11,9 +27,11 @@
 #include "metrics/rouge.hpp"
 #include "ml/feature_hash.hpp"
 #include "parsers/registry.hpp"
+#include "reference/seed_impl.hpp"
 #include "sched/thread_pool.hpp"
 #include "text/corrupt.hpp"
 #include "text/features.hpp"
+#include "util/json.hpp"
 
 using namespace adaparse;
 
@@ -38,6 +56,16 @@ const std::string& candidate_text() {
   return s;
 }
 
+const std::string& document_text() {
+  static const std::string s = sample_doc().full_text_layer();
+  return s;
+}
+
+void set_bytes(benchmark::State& state, std::size_t bytes_per_iter) {
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes_per_iter));
+}
+
 }  // namespace
 
 static void BM_Bleu_Document(benchmark::State& state) {
@@ -45,24 +73,43 @@ static void BM_Bleu_Document(benchmark::State& state) {
     benchmark::DoNotOptimize(
         metrics::bleu(candidate_text(), reference_text()));
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(reference_text().size()));
+  set_bytes(state, reference_text().size());
 }
 BENCHMARK(BM_Bleu_Document);
 
-static void BM_RougeL_Document(benchmark::State& state) {
+static void BM_Bleu_Document_Seed(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        metrics::rouge_l(candidate_text(), reference_text()).f1);
+        reference::bleu_seed(candidate_text(), reference_text()));
   }
+  set_bytes(state, reference_text().size());
 }
-BENCHMARK(BM_RougeL_Document);
+BENCHMARK(BM_Bleu_Document_Seed);
+
+static void BM_Rouge_Document(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::rouge(candidate_text(), reference_text()));
+  }
+  set_bytes(state, reference_text().size());
+}
+BENCHMARK(BM_Rouge_Document);
+
+static void BM_Rouge_Document_Seed(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reference::rouge_seed(candidate_text(), reference_text()));
+  }
+  set_bytes(state, reference_text().size());
+}
+BENCHMARK(BM_Rouge_Document_Seed);
 
 static void BM_CharacterAccuracy_Document(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         metrics::character_accuracy(candidate_text(), reference_text()));
   }
+  set_bytes(state, reference_text().size());
 }
 BENCHMARK(BM_CharacterAccuracy_Document);
 
@@ -82,24 +129,55 @@ static void BM_FeatureHash_FirstPage(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ml::hash_text(page, options));
   }
+  set_bytes(state, std::min<std::size_t>(page.size(), options.max_chars));
 }
 BENCHMARK(BM_FeatureHash_FirstPage);
 
-static void BM_Cls1_Validate(benchmark::State& state) {
-  const std::string text = sample_doc().full_text_layer();
+static void BM_FeatureHash_Document(benchmark::State& state) {
+  ml::HashOptions options;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::cls1_validate(text, 10));
+    benchmark::DoNotOptimize(ml::hash_text(document_text(), options));
   }
+  set_bytes(state,
+            std::min<std::size_t>(document_text().size(), options.max_chars));
+}
+BENCHMARK(BM_FeatureHash_Document);
+
+static void BM_FeatureHash_Document_Seed(benchmark::State& state) {
+  ml::HashOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reference::hash_text_seed(document_text(), options));
+  }
+  set_bytes(state,
+            std::min<std::size_t>(document_text().size(), options.max_chars));
+}
+BENCHMARK(BM_FeatureHash_Document_Seed);
+
+static void BM_Cls1_Validate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cls1_validate(document_text(), 10));
+  }
+  set_bytes(state, document_text().size());
 }
 BENCHMARK(BM_Cls1_Validate);
 
-static void BM_TextFeatures(benchmark::State& state) {
-  const std::string text = sample_doc().full_text_layer();
+static void BM_TextFeatures_Document(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(text::compute_features(text));
+    benchmark::DoNotOptimize(text::compute_features(document_text()));
   }
+  set_bytes(state, document_text().size());
 }
-BENCHMARK(BM_TextFeatures);
+BENCHMARK(BM_TextFeatures_Document);
+
+static void BM_TextFeatures_Document_Seed(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reference::compute_features_seed(document_text()));
+  }
+  set_bytes(state, document_text().size());
+}
+BENCHMARK(BM_TextFeatures_Document_Seed);
 
 static void BM_CorruptChannel_Scramble(benchmark::State& state) {
   util::Rng rng(3);
@@ -145,4 +223,129 @@ static void BM_ThreadPool_Submit(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPool_Submit)->Arg(2)->Arg(8);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporting plus capture of per-benchmark timings for
+/// BENCH_micro.json.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Timing {
+    double real_ns = 0.0;
+    double bytes_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      Timing t;
+      t.real_ns = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) t.bytes_per_second = it->second;
+      timings_[run.run_name.str()] = t;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, Timing>& timings() const { return timings_; }
+
+ private:
+  std::map<std::string, Timing> timings_;
+};
+
+/// The seed-vs-optimized pairs tracked in BENCH_micro.json (and gated in CI).
+struct TrackedPair {
+  const char* key;        ///< name in the "speedups" object
+  const char* optimized;  ///< benchmark name of the new hot path
+  const char* seed;       ///< benchmark name of the frozen seed path
+};
+
+constexpr TrackedPair kTracked[] = {
+    {"hash_text", "BM_FeatureHash_Document", "BM_FeatureHash_Document_Seed"},
+    {"compute_features", "BM_TextFeatures_Document",
+     "BM_TextFeatures_Document_Seed"},
+    {"rouge", "BM_Rouge_Document", "BM_Rouge_Document_Seed"},
+    {"bleu", "BM_Bleu_Document", "BM_Bleu_Document_Seed"},
+};
+
+int write_report_and_check(const CaptureReporter& reporter) {
+  util::JsonObject benchmarks;
+  for (const auto& [name, t] : reporter.timings()) {
+    util::JsonObject entry;
+    entry["real_ns_per_op"] = t.real_ns;
+    if (t.bytes_per_second > 0.0) {
+      entry["bytes_per_second"] = t.bytes_per_second;
+      entry["gib_per_second"] = t.bytes_per_second / (1024.0 * 1024.0 * 1024.0);
+    }
+    benchmarks[name] = std::move(entry);
+  }
+
+  util::JsonObject speedups;
+  for (const auto& pair : kTracked) {
+    const auto& timings = reporter.timings();
+    const auto opt = timings.find(pair.optimized);
+    const auto seed = timings.find(pair.seed);
+    if (opt == timings.end() || seed == timings.end() ||
+        opt->second.real_ns <= 0.0) {
+      continue;  // filtered out on the command line
+    }
+    speedups[pair.key] = seed->second.real_ns / opt->second.real_ns;
+  }
+
+  util::JsonObject root;
+  root["benchmarks"] = std::move(benchmarks);
+  root["speedups"] = util::Json(speedups);
+  const std::string out_path = "BENCH_micro.json";
+  std::ofstream out(out_path);
+  out << util::Json(std::move(root)).dump() << "\n";
+  out.close();
+  std::cout << "\nwrote " << out_path << "\n";
+  for (const auto& [key, value] : speedups) {
+    std::cout << "  speedup " << key << ": " << value.as_number() << "x\n";
+  }
+
+  const char* baseline_path = std::getenv("ADAPARSE_BENCH_BASELINE");
+  if (baseline_path == nullptr) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "cannot read baseline " << baseline_path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto baseline = util::Json::parse(buf.str());
+  const double tolerance = baseline.contains("tolerance")
+                               ? baseline.at("tolerance").as_number()
+                               : 0.25;
+  int failures = 0;
+  for (const auto& [key, expected] : baseline.at("speedups").as_object()) {
+    if (!speedups.count(key)) {
+      std::cerr << "baseline speedup '" << key << "' missing from run\n";
+      ++failures;
+      continue;
+    }
+    const double measured = speedups.at(key).as_number();
+    const double floor = expected.as_number() * (1.0 - tolerance);
+    if (measured < floor) {
+      std::cerr << "REGRESSION: " << key << " speedup " << measured
+                << "x below floor " << floor << "x (baseline "
+                << expected.as_number() << "x, tolerance " << tolerance
+                << ")\n";
+      ++failures;
+    } else {
+      std::cout << "  gate " << key << ": " << measured << "x >= " << floor
+                << "x ok\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return write_report_and_check(reporter);
+}

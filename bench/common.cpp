@@ -43,7 +43,7 @@ metrics::DocumentScores score_one(const doc::Document& document,
                         ? static_cast<double>(pages_retrieved) /
                               static_cast<double>(document.num_pages())
                         : 0.0;
-  scores.tokens = text::split_whitespace(text).size();
+  scores.tokens = text::count_tokens(text);
   return scores;
 }
 

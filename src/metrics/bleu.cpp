@@ -5,11 +5,15 @@
 
 #include "text/ngram.hpp"
 #include "text/tokenize.hpp"
+#include "util/rng.hpp"
 
 namespace adaparse::metrics {
+namespace {
 
-BleuResult bleu_tokens(std::span<const std::string> candidate,
-                       std::span<const std::string> reference,
+/// Core scorer over pre-hashed token streams: each side's tokens are hashed
+/// exactly once, and every n-gram order chains the same per-token hashes.
+BleuResult bleu_hashed(const text::TokenHashes& candidate,
+                       const text::TokenHashes& reference,
                        const BleuOptions& options) {
   BleuResult result;
   result.candidate_len = candidate.size();
@@ -71,11 +75,36 @@ BleuResult bleu_tokens(std::span<const std::string> candidate,
   return result;
 }
 
+}  // namespace
+
+BleuResult bleu_tokens(std::span<const std::string> candidate,
+                       std::span<const std::string> reference,
+                       const BleuOptions& options) {
+  return bleu_hashed(text::hash_tokens(candidate), text::hash_tokens(reference),
+                     options);
+}
+
+BleuResult bleu_tokens(std::span<const std::string_view> candidate,
+                       std::span<const std::string_view> reference,
+                       const BleuOptions& options) {
+  return bleu_hashed(text::hash_tokens(candidate), text::hash_tokens(reference),
+                     options);
+}
+
 double bleu(std::string_view candidate, std::string_view reference,
             const BleuOptions& options) {
-  const auto cand = text::tokenize(candidate);
-  const auto ref = text::tokenize(reference);
-  return bleu_tokens(cand, ref, options).score;
+  // Tokenize as views and hash each token exactly once per side; no token
+  // strings are materialized anywhere in the scoring path.
+  text::TokenHashes cand, ref;
+  cand.reserve(candidate.size() / 6 + 1);
+  ref.reserve(reference.size() / 6 + 1);
+  text::for_each_token(candidate, [&](std::string_view t) {
+    cand.push_back(util::hash64(t));
+  });
+  text::for_each_token(reference, [&](std::string_view t) {
+    ref.push_back(util::hash64(t));
+  });
+  return bleu_hashed(cand, ref, options).score;
 }
 
 }  // namespace adaparse::metrics

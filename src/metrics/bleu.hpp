@@ -33,6 +33,12 @@ BleuResult bleu_tokens(std::span<const std::string> candidate,
                        std::span<const std::string> reference,
                        const BleuOptions& options = {});
 
+/// BLEU over pre-tokenized view sequences (hot path: no token copies). Each
+/// token is hashed once and the hashes are reused across all n-gram orders.
+BleuResult bleu_tokens(std::span<const std::string_view> candidate,
+                       std::span<const std::string_view> reference,
+                       const BleuOptions& options = {});
+
 /// Convenience: tokenizes both sides then scores. This is the document-level
 /// accuracy measure A used throughout the reproduction.
 double bleu(std::string_view candidate, std::string_view reference,

@@ -22,9 +22,11 @@ RougeScore from_counts(double matches, double cand_total, double ref_total) {
 
 /// Deterministically subsamples `tokens` to at most `cap` tokens by taking
 /// evenly spaced contiguous blocks, which keeps local n-gram structure and
-/// global ordering intact (unlike random sampling).
-std::vector<std::string> block_sample(std::span<const std::string> tokens,
-                                      std::size_t cap) {
+/// global ordering intact (unlike random sampling). Views are cheap to copy,
+/// so sampling never duplicates token bytes.
+template <typename Token>
+std::vector<Token> block_sample(std::span<const Token> tokens,
+                                std::size_t cap) {
   if (tokens.size() <= cap) {
     return {tokens.begin(), tokens.end()};
   }
@@ -32,7 +34,7 @@ std::vector<std::string> block_sample(std::span<const std::string> tokens,
   const std::size_t num_blocks = std::max<std::size_t>(1, cap / block);
   const double stride =
       static_cast<double>(tokens.size()) / static_cast<double>(num_blocks);
-  std::vector<std::string> out;
+  std::vector<Token> out;
   out.reserve(num_blocks * block);
   for (std::size_t b = 0; b < num_blocks; ++b) {
     const auto start = static_cast<std::size_t>(static_cast<double>(b) * stride);
@@ -42,9 +44,12 @@ std::vector<std::string> block_sample(std::span<const std::string> tokens,
   return out;
 }
 
-/// Classic O(nm) LCS length with O(min(n,m)) memory.
-std::size_t lcs_length(std::span<const std::string> a,
-                       std::span<const std::string> b) {
+/// Classic O(nm) LCS length with O(min(n,m)) memory, over per-token 64-bit
+/// hashes: the DP inner loop compares two integers instead of token bytes,
+/// which is the same token-equality convention the hashed n-gram counts
+/// already use.
+std::size_t lcs_length(std::span<const std::uint64_t> a,
+                       std::span<const std::uint64_t> b) {
   if (a.size() < b.size()) return lcs_length(b, a);
   if (b.empty()) return 0;
   std::vector<std::uint32_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
@@ -61,46 +66,84 @@ std::size_t lcs_length(std::span<const std::string> a,
   return prev[b.size()];
 }
 
-}  // namespace
-
-RougeScore rouge_n_tokens(std::span<const std::string> candidate,
-                          std::span<const std::string> reference,
-                          std::size_t n) {
-  const auto cand_counts = text::count_ngrams(candidate, n);
-  const auto ref_counts = text::count_ngrams(reference, n);
+template <typename Token>
+RougeScore rouge_n_impl(std::span<const Token> candidate,
+                        std::span<const Token> reference, std::size_t n) {
+  // Hash each token once; both orders and both sides reuse the hashes.
+  const auto cand_hashes = text::hash_tokens(candidate);
+  const auto ref_hashes = text::hash_tokens(reference);
+  const auto cand_counts = text::count_ngrams(cand_hashes, n);
+  const auto ref_counts = text::count_ngrams(ref_hashes, n);
   const auto matches = text::overlap(cand_counts, ref_counts);
   return from_counts(static_cast<double>(matches),
                      static_cast<double>(text::total(cand_counts)),
                      static_cast<double>(text::total(ref_counts)));
 }
 
-RougeScore rouge_n(std::string_view candidate, std::string_view reference,
-                   std::size_t n) {
-  const auto cand = text::tokenize(candidate);
-  const auto ref = text::tokenize(reference);
-  return rouge_n_tokens(cand, ref, n);
-}
-
-RougeScore rouge_l_tokens(std::span<const std::string> candidate,
-                          std::span<const std::string> reference,
-                          std::size_t max_tokens) {
+template <typename Token>
+RougeScore rouge_l_impl(std::span<const Token> candidate,
+                        std::span<const Token> reference,
+                        std::size_t max_tokens) {
   if (candidate.empty() || reference.empty()) return {};
+  // Sample first, hash after: only the <= max_tokens surviving tokens per
+  // side are hashed (sampling and hashing commute).
   const auto cand = block_sample(candidate, max_tokens);
   const auto ref = block_sample(reference, max_tokens);
-  const std::size_t lcs = lcs_length(cand, ref);
+  const auto cand_hashes = text::hash_tokens(std::span<const Token>(cand));
+  const auto ref_hashes = text::hash_tokens(std::span<const Token>(ref));
+  const std::size_t lcs =
+      lcs_length(std::span<const std::uint64_t>(cand_hashes),
+                 std::span<const std::uint64_t>(ref_hashes));
   return from_counts(static_cast<double>(lcs),
                      static_cast<double>(cand.size()),
                      static_cast<double>(ref.size()));
 }
 
+}  // namespace
+
+RougeScore rouge_n_tokens(std::span<const std::string> candidate,
+                          std::span<const std::string> reference,
+                          std::size_t n) {
+  return rouge_n_impl(candidate, reference, n);
+}
+
+RougeScore rouge_n_tokens(std::span<const std::string_view> candidate,
+                          std::span<const std::string_view> reference,
+                          std::size_t n) {
+  return rouge_n_impl(candidate, reference, n);
+}
+
+RougeScore rouge_n(std::string_view candidate, std::string_view reference,
+                   std::size_t n) {
+  const auto cand = text::tokenize_views(candidate);
+  const auto ref = text::tokenize_views(reference);
+  return rouge_n_impl(std::span<const std::string_view>(cand),
+                      std::span<const std::string_view>(ref), n);
+}
+
+RougeScore rouge_l_tokens(std::span<const std::string> candidate,
+                          std::span<const std::string> reference,
+                          std::size_t max_tokens) {
+  return rouge_l_impl(candidate, reference, max_tokens);
+}
+
+RougeScore rouge_l_tokens(std::span<const std::string_view> candidate,
+                          std::span<const std::string_view> reference,
+                          std::size_t max_tokens) {
+  return rouge_l_impl(candidate, reference, max_tokens);
+}
+
 RougeScore rouge_l(std::string_view candidate, std::string_view reference,
                    std::size_t max_tokens) {
-  const auto cand = text::tokenize(candidate);
-  const auto ref = text::tokenize(reference);
-  return rouge_l_tokens(cand, ref, max_tokens);
+  const auto cand = text::tokenize_views(candidate);
+  const auto ref = text::tokenize_views(reference);
+  return rouge_l_impl(std::span<const std::string_view>(cand),
+                      std::span<const std::string_view>(ref), max_tokens);
 }
 
 double rouge(std::string_view candidate, std::string_view reference) {
+  // Tokenize each side exactly once; the views are shared with the LCS
+  // variant (and with rouge_n_tokens if a caller wants both numbers).
   return rouge_l(candidate, reference).f1;
 }
 

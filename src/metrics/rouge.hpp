@@ -5,6 +5,10 @@
 // an exact O(nm) LCS is too expensive, so rouge_l computes the LCS over
 // token sequences with a window-capped Hunt–Szymanski-style fallback:
 // sequences longer than `max_tokens` are block-sampled deterministically.
+//
+// The view overloads are the hot path: candidate and reference are
+// tokenized once into `string_view`s (see `rouge`) and shared between the
+// n-gram and LCS variants without copying a single token.
 #pragma once
 
 #include <span>
@@ -23,6 +27,9 @@ struct RougeScore {
 RougeScore rouge_n_tokens(std::span<const std::string> candidate,
                           std::span<const std::string> reference,
                           std::size_t n);
+RougeScore rouge_n_tokens(std::span<const std::string_view> candidate,
+                          std::span<const std::string_view> reference,
+                          std::size_t n);
 
 /// ROUGE-N over raw strings.
 RougeScore rouge_n(std::string_view candidate, std::string_view reference,
@@ -33,6 +40,9 @@ RougeScore rouge_n(std::string_view candidate, std::string_view reference,
 /// contiguous blocks, preserving long-range ordering structure.
 RougeScore rouge_l_tokens(std::span<const std::string> candidate,
                           std::span<const std::string> reference,
+                          std::size_t max_tokens = 4000);
+RougeScore rouge_l_tokens(std::span<const std::string_view> candidate,
+                          std::span<const std::string_view> reference,
                           std::size_t max_tokens = 4000);
 
 /// ROUGE-L over raw strings.

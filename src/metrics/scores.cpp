@@ -17,8 +17,16 @@ DocumentScores score_document(std::span<const std::string> candidate_pages,
     return scores;
   }
 
+  // Size the joined strings up front so page concatenation never reallocates.
+  std::size_t cand_bytes = 0, ref_bytes = 0;
+  for (std::size_t p = 0; p < reference_pages.size(); ++p) {
+    if (p < candidate_pages.size()) cand_bytes += candidate_pages[p].size() + 1;
+    ref_bytes += reference_pages[p].size() + 1;
+  }
   std::size_t retrieved = 0;
   std::string candidate, reference;
+  candidate.reserve(cand_bytes);
+  reference.reserve(ref_bytes);
   for (std::size_t p = 0; p < reference_pages.size(); ++p) {
     if (p < candidate_pages.size() && !candidate_pages[p].empty()) {
       ++retrieved;
@@ -33,7 +41,7 @@ DocumentScores score_document(std::span<const std::string> candidate_pages,
   scores.bleu = bleu(candidate, reference);
   scores.rouge = rouge(candidate, reference);
   scores.car = character_accuracy(candidate, reference);
-  scores.tokens = text::split_whitespace(candidate).size();
+  scores.tokens = text::count_tokens(candidate);
   return scores;
 }
 

@@ -1,19 +1,32 @@
 #include "ml/feature_hash.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <string>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
+#include "text/char_class.hpp"
 #include "text/tokenize.hpp"
 #include "util/rng.hpp"
 
 namespace adaparse::ml {
 namespace {
 
-std::uint32_t bucket(std::uint64_t h, std::uint32_t dim) {
+inline std::uint32_t bucket(std::uint64_t h, std::uint32_t dim) {
   // dim is a power of two; fold the high bits in for good mixing anyway.
   return static_cast<std::uint32_t>((h ^ (h >> 32)) & (dim - 1));
 }
+
+/// Reusable per-thread scratch for `hash_text`. The accumulator is a dense
+/// float array indexed by bucket (the index space is at most `options.dim`
+/// entries, a few tens of KB): adds are branch-free, and the final emission
+/// scans the array in index order — already the canonical sorted order —
+/// zeroing entries as it goes, so the array is all-zero again for the next
+/// call. After warm-up a call allocates nothing but the returned vector.
+struct HashScratch {
+  std::vector<float> acc;  ///< bucket -> accumulated weight; all-zero at rest
+  std::vector<std::uint64_t> token_hashes;
+};
 
 }  // namespace
 
@@ -21,45 +34,78 @@ SparseVec hash_text(std::string_view text, const HashOptions& options) {
   if (text.size() > options.max_chars) {
     text = text.substr(0, options.max_chars);
   }
-  std::unordered_map<std::uint32_t, float> counts;
+  const auto& tables = text::charclass::tables();
+  thread_local HashScratch scratch;
+  if (scratch.acc.size() < options.dim) scratch.acc.resize(options.dim, 0.0F);
+  float* const acc = scratch.acc.data();
 
-  // Word n-grams over lowercased tokens.
-  const auto lowered = text::to_lower(text);
-  const auto tokens = text::tokenize(lowered);
+  // Word n-grams over lowercased tokens. Lowercasing never changes token
+  // boundaries (tolower maps letters to letters in the C locale), so we
+  // tokenize the raw text and fold the lowered bytes into one FNV-1a hash
+  // per token — no lowered copy, no token strings — then reuse those hashes
+  // across every n-gram order.
+  scratch.token_hashes.clear();
+  text::for_each_token(text, [&](std::string_view token) {
+    std::uint64_t h = util::kFnvOffsetBasis;
+    for (unsigned char c : token) {
+      h = util::fnv1a_step(h, static_cast<unsigned char>(tables.lower[c]));
+    }
+    scratch.token_hashes.push_back(h);
+  });
+  const auto& token_hashes = scratch.token_hashes;
   for (int n = 1; n <= options.word_ngrams; ++n) {
     const auto order = static_cast<std::size_t>(n);
-    if (tokens.size() < order) break;
-    for (std::size_t i = 0; i + order <= tokens.size(); ++i) {
-      std::uint64_t h = util::mix64(options.salt, 0x517CC1B7ULL + order);
+    if (token_hashes.size() < order) break;
+    const std::uint64_t h0 = util::mix64(options.salt, 0x517CC1B7ULL + order);
+    for (std::size_t i = 0; i + order <= token_hashes.size(); ++i) {
+      std::uint64_t h = h0;
       for (std::size_t k = 0; k < order; ++k) {
-        h = util::mix64(h, util::hash64(tokens[i + k]));
+        h = util::mix64(h, token_hashes[i + k]);
       }
-      counts[bucket(h, options.dim)] += 1.0F;
+      acc[bucket(h, options.dim)] += 1.0F;
     }
   }
 
   // Character n-grams over the raw (un-lowercased) text: capitalization and
   // punctuation artifacts are exactly what the malformed-pattern detection
-  // needs to see.
-  if (options.char_ngrams > 0) {
-    for (int n = options.char_ngram_min; n <= options.char_ngrams; ++n) {
-      const auto order = static_cast<std::size_t>(n);
-      if (text.size() < order) break;
-      for (std::size_t i = 0; i + order <= text.size(); ++i) {
-        const std::uint64_t h =
-            util::mix64(options.salt ^ 0xC4A3ULL,
-                        util::mix64(order, util::hash64(text.substr(i, order))));
-        counts[bucket(h, options.dim)] += 0.5F;  // chars weigh less than words
+  // needs to see. For each start position the FNV hash of the shortest
+  // order is extended byte-by-byte into the longer orders, so every (start,
+  // order) pair costs one multiply instead of a fresh substring hash.
+  if (options.char_ngrams > 0 && options.char_ngram_min >= 0) {
+    const auto lo = static_cast<std::size_t>(options.char_ngram_min);
+    const auto hi = static_cast<std::size_t>(options.char_ngrams);
+    const std::uint64_t char_salt = options.salt ^ 0xC4A3ULL;
+    if (lo == 0) {
+      // Degenerate order-0 grams (empty substrings), kept for exactness.
+      const std::uint64_t h =
+          util::mix64(char_salt, util::mix64(0, util::kFnvOffsetBasis));
+      acc[bucket(h, options.dim)] +=
+          0.5F * static_cast<float>(text.size() + 1);
+    }
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      std::uint64_t h = util::kFnvOffsetBasis;
+      const std::size_t max_len = std::min(text.size() - i, hi);
+      for (std::size_t len = 1; len <= max_len; ++len) {
+        h = util::fnv1a_step(h, static_cast<unsigned char>(text[i + len - 1]));
+        if (len >= lo) {
+          acc[bucket(util::mix64(char_salt, util::mix64(len, h)), options.dim)] +=
+              0.5F;  // chars weigh less than words
+        }
       }
     }
   }
 
+  // Emit in index order — the canonical order `compact()` produces — so
+  // downstream L2 normalization sums in exactly the same sequence. Zeroing
+  // emitted entries restores the all-zero rest state.
   SparseVec v;
-  v.reserve(counts.size());
-  for (const auto& [index, count] : counts) {
-    v.push_back({index, static_cast<float>(std::log1p(count))});
+  for (std::uint32_t index = 0; index < options.dim; ++index) {
+    const float count = acc[index];
+    if (count != 0.0F) {
+      v.push_back({index, std::log1p(count)});
+      acc[index] = 0.0F;
+    }
   }
-  compact(v);
   l2_normalize(v);
   return v;
 }

@@ -1,0 +1,555 @@
+// Verbatim seed implementations. Everything here is self-contained on
+// purpose: the helpers below are copies of the seed's <cctype>-based
+// tokenizer and detectors, NOT the charclass-table versions the optimized
+// hot path uses — so a table-construction bug cannot hide by affecting
+// both sides of the equivalence tests, and the *_Seed benchmarks time the
+// seed's real allocation and traversal behavior.
+#include "reference/seed_impl.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/bleu.hpp"
+#include "metrics/edit_distance.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse::reference {
+namespace {
+
+// ------------------------------------------------------ seed tokenizer ----
+
+bool is_word_char(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '-' || c == '\'' || c == '_';
+}
+
+std::vector<std::string> tokenize_seed(std::string_view s) {
+  std::vector<std::string> tokens;
+  tokens.reserve(s.size() / 6 + 1);
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto c = static_cast<unsigned char>(s[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (is_word_char(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && is_word_char(static_cast<unsigned char>(s[j]))) {
+        ++j;
+      }
+      tokens.emplace_back(s.substr(i, j - i));
+      i = j;
+    } else {
+      tokens.emplace_back(1, s[i]);
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_whitespace_seed(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string to_lower_seed(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool is_alpha_seed(std::string_view token) {
+  if (token.empty()) return false;
+  for (unsigned char c : token) {
+    if (std::isalpha(c) == 0) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------ seed detectors ----
+
+bool is_vowel(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'a': case 'e': case 'i': case 'o': case 'u': case 'y':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t longest_consonant_run(std::string_view token) {
+  std::size_t best = 0, cur = 0;
+  for (char c : token) {
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 && !is_vowel(c)) {
+      best = std::max(best, ++cur);
+    } else {
+      cur = 0;
+    }
+  }
+  return best;
+}
+
+bool is_common_bigram(char a, char b) {
+  static const bool* table = [] {
+    static bool t[26 * 26] = {};
+    static const char* kBigrams[] = {
+        "th", "he", "in", "er", "an", "re", "on", "at", "en", "nd", "ti",
+        "es", "or", "te", "of", "ed", "is", "it", "al", "ar", "st", "to",
+        "nt", "ng", "se", "ha", "as", "ou", "io", "le", "ve", "co", "me",
+        "de", "hi", "ri", "ro", "ic", "ne", "ea", "ra", "ce", "li", "ch",
+        "ll", "be", "ma", "si", "om", "ur", "ca", "el", "ta", "la", "ns",
+        "di", "fo", "ho", "pe", "ec", "pr", "no", "ct", "us", "ac", "ot",
+        "il", "tr", "ly", "nc", "et", "ut", "ss", "so", "rs", "un", "lo",
+        "wa", "ge", "ie", "wh", "ee", "wi", "em", "ad", "ol", "rt", "po",
+        "we", "na", "ul", "ni", "ts", "mo", "ow", "pa", "im", "mi", "ai",
+        "sh", "ir", "su", "id", "os", "iv", "ia", "am", "fi", "ci", "vi",
+        "pl", "ig", "tu", "ev", "ld", "ry", "mp", "fe", "bl", "ab", "gh",
+        "ty", "op", "wo", "sa", "ay", "ex", "ke", "ui", "pt", "do", "ua",
+        "uc", "qu", "ef", "ff", "ap", "ub", "bo", "rm", "va", "lu", "ue",
+        "od", "ls", "ob", "bs", "rv", "ib", "bu", "ys", "lt", "tw", "sc",
+        "ks", "ms", "ds", "ph", "gr", "cl", "fl", "sp", "pu", "cu", "vo",
+        "ga", "bi", "du", "fu", "mu", "nu", "ru", "hy", "my", "by", "dy",
+        "gy", "av", "ov", "uv", "aw", "ew", "ey", "oy", "oc", "og", "ug",
+        "eg", "ag", "ip", "up", "ep", "oi", "au", "eu", "ei", "yp", "ym",
+        "yn", "ya", "cy", "fy", "gi", "go", "ja", "jo", "ki", "ko", "ku",
+        "oa", "oe", "oo", nullptr};
+    for (const char** p = kBigrams; *p != nullptr; ++p) {
+      const char* bg = *p;
+      if (bg[0] >= 'a' && bg[0] <= 'z' && bg[1] >= 'a' && bg[1] <= 'z') {
+        t[(bg[0] - 'a') * 26 + (bg[1] - 'a')] = true;
+      }
+    }
+    return t;
+  }();
+  const auto la = static_cast<char>(std::tolower(static_cast<unsigned char>(a)));
+  const auto lb = static_cast<char>(std::tolower(static_cast<unsigned char>(b)));
+  if (la < 'a' || la > 'z' || lb < 'a' || lb > 'z') return false;
+  return table[(la - 'a') * 26 + (lb - 'a')];
+}
+
+double common_bigram_fraction(std::string_view token) {
+  if (token.size() < 2) return 1.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i + 1 < token.size(); ++i) {
+    if (is_common_bigram(token[i], token[i + 1])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(token.size() - 1);
+}
+
+bool is_smiles_char(char c) {
+  switch (c) {
+    case '=': case '#': case '(': case ')': case '[': case ']':
+    case '@': case '+': case '-': case '/': case '\\':
+      return true;
+    default:
+      return std::isupper(static_cast<unsigned char>(c)) != 0 ||
+             std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+             c == 'c' || c == 'n' || c == 'o' || c == 's';
+  }
+}
+
+std::size_t latex_artifact_count_seed(std::string_view s) {
+  std::size_t count = 0;
+  long brace_balance = 0;
+  std::size_t dollars = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\\' && i + 1 < s.size() &&
+        std::isalpha(static_cast<unsigned char>(s[i + 1])) != 0) {
+      ++count;
+    } else if (c == '{') {
+      ++brace_balance;
+    } else if (c == '}') {
+      --brace_balance;
+    } else if (c == '$') {
+      ++dollars;
+    } else if (c == '^' || c == '_') {
+      if (i + 1 < s.size() && s[i + 1] == '{') ++count;
+    }
+  }
+  count += static_cast<std::size_t>(std::abs(brace_balance));
+  count += dollars % 2;
+  count += dollars / 2;
+  return count;
+}
+
+std::size_t smiles_like_count_seed(std::string_view s) {
+  std::size_t count = 0;
+  for (const auto& token : split_whitespace_seed(s)) {
+    if (token.size() < 6) continue;
+    std::size_t smiles_chars = 0, ring_or_bond = 0, upper = 0;
+    for (char c : token) {
+      if (!is_smiles_char(c)) {
+        smiles_chars = 0;
+        break;
+      }
+      ++smiles_chars;
+      if (c == '=' || c == '#' || c == '(' || c == ')' || c == '[' ||
+          c == ']') {
+        ++ring_or_bond;
+      }
+      if (std::isupper(static_cast<unsigned char>(c)) != 0) ++upper;
+    }
+    if (smiles_chars == token.size() && ring_or_bond >= 2 && upper >= 2) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double scrambled_token_ratio_seed(std::string_view s) {
+  std::size_t alpha_tokens = 0, scrambled = 0;
+  for (const auto& token : split_whitespace_seed(s)) {
+    if (token.size() < 4 || !is_alpha_seed(token)) continue;
+    ++alpha_tokens;
+    if (longest_consonant_run(token) > 4) {
+      ++scrambled;
+      continue;
+    }
+    std::size_t case_flips = 0;
+    for (std::size_t i = 1; i < token.size(); ++i) {
+      const bool prev_up =
+          std::isupper(static_cast<unsigned char>(token[i - 1])) != 0;
+      const bool cur_up =
+          std::isupper(static_cast<unsigned char>(token[i])) != 0;
+      if (prev_up != cur_up && i > 1) ++case_flips;
+    }
+    if (case_flips >= 3) {
+      ++scrambled;
+      continue;
+    }
+    if (token.size() >= 6 && common_bigram_fraction(token) < 0.55) {
+      ++scrambled;
+    }
+  }
+  if (alpha_tokens == 0) return 0.0;
+  return static_cast<double>(scrambled) / static_cast<double>(alpha_tokens);
+}
+
+double whitespace_ratio_seed(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::size_t ws = 0;
+  for (unsigned char c : s) {
+    if (std::isspace(c) != 0) ++ws;
+  }
+  return static_cast<double>(ws) / static_cast<double>(s.size());
+}
+
+double alpha_ratio_seed(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::size_t n = 0;
+  for (unsigned char c : s) {
+    if (std::isalpha(c) != 0) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(s.size());
+}
+
+double digit_ratio_seed(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::size_t n = 0;
+  for (unsigned char c : s) {
+    if (std::isdigit(c) != 0) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(s.size());
+}
+
+double non_ascii_ratio_seed(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::size_t n = 0;
+  for (unsigned char c : s) {
+    if (c < 0x20 || c > 0x7E) {
+      if (c != '\n' && c != '\t' && c != '\r') ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(s.size());
+}
+
+std::size_t longest_char_run_seed(std::string_view s) {
+  std::size_t best = 0, cur = 0;
+  char prev = '\0';
+  for (char c : s) {
+    cur = (c == prev) ? cur + 1 : 1;
+    best = std::max(best, cur);
+    prev = c;
+  }
+  return best;
+}
+
+double char_entropy_seed(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (unsigned char c : s) ++counts[c];
+  double h = 0.0;
+  const auto n = static_cast<double>(s.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] == 0) continue;
+    const double p = static_cast<double>(counts[c]) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+// --------------------------------------------------------- seed n-grams ----
+
+using NgramCountsSeed = std::unordered_map<std::uint64_t, std::uint32_t>;
+
+std::uint64_t ngram_key_seed(std::span<const std::string> tokens,
+                             std::size_t begin, std::size_t n) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL ^ n;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = util::mix64(h, util::hash64(tokens[begin + i]));
+  }
+  return h;
+}
+
+/// Seed n-gram counting: re-hashes every token at every position for every
+/// order.
+NgramCountsSeed count_ngrams_seed(std::span<const std::string> tokens,
+                                  std::size_t n) {
+  NgramCountsSeed counts;
+  if (n == 0 || tokens.size() < n) return counts;
+  counts.reserve(tokens.size());
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    ++counts[ngram_key_seed(tokens, i, n)];
+  }
+  return counts;
+}
+
+std::uint64_t overlap_seed(const NgramCountsSeed& a, const NgramCountsSeed& b) {
+  const NgramCountsSeed& small = a.size() <= b.size() ? a : b;
+  const NgramCountsSeed& large = a.size() <= b.size() ? b : a;
+  std::uint64_t matches = 0;
+  for (const auto& [key, count] : small) {
+    auto it = large.find(key);
+    if (it != large.end()) {
+      matches += std::min(count, it->second);
+    }
+  }
+  return matches;
+}
+
+std::vector<std::string> block_sample_seed(
+    std::span<const std::string> tokens, std::size_t cap) {
+  if (tokens.size() <= cap) {
+    return {tokens.begin(), tokens.end()};
+  }
+  const std::size_t block = 64;
+  const std::size_t num_blocks = std::max<std::size_t>(1, cap / block);
+  const double stride =
+      static_cast<double>(tokens.size()) / static_cast<double>(num_blocks);
+  std::vector<std::string> out;
+  out.reserve(num_blocks * block);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto start = static_cast<std::size_t>(static_cast<double>(b) * stride);
+    const std::size_t end = std::min(tokens.size(), start + block);
+    for (std::size_t i = start; i < end; ++i) out.push_back(tokens[i]);
+  }
+  return out;
+}
+
+std::size_t lcs_length_seed(std::span<const std::string> a,
+                            std::span<const std::string> b) {
+  if (a.size() < b.size()) return lcs_length_seed(b, a);
+  if (b.empty()) return 0;
+  std::vector<std::uint32_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::uint32_t bucket(std::uint64_t h, std::uint32_t dim) {
+  return static_cast<std::uint32_t>((h ^ (h >> 32)) & (dim - 1));
+}
+
+}  // namespace
+
+text::TextFeatures compute_features_seed(std::string_view s) {
+  text::TextFeatures f;
+  f.char_count = static_cast<double>(s.size());
+  const auto tokens = split_whitespace_seed(s);
+  f.token_count = static_cast<double>(tokens.size());
+  if (!tokens.empty()) {
+    std::size_t total_len = 0;
+    for (const auto& t : tokens) total_len += t.size();
+    f.avg_token_len =
+        static_cast<double>(total_len) / static_cast<double>(tokens.size());
+  }
+  f.alpha_ratio = alpha_ratio_seed(s);
+  f.digit_ratio = digit_ratio_seed(s);
+  f.whitespace_ratio = whitespace_ratio_seed(s);
+  f.non_ascii_ratio = non_ascii_ratio_seed(s);
+  f.scrambled_ratio = scrambled_token_ratio_seed(s);
+  const double per_kchar =
+      s.empty() ? 0.0 : 1000.0 / static_cast<double>(s.size());
+  f.latex_density =
+      static_cast<double>(latex_artifact_count_seed(s)) * per_kchar;
+  f.smiles_density =
+      static_cast<double>(smiles_like_count_seed(s)) * per_kchar;
+  f.entropy = char_entropy_seed(s);
+  f.longest_run = static_cast<double>(longest_char_run_seed(s));
+  return f;
+}
+
+ml::SparseVec hash_text_seed(std::string_view text,
+                             const ml::HashOptions& options) {
+  if (text.size() > options.max_chars) {
+    text = text.substr(0, options.max_chars);
+  }
+  std::unordered_map<std::uint32_t, float> counts;
+
+  // Word n-grams over lowercased tokens.
+  const auto lowered = to_lower_seed(text);
+  const auto tokens = tokenize_seed(lowered);
+  for (int n = 1; n <= options.word_ngrams; ++n) {
+    const auto order = static_cast<std::size_t>(n);
+    if (tokens.size() < order) break;
+    for (std::size_t i = 0; i + order <= tokens.size(); ++i) {
+      std::uint64_t h = util::mix64(options.salt, 0x517CC1B7ULL + order);
+      for (std::size_t k = 0; k < order; ++k) {
+        h = util::mix64(h, util::hash64(tokens[i + k]));
+      }
+      counts[bucket(h, options.dim)] += 1.0F;
+    }
+  }
+
+  // Character n-grams over the raw (un-lowercased) text.
+  if (options.char_ngrams > 0) {
+    for (int n = options.char_ngram_min; n <= options.char_ngrams; ++n) {
+      const auto order = static_cast<std::size_t>(n);
+      if (text.size() < order) break;
+      for (std::size_t i = 0; i + order <= text.size(); ++i) {
+        const std::uint64_t h =
+            util::mix64(options.salt ^ 0xC4A3ULL,
+                        util::mix64(order, util::hash64(text.substr(i, order))));
+        counts[bucket(h, options.dim)] += 0.5F;
+      }
+    }
+  }
+
+  ml::SparseVec v;
+  v.reserve(counts.size());
+  for (const auto& [index, count] : counts) {
+    v.push_back({index, static_cast<float>(std::log1p(count))});
+  }
+  ml::compact(v);
+  ml::l2_normalize(v);
+  return v;
+}
+
+double bleu_seed(std::string_view candidate, std::string_view reference) {
+  const auto cand = tokenize_seed(candidate);
+  const auto ref = tokenize_seed(reference);
+  const metrics::BleuOptions options;
+
+  if (cand.empty() || ref.empty()) return 0.0;
+
+  double log_sum = 0.0;
+  bool any_order_scored = false;
+  for (std::size_t n = 1; n <= options.max_order; ++n) {
+    if (cand.size() < n) {
+      const double p = options.smoothing_k > 0.0
+                           ? options.smoothing_k / (options.smoothing_k + 1.0)
+                           : 0.0;
+      if (p <= 0.0) return 0.0;
+      log_sum += std::log(p);
+      any_order_scored = true;
+      continue;
+    }
+    const auto cand_counts = count_ngrams_seed(cand, n);
+    const auto ref_counts = count_ngrams_seed(ref, n);
+    const auto matches = overlap_seed(cand_counts, ref_counts);
+    const auto possible = cand.size() - n + 1;
+    double p;
+    if (matches > 0) {
+      p = static_cast<double>(matches) / static_cast<double>(possible);
+    } else if (options.smoothing_k > 0.0) {
+      p = options.smoothing_k /
+          (static_cast<double>(possible) + options.smoothing_k);
+    } else {
+      return 0.0;
+    }
+    log_sum += std::log(p);
+    any_order_scored = true;
+  }
+  if (!any_order_scored) return 0.0;
+
+  const auto c = static_cast<double>(cand.size());
+  const auto r = static_cast<double>(ref.size());
+  const double brevity_penalty = c >= r ? 1.0 : std::exp(1.0 - r / c);
+  const double score =
+      brevity_penalty * std::exp(log_sum / static_cast<double>(options.max_order));
+  return std::clamp(score, 0.0, 1.0);
+}
+
+double rouge_seed(std::string_view candidate, std::string_view reference) {
+  const auto cand_tokens = tokenize_seed(candidate);
+  const auto ref_tokens = tokenize_seed(reference);
+  if (cand_tokens.empty() || ref_tokens.empty()) return 0.0;
+  const std::size_t max_tokens = 4000;
+  const auto cand = block_sample_seed(cand_tokens, max_tokens);
+  const auto ref = block_sample_seed(ref_tokens, max_tokens);
+  const std::size_t lcs = lcs_length_seed(cand, ref);
+  const double precision =
+      cand.empty() ? 0.0
+                   : static_cast<double>(lcs) / static_cast<double>(cand.size());
+  const double recall =
+      ref.empty() ? 0.0
+                  : static_cast<double>(lcs) / static_cast<double>(ref.size());
+  return (precision + recall) > 0.0
+             ? 2.0 * precision * recall / (precision + recall)
+             : 0.0;
+}
+
+metrics::DocumentScores score_document_seed(
+    std::span<const std::string> candidate_pages,
+    std::span<const std::string> reference_pages) {
+  metrics::DocumentScores scores;
+  if (reference_pages.empty()) {
+    scores.coverage = candidate_pages.empty() ? 1.0 : 0.0;
+    return scores;
+  }
+
+  std::size_t retrieved = 0;
+  std::string candidate, reference;
+  for (std::size_t p = 0; p < reference_pages.size(); ++p) {
+    if (p < candidate_pages.size() && !candidate_pages[p].empty()) {
+      ++retrieved;
+      if (!candidate.empty()) candidate += '\n';
+      candidate += candidate_pages[p];
+    }
+    if (!reference.empty()) reference += '\n';
+    reference += reference_pages[p];
+  }
+  scores.coverage = static_cast<double>(retrieved) /
+                    static_cast<double>(reference_pages.size());
+  scores.bleu = bleu_seed(candidate, reference);
+  scores.rouge = rouge_seed(candidate, reference);
+  scores.car = metrics::character_accuracy(candidate, reference);
+  scores.tokens = split_whitespace_seed(candidate).size();
+  return scores;
+}
+
+}  // namespace adaparse::reference

@@ -1,0 +1,51 @@
+// Frozen seed implementations of the text hot path.
+//
+// The classification/encoding/scoring hot path was rewritten to be
+// single-pass and (near-)zero-allocation. These are the original multi-pass,
+// allocation-heavy implementations, kept verbatim as ground truth:
+//
+//  - the equivalence test suite (tests/hotpath_test.cpp) asserts the
+//    optimized paths produce byte-identical TextFeatures / SparseVec /
+//    scores, which in turn pins routing decisions and engine output;
+//  - bench_micro runs both versions side by side and reports the speedup
+//    in BENCH_micro.json.
+//
+// Do not "optimize" this file; its only job is to stay identical to the
+// seed behavior.
+#pragma once
+
+#include <string_view>
+#include <span>
+#include <string>
+
+#include "metrics/scores.hpp"
+#include "ml/feature_hash.hpp"
+#include "text/features.hpp"
+
+namespace adaparse::reference {
+
+/// Seed `text::compute_features`: one independent pass per feature family
+/// (~10 traversals), tokenizing into owned strings.
+text::TextFeatures compute_features_seed(std::string_view s);
+
+/// Seed `ml::hash_text`: lowercases the whole body into a copy, tokenizes it
+/// into a second vector of strings, re-hashes each token once per n-gram
+/// order, and accumulates through std::unordered_map.
+ml::SparseVec hash_text_seed(std::string_view text,
+                             const ml::HashOptions& options);
+
+/// Seed `metrics::bleu`: tokenizes both sides into owned strings and
+/// re-hashes every token once per n-gram order.
+double bleu_seed(std::string_view candidate, std::string_view reference);
+
+/// Seed `metrics::rouge`: tokenizes both sides into owned strings, then
+/// copies tokens again in block sampling.
+double rouge_seed(std::string_view candidate, std::string_view reference);
+
+/// Seed `metrics::score_document`: unreserved page concatenation and a full
+/// token vector allocated just to count tokens.
+metrics::DocumentScores score_document_seed(
+    std::span<const std::string> candidate_pages,
+    std::span<const std::string> reference_pages);
+
+}  // namespace adaparse::reference

@@ -1,0 +1,93 @@
+#include "text/char_class.hpp"
+
+#include <cctype>
+
+namespace adaparse::text::charclass {
+namespace {
+
+bool is_smiles_char(unsigned char c) {
+  switch (c) {
+    case '=': case '#': case '(': case ')': case '[': case ']':
+    case '@': case '+': case '-': case '/': case '\\':
+      return true;
+    default:
+      return std::isupper(c) != 0 || std::isdigit(c) != 0 || c == 'c' ||
+             c == 'n' || c == 'o' || c == 's';
+  }
+}
+
+Tables build_tables() {
+  Tables t{};
+  for (int i = 0; i < 256; ++i) {
+    const auto c = static_cast<unsigned char>(i);
+    t.space[i] = std::isspace(c) != 0;
+    t.alpha[i] = std::isalpha(c) != 0;
+    t.digit[i] = std::isdigit(c) != 0;
+    t.upper[i] = std::isupper(c) != 0;
+    t.word[i] = std::isalnum(c) != 0 || c == '-' || c == '\'' || c == '_';
+    t.lower[i] = static_cast<char>(std::tolower(c));
+    switch (t.lower[i]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u': case 'y':
+        t.vowel[i] = true;
+        break;
+      default:
+        break;
+    }
+    t.smiles[i] = is_smiles_char(c);
+    t.ring_or_bond[i] =
+        c == '=' || c == '#' || c == '(' || c == ')' || c == '[' || c == ']';
+    unsigned char f = 0;
+    if (t.space[i]) f |= kSpace;
+    if (t.alpha[i]) f |= kAlpha;
+    if (t.digit[i]) f |= kDigit;
+    if (t.upper[i]) f |= kUpper;
+    if (t.vowel[i]) f |= kVowel;
+    if (t.smiles[i]) f |= kSmiles;
+    if (t.ring_or_bond[i]) f |= kRingOrBond;
+    if (c == '\\' || c == '{' || c == '}' || c == '$' || c == '^' || c == '_') {
+      f |= kLatexSpecial;
+    }
+    t.flags[i] = f;
+    t.letter_idx[i] = (t.lower[i] >= 'a' && t.lower[i] <= 'z')
+                          ? static_cast<unsigned char>(t.lower[i] - 'a')
+                          : 0xFF;
+  }
+  // Common English bigrams; scrambled words lose most of their hits.
+  static const char* kBigrams[] = {
+      "th", "he", "in", "er", "an", "re", "on", "at", "en", "nd", "ti",
+      "es", "or", "te", "of", "ed", "is", "it", "al", "ar", "st", "to",
+      "nt", "ng", "se", "ha", "as", "ou", "io", "le", "ve", "co", "me",
+      "de", "hi", "ri", "ro", "ic", "ne", "ea", "ra", "ce", "li", "ch",
+      "ll", "be", "ma", "si", "om", "ur", "ca", "el", "ta", "la", "ns",
+      "di", "fo", "ho", "pe", "ec", "pr", "no", "ct", "us", "ac", "ot",
+      "il", "tr", "ly", "nc", "et", "ut", "ss", "so", "rs", "un", "lo",
+      "wa", "ge", "ie", "wh", "ee", "wi", "em", "ad", "ol", "rt", "po",
+      "we", "na", "ul", "ni", "ts", "mo", "ow", "pa", "im", "mi", "ai",
+      "sh", "ir", "su", "id", "os", "iv", "ia", "am", "fi", "ci", "vi",
+      "pl", "ig", "tu", "ev", "ld", "ry", "mp", "fe", "bl", "ab", "gh",
+      "ty", "op", "wo", "sa", "ay", "ex", "ke", "ui", "pt", "do", "ua",
+      "uc", "qu", "ef", "ff", "ap", "ub", "bo", "rm", "va", "lu", "ue",
+      "od", "ls", "ob", "bs", "rv", "ib", "bu", "ys", "lt", "tw", "sc",
+      "ks", "ms", "ds", "ph", "gr", "cl", "fl", "sp", "pu", "cu", "vo",
+      "ga", "bi", "du", "fu", "mu", "nu", "ru", "hy", "my", "by", "dy",
+      "gy", "av", "ov", "uv", "aw", "ew", "ey", "oy", "oc", "og", "ug",
+      "eg", "ag", "ip", "up", "ep", "oi", "au", "eu", "ei", "yp", "ym",
+      "yn", "ya", "cy", "fy", "gi", "go", "ja", "jo", "ki", "ko", "ku",
+      "oa", "oe", "oo", nullptr};
+  for (const char** p = kBigrams; *p != nullptr; ++p) {
+    const char* bg = *p;
+    if (bg[0] >= 'a' && bg[0] <= 'z' && bg[1] >= 'a' && bg[1] <= 'z') {
+      t.bigram[(bg[0] - 'a') * 26 + (bg[1] - 'a')] = true;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace adaparse::text::charclass

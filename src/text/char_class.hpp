@@ -1,0 +1,55 @@
+// Shared byte-classification tables for the text hot path.
+//
+// The single-pass featurizer, the view tokenizer, and the malformed-pattern
+// detectors must all agree byte-for-byte on character classes. Calling the
+// <cctype> functions per character is both slow (locale indirection) and easy
+// to diverge on (signed-char pitfalls), so every class used on the hot path
+// is materialized once into 256-entry lookup tables built *from* the C-locale
+// <cctype> functions — same answers, one L1-resident load per byte.
+#pragma once
+
+#include <cstddef>
+
+namespace adaparse::text::charclass {
+
+/// Bit positions in Tables::flags — every class the fused featurizer needs,
+/// packed so the hot loop does one table load per byte.
+enum ClassFlag : unsigned char {
+  kSpace = 1U << 0,
+  kAlpha = 1U << 1,
+  kDigit = 1U << 2,
+  kUpper = 1U << 3,
+  kVowel = 1U << 4,
+  kSmiles = 1U << 5,
+  kRingOrBond = 1U << 6,   ///< SMILES structural chars: =#()[]
+  kLatexSpecial = 1U << 7, ///< \ { } $ ^ _
+};
+
+struct Tables {
+  bool space[256];    ///< std::isspace
+  bool alpha[256];    ///< std::isalpha
+  bool digit[256];    ///< std::isdigit
+  bool upper[256];    ///< std::isupper
+  bool word[256];     ///< tokenizer word chars: isalnum | '-' | '\'' | '_'
+  bool vowel[256];    ///< aeiouy, case-insensitive
+  bool smiles[256];   ///< SMILES alphabet (bonds, rings, atoms, charges)
+  bool ring_or_bond[256];  ///< SMILES structural chars: =#()[]
+  char lower[256];    ///< std::tolower
+  unsigned char flags[256];      ///< OR of ClassFlag bits
+  unsigned char letter_idx[256]; ///< tolower(c)-'a' for letters, 0xFF else
+  bool bigram[26 * 26];  ///< common English letter bigrams (lowercase)
+};
+
+/// The process-wide tables, built on first use.
+const Tables& tables();
+
+/// True if the (any-case) letter pair is a common English bigram; false for
+/// anything outside [A-Za-z]^2. Matches the seed detector exactly.
+inline bool is_common_bigram(const Tables& t, char a, char b) {
+  const char la = t.lower[static_cast<unsigned char>(a)];
+  const char lb = t.lower[static_cast<unsigned char>(b)];
+  if (la < 'a' || la > 'z' || lb < 'a' || lb > 'z') return false;
+  return t.bigram[(la - 'a') * 26 + (lb - 'a')];
+}
+
+}  // namespace adaparse::text::charclass

@@ -194,8 +194,11 @@ std::string corrupt_smiles(std::string_view s, double rate, util::Rng& rng) {
            std::isspace(static_cast<unsigned char>(s[j])) == 0) {
       ++j;
     }
-    std::string token(s.substr(i, j - i));
-    if (looks_like_smiles(token) && rng.chance(rate)) {
+    const std::string_view token_view = s.substr(i, j - i);
+    if (looks_like_smiles(token_view) && rng.chance(rate)) {
+      // Copy only the tokens actually mutated; everything else is appended
+      // straight from the input.
+      std::string token(token_view);
       // Mutate 1-3 characters: ring indices and bonds are the fragile parts.
       const std::size_t edits = 1 + rng.below(3);
       for (std::size_t e = 0; e < edits && !token.empty(); ++e) {
@@ -211,8 +214,10 @@ std::string corrupt_smiles(std::string_view s, double rate, util::Rng& rng) {
           token[pos] = confusable_glyph(c, rng);
         }
       }
+      out += token;
+    } else {
+      out += token_view;
     }
-    out += token;
     i = j;
   }
   return out;
@@ -279,13 +284,15 @@ std::string mangle_latex(std::string_view s, double rate, util::Rng& rng) {
 
 std::string drop_words(std::string_view s, double rate, util::Rng& rng) {
   if (rate <= 0.0) return std::string(s);
-  const auto words = split_whitespace(s);
-  std::vector<std::string> kept;
-  kept.reserve(words.size());
-  for (const auto& w : words) {
-    if (!rng.chance(rate)) kept.push_back(w);
-  }
-  return join(kept);
+  std::string out;
+  out.reserve(s.size());
+  for_each_whitespace_token(s, [&](std::string_view w) {
+    if (!rng.chance(rate)) {
+      if (!out.empty()) out += ' ';
+      out += w;
+    }
+  });
+  return out;
 }
 
 std::string mojibake(std::string_view s, double rate, util::Rng& rng) {

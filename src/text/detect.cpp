@@ -1,28 +1,24 @@
 #include "text/detect.hpp"
 
+// The fused single-pass featurizer (features.cpp) inlines this detector
+// logic; if you tune a threshold or transition here, mirror it there —
+// HotPathFeatures.FusedPassMatchesLiveDetectors fails until the two agree.
+
 #include <array>
-#include <cctype>
 #include <cmath>
 
+#include "text/char_class.hpp"
 #include "text/tokenize.hpp"
 
 namespace adaparse::text {
 namespace {
 
-bool is_vowel(char c) {
-  switch (std::tolower(static_cast<unsigned char>(c))) {
-    case 'a': case 'e': case 'i': case 'o': case 'u': case 'y':
-      return true;
-    default:
-      return false;
-  }
-}
-
 /// Longest consonant run within an alphabetic token.
-std::size_t longest_consonant_run(std::string_view token) {
+std::size_t longest_consonant_run(std::string_view token,
+                                  const charclass::Tables& t) {
   std::size_t best = 0, cur = 0;
-  for (char c : token) {
-    if (std::isalpha(static_cast<unsigned char>(c)) != 0 && !is_vowel(c)) {
+  for (unsigned char c : token) {
+    if (t.alpha[c] && !t.vowel[c]) {
       best = std::max(best, ++cur);
     } else {
       cur = 0;
@@ -31,77 +27,28 @@ std::size_t longest_consonant_run(std::string_view token) {
   return best;
 }
 
-/// Common English bigrams; scrambled words lose most of their hits.
-bool is_common_bigram(char a, char b) {
-  static const bool* table = [] {
-    static bool t[26 * 26] = {};
-    static const char* kBigrams[] = {
-        "th", "he", "in", "er", "an", "re", "on", "at", "en", "nd", "ti",
-        "es", "or", "te", "of", "ed", "is", "it", "al", "ar", "st", "to",
-        "nt", "ng", "se", "ha", "as", "ou", "io", "le", "ve", "co", "me",
-        "de", "hi", "ri", "ro", "ic", "ne", "ea", "ra", "ce", "li", "ch",
-        "ll", "be", "ma", "si", "om", "ur", "ca", "el", "ta", "la", "ns",
-        "di", "fo", "ho", "pe", "ec", "pr", "no", "ct", "us", "ac", "ot",
-        "il", "tr", "ly", "nc", "et", "ut", "ss", "so", "rs", "un", "lo",
-        "wa", "ge", "ie", "wh", "ee", "wi", "em", "ad", "ol", "rt", "po",
-        "we", "na", "ul", "ni", "ts", "mo", "ow", "pa", "im", "mi", "ai",
-        "sh", "ir", "su", "id", "os", "iv", "ia", "am", "fi", "ci", "vi",
-        "pl", "ig", "tu", "ev", "ld", "ry", "mp", "fe", "bl", "ab", "gh",
-        "ty", "op", "wo", "sa", "ay", "ex", "ke", "ui", "pt", "do", "ua",
-        "uc", "qu", "ef", "ff", "ap", "ub", "bo", "rm", "va", "lu", "ue",
-        "od", "ls", "ob", "bs", "rv", "ib", "bu", "ys", "lt", "tw", "sc",
-        "ks", "ms", "ds", "ph", "gr", "cl", "fl", "sp", "pu", "cu", "vo",
-        "ga", "bi", "du", "fu", "mu", "nu", "ru", "hy", "my", "by", "dy",
-        "gy", "av", "ov", "uv", "aw", "ew", "ey", "oy", "oc", "og", "ug",
-        "eg", "ag", "ip", "up", "ep", "oi", "au", "eu", "ei", "yp", "ym",
-        "yn", "ya", "cy", "fy", "gi", "go", "ja", "jo", "ki", "ko", "ku",
-        "oa", "oe", "oo", nullptr};
-    for (const char** p = kBigrams; *p != nullptr; ++p) {
-      const char* bg = *p;
-      if (bg[0] >= 'a' && bg[0] <= 'z' && bg[1] >= 'a' && bg[1] <= 'z') {
-        t[(bg[0] - 'a') * 26 + (bg[1] - 'a')] = true;
-      }
-    }
-    return t;
-  }();
-  const auto la = static_cast<char>(std::tolower(static_cast<unsigned char>(a)));
-  const auto lb = static_cast<char>(std::tolower(static_cast<unsigned char>(b)));
-  if (la < 'a' || la > 'z' || lb < 'a' || lb > 'z') return false;
-  return table[(la - 'a') * 26 + (lb - 'a')];
-}
-
 /// Fraction of a token's letter bigrams that are common in English.
-double common_bigram_fraction(std::string_view token) {
+double common_bigram_fraction(std::string_view token,
+                              const charclass::Tables& t) {
   if (token.size() < 2) return 1.0;
   std::size_t hits = 0;
   for (std::size_t i = 0; i + 1 < token.size(); ++i) {
-    if (is_common_bigram(token[i], token[i + 1])) ++hits;
+    if (charclass::is_common_bigram(t, token[i], token[i + 1])) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(token.size() - 1);
-}
-
-bool is_smiles_char(char c) {
-  switch (c) {
-    case '=': case '#': case '(': case ')': case '[': case ']':
-    case '@': case '+': case '-': case '/': case '\\':
-      return true;
-    default:
-      return std::isupper(static_cast<unsigned char>(c)) != 0 ||
-             std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-             c == 'c' || c == 'n' || c == 'o' || c == 's';
-  }
 }
 
 }  // namespace
 
 std::size_t latex_artifact_count(std::string_view s) {
+  const auto& t = charclass::tables();
   std::size_t count = 0;
   long brace_balance = 0;
   std::size_t dollars = 0;
   for (std::size_t i = 0; i < s.size(); ++i) {
     const char c = s[i];
     if (c == '\\' && i + 1 < s.size() &&
-        std::isalpha(static_cast<unsigned char>(s[i + 1])) != 0) {
+        t.alpha[static_cast<unsigned char>(s[i + 1])]) {
       ++count;  // \frac, \alpha, ...
     } else if (c == '{') {
       ++brace_balance;
@@ -120,85 +67,87 @@ std::size_t latex_artifact_count(std::string_view s) {
 }
 
 std::size_t smiles_like_count(std::string_view s) {
+  const auto& t = charclass::tables();
   std::size_t count = 0;
-  for (const auto& token : split_whitespace(s)) {
-    if (token.size() < 6) continue;
+  for_each_whitespace_token(s, [&](std::string_view token) {
+    if (token.size() < 6) return;
     std::size_t smiles_chars = 0, ring_or_bond = 0, upper = 0;
-    for (char c : token) {
-      if (!is_smiles_char(c)) {
+    for (unsigned char c : token) {
+      if (!t.smiles[c]) {
         smiles_chars = 0;
         break;
       }
       ++smiles_chars;
-      if (c == '=' || c == '#' || c == '(' || c == ')' || c == '[' ||
-          c == ']') {
-        ++ring_or_bond;
-      }
-      if (std::isupper(static_cast<unsigned char>(c)) != 0) ++upper;
+      if (t.ring_or_bond[c]) ++ring_or_bond;
+      if (t.upper[c]) ++upper;
     }
     // Needs structural characters AND atom letters to look like chemistry,
     // not just an acronym or a formula reference.
     if (smiles_chars == token.size() && ring_or_bond >= 2 && upper >= 2) {
       ++count;
     }
-  }
+  });
   return count;
 }
 
 double scrambled_token_ratio(std::string_view s) {
+  const auto& t = charclass::tables();
   std::size_t alpha_tokens = 0, scrambled = 0;
-  for (const auto& token : split_whitespace(s)) {
-    if (token.size() < 4 || !is_alpha(token)) continue;
+  for_each_whitespace_token(s, [&](std::string_view token) {
+    if (token.size() < 4 || !is_alpha(token)) return;
     ++alpha_tokens;
     // Three markers of scrambling: improbable consonant runs, chaotic
     // capitalization, and a collapse of common-English-bigram density.
-    if (longest_consonant_run(token) > 4) {
+    if (longest_consonant_run(token, t) > 4) {
       ++scrambled;
-      continue;
+      return;
     }
     std::size_t case_flips = 0;
     for (std::size_t i = 1; i < token.size(); ++i) {
-      const bool prev_up = std::isupper(static_cast<unsigned char>(token[i - 1])) != 0;
-      const bool cur_up = std::isupper(static_cast<unsigned char>(token[i])) != 0;
+      const bool prev_up = t.upper[static_cast<unsigned char>(token[i - 1])];
+      const bool cur_up = t.upper[static_cast<unsigned char>(token[i])];
       if (prev_up != cur_up && i > 1) ++case_flips;
     }
     if (case_flips >= 3) {
       ++scrambled;
-      continue;
+      return;
     }
     // Threshold calibrated on the synthetic corpus: clean scientific prose
     // flags ~3% of long tokens, fully scrambled prose ~45%.
-    if (token.size() >= 6 && common_bigram_fraction(token) < 0.55) {
+    if (token.size() >= 6 && common_bigram_fraction(token, t) < 0.55) {
       ++scrambled;
     }
-  }
+  });
   if (alpha_tokens == 0) return 0.0;
   return static_cast<double>(scrambled) / static_cast<double>(alpha_tokens);
 }
 
 double whitespace_ratio(std::string_view s) {
   if (s.empty()) return 0.0;
+  const auto& t = charclass::tables();
   std::size_t ws = 0;
   for (unsigned char c : s) {
-    if (std::isspace(c) != 0) ++ws;
+    if (t.space[c]) ++ws;
   }
   return static_cast<double>(ws) / static_cast<double>(s.size());
 }
 
 double alpha_ratio(std::string_view s) {
   if (s.empty()) return 0.0;
+  const auto& t = charclass::tables();
   std::size_t n = 0;
   for (unsigned char c : s) {
-    if (std::isalpha(c) != 0) ++n;
+    if (t.alpha[c]) ++n;
   }
   return static_cast<double>(n) / static_cast<double>(s.size());
 }
 
 double digit_ratio(std::string_view s) {
   if (s.empty()) return 0.0;
+  const auto& t = charclass::tables();
   std::size_t n = 0;
   for (unsigned char c : s) {
-    if (std::isdigit(c) != 0) ++n;
+    if (t.digit[c]) ++n;
   }
   return static_cast<double>(n) / static_cast<double>(s.size());
 }

@@ -1,9 +1,44 @@
 #include "text/features.hpp"
 
-#include "text/detect.hpp"
-#include "text/tokenize.hpp"
+// This file inlines the detector logic of detect.cpp into one fused pass;
+// threshold/transition changes must be made in both places —
+// HotPathFeatures.FusedPassMatchesLiveDetectors fails until the two agree.
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+#include "text/char_class.hpp"
 
 namespace adaparse::text {
+namespace {
+
+using charclass::kAlpha;
+using charclass::kLatexSpecial;
+using charclass::kRingOrBond;
+using charclass::kSmiles;
+using charclass::kSpace;
+using charclass::kUpper;
+using charclass::kVowel;
+
+/// Streaming per-token state for the whitespace-token detectors (scrambled
+/// ratio, SMILES). Reset at every token boundary; all members are updated
+/// one character at a time so the fused pass never revisits a byte.
+struct TokenScan {
+  std::size_t len = 0;
+  bool all_alpha = true;
+  std::size_t consonant_run = 0;
+  std::size_t consonant_best = 0;
+  std::size_t case_flips = 0;
+  bool prev_upper = false;
+  std::size_t bigram_hits = 0;
+  bool all_smiles = true;
+  std::size_t ring_or_bond = 0;
+  std::size_t upper_count = 0;
+  unsigned char prev_letter = 0xFF;  ///< letter_idx of previous char
+};
+
+}  // namespace
 
 std::array<double, TextFeatures::kDim> TextFeatures::to_array() const {
   return {char_count,     token_count,    avg_token_len,  alpha_ratio,
@@ -12,27 +47,151 @@ std::array<double, TextFeatures::kDim> TextFeatures::to_array() const {
 }
 
 TextFeatures compute_features(std::string_view s) {
+  const auto& t = charclass::tables();
+
+  // Whole-string accumulators. The per-class character counts (alpha,
+  // digit, whitespace, non-ASCII) are derived from the entropy histogram
+  // after the loop, so the loop itself only touches the histogram, the run
+  // tracker, and the packed flags byte.
+  std::array<std::size_t, 256> hist{};
+  std::size_t run_best = 0, run_cur = 0;
+  char run_prev = '\0';
+
+  // LaTeX artifact state machine (identical transitions to
+  // latex_artifact_count, inlined so the pass stays single).
+  std::size_t latex_count = 0;
+  long brace_balance = 0;
+  std::size_t dollars = 0;
+
+  // Whitespace-token accumulators.
+  std::size_t token_count = 0, total_token_len = 0;
+  std::size_t alpha_tokens = 0, scrambled = 0, smiles_count = 0;
+  TokenScan tok;
+
+  const auto finish_token = [&] {
+    if (tok.len == 0) return;
+    ++token_count;
+    total_token_len += tok.len;
+    if (tok.len >= 4 && tok.all_alpha) {
+      ++alpha_tokens;
+      if (tok.consonant_best > 4) {
+        ++scrambled;
+      } else if (tok.case_flips >= 3) {
+        ++scrambled;
+      } else if (tok.len >= 6) {
+        const double bigram_fraction = static_cast<double>(tok.bigram_hits) /
+                                       static_cast<double>(tok.len - 1);
+        if (bigram_fraction < 0.55) ++scrambled;
+      }
+    }
+    if (tok.len >= 6 && tok.all_smiles && tok.ring_or_bond >= 2 &&
+        tok.upper_count >= 2) {
+      ++smiles_count;
+    }
+    tok = TokenScan{};
+  };
+
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const auto uc = static_cast<unsigned char>(c);
+    const unsigned char flags = t.flags[uc];
+
+    ++hist[uc];
+    run_cur = (c == run_prev) ? run_cur + 1 : 1;
+    run_best = std::max(run_best, run_cur);
+    run_prev = c;
+
+    if (flags & kLatexSpecial) {
+      if (c == '\\') {
+        if (i + 1 < s.size() &&
+            (t.flags[static_cast<unsigned char>(s[i + 1])] & kAlpha)) {
+          ++latex_count;
+        }
+      } else if (c == '{') {
+        ++brace_balance;
+      } else if (c == '}') {
+        --brace_balance;
+      } else if (c == '$') {
+        ++dollars;
+      } else {  // '^' or '_'
+        if (i + 1 < s.size() && s[i + 1] == '{') ++latex_count;
+      }
+    }
+
+    if (flags & kSpace) {
+      finish_token();
+      continue;
+    }
+
+    // Token-level detectors, all streaming.
+    ++tok.len;
+    if (!(flags & kAlpha)) tok.all_alpha = false;
+    if ((flags & (kAlpha | kVowel)) == kAlpha) {
+      tok.consonant_best = std::max(tok.consonant_best, ++tok.consonant_run);
+    } else {
+      tok.consonant_run = 0;
+    }
+    const bool upper = (flags & kUpper) != 0;
+    const unsigned char letter = t.letter_idx[uc];
+    if (tok.len >= 2) {
+      // Mirrors the seed's case-flip loop: pairs are compared from the
+      // second character, but only flips at index >= 2 are counted.
+      if (tok.prev_upper != upper && tok.len >= 3) ++tok.case_flips;
+      if (tok.prev_letter < 26 && letter < 26) {
+        tok.bigram_hits += t.bigram[tok.prev_letter * 26 + letter] ? 1 : 0;
+      }
+    }
+    tok.prev_upper = upper;
+    tok.prev_letter = letter;
+    if (!(flags & kSmiles)) tok.all_smiles = false;
+    if (flags & kRingOrBond) ++tok.ring_or_bond;
+    if (upper) ++tok.upper_count;
+  }
+  finish_token();
+
+  latex_count += static_cast<std::size_t>(std::abs(brace_balance));
+  latex_count += dollars % 2;  // unmatched math delimiter
+  latex_count += dollars / 2;  // each $...$ pair is residue in plain text
+
   TextFeatures f;
   f.char_count = static_cast<double>(s.size());
-  const auto tokens = split_whitespace(s);
-  f.token_count = static_cast<double>(tokens.size());
-  if (!tokens.empty()) {
-    std::size_t total_len = 0;
-    for (const auto& t : tokens) total_len += t.size();
-    f.avg_token_len =
-        static_cast<double>(total_len) / static_cast<double>(tokens.size());
+  f.token_count = static_cast<double>(token_count);
+  if (token_count > 0) {
+    f.avg_token_len = static_cast<double>(total_token_len) /
+                      static_cast<double>(token_count);
   }
-  f.alpha_ratio = alpha_ratio(s);
-  f.digit_ratio = digit_ratio(s);
-  f.whitespace_ratio = whitespace_ratio(s);
-  f.non_ascii_ratio = non_ascii_ratio(s);
-  f.scrambled_ratio = scrambled_token_ratio(s);
-  const double per_kchar =
-      s.empty() ? 0.0 : 1000.0 / static_cast<double>(s.size());
-  f.latex_density = static_cast<double>(latex_artifact_count(s)) * per_kchar;
-  f.smiles_density = static_cast<double>(smiles_like_count(s)) * per_kchar;
-  f.entropy = char_entropy(s);
-  f.longest_run = static_cast<double>(longest_char_run(s));
+  if (!s.empty()) {
+    // Per-class counts fall out of the histogram: same totals the seed
+    // accumulated with one dedicated pass per ratio.
+    std::size_t alpha_n = 0, digit_n = 0, ws_n = 0, non_ascii_n = 0;
+    const auto n = static_cast<double>(s.size());
+    double entropy = 0.0;
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      const std::size_t count = hist[c];
+      if (count == 0) continue;
+      if (t.alpha[c]) alpha_n += count;
+      if (t.digit[c]) digit_n += count;
+      if (t.space[c]) ws_n += count;
+      if ((c < 0x20 || c > 0x7E) && c != '\n' && c != '\t' && c != '\r') {
+        non_ascii_n += count;
+      }
+      const double p = static_cast<double>(count) / n;
+      entropy -= p * std::log2(p);
+    }
+    f.alpha_ratio = static_cast<double>(alpha_n) / n;
+    f.digit_ratio = static_cast<double>(digit_n) / n;
+    f.whitespace_ratio = static_cast<double>(ws_n) / n;
+    f.non_ascii_ratio = static_cast<double>(non_ascii_n) / n;
+    const double per_kchar = 1000.0 / n;
+    f.latex_density = static_cast<double>(latex_count) * per_kchar;
+    f.smiles_density = static_cast<double>(smiles_count) * per_kchar;
+    f.entropy = entropy;
+  }
+  if (alpha_tokens > 0) {
+    f.scrambled_ratio =
+        static_cast<double>(scrambled) / static_cast<double>(alpha_tokens);
+  }
+  f.longest_run = static_cast<double>(run_best);
   return f;
 }
 

@@ -3,11 +3,39 @@
 #include "util/rng.hpp"
 
 namespace adaparse::text {
+namespace {
+
+template <typename Token>
+TokenHashes hash_tokens_impl(std::span<const Token> tokens) {
+  TokenHashes hashes;
+  hashes.reserve(tokens.size());
+  for (const auto& t : tokens) hashes.push_back(util::hash64(t));
+  return hashes;
+}
+
+}  // namespace
+
+TokenHashes hash_tokens(std::span<const std::string> tokens) {
+  return hash_tokens_impl(tokens);
+}
+
+TokenHashes hash_tokens(std::span<const std::string_view> tokens) {
+  return hash_tokens_impl(tokens);
+}
+
+std::uint64_t ngram_key(std::span<const std::uint64_t> token_hashes,
+                        std::size_t begin, std::size_t n) {
+  // Chain per-token FNV hashes through the splitmix finalizer so that
+  // ("ab","c") and ("a","bc") map to different keys.
+  std::uint64_t h = 0x243F6A8885A308D3ULL ^ n;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = util::mix64(h, token_hashes[begin + i]);
+  }
+  return h;
+}
 
 std::uint64_t ngram_key(std::span<const std::string> tokens, std::size_t begin,
                         std::size_t n) {
-  // Chain per-token FNV hashes through the splitmix finalizer so that
-  // ("ab","c") and ("a","bc") map to different keys.
   std::uint64_t h = 0x243F6A8885A308D3ULL ^ n;
   for (std::size_t i = 0; i < n; ++i) {
     h = util::mix64(h, util::hash64(tokens[begin + i]));
@@ -15,12 +43,24 @@ std::uint64_t ngram_key(std::span<const std::string> tokens, std::size_t begin,
   return h;
 }
 
+NgramCounts count_ngrams(std::span<const std::uint64_t> token_hashes,
+                         std::size_t n) {
+  NgramCounts counts;
+  if (n == 0 || token_hashes.size() < n) return counts;
+  counts.reserve(token_hashes.size());
+  for (std::size_t i = 0; i + n <= token_hashes.size(); ++i) {
+    ++counts[ngram_key(token_hashes, i, n)];
+  }
+  return counts;
+}
+
 NgramCounts count_ngrams(std::span<const std::string> tokens, std::size_t n) {
   NgramCounts counts;
   if (n == 0 || tokens.size() < n) return counts;
+  const auto hashes = hash_tokens(tokens);
   counts.reserve(tokens.size());
   for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
-    ++counts[ngram_key(tokens, i, n)];
+    ++counts[ngram_key(hashes, i, n)];
   }
   return counts;
 }

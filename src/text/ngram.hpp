@@ -5,11 +5,16 @@
 // tuples, which keeps metric computation linear-time over multi-page parser
 // output (the paper stresses that naive edit-distance routines do not scale
 // to document-length text).
+//
+// The hot path hashes each token once (`hash_tokens`) and then chains those
+// per-token hashes into n-gram keys for every order, instead of re-hashing
+// every token once per order per position.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -18,12 +23,30 @@ namespace adaparse::text {
 /// Multiset of hashed n-grams -> occurrence count.
 using NgramCounts = std::unordered_map<std::uint64_t, std::uint32_t>;
 
+/// Per-token 64-bit hashes (util::hash64 of each token), computed once and
+/// reused across all n-gram orders.
+using TokenHashes = std::vector<std::uint64_t>;
+
+/// Hashes each token once. Both overloads produce identical hashes for
+/// identical token contents.
+TokenHashes hash_tokens(std::span<const std::string> tokens);
+TokenHashes hash_tokens(std::span<const std::string_view> tokens);
+
 /// Hashes one n-gram (tokens[begin, begin+n)) to a stable 64-bit key.
 std::uint64_t ngram_key(std::span<const std::string> tokens, std::size_t begin,
                         std::size_t n);
 
+/// Same key, computed from pre-hashed tokens.
+std::uint64_t ngram_key(std::span<const std::uint64_t> token_hashes,
+                        std::size_t begin, std::size_t n);
+
 /// Counts all n-grams of order `n` in `tokens`.
 NgramCounts count_ngrams(std::span<const std::string> tokens, std::size_t n);
+
+/// Counts all n-grams of order `n` over pre-hashed tokens; identical counts
+/// to the string overload for the same token sequence.
+NgramCounts count_ngrams(std::span<const std::uint64_t> token_hashes,
+                         std::size_t n);
 
 /// Sum over keys of min(a[k], b[k]) — the clipped match count used by BLEU
 /// and the overlap count used by ROUGE-n.

@@ -1,51 +1,37 @@
 #include "text/tokenize.hpp"
 
-#include <cctype>
-
 namespace adaparse::text {
-namespace {
 
-bool is_word_char(unsigned char c) {
-  return std::isalnum(c) != 0 || c == '-' || c == '\'' || c == '_';
+std::vector<std::string_view> tokenize_views(std::string_view s) {
+  std::vector<std::string_view> tokens;
+  tokens.reserve(s.size() / 6 + 1);
+  for_each_token(s, [&](std::string_view t) { tokens.push_back(t); });
+  return tokens;
 }
 
-}  // namespace
+std::vector<std::string_view> split_whitespace_views(std::string_view s) {
+  std::vector<std::string_view> out;
+  out.reserve(s.size() / 6 + 1);
+  for_each_whitespace_token(s, [&](std::string_view t) { out.push_back(t); });
+  return out;
+}
+
+std::size_t count_tokens(std::string_view s) {
+  std::size_t n = 0;
+  for_each_whitespace_token(s, [&](std::string_view) { ++n; });
+  return n;
+}
 
 std::vector<std::string> tokenize(std::string_view s) {
   std::vector<std::string> tokens;
   tokens.reserve(s.size() / 6 + 1);
-  std::size_t i = 0;
-  while (i < s.size()) {
-    const auto c = static_cast<unsigned char>(s[i]);
-    if (std::isspace(c)) {
-      ++i;
-      continue;
-    }
-    if (is_word_char(c)) {
-      std::size_t j = i + 1;
-      while (j < s.size() && is_word_char(static_cast<unsigned char>(s[j]))) {
-        ++j;
-      }
-      tokens.emplace_back(s.substr(i, j - i));
-      i = j;
-    } else {
-      tokens.emplace_back(1, s[i]);
-      ++i;
-    }
-  }
+  for_each_token(s, [&](std::string_view t) { tokens.emplace_back(t); });
   return tokens;
 }
 
 std::vector<std::string> split_whitespace(std::string_view s) {
   std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < s.size()) {
-    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-    std::size_t j = i;
-    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
-    if (j > i) out.emplace_back(s.substr(i, j - i));
-    i = j;
-  }
+  for_each_whitespace_token(s, [&](std::string_view t) { out.emplace_back(t); });
   return out;
 }
 
@@ -62,24 +48,27 @@ std::string join(const std::vector<std::string>& tokens) {
 }
 
 std::string to_lower(std::string_view s) {
+  const auto& t = charclass::tables();
   std::string out(s);
   for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    c = t.lower[static_cast<unsigned char>(c)];
   }
   return out;
 }
 
 bool is_alpha(std::string_view token) {
   if (token.empty()) return false;
+  const auto& t = charclass::tables();
   for (unsigned char c : token) {
-    if (std::isalpha(c) == 0) return false;
+    if (!t.alpha[c]) return false;
   }
   return true;
 }
 
 bool has_digit(std::string_view token) {
+  const auto& t = charclass::tables();
   for (unsigned char c : token) {
-    if (std::isdigit(c) != 0) return true;
+    if (t.digit[c]) return true;
   }
   return false;
 }

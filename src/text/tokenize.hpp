@@ -3,22 +3,82 @@
 // PDF parser output is plain text; BLEU/ROUGE operate on word tokens, CAR on
 // characters. The tokenizer splits on whitespace and separates punctuation,
 // matching the conventional pre-processing for these metrics.
+//
+// The hot path uses the view/callback forms (`for_each_token`,
+// `tokenize_views`): they yield `string_view` slices of the input and
+// allocate nothing per token. The string-returning forms are retained for
+// callers that need owned tokens (e.g. the synthetic parsers) and are
+// implemented on top of the same traversal, so token boundaries are
+// byte-identical across all forms.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "text/char_class.hpp"
+
 namespace adaparse::text {
 
-/// Splits `s` into word tokens: maximal runs of alphanumeric characters
-/// (plus a few in-word characters such as '-' and '\'') with punctuation
-/// emitted as single-character tokens. Whitespace is discarded.
+/// Calls `fn(std::string_view)` for each word token of `s`: maximal runs of
+/// alphanumeric characters (plus a few in-word characters such as '-' and
+/// '\'') with punctuation emitted as single-character tokens. Whitespace is
+/// discarded. Zero allocations; views point into `s`.
+template <typename Fn>
+void for_each_token(std::string_view s, Fn&& fn) {
+  const auto& t = charclass::tables();
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto c = static_cast<unsigned char>(s[i]);
+    if (t.space[c]) {
+      ++i;
+      continue;
+    }
+    if (t.word[c]) {
+      std::size_t j = i + 1;
+      while (j < s.size() && t.word[static_cast<unsigned char>(s[j])]) {
+        ++j;
+      }
+      fn(s.substr(i, j - i));
+      i = j;
+    } else {
+      fn(s.substr(i, 1));
+      ++i;
+    }
+  }
+}
+
+/// Calls `fn(std::string_view)` for each whitespace-delimited chunk of `s`,
+/// punctuation untouched. Zero allocations; views point into `s`.
+template <typename Fn>
+void for_each_whitespace_token(std::string_view s, Fn&& fn) {
+  const auto& t = charclass::tables();
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && t.space[static_cast<unsigned char>(s[i])]) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !t.space[static_cast<unsigned char>(s[j])]) ++j;
+    if (j > i) fn(s.substr(i, j - i));
+    i = j;
+  }
+}
+
+/// Word tokens as views into `s` (same boundaries as `tokenize`).
+std::vector<std::string_view> tokenize_views(std::string_view s);
+
+/// Whitespace chunks as views into `s` (same chunks as `split_whitespace`).
+std::vector<std::string_view> split_whitespace_views(std::string_view s);
+
+/// Number of whitespace-delimited chunks, without materializing them.
+std::size_t count_tokens(std::string_view s);
+
+/// Splits `s` into owned word tokens; see `for_each_token` for boundaries.
 std::vector<std::string> tokenize(std::string_view s);
 
-/// Splits into whitespace-delimited chunks without touching punctuation.
-/// Used where the raw visual layout matters (e.g. whitespace-injection
-/// detection).
+/// Splits into owned whitespace-delimited chunks without touching
+/// punctuation. Used where the raw visual layout matters (e.g.
+/// whitespace-injection detection).
 std::vector<std::string> split_whitespace(std::string_view s);
 
 /// Joins tokens with single spaces (inverse-ish of tokenize, used by the

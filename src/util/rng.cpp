@@ -158,10 +158,9 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 std::uint64_t hash64(std::string_view s) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
+  std::uint64_t h = kFnvOffsetBasis;
   for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001B3ULL;
+    h = fnv1a_step(h, c);
   }
   return h;
 }

@@ -87,6 +87,17 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// FNV-1a parameters — the hash behind `hash64`. Exposed so hot paths can
+/// fold characters into the same hash incrementally (per-token streaming,
+/// n-gram extension) without materializing substrings.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// One FNV-1a step: folds byte `c` into running hash `h`.
+inline std::uint64_t fnv1a_step(std::uint64_t h, unsigned char c) {
+  return (h ^ c) * kFnvPrime;
+}
+
 /// Stable 64-bit FNV-1a hash of a string; used to derive per-entity seeds
 /// (e.g. per-document RNG streams keyed by document id).
 std::uint64_t hash64(std::string_view s);

@@ -1,0 +1,282 @@
+// Equivalence tests for the zero-allocation text hot path.
+//
+// The fused single-pass featurizer, the view tokenizer, the streaming
+// feature hasher, and the view-based metrics must produce byte-identical
+// outputs to the frozen seed implementations in src/reference/seed_impl.*.
+// Identical TextFeatures + SparseVec + scores imply identical CLS I/III
+// inputs and therefore identical routing decisions and engine output — the
+// property tests here exercise clean, corrupted, empty, whitespace-only,
+// and non-ASCII corpora to pin that down.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cls1.hpp"
+#include "doc/generator.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/rouge.hpp"
+#include "metrics/scores.hpp"
+#include "ml/feature_hash.hpp"
+#include "reference/seed_impl.hpp"
+#include "text/corrupt.hpp"
+#include "text/detect.hpp"
+#include "text/features.hpp"
+#include "text/tokenize.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse {
+namespace {
+
+/// Edge cases plus clean and per-channel-corrupted generated documents.
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> c = [] {
+    std::vector<std::string> out;
+    out.push_back("");
+    out.push_back(" \n\t  \r ");
+    out.push_back("a");
+    out.push_back("x y");
+    out.push_back("state-of-the-art isn't _under_scored_");
+    out.push_back("ALLCAPS mIxEdCaSeWoRd xxxxxx qqqqwwwwzzzz");
+    out.push_back("C1=CC=CC=C1 CC(=O)OC1=CC=CC=C1C(=O)O benzene");
+    out.push_back("\\frac{a}{b} $x^2$ \\alpha {unbalanced _{sub} ^{sup}");
+    out.push_back(std::string(300, 'a') + " run " + std::string(50, ' '));
+    out.push_back("caf\xC3\xA9 na\xC3\xAFve \xEF\xBF\xBD moji \xE2\x80\x94");
+    {
+      std::string all_bytes;
+      for (int b = 0; b < 256; ++b) all_bytes += static_cast<char>(b);
+      out.push_back(all_bytes);
+    }
+    doc::CorpusGenerator gen(doc::born_digital_config(3, 0xFEED));
+    util::Rng rng(0xC0FFEE);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto d = gen.generate_one(i);
+      const std::string t = d.full_groundtruth();
+      out.push_back(t);
+      out.push_back(text::inject_whitespace(t, 0.2, rng));
+      out.push_back(text::scramble_words(t, 0.5, rng));
+      out.push_back(text::substitute_chars(t, 0.1, rng));
+      out.push_back(text::mojibake(t, 0.05, rng));
+      out.push_back(text::mangle_latex(t, 0.5, rng));
+      out.push_back(text::drop_words(t, 0.3, rng));
+      out.push_back(text::pad_whitespace(t, 1.5, rng));
+      out.push_back(text::layout_artifacts(t, 0.8, rng));
+    }
+    return out;
+  }();
+  return c;
+}
+
+TEST(HotPathTokenize, ViewsMatchStringTokenizer) {
+  for (const auto& s : corpus()) {
+    const auto owned = text::tokenize(s);
+    const auto views = text::tokenize_views(s);
+    ASSERT_EQ(owned.size(), views.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_EQ(owned[i], views[i]);
+    }
+    std::size_t callback_count = 0;
+    text::for_each_token(s, [&](std::string_view t) {
+      ASSERT_LT(callback_count, views.size());
+      EXPECT_EQ(t, views[callback_count]);
+      ++callback_count;
+    });
+    EXPECT_EQ(callback_count, views.size());
+  }
+}
+
+TEST(HotPathTokenize, WhitespaceViewsMatchAndCountAgrees) {
+  for (const auto& s : corpus()) {
+    const auto owned = text::split_whitespace(s);
+    const auto views = text::split_whitespace_views(s);
+    ASSERT_EQ(owned.size(), views.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_EQ(owned[i], views[i]);
+    }
+    EXPECT_EQ(text::count_tokens(s), owned.size());
+  }
+}
+
+TEST(HotPathTokenize, ViewsPointIntoInput) {
+  const std::string s = "alpha beta, gamma";
+  for (const auto v : text::tokenize_views(s)) {
+    EXPECT_GE(v.data(), s.data());
+    EXPECT_LE(v.data() + v.size(), s.data() + s.size());
+  }
+}
+
+TEST(HotPathHash, StreamingFnvMatchesHash64) {
+  for (const auto& s : corpus()) {
+    std::uint64_t h = util::kFnvOffsetBasis;
+    for (unsigned char c : s) h = util::fnv1a_step(h, c);
+    EXPECT_EQ(h, util::hash64(s));
+  }
+}
+
+TEST(HotPathFeatures, FusedPassMatchesSeedExactly) {
+  for (const auto& s : corpus()) {
+    const auto fused = text::compute_features(s).to_array();
+    const auto seed = reference::compute_features_seed(s).to_array();
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      // Bit-identical, not approximately equal: identical features feed
+      // identical CLS decisions.
+      EXPECT_EQ(fused[i], seed[i]) << "feature " << i << " differs";
+    }
+  }
+}
+
+TEST(HotPathFeatures, FusedPassMatchesLiveDetectors) {
+  // The fused pass inlines the detector logic that also lives in detect.cpp
+  // (still used standalone, e.g. by pref/annotator). This pins the two
+  // copies to each other so a threshold edit in one cannot silently drift.
+  for (const auto& s : corpus()) {
+    const auto f = text::compute_features(s);
+    EXPECT_EQ(f.alpha_ratio, text::alpha_ratio(s));
+    EXPECT_EQ(f.digit_ratio, text::digit_ratio(s));
+    EXPECT_EQ(f.whitespace_ratio, text::whitespace_ratio(s));
+    EXPECT_EQ(f.non_ascii_ratio, text::non_ascii_ratio(s));
+    EXPECT_EQ(f.scrambled_ratio, text::scrambled_token_ratio(s));
+    EXPECT_EQ(f.entropy, text::char_entropy(s));
+    EXPECT_EQ(f.longest_run,
+              static_cast<double>(text::longest_char_run(s)));
+    const double per_kchar =
+        s.empty() ? 0.0 : 1000.0 / static_cast<double>(s.size());
+    EXPECT_EQ(f.latex_density,
+              static_cast<double>(text::latex_artifact_count(s)) * per_kchar);
+    EXPECT_EQ(f.smiles_density,
+              static_cast<double>(text::smiles_like_count(s)) * per_kchar);
+  }
+}
+
+TEST(HotPathFeatures, Cls1VerdictsUnchanged) {
+  for (const auto& s : corpus()) {
+    const auto verdict = core::cls1_validate(s, 2);
+    const auto seed_verdict =
+        core::cls1_validate(reference::compute_features_seed(s), 2);
+    EXPECT_EQ(verdict.valid, seed_verdict.valid);
+    EXPECT_EQ(verdict.reason, seed_verdict.reason);
+  }
+}
+
+void expect_sparse_eq(const ml::SparseVec& a, const ml::SparseVec& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].value, b[i].value);  // bit-identical floats
+  }
+}
+
+TEST(HotPathHash, StreamingHasherMatchesSeedExactly) {
+  std::vector<ml::HashOptions> variants;
+  variants.push_back({});  // SciBERT-style defaults
+  {
+    ml::HashOptions o;  // fastText-style: unigrams, small space
+    o.dim = 1 << 12;
+    o.word_ngrams = 1;
+    o.salt = 0xFA57;
+    variants.push_back(o);
+  }
+  {
+    ml::HashOptions o;  // word-only (char grams off)
+    o.char_ngrams = 0;
+    o.salt = 0xBE27;
+    variants.push_back(o);
+  }
+  {
+    ml::HashOptions o;  // wide char-gram range, tiny dim, short truncation
+    o.dim = 1 << 9;
+    o.char_ngram_min = 1;
+    o.char_ngrams = 5;
+    o.max_chars = 64;
+    variants.push_back(o);
+  }
+  for (const auto& options : variants) {
+    for (const auto& s : corpus()) {
+      expect_sparse_eq(ml::hash_text(s, options),
+                       reference::hash_text_seed(s, options));
+    }
+  }
+}
+
+TEST(HotPathHash, RepeatedCallsReuseScratchCleanly) {
+  // The dense accumulator is thread-local and epoch-stamped; interleaved
+  // dims and repeated inputs must not leak state between calls.
+  ml::HashOptions small;
+  small.dim = 1 << 9;
+  const ml::HashOptions big;
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  const auto first_small = ml::hash_text(s, small);
+  const auto first_big = ml::hash_text(s, big);
+  for (int i = 0; i < 3; ++i) {
+    expect_sparse_eq(ml::hash_text(s, small), first_small);
+    expect_sparse_eq(ml::hash_text(s, big), first_big);
+  }
+}
+
+TEST(HotPathMetrics, BleuMatchesSeedExactly) {
+  const auto& c = corpus();
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    EXPECT_EQ(metrics::bleu(c[i], c[i + 1]),
+              reference::bleu_seed(c[i], c[i + 1]));
+    EXPECT_EQ(metrics::bleu(c[i], c[i]), reference::bleu_seed(c[i], c[i]));
+  }
+}
+
+TEST(HotPathMetrics, RougeMatchesSeedExactly) {
+  const auto& c = corpus();
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    EXPECT_EQ(metrics::rouge(c[i], c[i + 1]),
+              reference::rouge_seed(c[i], c[i + 1]));
+    EXPECT_EQ(metrics::rouge(c[i], c[i]), reference::rouge_seed(c[i], c[i]));
+  }
+}
+
+TEST(HotPathMetrics, ViewAndStringTokenOverloadsAgree) {
+  const std::string cand = "the cat sat on the mat , twice";
+  const std::string ref = "the cat sat on a mat";
+  const auto cand_s = text::tokenize(cand);
+  const auto ref_s = text::tokenize(ref);
+  const auto cand_v = text::tokenize_views(cand);
+  const auto ref_v = text::tokenize_views(ref);
+
+  const auto bleu_s = metrics::bleu_tokens(cand_s, ref_s);
+  const auto bleu_v = metrics::bleu_tokens(cand_v, ref_v);
+  EXPECT_EQ(bleu_s.score, bleu_v.score);
+  EXPECT_EQ(bleu_s.precisions, bleu_v.precisions);
+
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const auto rn_s = metrics::rouge_n_tokens(cand_s, ref_s, n);
+    const auto rn_v = metrics::rouge_n_tokens(cand_v, ref_v, n);
+    EXPECT_EQ(rn_s.f1, rn_v.f1);
+    EXPECT_EQ(rn_s.precision, rn_v.precision);
+    EXPECT_EQ(rn_s.recall, rn_v.recall);
+  }
+  const auto rl_s = metrics::rouge_l_tokens(cand_s, ref_s);
+  const auto rl_v = metrics::rouge_l_tokens(cand_v, ref_v);
+  EXPECT_EQ(rl_s.f1, rl_v.f1);
+}
+
+TEST(HotPathMetrics, ScoreDocumentMatchesSeedExactly) {
+  doc::CorpusGenerator gen(doc::born_digital_config(2, 0xD0C5));
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto d = gen.generate_one(i);
+    std::vector<std::string> candidate_pages;
+    for (const auto& page : d.groundtruth_pages) {
+      candidate_pages.push_back(text::substitute_chars(page, 0.05, rng));
+    }
+    if (!candidate_pages.empty()) candidate_pages.back().clear();  // dropped page
+    const auto fast = metrics::score_document(candidate_pages,
+                                              d.groundtruth_pages);
+    const auto seed = reference::score_document_seed(candidate_pages,
+                                                     d.groundtruth_pages);
+    EXPECT_EQ(fast.coverage, seed.coverage);
+    EXPECT_EQ(fast.bleu, seed.bleu);
+    EXPECT_EQ(fast.rouge, seed.rouge);
+    EXPECT_EQ(fast.car, seed.car);
+    EXPECT_EQ(fast.tokens, seed.tokens);
+  }
+}
+
+}  // namespace
+}  // namespace adaparse

@@ -1,0 +1,169 @@
+// Fault-tolerant campaign bench: the price of recovery at campaign scale.
+//
+// Runs three campaigns over the same generated corpus:
+//   clean    no faults — the baseline shards/sec
+//   faulty   scripted crashes, a corrupt shard, a poison document, and a
+//            straggler shard with hedging enabled — measures recovery
+//            overhead (retries, re-staging, quarantine, hedges)
+//   resume   the clean campaign killed halfway and resumed — the bench
+//            exits non-zero unless the resumed output is byte-identical
+//            to the uninterrupted clean run (the CI crash-safety gate)
+//
+// Emits BENCH_campaign.json.
+//
+//   ADAPARSE_BENCH_N        corpus size            (default 1000)
+//   ADAPARSE_CAMPAIGN_SHARD documents per shard    (default 64)
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "campaign/runner.hpp"
+#include "common.hpp"
+#include "core/doc_source.hpp"
+#include "doc/generator.hpp"
+#include "io/fsio.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string fresh_dir(const fs::path& root, const std::string& name) {
+  const fs::path dir = root / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+util::Json stats_json(const campaign::CampaignStats& s) {
+  util::JsonObject o;
+  o["shards_total"] = s.shards_total;
+  o["shards_committed"] = s.shards_committed;
+  o["attempts_started"] = s.attempts_started;
+  o["attempts_failed"] = s.attempts_failed;
+  o["shards_retried"] = s.shards_retried;
+  o["hedges_launched"] = s.hedges_launched;
+  o["hedges_won"] = s.hedges_won;
+  o["docs_processed"] = s.docs_processed;
+  o["docs_quarantined"] = s.docs_quarantined;
+  o["corrupt_shard_recoveries"] = s.corrupt_shard_recoveries;
+  o["recovery_wall_seconds"] = s.recovery_wall_seconds;
+  o["wall_seconds"] = s.wall_seconds;
+  return util::Json(std::move(o));
+}
+
+}  // namespace
+
+int main() {
+  util::Stopwatch total;
+  const std::size_t n = bench::env().eval_docs;
+  std::size_t docs_per_shard = 64;
+  if (const char* env_shard = std::getenv("ADAPARSE_CAMPAIGN_SHARD")) {
+    docs_per_shard = static_cast<std::size_t>(
+        std::max(1, std::atoi(env_shard)));
+  }
+  const auto corpus_config = doc::benchmark_config(n, 0xCA4);
+  const auto source = [&corpus_config] {
+    return std::make_unique<core::GeneratorSource>(corpus_config);
+  };
+
+  const auto& bundle = bench::trained_bundle(/*with_dpo=*/false);
+  const fs::path root = fs::temp_directory_path() / "adaparse_bench_campaign";
+
+  campaign::CampaignConfig base;
+  base.docs_per_shard = docs_per_shard;
+  base.workers = 3;
+  base.extract_workers = 2;
+  base.upgrade_workers = 1;
+
+  // --- Clean baseline. -----------------------------------------------------
+  auto clean_config = base;
+  clean_config.dir = fresh_dir(root, "clean");
+  campaign::CampaignRunner clean(*bundle.llm, clean_config);
+  const auto clean_stats = clean.run(source);
+  const std::string clean_bytes = io::read_file(clean.output_path()).value_or("");
+  std::cout << "clean:  " << clean_stats.shards_total << " shards, "
+            << clean_stats.docs_processed << " docs in "
+            << util::format_fixed(clean_stats.wall_seconds, 2) << " s ("
+            << util::format_fixed(
+                   clean_stats.docs_processed /
+                       std::max(1e-9, clean_stats.wall_seconds), 1)
+            << " docs/s)\n";
+
+  // --- Faulty run: every recovery mechanism exercised at once. -------------
+  auto faulty_config = base;
+  faulty_config.dir = fresh_dir(root, "faulty");
+  const std::size_t shards =
+      std::max<std::size_t>(1, clean_stats.shards_total);
+  faulty_config.failures.crashes = {
+      {/*shard=*/0, /*attempt=*/0, /*after_docs=*/docs_per_shard / 2}};
+  faulty_config.failures.corrupt_shards = {shards - 1};
+  faulty_config.failures.poison_docs = {
+      doc::CorpusGenerator(corpus_config).generate_one(n / 2).id};
+  faulty_config.failures.stragglers = {
+      {/*shard=*/shards / 2, /*first_attempts=*/1,
+       /*per_doc_delay=*/std::chrono::milliseconds(20)}};
+  faulty_config.hedge_factor = 3.0;
+  faulty_config.hedge_min_runtime = std::chrono::milliseconds(100);
+  faulty_config.max_shard_attempts = 2;
+  campaign::CampaignRunner faulty(*bundle.llm, faulty_config);
+  const auto faulty_stats = faulty.run(source);
+  std::cout << "faulty: " << faulty_stats.attempts_failed << " failed attempts, "
+            << faulty_stats.shards_retried << " retries, "
+            << faulty_stats.hedges_launched << " hedges ("
+            << faulty_stats.hedges_won << " won), "
+            << faulty_stats.docs_quarantined << " quarantined, "
+            << faulty_stats.corrupt_shard_recoveries << " re-staged; "
+            << util::format_fixed(faulty_stats.recovery_wall_seconds, 2)
+            << " s lost to recovery of "
+            << util::format_fixed(faulty_stats.wall_seconds, 2)
+            << " s total\n";
+
+  // --- Kill/resume gate: resumed output must equal the clean bytes. --------
+  auto killed_config = base;
+  killed_config.dir = fresh_dir(root, "resume");
+  killed_config.failures.halt_after_commits = std::max<std::size_t>(1, shards / 2);
+  campaign::CampaignRunner killed(*bundle.llm, killed_config);
+  const auto halted_stats = killed.run(source);
+  auto resume_config = killed_config;
+  resume_config.failures = campaign::FailurePlan{};
+  campaign::CampaignRunner resumed(*bundle.llm, resume_config);
+  const auto resumed_stats = resumed.run(source);
+  const std::string resumed_bytes =
+      io::read_file(resumed.output_path()).value_or("<missing>");
+  const bool identical =
+      !clean_bytes.empty() && resumed_bytes == clean_bytes;
+  std::cout << "resume: killed after " << halted_stats.shards_committed
+            << "/" << shards << " shards, resumed "
+            << resumed_stats.shards_committed - resumed_stats.shards_resumed_skip
+            << " more; byte-identical output: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  std::cout << campaign::render_prometheus(faulty_stats);
+
+  util::JsonObject out;
+  out["bench"] = "campaign";
+  out["docs"] = n;
+  out["docs_per_shard"] = docs_per_shard;
+  out["workers"] = base.workers;
+  out["clean"] = stats_json(clean_stats);
+  out["faulty"] = stats_json(faulty_stats);
+  out["resume_byte_identical"] = identical;
+  out["clean_docs_per_second"] =
+      clean_stats.docs_processed / std::max(1e-9, clean_stats.wall_seconds);
+  out["faulty_docs_per_second"] =
+      faulty_stats.docs_processed / std::max(1e-9, faulty_stats.wall_seconds);
+  {
+    std::ofstream json_file("BENCH_campaign.json");
+    json_file << util::Json(std::move(out)).dump() << '\n';
+  }
+  fs::remove_all(root);
+  std::cout << "wrote BENCH_campaign.json; total wall time: "
+            << util::format_fixed(total.seconds(), 1) << " s\n";
+  return identical ? 0 : 1;
+}

@@ -1,48 +1,36 @@
-// Large-scale parsing campaign: the paper's deployment scenario.
+// Fault-tolerant parsing campaign: the paper's deployment scenario, made
+// restartable.
 //
-// Packs documents into shard archives (the paper's ZIP-staging strategy),
-// runs AdaParse over the corpus on the local thread pool, writes JSONL
-// output to disk, and then uses the cluster simulator to project the same
-// campaign onto 1-128 Polaris-like nodes.
+// Stages a generated corpus into durable shard archives (the paper's
+// ZIP-staging strategy), runs AdaParse over them with the sharded
+// campaign runner, "kills" the run halfway (a scripted halt at a shard
+// boundary), resumes it from the write-ahead manifest, and verifies the
+// resumed output is byte-identical to an uninterrupted run. Finally
+// projects the campaign — including its measured recovery overhead — onto
+// 1-128 Polaris-like nodes with the cluster simulator.
 //
 // Build & run:  ./build/examples/campaign [num_docs]
-#include <fstream>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 
+#include "campaign/runner.hpp"
 #include "core/training.hpp"
 #include "doc/generator.hpp"
 #include "hpc/campaign.hpp"
-#include "io/jsonl.hpp"
-#include "io/shard.hpp"
+#include "io/fsio.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 using namespace adaparse;
+namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1]))
                                  : 500;
   util::Stopwatch wall;
-  const auto docs =
-      doc::CorpusGenerator(doc::benchmark_config(n, 0xCA3)).generate();
 
-  // --- Stage inputs into shard archives (avoid small-file I/O). -----------
-  std::vector<std::size_t> sizes;
-  sizes.reserve(docs.size());
-  for (const auto& d : docs) sizes.push_back(d.full_text_layer().size());
-  const auto plan = io::plan_shards(sizes, /*shard_bytes=*/4 << 20);
-  std::size_t shard_bytes = 0;
-  for (const auto& [begin, end] : plan) {
-    io::ShardWriter writer;
-    for (std::size_t i = begin; i < end; ++i) {
-      writer.add(docs[i].id, docs[i].full_text_layer());
-    }
-    shard_bytes += writer.finish().size();
-  }
-  std::cout << "staged " << docs.size() << " documents into " << plan.size()
-            << " shards (" << shard_bytes / (1 << 20) << " MiB encoded)\n";
-
-  // --- Train and run AdaParse. ---------------------------------------------
+  // --- Train AdaParse. -----------------------------------------------------
   const auto train_docs =
       doc::CorpusGenerator(doc::benchmark_config(300, 0x7A)).generate();
   core::TrainAdaParseOptions options;
@@ -50,32 +38,84 @@ int main(int argc, char** argv) {
   options.regression.epochs = 6;
   const auto bundle = core::train_adaparse(train_docs, nullptr, nullptr,
                                            options);
-  const auto output = bundle.llm->run(docs);
-  std::ofstream out("campaign_output.jsonl");
-  io::JsonlWriter writer(out);
-  for (const auto& record : output.records) writer.write(record);
-  std::cout << "wrote " << writer.count()
-            << " records to campaign_output.jsonl ("
-            << output.stats.routed_to_nougat << " upgraded to Nougat, "
-            << output.stats.failed_docs << " failed)\n";
 
-  // --- Project the campaign onto the cluster. ------------------------------
+  // --- Campaign setup: the corpus streams from a generator source, so only
+  // one shard's worth of documents is ever resident during staging.
+  const auto corpus_config = doc::benchmark_config(n, 0xCA3);
+  const auto source = [&corpus_config] {
+    return std::make_unique<core::GeneratorSource>(corpus_config);
+  };
+  const fs::path root = fs::temp_directory_path() / "adaparse_campaign_demo";
+  fs::remove_all(root);
+
+  campaign::CampaignConfig config;
+  config.dir = (root / "run").string();
+  config.docs_per_shard = 64;
+  config.workers = 2;
+
+  // --- Uninterrupted reference run. ----------------------------------------
+  campaign::CampaignRunner reference(*bundle.llm, config);
+  const auto ref_stats = reference.run(source);
+  const std::string ref_bytes =
+      io::read_file(reference.output_path()).value_or("");
+  std::cout << "reference: staged " << ref_stats.docs_processed
+            << " documents into " << ref_stats.shards_total << " shards, "
+            << "parsed in " << util::format_fixed(ref_stats.wall_seconds, 2)
+            << " s\n";
+
+  // --- Kill the campaign halfway, then resume it. --------------------------
+  auto killed_config = config;
+  killed_config.dir = (root / "killed").string();
+  killed_config.failures.halt_after_commits =
+      std::max<std::size_t>(1, ref_stats.shards_total / 2);
+  campaign::CampaignRunner killed(*bundle.llm, killed_config);
+  const auto halted = killed.run(source);
+  std::cout << "killed:    halted after " << halted.shards_committed << "/"
+            << halted.shards_total << " shard commits (simulated crash)\n";
+
+  auto resume_config = killed_config;
+  resume_config.failures = campaign::FailurePlan{};
+  campaign::CampaignRunner resumed(*bundle.llm, resume_config);
+  const auto resumed_stats = resumed.run(source);
+  const std::string resumed_bytes =
+      io::read_file(resumed.output_path()).value_or("<missing>");
+  std::cout << "resumed:   skipped " << resumed_stats.shards_resumed_skip
+            << " committed shards, executed "
+            << resumed_stats.shards_committed -
+                   resumed_stats.shards_resumed_skip
+            << " more; output byte-identical to reference: "
+            << (resumed_bytes == ref_bytes ? "yes" : "NO") << "\n";
+
+  // --- Project the campaign onto the cluster, clean vs. with the measured
+  // recovery overhead folded into every task.
+  const auto docs = doc::CorpusGenerator(corpus_config).generate();
   const auto decisions = bundle.llm->route(docs);
   const auto tasks = bundle.llm->plan_tasks(docs, decisions);
-  hpc::ClusterConfig config;
-  config.model_load_seconds = 15.0;
-  util::Table table({"Nodes", "PDF/s", "makespan (sim h)"});
-  for (int nodes : {1, 4, 16, 64, 128}) {
-    config.nodes = nodes;
-    const auto result = hpc::simulate(config, tasks);
+  hpc::ClusterConfig cluster;
+  cluster.model_load_seconds = 15.0;
+  const std::vector<int> nodes = {1, 4, 16, 64, 128};
+  // Overhead as measured across the crash: wall-clock the killed run and
+  // the resume lost to attempts that never committed, over the useful work.
+  const double lost =
+      halted.recovery_wall_seconds + resumed_stats.recovery_wall_seconds;
+  const double productive = std::max(1e-9, ref_stats.wall_seconds);
+  const double overhead = lost / productive;
+  std::cout << "recovery overhead across the crash: "
+            << util::format_fixed(100.0 * overhead, 1) << "% of useful work\n";
+  const auto clean_sweep = hpc::throughput_sweep_tasks(tasks, cluster, nodes);
+  const auto lossy_sweep =
+      hpc::throughput_sweep_with_overhead(tasks, cluster, nodes, overhead);
+  util::Table table({"Nodes", "PDF/s", "PDF/s (w/ recovery)"});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
     table.row()
-        .add(nodes)
-        .add(result.throughput, 2)
-        .add(result.makespan / 3600.0, 2);
+        .add(nodes[i])
+        .add(clean_sweep[i].throughput, 2)
+        .add(lossy_sweep[i].throughput, 2);
   }
   std::cout << "\nprojected scaling of this campaign:\n";
   table.print(std::cout);
   std::cout << "local wall time: " << util::format_fixed(wall.seconds(), 1)
             << " s\n";
-  return 0;
+  fs::remove_all(root);
+  return resumed_bytes == ref_bytes ? 0 : 1;
 }

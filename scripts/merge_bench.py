@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Merge per-binary BENCH_*.json files into one BENCH_all.json artifact.
+
+Usage: merge_bench.py -o BENCH_all.json BENCH_micro.json BENCH_pipeline.json ...
+
+Each input must be valid JSON (one object per file, as every bench binary
+emits); a malformed or empty file fails the merge with a non-zero exit so
+CI catches a bench that wrote garbage. The merged object is keyed by the
+input file's stem, e.g. {"BENCH_micro": {...}, "BENCH_serve": {...}}.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    out_path = None
+    inputs = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "-o":
+            out_path = next(it, None)
+        else:
+            inputs.append(arg)
+    if not out_path or not inputs:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    merged = {}
+    failed = False
+    for path in inputs:
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                merged[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"merge_bench: {path}: malformed bench output: {err}",
+                  file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merge_bench: merged {len(merged)} bench files into {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

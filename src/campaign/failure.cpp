@@ -1,0 +1,48 @@
+#include "campaign/failure.hpp"
+
+#include <algorithm>
+
+namespace adaparse::campaign {
+
+std::optional<std::size_t> FailurePlan::crash_after(std::size_t shard,
+                                                    std::size_t attempt) const {
+  for (const auto& crash : crashes) {
+    if (crash.shard == shard && crash.attempt == attempt) {
+      return crash.after_docs;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FailurePlan::is_poison(std::string_view doc_id) const {
+  return std::find(poison_docs.begin(), poison_docs.end(), doc_id) !=
+         poison_docs.end();
+}
+
+bool FailurePlan::corrupts_shard(std::size_t shard) const {
+  return std::find(corrupt_shards.begin(), corrupt_shards.end(), shard) !=
+         corrupt_shards.end();
+}
+
+bool FailurePlan::tears_commit(std::size_t shard) const {
+  return std::find(torn_manifest_shards.begin(), torn_manifest_shards.end(),
+                   shard) != torn_manifest_shards.end();
+}
+
+std::chrono::milliseconds FailurePlan::delay_for(std::size_t shard,
+                                                 std::size_t attempt) const {
+  for (const auto& straggler : stragglers) {
+    if (straggler.shard == shard && attempt < straggler.first_attempts) {
+      return straggler.per_doc_delay;
+    }
+  }
+  return std::chrono::milliseconds{0};
+}
+
+bool FailurePlan::empty() const {
+  return crashes.empty() && poison_docs.empty() && corrupt_shards.empty() &&
+         torn_manifest_shards.empty() && stragglers.empty() &&
+         !halt_after_commits.has_value();
+}
+
+}  // namespace adaparse::campaign

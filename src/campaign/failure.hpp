@@ -1,0 +1,78 @@
+// Deterministic failure injection for campaign runs.
+//
+// A FailurePlan scripts every fault the runner is expected to survive, so
+// tests and benches can replay the exact same fault sequence against a
+// full run and a killed-and-resumed run and assert byte-identical output:
+//
+//   crashes         a worker dies partway through a shard attempt (the
+//                   partial output is discarded, the shard retries)
+//   poison_docs     documents that kill every attempt that reaches them,
+//                   until the runner quarantines them
+//   corrupt_shards  shard files damaged at rest (detected on read,
+//                   re-staged from the source)
+//   torn_manifest_shards  the commit record of a shard tears mid-line and
+//                   the process "dies" (resume drops the torn tail)
+//   stragglers      per-document delay on early attempts of a shard, so
+//                   hedged re-dispatch has something to beat
+//   halt_after_commits    simulated kill: stop cleanly after N durable
+//                   shard commits (resume continues from the manifest)
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::campaign {
+
+struct FailurePlan {
+  /// Attempt `attempt` of shard `shard` dies after emitting `after_docs`
+  /// records. Keyed per attempt so "fails twice, then succeeds" is
+  /// expressible.
+  struct WorkerCrash {
+    std::size_t shard = 0;
+    std::size_t attempt = 0;
+    std::size_t after_docs = 0;
+  };
+  std::vector<WorkerCrash> crashes;
+
+  /// Document ids that kill any attempt that reaches them (every attempt,
+  /// until quarantined).
+  std::vector<std::string> poison_docs;
+
+  /// Shard files corrupted at rest; applied once when run() starts.
+  std::vector<std::size_t> corrupt_shards;
+
+  /// Shards whose commit record tears mid-line; the run halts as if the
+  /// process died during the append.
+  std::vector<std::size_t> torn_manifest_shards;
+
+  /// Per-document delay injected into the first `first_attempts` attempts
+  /// of `shard` — a synthetic straggler for hedging to race.
+  struct Straggler {
+    std::size_t shard = 0;
+    std::size_t first_attempts = 1;
+    std::chrono::milliseconds per_doc_delay{0};
+  };
+  std::vector<Straggler> stragglers;
+
+  /// Simulated process kill: the run stops (workers stand down, nothing
+  /// further commits) after this many durable shard commits.
+  std::optional<std::size_t> halt_after_commits;
+
+  /// Records the given attempt survives before dying; nullopt = no crash
+  /// scripted for it.
+  std::optional<std::size_t> crash_after(std::size_t shard,
+                                         std::size_t attempt) const;
+  bool is_poison(std::string_view doc_id) const;
+  bool corrupts_shard(std::size_t shard) const;
+  bool tears_commit(std::size_t shard) const;
+  /// Injected per-document delay for this attempt (zero = none).
+  std::chrono::milliseconds delay_for(std::size_t shard,
+                                      std::size_t attempt) const;
+  bool empty() const;
+};
+
+}  // namespace adaparse::campaign

@@ -1,0 +1,668 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "io/doc_codec.hpp"
+#include "io/fsio.hpp"
+#include "io/jsonl.hpp"
+#include "sched/thread_pool.hpp"
+#include "sched/warm_cache.hpp"
+#include "util/stopwatch.hpp"
+
+namespace adaparse::campaign {
+namespace {
+
+std::string shard_stem(std::size_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%04zu", index);
+  return buf;
+}
+
+/// The deterministic stand-in record for a quarantined document: the
+/// campaign still emits one line per input document, so downstream
+/// curation sees the hole (and its provenance) instead of silence.
+io::ParseRecord quarantine_record(const doc::Document& document) {
+  io::ParseRecord record;
+  record.document_id = document.id;
+  record.parser = "quarantined";
+  record.text = "";
+  record.predicted_accuracy = 0.0;
+  record.route = "campaign:quarantined";
+  record.pages = static_cast<int>(document.num_pages());
+  record.pages_retrieved = 0;
+  return record;
+}
+
+// Monotonic series render as counters, point-in-time ones as gauges — the
+// same split serve::MetricsRegistry uses.
+void emit_counter(std::ostringstream& os, const char* name, double value) {
+  os << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+}
+
+void emit_gauge(std::ostringstream& os, const char* name, double value) {
+  os << "# TYPE " << name << " gauge\n" << name << ' ' << value << '\n';
+}
+
+}  // namespace
+
+struct CampaignRunner::AttemptResult {
+  enum class Kind { kSuccess, kFailed, kCancelled };
+  Kind kind = Kind::kFailed;
+  std::string output;           ///< serialized JSONL (success only)
+  std::size_t records = 0;      ///< lines in `output`
+  std::size_t quarantined_in_shard = 0;
+  /// Size of the quarantine list the attempt ran against; a commit is
+  /// stale (and retried) if the list grew while the attempt was in flight.
+  std::size_t quarantine_snapshot = 0;
+  std::string failed_doc_id;    ///< document the attempt died on
+  double wall_seconds = 0.0;
+};
+
+std::string render_prometheus(const CampaignStats& stats) {
+  std::ostringstream os;
+  emit_gauge(os, "adaparse_campaign_shards_total",
+             static_cast<double>(stats.shards_total));
+  emit_counter(os, "adaparse_campaign_shards_committed",
+               static_cast<double>(stats.shards_committed));
+  emit_counter(os, "adaparse_campaign_shards_resumed_skip",
+               static_cast<double>(stats.shards_resumed_skip));
+  emit_counter(os, "adaparse_campaign_attempts_started",
+               static_cast<double>(stats.attempts_started));
+  emit_counter(os, "adaparse_campaign_attempts_failed",
+               static_cast<double>(stats.attempts_failed));
+  emit_counter(os, "adaparse_campaign_shards_retried",
+               static_cast<double>(stats.shards_retried));
+  emit_counter(os, "adaparse_campaign_hedges_launched",
+               static_cast<double>(stats.hedges_launched));
+  emit_counter(os, "adaparse_campaign_hedges_won",
+               static_cast<double>(stats.hedges_won));
+  emit_counter(os, "adaparse_campaign_docs_processed",
+               static_cast<double>(stats.docs_processed));
+  emit_counter(os, "adaparse_campaign_docs_quarantined",
+               static_cast<double>(stats.docs_quarantined));
+  emit_counter(os, "adaparse_campaign_corrupt_shard_recoveries",
+               static_cast<double>(stats.corrupt_shard_recoveries));
+  emit_counter(os, "adaparse_campaign_corrupt_output_recoveries",
+               static_cast<double>(stats.corrupt_output_recoveries));
+  emit_gauge(os, "adaparse_campaign_recovered_torn_manifest",
+             stats.recovered_torn_manifest ? 1.0 : 0.0);
+  emit_counter(os, "adaparse_campaign_recovery_wall_seconds",
+               stats.recovery_wall_seconds);
+  emit_gauge(os, "adaparse_campaign_wall_seconds", stats.wall_seconds);
+  emit_gauge(os, "adaparse_campaign_halted", stats.halted ? 1.0 : 0.0);
+  emit_gauge(os, "adaparse_campaign_completed", stats.completed ? 1.0 : 0.0);
+  return os.str();
+}
+
+CampaignRunner::CampaignRunner(const core::AdaParseEngine& engine,
+                               CampaignConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  config_.docs_per_shard = std::max<std::size_t>(1, config_.docs_per_shard);
+  config_.workers = std::max<std::size_t>(1, config_.workers);
+  config_.extract_workers = std::max<std::size_t>(1, config_.extract_workers);
+  config_.upgrade_workers = std::max<std::size_t>(1, config_.upgrade_workers);
+  config_.max_shard_attempts =
+      std::max<std::size_t>(1, config_.max_shard_attempts);
+}
+
+std::string CampaignRunner::output_path() const {
+  return (std::filesystem::path(config_.dir) / "output.jsonl").string();
+}
+
+std::string CampaignRunner::manifest_path() const {
+  return (std::filesystem::path(config_.dir) / "manifest.jsonl").string();
+}
+
+std::string CampaignRunner::shard_path(std::size_t index) const {
+  return (std::filesystem::path(config_.dir) / (shard_stem(index) + ".shard"))
+      .string();
+}
+
+std::string CampaignRunner::shard_output_path(std::size_t index) const {
+  return (std::filesystem::path(config_.dir) / (shard_stem(index) + ".out"))
+      .string();
+}
+
+std::string CampaignRunner::fingerprint() const {
+  const core::EngineConfig& ec = engine_.config();
+  std::ostringstream os;
+  os << core::variant_name(ec.variant) << "|alpha=" << ec.alpha
+     << "|k=" << ec.batch_size << "|cls2=" << ec.cls2_threshold
+     << "|shard=" << config_.docs_per_shard
+     // Config alone is not enough: a resume with a differently-*trained*
+     // engine of identical config would silently mix two models' outputs.
+     << "|model=" << engine_.model_digest();
+  return os.str();
+}
+
+void CampaignRunner::stage(const SourceFactory& source, ManifestState& state) {
+  auto stream = source();
+  std::vector<doc::Document> chunk;
+  chunk.reserve(config_.docs_per_shard);
+  PlanRecord plan;
+  plan.fingerprint = fingerprint();
+  const auto flush = [&] {
+    if (chunk.empty()) return;
+    io::write_file_atomic(shard_path(plan.shard_docs.size()),
+                          io::pack_corpus_shard(chunk));
+    plan.shard_docs.push_back(chunk.size());
+    chunk.clear();
+  };
+  while (auto document = stream->next()) {
+    chunk.push_back(*document);
+    ++plan.docs;
+    if (chunk.size() == config_.docs_per_shard) flush();
+  }
+  flush();
+  // The plan record is the staging commit point: a crash before this line
+  // re-stages everything; after it, shard files are durable inputs.
+  manifest_->append(plan);
+  state.plan = std::move(plan);
+}
+
+std::vector<doc::Document> CampaignRunner::load_shard_docs(
+    const SourceFactory& source, std::size_t shard) {
+  std::size_t skip = 0;
+  for (std::size_t i = 0; i < shard; ++i) skip += shard_docs_[i];
+  auto stream = source();
+  for (std::size_t i = 0; i < skip; ++i) {
+    if (!stream->next()) {
+      throw std::runtime_error("campaign: source shrank during re-staging");
+    }
+  }
+  std::vector<doc::Document> docs;
+  docs.reserve(shard_docs_[shard]);
+  for (std::size_t i = 0; i < shard_docs_[shard]; ++i) {
+    auto document = stream->next();
+    if (!document) {
+      throw std::runtime_error("campaign: source shrank during re-staging");
+    }
+    docs.push_back(*document);
+  }
+  return docs;
+}
+
+CampaignRunner::AttemptResult CampaignRunner::execute_attempt(
+    const SourceFactory& source, std::size_t shard, std::size_t attempt,
+    std::shared_ptr<std::atomic<bool>> cancel) {
+  util::Stopwatch wall;
+  AttemptResult result;
+
+  // --- Read the shard, re-staging from the source if the file is damaged.
+  std::vector<doc::Document> docs;
+  bool decoded = false;
+  if (auto bytes = io::read_file(shard_path(shard))) {
+    try {
+      docs = io::unpack_corpus_shard(*bytes);
+      decoded = true;
+    } catch (const std::runtime_error&) {
+      // Corrupt at rest; fall through to re-staging.
+    }
+  }
+  if (!decoded) {
+    docs = load_shard_docs(source, shard);
+    io::write_file_atomic(shard_path(shard), io::pack_corpus_shard(docs));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_shard_recoveries;
+  }
+
+  // --- Apply the quarantine list (order-preserving filter).
+  std::vector<std::string> quarantined;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    quarantined.reserve(quarantined_.size());
+    for (const auto& q : quarantined_) quarantined.push_back(q.doc_id);
+  }
+  result.quarantine_snapshot = quarantined.size();
+  std::vector<bool> is_quarantined(docs.size(), false);
+  std::vector<doc::Document> run_docs;
+  run_docs.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    if (std::find(quarantined.begin(), quarantined.end(), docs[i].id) !=
+        quarantined.end()) {
+      is_quarantined[i] = true;
+    } else {
+      run_docs.push_back(docs[i]);
+    }
+  }
+
+  // --- Scripted failure point for this attempt: an injected worker crash
+  // and/or the first (non-quarantined) poison document, whichever first.
+  std::optional<std::size_t> fail_after =
+      config_.failures.crash_after(shard, attempt);
+  for (std::size_t i = 0; i < run_docs.size(); ++i) {
+    if (config_.failures.is_poison(run_docs[i].id)) {
+      if (!fail_after || i < *fail_after) fail_after = i;
+      break;
+    }
+  }
+  if (fail_after && *fail_after >= run_docs.size()) fail_after.reset();
+  const bool failing = fail_after.has_value();
+  if (failing) result.failed_doc_id = run_docs[*fail_after].id;
+  std::vector<doc::Document> attempt_docs =
+      failing ? std::vector<doc::Document>(run_docs.begin(),
+                                           run_docs.begin() + *fail_after)
+              : std::move(run_docs);
+
+  // --- Drive the shard through the streaming pipeline on the shared pool.
+  const auto delay = config_.failures.delay_for(shard, attempt);
+  core::PipelineConfig pipeline_config;
+  pipeline_config.queue_capacity = config_.queue_capacity;
+  pipeline_config.extract_workers = config_.extract_workers;
+  pipeline_config.upgrade_workers = config_.upgrade_workers;
+  pipeline_config.pool = pool_;
+  pipeline_config.warm_cache = warm_cache_;
+  pipeline_config.cancel = cancel.get();
+  if (delay.count() > 0) {
+    pipeline_config.on_progress = [delay, cancel](std::size_t) {
+      if (!cancel->load()) std::this_thread::sleep_for(delay);
+    };
+  }
+  const core::Pipeline pipeline(engine_, pipeline_config);
+  std::vector<io::ParseRecord> records;
+  records.reserve(attempt_docs.size());
+  core::VectorSource attempt_source(attempt_docs);
+  const core::EngineStats run_stats = pipeline.run(
+      attempt_source,
+      [&](std::size_t, const io::ParseRecord& record,
+          const core::RouteDecision&) { records.push_back(record); });
+  result.wall_seconds = wall.seconds();
+
+  if (failing) {
+    // The attempt paid for the work, then "died": partial output discarded.
+    result.kind = AttemptResult::Kind::kFailed;
+    return result;
+  }
+  if (run_stats.pipeline.cancelled || records.size() != attempt_docs.size()) {
+    result.kind = AttemptResult::Kind::kCancelled;
+    return result;
+  }
+
+  // --- Serialize in original shard order, quarantine holes filled with
+  // deterministic stand-in records.
+  std::ostringstream os;
+  io::JsonlWriter writer(os);
+  std::size_t next_record = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    if (is_quarantined[i]) {
+      writer.write(quarantine_record(docs[i]));
+      ++result.quarantined_in_shard;
+    } else {
+      writer.write(records[next_record++]);
+    }
+  }
+  result.output = os.str();
+  result.records = docs.size();
+  result.kind = AttemptResult::Kind::kSuccess;
+  return result;
+}
+
+std::optional<std::size_t> CampaignRunner::pick_hedge_locked() {
+  if (config_.hedge_factor <= 0.0) return std::nullopt;
+  const auto now = std::chrono::steady_clock::now();
+  double threshold_seconds =
+      std::chrono::duration<double>(config_.hedge_min_runtime).count();
+  if (!committed_seconds_.empty()) {
+    std::vector<double> sorted = committed_seconds_;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    threshold_seconds =
+        std::max(threshold_seconds, config_.hedge_factor * median);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardState& st = shards_[i];
+    if (st.phase != ShardState::Phase::kRunning || st.hedged ||
+        st.running_attempts != 1) {
+      continue;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(now - st.started).count();
+    if (elapsed > threshold_seconds) return i;
+  }
+  return std::nullopt;
+}
+
+bool CampaignRunner::commit_locked(std::size_t shard, std::size_t attempt,
+                                   AttemptResult& result) {
+  ShardState& st = shards_[shard];
+  ShardRecord record;
+  record.index = shard;
+  record.attempt = attempt;
+  record.docs = result.records;
+  record.bytes = result.output.size();
+  record.checksum = io::fnv1a(result.output);
+  record.quarantined = result.quarantined_in_shard;
+
+  // The attempt already wrote the output file (before the journal line):
+  // a crash between the two leaves an orphan .out that a resume overwrites.
+  if (config_.failures.tears_commit(shard)) {
+    // The scripted torn write: half the journal line hits disk and the
+    // process "dies". Nothing after this counts as committed.
+    manifest_->append_torn(record);
+    halted_ = true;
+    stats_.halted = true;
+    cv_.notify_all();
+    return false;
+  }
+  manifest_->append(record);
+
+  st.phase = ShardState::Phase::kCommitted;
+  if (st.cancel) st.cancel->store(true);  // stand down any hedge twin
+  ++stats_.shards_committed;
+  ++commits_this_run_;
+  stats_.docs_processed += result.records;
+  committed_seconds_.push_back(result.wall_seconds);
+  if (config_.failures.halt_after_commits &&
+      commits_this_run_ >= *config_.failures.halt_after_commits) {
+    halted_ = true;
+    stats_.halted = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void CampaignRunner::worker_loop(const SourceFactory& source) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::optional<std::size_t> shard;
+    bool is_hedge = false;
+    while (!shard) {
+      if (halted_ || error_) return;
+      if (stats_.shards_committed == stats_.shards_total) {
+        cv_.notify_all();
+        return;
+      }
+      if (!pending_.empty()) {
+        shard = pending_.front();
+        pending_.pop_front();
+        break;
+      }
+      if (auto hedge = pick_hedge_locked()) {
+        shard = hedge;
+        is_hedge = true;
+        break;
+      }
+      // Timed wait: hedge thresholds are time-based, so idle workers poll.
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+
+    ShardState& st = shards_[*shard];
+    const std::size_t attempt = st.attempts_started++;
+    if (st.phase == ShardState::Phase::kPending) {
+      st.phase = ShardState::Phase::kRunning;
+      st.started = std::chrono::steady_clock::now();
+      st.cancel = std::make_shared<std::atomic<bool>>(false);
+    }
+    ++st.running_attempts;
+    if (is_hedge) {
+      st.hedged = true;
+      ++stats_.hedges_launched;
+    }
+    ++stats_.attempts_started;
+    auto cancel = st.cancel;
+    lock.unlock();
+
+    AttemptResult result;
+    try {
+      result = execute_attempt(source, *shard, attempt, cancel);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      --shards_[*shard].running_attempts;
+      cv_.notify_all();
+      return;
+    }
+
+    lock.lock();
+    ShardState& post = shards_[*shard];
+    --post.running_attempts;
+    // Requeue the shard — unless a twin attempt is still running, in which
+    // case its own completion will commit or requeue (replacing st.cancel
+    // under a live twin would orphan the twin's cancellation flag, and a
+    // premature pending entry could dispatch a third concurrent attempt).
+    const auto requeue_locked = [&](std::size_t index) {
+      ShardState& s = shards_[index];
+      if (s.running_attempts > 0) return;
+      s.phase = ShardState::Phase::kPending;
+      s.hedged = false;
+      pending_.push_back(index);
+      cv_.notify_all();
+    };
+    if (halted_ || post.phase == ShardState::Phase::kCommitted) {
+      // The process "died" or a twin already committed: this attempt's
+      // work is lost — exactly what recovery_wall_seconds measures.
+      stats_.recovery_wall_seconds += result.wall_seconds;
+      continue;
+    }
+    switch (result.kind) {
+      case AttemptResult::Kind::kSuccess: {
+        bool stale = false;
+        for (std::size_t qi = result.quarantine_snapshot;
+             qi < quarantined_.size(); ++qi) {
+          if (quarantined_[qi].shard == *shard) {
+            stale = true;
+            break;
+          }
+        }
+        if (stale) {
+          // A sibling attempt quarantined one of *this shard's* documents
+          // while this attempt was in flight: its output was built against
+          // a stale document list and must not commit (the journal already
+          // promises the quarantine). Retry with the current list.
+          stats_.recovery_wall_seconds += result.wall_seconds;
+          ++stats_.shards_retried;
+          requeue_locked(*shard);
+          break;
+        }
+        // Claim the commit under the lock (first finisher wins; a twin can
+        // no longer write or commit this shard), then do the output-file
+        // write off the lock so commits don't serialize every worker
+        // behind disk I/O, then journal.
+        post.phase = ShardState::Phase::kCommitted;
+        lock.unlock();
+        try {
+          io::write_file_atomic(shard_output_path(*shard), result.output);
+        } catch (...) {
+          lock.lock();
+          if (!error_) error_ = std::current_exception();
+          shards_[*shard].phase = ShardState::Phase::kPending;
+          cv_.notify_all();
+          return;
+        }
+        lock.lock();
+        if (halted_) {
+          // The scripted kill landed while this commit's file was being
+          // written; the journal line must not follow. The orphan .out is
+          // overwritten on resume.
+          shards_[*shard].phase = ShardState::Phase::kPending;
+          stats_.recovery_wall_seconds += result.wall_seconds;
+          break;
+        }
+        if (commit_locked(*shard, attempt, result)) {
+          if (is_hedge) ++stats_.hedges_won;
+        } else {
+          // Torn commit: the journal line never landed, so the attempt's
+          // work is lost exactly like any other uncommitted attempt.
+          shards_[*shard].phase = ShardState::Phase::kPending;
+          stats_.recovery_wall_seconds += result.wall_seconds;
+        }
+        break;
+      }
+      case AttemptResult::Kind::kCancelled:
+        // Only reachable when the shard committed or halted (handled
+        // above), but requeue defensively so no shard can strand in
+        // kRunning with nothing in flight.
+        stats_.recovery_wall_seconds += result.wall_seconds;
+        requeue_locked(*shard);
+        break;
+      case AttemptResult::Kind::kFailed: {
+        ++stats_.attempts_failed;
+        stats_.recovery_wall_seconds += result.wall_seconds;
+        ++post.failures;
+        if (post.failures >= config_.max_shard_attempts &&
+            !result.failed_doc_id.empty()) {
+          // The shard keeps dying on the same document: quarantine it so
+          // the corpus can make progress. Journaled before the requeue so
+          // a resume replays the same decision.
+          QuarantineRecord q;
+          q.shard = *shard;
+          q.doc_id = result.failed_doc_id;
+          quarantined_.push_back(q);
+          manifest_->append(q);
+          ++stats_.docs_quarantined;
+          post.failures = 0;
+        }
+        ++stats_.shards_retried;
+        requeue_locked(*shard);
+        break;
+      }
+    }
+  }
+}
+
+CampaignStats CampaignRunner::run(const SourceFactory& source) {
+  util::Stopwatch wall;
+  std::filesystem::create_directories(config_.dir);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.clear();
+    shards_.clear();
+    committed_seconds_.clear();
+    quarantined_.clear();
+    commits_this_run_ = 0;
+    halted_ = false;
+    error_ = nullptr;
+    stats_ = CampaignStats{};
+  }
+
+  ManifestState state = load_manifest(manifest_path());
+  if (state.dropped_torn_tail) {
+    // Cut the torn fragment off before appending: the writer opens in
+    // append mode, and a record written onto the fragment would merge into
+    // one permanently corrupt mid-journal line.
+    std::filesystem::resize_file(manifest_path(), state.valid_prefix_bytes);
+    std::lock_guard<std::mutex> lock(mutex_);  // snapshot() may be polling
+    stats_.recovered_torn_manifest = true;
+  }
+  manifest_ = std::make_unique<ManifestWriter>(manifest_path());
+  if (state.plan) {
+    if (state.plan->fingerprint != fingerprint()) {
+      throw std::runtime_error(
+          "campaign: engine/config fingerprint mismatch with manifest (got '" +
+          fingerprint() + "', manifest has '" + state.plan->fingerprint +
+          "') — committed shards would not be reproducible");
+    }
+  } else {
+    stage(source, state);
+  }
+  shard_docs_ = state.plan->shard_docs;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.shards_total = shard_docs_.size();
+    shards_.assign(shard_docs_.size(), ShardState{});
+    for (const auto& q : state.quarantines) quarantined_.push_back(q);
+    for (std::size_t i = 0; i < shard_docs_.size(); ++i) {
+      if (auto it = state.shards.find(i); it != state.shards.end()) {
+        // Trust, but verify: a committed shard whose output file is gone
+        // or damaged is demoted back to pending (re-execution is
+        // deterministic, so the final bytes are unaffected).
+        const auto bytes = io::read_file(shard_output_path(i));
+        if (bytes && io::fnv1a(*bytes) == it->second.checksum) {
+          shards_[i].phase = ShardState::Phase::kCommitted;
+          ++stats_.shards_committed;
+          ++stats_.shards_resumed_skip;
+          continue;
+        }
+        ++stats_.corrupt_output_recoveries;
+      }
+      pending_.push_back(i);
+    }
+  }
+
+  // Already assembled and intact? Then this run is a cheap no-op: don't
+  // re-read every shard output or append a duplicate final record.
+  if (state.final_record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) {
+      const auto bytes = io::read_file(output_path());
+      if (bytes && io::fnv1a(*bytes) == state.final_record->checksum) {
+        stats_.completed = true;
+        stats_.wall_seconds = wall.seconds();
+        return stats_;
+      }
+    }
+  }
+
+  // Scripted at-rest corruption: damage the named shard files before any
+  // worker reads them (committed shards no longer read their inputs).
+  for (const std::size_t shard : config_.failures.corrupt_shards) {
+    if (shard >= shards_.size()) continue;
+    if (shards_[shard].phase == ShardState::Phase::kCommitted) continue;
+    if (auto bytes = io::read_file(shard_path(shard))) {
+      io::write_file_atomic(shard_path(shard),
+                            std::string_view(*bytes).substr(0, bytes->size() / 2));
+    }
+  }
+
+  const bool have_work = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !pending_.empty();
+  }();
+  if (have_work) {
+    sched::ThreadPool pool(config_.workers *
+                           (config_.extract_workers + config_.upgrade_workers));
+    sched::WarmModelCache warm_cache(/*enabled=*/true);
+    pool_ = &pool;
+    warm_cache_ = &warm_cache;
+    std::vector<std::thread> workers;
+    workers.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      workers.emplace_back([this, &source] { worker_loop(source); });
+    }
+    for (auto& worker : workers) worker.join();
+    pool_ = nullptr;
+    warm_cache_ = nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!halted_) {
+      // All shards durable: assemble under the lock (nothing else runs).
+      std::string all;
+      for (std::size_t i = 0; i < shard_docs_.size(); ++i) {
+        const auto bytes = io::read_file(shard_output_path(i));
+        if (!bytes) {
+          throw std::runtime_error("campaign: committed shard output missing: " +
+                                   shard_output_path(i));
+        }
+        all += *bytes;
+      }
+      io::write_file_atomic(output_path(), all);
+      FinalRecord fin;
+      fin.records = static_cast<std::size_t>(
+          std::count(all.begin(), all.end(), '\n'));
+      fin.checksum = io::fnv1a(all);
+      manifest_->append(fin);
+      stats_.completed = true;
+    }
+    stats_.wall_seconds = wall.seconds();
+    return stats_;
+  }
+}
+
+CampaignStats CampaignRunner::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace adaparse::campaign

@@ -1,0 +1,201 @@
+// Fault-tolerant sharded campaign execution — the paper's multi-node
+// deployment scenario made restartable.
+//
+// A campaign turns one DocumentSource into one output.jsonl through three
+// journaled phases (see campaign/manifest.hpp):
+//
+//   stage    pull the corpus, pack it into durable shard files
+//            (io::pack_corpus_shard, the paper's §6.1 archive staging),
+//            then commit a plan record
+//   execute  N in-process workers each drive one shard at a time through
+//            a core::Pipeline on a shared ThreadPool + WarmModelCache;
+//            a finished shard's output is renamed into place and a shard
+//            record appended — the commit point
+//   assemble concatenate committed shard outputs in shard order into
+//            output.jsonl and commit a final record
+//
+// Because shard execution is deterministic (per-document RNG seeds, the
+// per-batch floor(alpha*k) budget applied within each shard) and commits
+// are atomic (rename + journal append), a run killed at any shard
+// boundary and resumed produces byte-identical output to an uninterrupted
+// run. Recovery machinery on top:
+//
+//   retry        a failed attempt requeues the shard
+//   quarantine   a document that kills max_shard_attempts consecutive
+//                attempts is journaled and replaced by a deterministic
+//                quarantine record
+//   re-staging   a corrupt shard file is rebuilt from the source
+//   hedging      a straggling shard is re-dispatched to an idle worker;
+//                the first finisher commits, the loser is cancelled
+//
+// Faults are injected via a scripted FailurePlan (campaign/failure.hpp) so
+// every scenario is deterministic and replayable in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/failure.hpp"
+#include "campaign/manifest.hpp"
+#include "core/doc_source.hpp"
+#include "core/engine.hpp"
+
+namespace adaparse::sched {
+class ThreadPool;
+class WarmModelCache;
+}  // namespace adaparse::sched
+
+namespace adaparse::campaign {
+
+struct CampaignConfig {
+  /// Campaign directory: manifest, shard files, per-shard outputs, and the
+  /// final output.jsonl all live here. Created if absent.
+  std::string dir;
+
+  /// Documents per shard (the last shard takes the remainder).
+  std::size_t docs_per_shard = 64;
+
+  /// Concurrent shard executions (in-process stand-ins for cluster
+  /// workers). Each drives one core::Pipeline at a time.
+  std::size_t workers = 2;
+
+  /// Per-shard pipeline width; the shared pool is sized
+  /// workers * (extract_workers + upgrade_workers) so every concurrent
+  /// shard can run its full complement (the shared-pool deadlock-free
+  /// minimum, same rule as serve::ParseService).
+  std::size_t extract_workers = 2;
+  std::size_t upgrade_workers = 1;
+  std::size_t queue_capacity = 16;
+
+  /// Consecutive failed attempts of one shard before the document the
+  /// last attempt died on is quarantined.
+  std::size_t max_shard_attempts = 3;
+
+  /// Hedged re-dispatch: an idle worker re-runs a shard whose runtime
+  /// exceeds max(hedge_min_runtime, hedge_factor * median committed shard
+  /// time). 0 disables hedging.
+  double hedge_factor = 4.0;
+  std::chrono::milliseconds hedge_min_runtime{200};
+
+  /// Scripted faults; empty plan = plain run.
+  FailurePlan failures;
+};
+
+/// Campaign-level counters, MetricsRegistry-style: snapshot() returns
+/// plain values, render_prometheus() the text exposition format.
+struct CampaignStats {
+  std::size_t shards_total = 0;
+  std::size_t shards_committed = 0;      ///< durable commits, all runs
+  std::size_t shards_resumed_skip = 0;   ///< committed by an earlier run
+  std::size_t attempts_started = 0;
+  std::size_t attempts_failed = 0;
+  std::size_t shards_retried = 0;        ///< requeues after a failed attempt
+  std::size_t hedges_launched = 0;
+  std::size_t hedges_won = 0;            ///< hedge committed before primary
+  std::size_t docs_processed = 0;        ///< records in shards this run committed
+  std::size_t docs_quarantined = 0;
+  std::size_t corrupt_shard_recoveries = 0;   ///< shard files re-staged
+  std::size_t corrupt_output_recoveries = 0;  ///< committed outputs re-run
+  bool recovered_torn_manifest = false;  ///< resume dropped a torn tail
+  /// Wall-clock spent in attempts that did not commit (failed, cancelled,
+  /// or lost hedges) — the price of recovery.
+  double recovery_wall_seconds = 0.0;
+  double wall_seconds = 0.0;
+  bool halted = false;     ///< stopped by the scripted kill; resume to finish
+  bool completed = false;  ///< output.jsonl assembled
+};
+
+/// Prometheus text exposition of a stats snapshot (adaparse_campaign_*).
+std::string render_prometheus(const CampaignStats& stats);
+
+class CampaignRunner {
+ public:
+  /// Re-creates the input stream. Called once for staging and again for
+  /// every corrupt-shard re-staging, so it must yield the same documents
+  /// in the same order each time (generator and shard sources do).
+  using SourceFactory =
+      std::function<std::unique_ptr<core::DocumentSource>()>;
+
+  /// The engine must outlive the runner. The runner owns its worker pool
+  /// and warm cache for the duration of run().
+  CampaignRunner(const core::AdaParseEngine& engine, CampaignConfig config);
+
+  /// Runs the campaign to completion — or resumes one: committed shards
+  /// recorded in the manifest are verified (checksum) and skipped. Returns
+  /// the final stats; stats().halted means the scripted kill fired and a
+  /// later run() picks up from the journal. Throws std::runtime_error on
+  /// unrecoverable corruption or an engine-config mismatch with the
+  /// manifest's fingerprint.
+  CampaignStats run(const SourceFactory& source);
+
+  /// Thread-safe live view (usable from another thread mid-run).
+  CampaignStats snapshot() const;
+
+  std::string output_path() const;
+  std::string manifest_path() const;
+  std::string shard_path(std::size_t index) const;
+  std::string shard_output_path(std::size_t index) const;
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  struct ShardState {
+    enum class Phase { kPending, kRunning, kCommitted };
+    Phase phase = Phase::kPending;
+    std::size_t attempts_started = 0;
+    /// Consecutive failed attempts since the last quarantine decision.
+    std::size_t failures = 0;
+    std::size_t running_attempts = 0;
+    bool hedged = false;
+    std::chrono::steady_clock::time_point started{};
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+  struct AttemptResult;
+
+  std::string fingerprint() const;
+  void stage(const SourceFactory& source, ManifestState& state);
+  std::vector<doc::Document> load_shard_docs(const SourceFactory& source,
+                                             std::size_t shard);
+  AttemptResult execute_attempt(const SourceFactory& source,
+                                std::size_t shard, std::size_t attempt,
+                                std::shared_ptr<std::atomic<bool>> cancel);
+  void worker_loop(const SourceFactory& source);
+  std::optional<std::size_t> pick_hedge_locked();
+  /// Appends the shard's commit record and updates state; returns false
+  /// when the scripted torn write fired and nothing durably committed.
+  bool commit_locked(std::size_t shard, std::size_t attempt,
+                     AttemptResult& result);
+
+  const core::AdaParseEngine& engine_;
+  CampaignConfig config_;
+  std::vector<std::size_t> shard_docs_;  ///< documents per shard (plan)
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::size_t> pending_;
+  std::vector<ShardState> shards_;
+  std::vector<double> committed_seconds_;  ///< durations of commits this run
+  std::unique_ptr<ManifestWriter> manifest_;
+  /// Quarantined documents (manifest + this run), with their shard — so a
+  /// commit staleness check can ignore quarantines in unrelated shards.
+  std::vector<QuarantineRecord> quarantined_;
+  std::size_t commits_this_run_ = 0;
+  bool halted_ = false;
+  std::exception_ptr error_;
+  CampaignStats stats_;
+
+  // Shared execution substrate, live only inside run().
+  sched::ThreadPool* pool_ = nullptr;
+  sched::WarmModelCache* warm_cache_ = nullptr;
+};
+
+}  // namespace adaparse::campaign

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 
@@ -8,6 +9,7 @@
 #include "parsers/registry.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -293,6 +295,27 @@ std::vector<hpc::TaskSpec> AdaParseEngine::plan_tasks(
     tasks.push_back(task);
   }
   return tasks;
+}
+
+std::string AdaParseEngine::model_digest() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  const auto fold = [&h](double value) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &value, sizeof(double));
+    for (const unsigned char b : bytes) h = util::fnv1a_step(h, b);
+  };
+  // Fixed probe inputs: any weight change shifts these predictions.
+  const doc::Metadata probe_meta;
+  if (predictor_) {
+    for (const double score : predictor_->predict(
+             "campaign fingerprint probe: the ribosome measured in-vivo "
+             "rates across the phylogenetic pathway",
+             "probe title", probe_meta)) {
+      fold(score);
+    }
+  }
+  if (improver_) fold(improver_->improvement_probability(probe_meta));
+  return std::to_string(h);
 }
 
 }  // namespace adaparse::core

@@ -137,6 +137,12 @@ class AdaParseEngine {
       const std::vector<doc::Document>& docs,
       const std::vector<RouteDecision>& decisions) const;
 
+  /// Behavioral digest of the trained models: a hash of their predictions
+  /// on a fixed probe input, which changes whenever the weights do. Two
+  /// engines with equal config() and equal digest produce byte-identical
+  /// runs — what the campaign layer's resume fingerprint needs.
+  std::string model_digest() const;
+
   const EngineConfig& config() const { return config_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "hpc/campaign.hpp"
 
+#include <algorithm>
+
 namespace adaparse::hpc {
 
 std::vector<TaskSpec> campaign_tasks(const parsers::Parser& parser,
@@ -73,6 +75,18 @@ std::vector<ScalePoint> throughput_sweep_tasks(
     points.push_back({n, result.throughput});
   }
   return points;
+}
+
+std::vector<ScalePoint> throughput_sweep_with_overhead(
+    const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
+    const std::vector<int>& node_counts, double overhead_fraction) {
+  const double scale = 1.0 + std::max(0.0, overhead_fraction);
+  std::vector<TaskSpec> inflated = tasks;
+  for (auto& task : inflated) {
+    task.cpu_seconds *= scale;
+    task.gpu_seconds *= scale;
+  }
+  return throughput_sweep_tasks(inflated, base_config, node_counts);
 }
 
 }  // namespace adaparse::hpc

@@ -39,4 +39,14 @@ std::vector<ScalePoint> throughput_sweep_tasks(
     const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
     const std::vector<int>& node_counts);
 
+/// Sweep with a measured fault-recovery overhead folded in: every task's
+/// CPU/GPU demand is inflated by (1 + overhead_fraction), projecting a
+/// campaign::CampaignRunner's observed `recovery_wall_seconds /
+/// (wall_seconds - recovery_wall_seconds)` ratio onto the cluster — what
+/// the paper's long multi-node runs would lose to retries and hedges at
+/// scale. overhead_fraction < 0 is clamped to 0.
+std::vector<ScalePoint> throughput_sweep_with_overhead(
+    const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
+    const std::vector<int>& node_counts, double overhead_fraction);
+
 }  // namespace adaparse::hpc

@@ -100,4 +100,14 @@ std::string pack_corpus_shard(const std::vector<doc::Document>& docs) {
   return writer.finish();
 }
 
+std::vector<doc::Document> unpack_corpus_shard(const std::string& blob) {
+  ShardReader reader(blob);
+  std::vector<doc::Document> docs;
+  docs.reserve(reader.count());
+  for (const auto& entry : reader.entries()) {
+    docs.push_back(document_from_json(util::Json::parse(entry.payload)));
+  }
+  return docs;
+}
+
 }  // namespace adaparse::io

@@ -28,4 +28,10 @@ doc::Document document_from_json(const util::Json& j);
 /// compact document JSON). Readable by ShardReader / core::ShardSource.
 std::string pack_corpus_shard(const std::vector<doc::Document>& docs);
 
+/// Inverse of pack_corpus_shard: decodes every document in a shard blob,
+/// in entry order. Throws std::runtime_error on a malformed shard or
+/// malformed entry payloads (the campaign runner treats that as a corrupt
+/// shard file and re-stages it).
+std::vector<doc::Document> unpack_corpus_shard(const std::string& blob);
+
 }  // namespace adaparse::io

@@ -1,0 +1,47 @@
+#include "io/fsio.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace adaparse::io {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+void write_file_atomic(const std::string& path, std::string_view bytes) {
+  // Unique per-call temp name: two threads atomically writing the same
+  // path (e.g. a primary attempt and its hedge both re-staging one corrupt
+  // shard) must not race on a shared temp file — whoever renames last
+  // wins, and with deterministic content both outcomes are identical.
+  static std::atomic<unsigned long> sequence{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(sequence.fetch_add(1) + 1);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write_file_atomic: write failed " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: rename failed " + path);
+  }
+}
+
+std::uint64_t fnv1a(std::string_view bytes) { return util::hash64(bytes); }
+
+}  // namespace adaparse::io

@@ -1,0 +1,29 @@
+// Small filesystem helpers for durable campaign state.
+//
+// The campaign runner journals progress to disk and must never leave a
+// half-written shard or output file visible to a resumed run: every file
+// is written to a temporary sibling and renamed into place (rename is
+// atomic on POSIX filesystems). Reads return nullopt rather than throwing
+// so callers can treat a missing file as "not yet produced".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adaparse::io {
+
+/// Reads a whole file into memory; nullopt if it cannot be opened.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Writes `bytes` to `path` via a temporary sibling + rename, so a reader
+/// (or a resumed run) never observes a partially written file. Throws
+/// std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// FNV-1a over a byte string — the integrity checksum the campaign layer
+/// records for shard outputs and manifest lines.
+std::uint64_t fnv1a(std::string_view bytes);
+
+}  // namespace adaparse::io

@@ -207,6 +207,31 @@ TEST(Campaign, SweepMonotoneForComputeBoundParser) {
   }
 }
 
+TEST(Campaign, RecoveryOverheadLowersProjectedThroughput) {
+  const auto docs =
+      doc::CorpusGenerator(doc::born_digital_config(200, 9)).generate();
+  const auto nougat = parsers::make_parser(parsers::ParserKind::kNougat);
+  const auto tasks = campaign_tasks(*nougat, docs);
+  const auto base = cluster_for_parser(parsers::ParserKind::kNougat, 1);
+  const std::vector<int> nodes = {1, 2, 4};
+
+  const auto clean = throughput_sweep_tasks(tasks, base, nodes);
+  const auto zero = throughput_sweep_with_overhead(tasks, base, nodes, 0.0);
+  const auto lossy = throughput_sweep_with_overhead(tasks, base, nodes, 1.0);
+  ASSERT_EQ(clean.size(), lossy.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    // Zero measured overhead projects the clean sweep exactly.
+    EXPECT_DOUBLE_EQ(zero[i].throughput, clean[i].throughput);
+    // A campaign that loses as much wall-clock to recovery as it spends on
+    // useful work projects strictly lower throughput at every node count.
+    EXPECT_LT(lossy[i].throughput, clean[i].throughput);
+  }
+  // Negative fractions clamp to zero overhead rather than speeding up.
+  const auto clamped =
+      throughput_sweep_with_overhead(tasks, base, nodes, -0.5);
+  EXPECT_DOUBLE_EQ(clamped[0].throughput, clean[0].throughput);
+}
+
 // --------------------------------------------------------------- trace ----
 
 TEST(Trace, BucketsCoverMakespan) {

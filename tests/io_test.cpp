@@ -2,10 +2,12 @@
 // codec used by shard-backed streaming sources.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "doc/generator.hpp"
 #include "io/doc_codec.hpp"
+#include "io/fsio.hpp"
 #include "io/jsonl.hpp"
 #include "io/shard.hpp"
 
@@ -210,6 +212,58 @@ TEST(DocCodec, RejectsOutOfRangeEnum) {
   auto j = document_to_json(doc::Document{});
   j.as_object()["producer"] = 99;
   EXPECT_THROW(document_from_json(j), std::runtime_error);
+}
+
+TEST(DocCodec, UnpackInvertsPack) {
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(6, /*seed=*/33)).generate();
+  const auto back = unpack_corpus_shard(pack_corpus_shard(docs));
+  ASSERT_EQ(back.size(), docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(document_to_json(back[i]).dump(),
+              document_to_json(docs[i]).dump());
+  }
+}
+
+TEST(DocCodec, UnpackRejectsCorruptBlob) {
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(3, /*seed=*/34)).generate();
+  std::string blob = pack_corpus_shard(docs);
+  blob.resize(blob.size() / 2);  // torn shard file
+  EXPECT_THROW(unpack_corpus_shard(blob), std::runtime_error);
+}
+
+TEST(Fsio, ReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_file("/nonexistent/adaparse-fsio-test").has_value());
+}
+
+TEST(Fsio, AtomicWriteRoundTripsAndLeavesNoTemp) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "adaparse_fsio_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "roundtrip.bin").string();
+  const std::string payload = std::string("binary\0payload\n", 15);
+  write_file_atomic(path, payload);
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  // Overwrite is atomic too: a second write fully replaces the first.
+  write_file_atomic(path, "v2");
+  EXPECT_EQ(read_file(path).value_or(""), "v2");
+  // No temp siblings survive (temp names are unique per call).
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(Fsio, Fnv1aIsStableAndContentSensitive) {
+  EXPECT_EQ(fnv1a("campaign"), fnv1a("campaign"));
+  EXPECT_NE(fnv1a("campaign"), fnv1a("campaigN"));
+  EXPECT_NE(fnv1a(""), fnv1a(std::string_view("\0", 1)));
 }
 
 }  // namespace

@@ -1,13 +1,19 @@
 // Fault-tolerant campaign bench: the price of recovery at campaign scale.
 //
-// Runs three campaigns over the same generated corpus:
-//   clean    no faults — the baseline shards/sec
-//   faulty   scripted crashes, a corrupt shard, a poison document, and a
-//            straggler shard with hedging enabled — measures recovery
-//            overhead (retries, re-staging, quarantine, hedges)
-//   resume   the clean campaign killed halfway and resumed — the bench
-//            exits non-zero unless the resumed output is byte-identical
-//            to the uninterrupted clean run (the CI crash-safety gate)
+// Runs six campaigns over the same generated corpus:
+//   clean      no faults, in-process — the baseline shards/sec
+//   faulty     scripted crashes, a corrupt shard, a poison document, and a
+//              straggler shard with hedging enabled — measures recovery
+//              overhead (retries, re-staging, quarantine, hedges)
+//   resume     the clean campaign killed halfway and resumed — the bench
+//              exits non-zero unless the resumed output is byte-identical
+//              to the uninterrupted clean run (the CI crash-safety gate)
+//   mp_clean   no faults, coordinator + forked worker processes — the
+//              process-isolation overhead vs the in-process baseline
+//   mp_faulty  real SIGKILLed workers mid-shard — measures per-process
+//              recovery latency as actually observed by the coordinator
+//   mp_resume  the multi-process campaign killed halfway and resumed —
+//              held to the same byte-identity gate
 //
 // Emits BENCH_campaign.json.
 //
@@ -52,6 +58,19 @@ util::Json stats_json(const campaign::CampaignStats& s) {
   o["docs_processed"] = s.docs_processed;
   o["docs_quarantined"] = s.docs_quarantined;
   o["corrupt_shard_recoveries"] = s.corrupt_shard_recoveries;
+  o["workers_spawned"] = s.workers_spawned;
+  o["workers_died"] = s.workers_died;
+  o["workers_killed"] = s.workers_killed;
+  o["shards_stolen"] = s.shards_stolen;
+  o["recovery_events"] = s.recovery_latency_seconds.size();
+  double latency_sum = 0.0;
+  for (const double latency : s.recovery_latency_seconds) {
+    latency_sum += latency;
+  }
+  o["recovery_latency_mean_seconds"] =
+      s.recovery_latency_seconds.empty()
+          ? 0.0
+          : latency_sum / s.recovery_latency_seconds.size();
   o["recovery_wall_seconds"] = s.recovery_wall_seconds;
   o["wall_seconds"] = s.wall_seconds;
   return util::Json(std::move(o));
@@ -144,7 +163,85 @@ int main() {
             << " more; byte-identical output: "
             << (identical ? "yes" : "NO") << "\n";
 
-  std::cout << campaign::render_prometheus(faulty_stats);
+  // --- Multi-process clean baseline: the cost of process isolation. --------
+  auto mp_clean_config = base;
+  mp_clean_config.execution =
+      campaign::CampaignConfig::ExecutionMode::kMultiProcess;
+  mp_clean_config.dir = fresh_dir(root, "mp_clean");
+  campaign::CampaignRunner mp_clean(*bundle.llm, mp_clean_config);
+  const auto mp_clean_stats = mp_clean.run(source);
+  const bool mp_clean_identical =
+      !clean_bytes.empty() &&
+      io::read_file(mp_clean.output_path()).value_or("<missing>") ==
+          clean_bytes;
+  std::cout << "mp_clean:  " << mp_clean_stats.workers_spawned
+            << " worker processes, "
+            << util::format_fixed(
+                   mp_clean_stats.docs_processed /
+                       std::max(1e-9, mp_clean_stats.wall_seconds), 1)
+            << " docs/s; byte-identical to in-process: "
+            << (mp_clean_identical ? "yes" : "NO") << "\n";
+
+  // --- Multi-process faulty run: workers die by real SIGKILL. --------------
+  auto mp_faulty_config = base;
+  mp_faulty_config.execution =
+      campaign::CampaignConfig::ExecutionMode::kMultiProcess;
+  mp_faulty_config.dir = fresh_dir(root, "mp_faulty");
+  mp_faulty_config.failures.crashes = {
+      {/*shard=*/0, /*attempt=*/0, /*after_docs=*/docs_per_shard / 2},
+      {/*shard=*/shards / 2, /*attempt=*/0, /*after_docs=*/1}};
+  mp_faulty_config.max_shard_attempts = 4;
+  campaign::CampaignRunner mp_faulty(*bundle.llm, mp_faulty_config);
+  const auto mp_faulty_stats = mp_faulty.run(source);
+  const bool mp_faulty_identical =
+      !clean_bytes.empty() &&
+      io::read_file(mp_faulty.output_path()).value_or("<missing>") ==
+          clean_bytes;
+  double mp_latency_sum = 0.0;
+  for (const double latency : mp_faulty_stats.recovery_latency_seconds) {
+    mp_latency_sum += latency;
+  }
+  std::cout << "mp_faulty: " << mp_faulty_stats.workers_died
+            << " workers SIGKILLed mid-shard, "
+            << mp_faulty_stats.recovery_latency_seconds.size()
+            << " measured recoveries (mean "
+            << util::format_fixed(
+                   mp_faulty_stats.recovery_latency_seconds.empty()
+                       ? 0.0
+                       : mp_latency_sum /
+                             mp_faulty_stats.recovery_latency_seconds.size(),
+                   3)
+            << " s); byte-identical to in-process clean: "
+            << (mp_faulty_identical ? "yes" : "NO") << "\n";
+
+  // --- Multi-process kill/resume gate. -------------------------------------
+  auto mp_killed_config = base;
+  mp_killed_config.execution =
+      campaign::CampaignConfig::ExecutionMode::kMultiProcess;
+  mp_killed_config.dir = fresh_dir(root, "mp_resume");
+  mp_killed_config.failures.halt_after_commits =
+      std::max<std::size_t>(1, shards / 2);
+  campaign::CampaignRunner mp_killed(*bundle.llm, mp_killed_config);
+  const auto mp_halted_stats = mp_killed.run(source);
+  auto mp_resume_config = mp_killed_config;
+  mp_resume_config.failures = campaign::FailurePlan{};
+  campaign::CampaignRunner mp_resumed(*bundle.llm, mp_resume_config);
+  const auto mp_resumed_stats = mp_resumed.run(source);
+  const bool mp_identical =
+      !clean_bytes.empty() &&
+      io::read_file(mp_resumed.output_path()).value_or("<missing>") ==
+          clean_bytes;
+  std::cout << "mp_resume: killed after " << mp_halted_stats.shards_committed
+            << "/" << shards << " shards, resumed "
+            << mp_resumed_stats.shards_committed -
+                   mp_resumed_stats.shards_resumed_skip
+            << " more; byte-identical output: "
+            << (mp_identical ? "yes" : "NO") << "\n";
+
+  std::cout << campaign::render_prometheus(mp_faulty_stats);
+
+  const bool all_identical = identical && mp_clean_identical &&
+                             mp_faulty_identical && mp_identical;
 
   util::JsonObject out;
   out["bench"] = "campaign";
@@ -153,11 +250,19 @@ int main() {
   out["workers"] = base.workers;
   out["clean"] = stats_json(clean_stats);
   out["faulty"] = stats_json(faulty_stats);
+  out["multi_process_clean"] = stats_json(mp_clean_stats);
+  out["multi_process_faulty"] = stats_json(mp_faulty_stats);
   out["resume_byte_identical"] = identical;
+  out["multi_process_clean_byte_identical"] = mp_clean_identical;
+  out["multi_process_faulty_byte_identical"] = mp_faulty_identical;
+  out["multi_process_resume_byte_identical"] = mp_identical;
   out["clean_docs_per_second"] =
       clean_stats.docs_processed / std::max(1e-9, clean_stats.wall_seconds);
   out["faulty_docs_per_second"] =
       faulty_stats.docs_processed / std::max(1e-9, faulty_stats.wall_seconds);
+  out["multi_process_docs_per_second"] =
+      mp_clean_stats.docs_processed /
+      std::max(1e-9, mp_clean_stats.wall_seconds);
   {
     std::ofstream json_file("BENCH_campaign.json");
     json_file << util::Json(std::move(out)).dump() << '\n';
@@ -165,5 +270,5 @@ int main() {
   fs::remove_all(root);
   std::cout << "wrote BENCH_campaign.json; total wall time: "
             << util::format_fixed(total.seconds(), 1) << " s\n";
-  return identical ? 0 : 1;
+  return all_identical ? 0 : 1;
 }

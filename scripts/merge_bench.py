@@ -5,13 +5,19 @@ Usage: merge_bench.py -o BENCH_all.json BENCH_micro.json BENCH_pipeline.json ...
 
 Each input must be valid JSON (one object per file, as every bench binary
 emits); a malformed or empty file fails the merge with a non-zero exit so
-CI catches a bench that wrote garbage. The merged object is keyed by the
-input file's stem, e.g. {"BENCH_micro": {...}, "BENCH_serve": {...}}.
+CI catches a bench that wrote garbage. An *absent* input is different: it
+means the job that produces it was skipped (matrix subset, filtered CI
+run), so it is reported as a warning and left out of the merge rather than
+failing it. The merged object is keyed by the input file's stem, e.g.
+{"BENCH_micro": {...}, "BENCH_serve": {...}}, plus a "schema_version" field
+so downstream tooling can detect layout changes.
 """
 
 import json
 import os
 import sys
+
+SCHEMA_VERSION = 2
 
 
 def main(argv):
@@ -27,10 +33,16 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    merged = {}
+    merged = {"schema_version": SCHEMA_VERSION}
     failed = False
+    skipped = 0
     for path in inputs:
         name = os.path.splitext(os.path.basename(path))[0]
+        if not os.path.exists(path):
+            print(f"merge_bench: warning: {path}: absent (job skipped?); "
+                  "omitting from merge", file=sys.stderr)
+            skipped += 1
+            continue
         try:
             with open(path, "r", encoding="utf-8") as f:
                 merged[name] = json.load(f)
@@ -44,7 +56,9 @@ def main(argv):
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"merge_bench: merged {len(merged)} bench files into {out_path}")
+    count = len(merged) - 1  # schema_version is not a bench file
+    suffix = f" ({skipped} absent input(s) skipped)" if skipped else ""
+    print(f"merge_bench: merged {count} bench files into {out_path}{suffix}")
     return 0
 
 

@@ -1,43 +1,21 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
-#include "core/pipeline.hpp"
+#include "campaign/coordinator.hpp"
+#include "campaign/worker.hpp"
 #include "io/doc_codec.hpp"
 #include "io/fsio.hpp"
-#include "io/jsonl.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
 #include "util/stopwatch.hpp"
 
 namespace adaparse::campaign {
 namespace {
-
-std::string shard_stem(std::size_t index) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "shard-%04zu", index);
-  return buf;
-}
-
-/// The deterministic stand-in record for a quarantined document: the
-/// campaign still emits one line per input document, so downstream
-/// curation sees the hole (and its provenance) instead of silence.
-io::ParseRecord quarantine_record(const doc::Document& document) {
-  io::ParseRecord record;
-  record.document_id = document.id;
-  record.parser = "quarantined";
-  record.text = "";
-  record.predicted_accuracy = 0.0;
-  record.route = "campaign:quarantined";
-  record.pages = static_cast<int>(document.num_pages());
-  record.pages_retrieved = 0;
-  return record;
-}
 
 // Monotonic series render as counters, point-in-time ones as gauges — the
 // same split serve::MetricsRegistry uses.
@@ -92,6 +70,16 @@ std::string render_prometheus(const CampaignStats& stats) {
                static_cast<double>(stats.corrupt_output_recoveries));
   emit_gauge(os, "adaparse_campaign_recovered_torn_manifest",
              stats.recovered_torn_manifest ? 1.0 : 0.0);
+  emit_counter(os, "adaparse_campaign_workers_spawned",
+               static_cast<double>(stats.workers_spawned));
+  emit_counter(os, "adaparse_campaign_workers_died",
+               static_cast<double>(stats.workers_died));
+  emit_counter(os, "adaparse_campaign_workers_killed",
+               static_cast<double>(stats.workers_killed));
+  emit_counter(os, "adaparse_campaign_shards_stolen",
+               static_cast<double>(stats.shards_stolen));
+  emit_counter(os, "adaparse_campaign_recovery_events",
+               static_cast<double>(stats.recovery_latency_seconds.size()));
   emit_counter(os, "adaparse_campaign_recovery_wall_seconds",
                stats.recovery_wall_seconds);
   emit_gauge(os, "adaparse_campaign_wall_seconds", stats.wall_seconds);
@@ -120,13 +108,11 @@ std::string CampaignRunner::manifest_path() const {
 }
 
 std::string CampaignRunner::shard_path(std::size_t index) const {
-  return (std::filesystem::path(config_.dir) / (shard_stem(index) + ".shard"))
-      .string();
+  return shard_file_path(config_.dir, index);
 }
 
 std::string CampaignRunner::shard_output_path(std::size_t index) const {
-  return (std::filesystem::path(config_.dir) / (shard_stem(index) + ".out"))
-      .string();
+  return shard_output_file_path(config_.dir, index);
 }
 
 std::string CampaignRunner::fingerprint() const {
@@ -166,140 +152,51 @@ void CampaignRunner::stage(const SourceFactory& source, ManifestState& state) {
   state.plan = std::move(plan);
 }
 
-std::vector<doc::Document> CampaignRunner::load_shard_docs(
-    const SourceFactory& source, std::size_t shard) {
-  std::size_t skip = 0;
-  for (std::size_t i = 0; i < shard; ++i) skip += shard_docs_[i];
-  auto stream = source();
-  for (std::size_t i = 0; i < skip; ++i) {
-    if (!stream->next()) {
-      throw std::runtime_error("campaign: source shrank during re-staging");
-    }
-  }
-  std::vector<doc::Document> docs;
-  docs.reserve(shard_docs_[shard]);
-  for (std::size_t i = 0; i < shard_docs_[shard]; ++i) {
-    auto document = stream->next();
-    if (!document) {
-      throw std::runtime_error("campaign: source shrank during re-staging");
-    }
-    docs.push_back(*document);
-  }
-  return docs;
-}
-
 CampaignRunner::AttemptResult CampaignRunner::execute_attempt(
     const SourceFactory& source, std::size_t shard, std::size_t attempt,
     std::shared_ptr<std::atomic<bool>> cancel) {
-  util::Stopwatch wall;
-  AttemptResult result;
-
-  // --- Read the shard, re-staging from the source if the file is damaged.
-  std::vector<doc::Document> docs;
-  bool decoded = false;
-  if (auto bytes = io::read_file(shard_path(shard))) {
-    try {
-      docs = io::unpack_corpus_shard(*bytes);
-      decoded = true;
-    } catch (const std::runtime_error&) {
-      // Corrupt at rest; fall through to re-staging.
-    }
-  }
-  if (!decoded) {
-    docs = load_shard_docs(source, shard);
-    io::write_file_atomic(shard_path(shard), io::pack_corpus_shard(docs));
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.corrupt_shard_recoveries;
-  }
-
-  // --- Apply the quarantine list (order-preserving filter).
+  // Snapshot the quarantine list under the lock; the attempt itself runs
+  // the shared ShardExecutor logic (identical to a forked worker's).
   std::vector<std::string> quarantined;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     quarantined.reserve(quarantined_.size());
     for (const auto& q : quarantined_) quarantined.push_back(q.doc_id);
   }
-  result.quarantine_snapshot = quarantined.size();
-  std::vector<bool> is_quarantined(docs.size(), false);
-  std::vector<doc::Document> run_docs;
-  run_docs.reserve(docs.size());
-  for (std::size_t i = 0; i < docs.size(); ++i) {
-    if (std::find(quarantined.begin(), quarantined.end(), docs[i].id) !=
-        quarantined.end()) {
-      is_quarantined[i] = true;
-    } else {
-      run_docs.push_back(docs[i]);
-    }
-  }
 
-  // --- Scripted failure point for this attempt: an injected worker crash
-  // and/or the first (non-quarantined) poison document, whichever first.
-  std::optional<std::size_t> fail_after =
-      config_.failures.crash_after(shard, attempt);
-  for (std::size_t i = 0; i < run_docs.size(); ++i) {
-    if (config_.failures.is_poison(run_docs[i].id)) {
-      if (!fail_after || i < *fail_after) fail_after = i;
+  ShardExecutor executor;
+  executor.engine = &engine_;
+  executor.config = &config_;
+  executor.shard_docs = shard_docs_;
+  executor.source = source;
+  executor.pool = pool_;
+  executor.warm_cache = warm_cache_;
+  AttemptOutcome outcome =
+      executor.run_attempt(shard, attempt, quarantined, cancel.get(),
+                           /*on_record=*/nullptr);
+
+  if (outcome.restaged) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_shard_recoveries;
+  }
+  AttemptResult result;
+  switch (outcome.kind) {
+    case AttemptOutcome::Kind::kSuccess:
+      result.kind = AttemptResult::Kind::kSuccess;
       break;
-    }
+    case AttemptOutcome::Kind::kFailed:
+      result.kind = AttemptResult::Kind::kFailed;
+      break;
+    case AttemptOutcome::Kind::kCancelled:
+      result.kind = AttemptResult::Kind::kCancelled;
+      break;
   }
-  if (fail_after && *fail_after >= run_docs.size()) fail_after.reset();
-  const bool failing = fail_after.has_value();
-  if (failing) result.failed_doc_id = run_docs[*fail_after].id;
-  std::vector<doc::Document> attempt_docs =
-      failing ? std::vector<doc::Document>(run_docs.begin(),
-                                           run_docs.begin() + *fail_after)
-              : std::move(run_docs);
-
-  // --- Drive the shard through the streaming pipeline on the shared pool.
-  const auto delay = config_.failures.delay_for(shard, attempt);
-  core::PipelineConfig pipeline_config;
-  pipeline_config.queue_capacity = config_.queue_capacity;
-  pipeline_config.extract_workers = config_.extract_workers;
-  pipeline_config.upgrade_workers = config_.upgrade_workers;
-  pipeline_config.pool = pool_;
-  pipeline_config.warm_cache = warm_cache_;
-  pipeline_config.cancel = cancel.get();
-  if (delay.count() > 0) {
-    pipeline_config.on_progress = [delay, cancel](std::size_t) {
-      if (!cancel->load()) std::this_thread::sleep_for(delay);
-    };
-  }
-  const core::Pipeline pipeline(engine_, pipeline_config);
-  std::vector<io::ParseRecord> records;
-  records.reserve(attempt_docs.size());
-  core::VectorSource attempt_source(attempt_docs);
-  const core::EngineStats run_stats = pipeline.run(
-      attempt_source,
-      [&](std::size_t, const io::ParseRecord& record,
-          const core::RouteDecision&) { records.push_back(record); });
-  result.wall_seconds = wall.seconds();
-
-  if (failing) {
-    // The attempt paid for the work, then "died": partial output discarded.
-    result.kind = AttemptResult::Kind::kFailed;
-    return result;
-  }
-  if (run_stats.pipeline.cancelled || records.size() != attempt_docs.size()) {
-    result.kind = AttemptResult::Kind::kCancelled;
-    return result;
-  }
-
-  // --- Serialize in original shard order, quarantine holes filled with
-  // deterministic stand-in records.
-  std::ostringstream os;
-  io::JsonlWriter writer(os);
-  std::size_t next_record = 0;
-  for (std::size_t i = 0; i < docs.size(); ++i) {
-    if (is_quarantined[i]) {
-      writer.write(quarantine_record(docs[i]));
-      ++result.quarantined_in_shard;
-    } else {
-      writer.write(records[next_record++]);
-    }
-  }
-  result.output = os.str();
-  result.records = docs.size();
-  result.kind = AttemptResult::Kind::kSuccess;
+  result.output = std::move(outcome.output);
+  result.records = outcome.records;
+  result.quarantined_in_shard = outcome.quarantined_in_shard;
+  result.quarantine_snapshot = quarantined.size();
+  result.failed_doc_id = std::move(outcome.failed_doc_id);
+  result.wall_seconds = outcome.wall_seconds;
   return result;
 }
 
@@ -526,6 +423,56 @@ void CampaignRunner::worker_loop(const SourceFactory& source) {
   }
 }
 
+void CampaignRunner::run_in_process(const SourceFactory& source) {
+  sched::ThreadPool pool(config_.workers *
+                         (config_.extract_workers + config_.upgrade_workers));
+  sched::WarmModelCache warm_cache(/*enabled=*/true);
+  pool_ = &pool;
+  warm_cache_ = &warm_cache;
+  std::vector<std::thread> workers;
+  workers.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers.emplace_back([this, &source] { worker_loop(source); });
+  }
+  for (auto& worker : workers) worker.join();
+  pool_ = nullptr;
+  warm_cache_ = nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_) std::rethrow_exception(error_);
+}
+
+void CampaignRunner::run_multi_process(const SourceFactory& source) {
+  // No shared pool or warm cache: every forked worker owns a private pair
+  // sized for one shard attempt. The executor is inherited by the children
+  // via the fork's memory image — trained engine included, no
+  // serialization.
+  ShardExecutor executor;
+  executor.engine = &engine_;
+  executor.config = &config_;
+  executor.shard_docs = shard_docs_;
+  executor.source = source;
+
+  std::deque<std::size_t> pending;
+  std::vector<QuarantineRecord> quarantined;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending = pending_;
+    quarantined = quarantined_;
+  }
+  Coordinator coordinator(
+      std::move(executor), *manifest_, std::move(pending),
+      std::move(quarantined),
+      // All stats mutations funnel through the runner's mutex, so
+      // snapshot() stays a coherent live view during a multi-process run.
+      [this](const std::function<void(CampaignStats&)>& fn) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn(stats_);
+      });
+  const bool halted = coordinator.run();
+  std::lock_guard<std::mutex> lock(mutex_);
+  halted_ = halted;
+}
+
 CampaignStats CampaignRunner::run(const SourceFactory& source) {
   util::Stopwatch wall;
   std::filesystem::create_directories(config_.dir);
@@ -617,21 +564,11 @@ CampaignStats CampaignRunner::run(const SourceFactory& source) {
     return !pending_.empty();
   }();
   if (have_work) {
-    sched::ThreadPool pool(config_.workers *
-                           (config_.extract_workers + config_.upgrade_workers));
-    sched::WarmModelCache warm_cache(/*enabled=*/true);
-    pool_ = &pool;
-    warm_cache_ = &warm_cache;
-    std::vector<std::thread> workers;
-    workers.reserve(config_.workers);
-    for (std::size_t w = 0; w < config_.workers; ++w) {
-      workers.emplace_back([this, &source] { worker_loop(source); });
+    if (config_.execution == CampaignConfig::ExecutionMode::kMultiProcess) {
+      run_multi_process(source);
+    } else {
+      run_in_process(source);
     }
-    for (auto& worker : workers) worker.join();
-    pool_ = nullptr;
-    warm_cache_ = nullptr;
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (error_) std::rethrow_exception(error_);
   }
 
   {

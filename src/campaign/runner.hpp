@@ -7,10 +7,13 @@
 //   stage    pull the corpus, pack it into durable shard files
 //            (io::pack_corpus_shard, the paper's §6.1 archive staging),
 //            then commit a plan record
-//   execute  N in-process workers each drive one shard at a time through
-//            a core::Pipeline on a shared ThreadPool + WarmModelCache;
-//            a finished shard's output is renamed into place and a shard
-//            record appended — the commit point
+//   execute  N workers each drive one shard at a time through a
+//            core::Pipeline — either threads in this process sharing one
+//            ThreadPool + WarmModelCache, or forked worker processes
+//            supervised by a campaign::Coordinator (see
+//            CampaignConfig::execution); a finished shard's output is
+//            renamed into place and a shard record appended — the commit
+//            point
 //   assemble concatenate committed shard outputs in shard order into
 //            output.jsonl and commit a final record
 //
@@ -61,12 +64,42 @@ struct CampaignConfig {
   /// final output.jsonl all live here. Created if absent.
   std::string dir;
 
+  /// How shard attempts execute:
+  ///   kInProcess     N threads in this process (the PR 5 model; scripted
+  ///                  faults only)
+  ///   kMultiProcess  a coordinator in this process supervising N forked
+  ///                  worker processes over pipes — faults are real
+  ///                  (SIGKILL, OOM, lost children detected via waitpid
+  ///                  and missed heartbeats)
+  /// Both modes share the shard plan, the commit protocol, and the
+  /// manifest, so output is byte-identical across modes and a campaign
+  /// killed in one mode can resume in the other.
+  enum class ExecutionMode { kInProcess, kMultiProcess };
+  ExecutionMode execution = ExecutionMode::kInProcess;
+
   /// Documents per shard (the last shard takes the remainder).
   std::size_t docs_per_shard = 64;
 
-  /// Concurrent shard executions (in-process stand-ins for cluster
-  /// workers). Each drives one core::Pipeline at a time.
+  /// Concurrent shard executions: worker threads (kInProcess) or forked
+  /// worker processes (kMultiProcess). Each drives one core::Pipeline at
+  /// a time.
   std::size_t workers = 2;
+
+  /// kMultiProcess: shards pre-assigned per worker (one running plus
+  /// depth-1 queued), so a worker never idles waiting for a dispatch
+  /// round-trip. Queued-but-unstarted shards are what the coordinator
+  /// steals back for idle workers.
+  std::size_t worker_queue_depth = 2;
+
+  /// kMultiProcess: a worker with assigned work that has sent no
+  /// heartbeat/result for this long is presumed lost (hung, not dead —
+  /// waitpid catches dead) and is SIGKILLed; its shards requeue.
+  std::chrono::milliseconds heartbeat_timeout{30000};
+
+  /// kMultiProcess: replacement workers forked over one run() before the
+  /// coordinator gives up — a backstop against a crash loop, set far
+  /// above any plausible recovery count.
+  std::size_t max_worker_respawns = 256;
 
   /// Per-shard pipeline width; the shared pool is sized
   /// workers * (extract_workers + upgrade_workers) so every concurrent
@@ -106,9 +139,19 @@ struct CampaignStats {
   std::size_t corrupt_shard_recoveries = 0;   ///< shard files re-staged
   std::size_t corrupt_output_recoveries = 0;  ///< committed outputs re-run
   bool recovered_torn_manifest = false;  ///< resume dropped a torn tail
+  // Multi-process supervision (kMultiProcess runs only):
+  std::size_t workers_spawned = 0;   ///< forks, initial + respawns
+  std::size_t workers_died = 0;      ///< child deaths observed via waitpid
+  std::size_t workers_killed = 0;    ///< SIGKILLed for missed heartbeats
+  std::size_t shards_stolen = 0;     ///< queued shards moved off stragglers
   /// Wall-clock spent in attempts that did not commit (failed, cancelled,
   /// or lost hedges) — the price of recovery.
   double recovery_wall_seconds = 0.0;
+  /// Measured per-fault recovery latencies: for every worker death or
+  /// kill, the wall-clock between dispatching the attempt it was running
+  /// and requeueing that shard — the real per-process recovery cost that
+  /// hpc::throughput_sweep_measured projects onto the cluster.
+  std::vector<double> recovery_latency_seconds;
   double wall_seconds = 0.0;
   bool halted = false;     ///< stopped by the scripted kill; resume to finish
   bool completed = false;  ///< output.jsonl assembled
@@ -163,12 +206,12 @@ class CampaignRunner {
 
   std::string fingerprint() const;
   void stage(const SourceFactory& source, ManifestState& state);
-  std::vector<doc::Document> load_shard_docs(const SourceFactory& source,
-                                             std::size_t shard);
   AttemptResult execute_attempt(const SourceFactory& source,
                                 std::size_t shard, std::size_t attempt,
                                 std::shared_ptr<std::atomic<bool>> cancel);
   void worker_loop(const SourceFactory& source);
+  void run_in_process(const SourceFactory& source);
+  void run_multi_process(const SourceFactory& source);
   std::optional<std::size_t> pick_hedge_locked();
   /// Appends the shard's commit record and updates state; returns false
   /// when the scripted torn write fired and nothing durably committed.

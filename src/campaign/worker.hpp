@@ -1,0 +1,83 @@
+// The worker half of a campaign: one shard attempt, runnable either on an
+// in-process worker thread or inside a forked worker process.
+//
+// ShardExecutor is the shared attempt logic extracted from the PR 5
+// runner: read (or re-stage) the shard file, filter the quarantine list,
+// apply scripted faults, drive the documents through a core::Pipeline, and
+// serialize the shard's output with deterministic quarantine stand-ins.
+// Because both execution modes run exactly this code against the same
+// shard plan, a campaign's output is byte-identical across modes — and a
+// run killed in one mode resumes in the other.
+//
+// worker_main() is the child-process entry: a forked worker's event loop
+// reading framed task messages from the coordinator, streaming per-record
+// heartbeats back, writing committed shard outputs via the same
+// atomic-rename protocol, and reporting results. In a worker process,
+// scripted WorkerCrash faults raise a *real* SIGKILL on the worker — the
+// kill/resume guarantees are proven against genuine process death, not a
+// simulated halt.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace adaparse::campaign {
+
+/// Shard/output file paths inside a campaign directory (shared by the
+/// runner, the coordinator, and forked workers).
+std::string shard_file_path(const std::string& dir, std::size_t index);
+std::string shard_output_file_path(const std::string& dir, std::size_t index);
+
+/// What one shard attempt produced.
+struct AttemptOutcome {
+  enum class Kind { kSuccess, kFailed, kCancelled };
+  Kind kind = Kind::kFailed;
+  std::string output;            ///< serialized JSONL (success only)
+  std::size_t records = 0;       ///< lines in `output`
+  std::size_t quarantined_in_shard = 0;
+  std::string failed_doc_id;     ///< document a failed attempt died on
+  double wall_seconds = 0.0;
+  bool restaged = false;         ///< shard file was corrupt; rebuilt
+};
+
+/// Everything needed to execute shard attempts, bundled so a forked child
+/// inherits it by memory image. In-process callers point `pool` and
+/// `warm_cache` at the runner's shared substrate; a worker process owns a
+/// private pair sized for one attempt.
+struct ShardExecutor {
+  const core::AdaParseEngine* engine = nullptr;
+  const CampaignConfig* config = nullptr;
+  std::vector<std::size_t> shard_docs;  ///< documents per shard (the plan)
+  CampaignRunner::SourceFactory source;
+  sched::ThreadPool* pool = nullptr;
+  sched::WarmModelCache* warm_cache = nullptr;
+  /// Worker processes set this: a scripted WorkerCrash SIGKILLs the
+  /// process at its fault point instead of simulating the death.
+  bool real_crashes = false;
+
+  /// Runs one attempt. `quarantined` is the quarantine list snapshot the
+  /// attempt builds against (doc ids, order irrelevant). `on_record`, when
+  /// set, fires after each record reaches the sink with the in-order
+  /// emitted count — the worker process's heartbeat hook.
+  AttemptOutcome run_attempt(
+      std::size_t shard, std::size_t attempt,
+      const std::vector<std::string>& quarantined,
+      const std::atomic<bool>* cancel,
+      const std::function<void(std::size_t)>& on_record) const;
+
+  /// Replays the source to rebuild one shard's documents (corrupt-shard
+  /// re-staging, quarantine attribution). Throws if the source shrank.
+  std::vector<doc::Document> load_shard_docs(std::size_t shard) const;
+};
+
+/// Entry point of a forked worker process: reads kTask/kRevoke/kShutdown
+/// frames from `task_fd`, writes kHeartbeat/kResult frames to `result_fd`,
+/// exits 0 on shutdown or coordinator EOF. Never throws (a worker that
+/// cannot proceed exits nonzero and the coordinator requeues its work).
+int worker_main(const ShardExecutor& executor, int task_fd, int result_fd);
+
+}  // namespace adaparse::campaign

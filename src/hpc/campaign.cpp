@@ -89,4 +89,19 @@ std::vector<ScalePoint> throughput_sweep_with_overhead(
   return throughput_sweep_tasks(inflated, base_config, node_counts);
 }
 
+std::vector<ScalePoint> throughput_sweep_measured(
+    const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
+    const std::vector<int>& node_counts,
+    const std::vector<double>& recovery_latency_seconds,
+    double productive_wall_seconds) {
+  double lost = 0.0;
+  for (const double latency : recovery_latency_seconds) {
+    lost += std::max(0.0, latency);
+  }
+  const double overhead =
+      productive_wall_seconds > 0.0 ? lost / productive_wall_seconds : 0.0;
+  return throughput_sweep_with_overhead(tasks, base_config, node_counts,
+                                        overhead);
+}
+
 }  // namespace adaparse::hpc

@@ -49,4 +49,18 @@ std::vector<ScalePoint> throughput_sweep_with_overhead(
     const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
     const std::vector<int>& node_counts, double overhead_fraction);
 
+/// Sweep that ingests *measured* per-fault recovery latencies instead of a
+/// pre-computed ratio: `recovery_latency_seconds` is
+/// CampaignStats::recovery_latency_seconds from a multi-process campaign
+/// (one entry per worker death or kill), `productive_wall_seconds` the
+/// campaign wall-clock net of recovery. The overhead fraction becomes
+/// sum(latencies) / productive, then delegates to
+/// throughput_sweep_with_overhead. A non-positive productive wall yields a
+/// zero-overhead sweep.
+std::vector<ScalePoint> throughput_sweep_measured(
+    const std::vector<TaskSpec>& tasks, const ClusterConfig& base_config,
+    const std::vector<int>& node_counts,
+    const std::vector<double>& recovery_latency_seconds,
+    double productive_wall_seconds);
+
 }  // namespace adaparse::hpc

@@ -18,9 +18,17 @@ namespace adaparse::io {
 std::optional<std::string> read_file(const std::string& path);
 
 /// Writes `bytes` to `path` via a temporary sibling + rename, so a reader
-/// (or a resumed run) never observes a partially written file. Throws
+/// (or a resumed run) never observes a partially written file. The temp
+/// file is fsync'd before the rename and the parent directory after it, so
+/// the rename is a durable commit point (not just an atomic one) — a power
+/// cut can lose the whole write, never replace good bytes with bad. Throws
 /// std::runtime_error on I/O failure.
 void write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// Total successful fsyncs issued by write_file_atomic since process
+/// start — a test hook asserting the durability path is actually
+/// exercised (each call syncs the temp file and its parent directory).
+std::uint64_t fsync_count_for_testing();
 
 /// FNV-1a over a byte string — the integrity checksum the campaign layer
 /// records for shard outputs and manifest lines.

@@ -1,0 +1,103 @@
+#include "proc/child.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace adaparse::proc {
+namespace {
+
+ExitStatus decode(int status) {
+  ExitStatus result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace
+
+Child Child::spawn(const std::function<int()>& body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("proc::Child: fork failed");
+  if (pid == 0) {
+    int code = 125;
+    try {
+      code = body();
+    } catch (...) {
+      // Swallow everything: an exception escaping into the parent's stack
+      // frames (gtest, main) would run teardown that belongs to the parent.
+    }
+    // _exit, not exit: the child shares the parent's atexit handlers and
+    // stdio buffers and must not flush or destroy either.
+    ::_exit(code);
+  }
+  Child child;
+  child.pid_ = pid;
+  return child;
+}
+
+Child::~Child() {
+  if (running()) {
+    ::kill(pid_, SIGKILL);
+    wait();
+  }
+}
+
+Child::Child(Child&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      status_(other.status_) {}
+
+Child& Child::operator=(Child&& other) noexcept {
+  if (this != &other) {
+    if (running()) {
+      ::kill(pid_, SIGKILL);
+      wait();
+    }
+    pid_ = std::exchange(other.pid_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    status_ = other.status_;
+  }
+  return *this;
+}
+
+std::optional<ExitStatus> Child::try_wait() {
+  if (!running()) return std::nullopt;
+  int status = 0;
+  const pid_t got = ::waitpid(pid_, &status, WNOHANG);
+  if (got == 0) return std::nullopt;  // still running
+  reaped_ = true;
+  if (got == pid_) {
+    status_ = decode(status);
+  }
+  return status_;
+}
+
+ExitStatus Child::wait() {
+  if (!running()) return status_;
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid_, &status, 0);
+  } while (got < 0 && errno == EINTR);
+  reaped_ = true;
+  if (got == pid_) {
+    status_ = decode(status);
+  }
+  return status_;
+}
+
+void Child::kill(int sig) const {
+  if (running()) ::kill(pid_, sig);
+}
+
+}  // namespace adaparse::proc

@@ -1,0 +1,70 @@
+// A fork/exec-free child-process handle.
+//
+// Campaign workers are forked, not exec'd: the child inherits the trained
+// engine, the source factory, and the shard plan by memory image, runs a
+// C++ callable, and _exit()s with its return code — no serialization of
+// model weights, no argv plumbing. The handle owns the pid: nonblocking
+// waitpid polling (try_wait) is how the coordinator detects real deaths —
+// SIGKILL, OOM kills, crashes — and the destructor SIGKILLs + reaps
+// anything still running so no test or bench can leak a child.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+
+namespace adaparse::proc {
+
+/// How a child ended, decoded from the waitpid status word.
+struct ExitStatus {
+  bool exited = false;    ///< normal _exit
+  int exit_code = 0;      ///< valid when `exited`
+  bool signaled = false;  ///< killed by a signal (SIGKILL, SIGSEGV, ...)
+  int term_signal = 0;    ///< valid when `signaled`
+};
+
+class Child {
+ public:
+  /// An empty handle (no process).
+  Child() = default;
+
+  /// fork()s; the child runs `body` and _exit()s with its return value
+  /// (125 if it throws). Never returns in the child. Throws
+  /// std::runtime_error if fork fails. The caller must be effectively
+  /// single-threaded at the call site (the coordinator loop is), or the
+  /// child can inherit a locked allocator.
+  static Child spawn(const std::function<int()>& body);
+
+  /// SIGKILLs and reaps a still-running child — a dropped handle must not
+  /// leave an orphan worker or a zombie behind.
+  ~Child();
+
+  Child(Child&& other) noexcept;
+  Child& operator=(Child&& other) noexcept;
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+
+  pid_t pid() const { return pid_; }
+
+  /// True while the process exists and has not been reaped.
+  bool running() const { return pid_ > 0 && !reaped_; }
+
+  /// Nonblocking reap (WNOHANG): the coordinator's death detector.
+  /// Returns the exit status once, the first call after the child died;
+  /// nullopt while it is still running (or after it was already reaped).
+  std::optional<ExitStatus> try_wait();
+
+  /// Blocking reap. Returns a default ExitStatus if already reaped.
+  ExitStatus wait();
+
+  /// Sends `sig` (e.g. SIGKILL) to a running child; no-op otherwise.
+  void kill(int sig) const;
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_;
+};
+
+}  // namespace adaparse::proc

@@ -1,0 +1,93 @@
+#include "proc/pipe.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace adaparse::proc {
+
+Pipe::Pipe() {
+  int fds[2];
+  // No exec follows a campaign fork, but CLOEXEC keeps the fds from
+  // leaking into anything else the host process might spawn.
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    throw std::runtime_error("proc::Pipe: pipe2 failed");
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+}
+
+Pipe::~Pipe() {
+  close_read();
+  close_write();
+}
+
+Pipe::Pipe(Pipe&& other) noexcept
+    : read_fd_(std::exchange(other.read_fd_, -1)),
+      write_fd_(std::exchange(other.write_fd_, -1)) {}
+
+Pipe& Pipe::operator=(Pipe&& other) noexcept {
+  if (this != &other) {
+    close_read();
+    close_write();
+    read_fd_ = std::exchange(other.read_fd_, -1);
+    write_fd_ = std::exchange(other.write_fd_, -1);
+  }
+  return *this;
+}
+
+void Pipe::close_read() {
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+void Pipe::close_write() {
+  if (write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+void Pipe::set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("proc::Pipe: fcntl O_NONBLOCK failed");
+  }
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE (peer died) or a hard error
+  }
+  return true;
+}
+
+bool read_available(int fd, std::string& out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF: the peer closed its write end
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // drained
+    return false;
+  }
+}
+
+}  // namespace adaparse::proc

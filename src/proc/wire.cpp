@@ -1,0 +1,157 @@
+#include "proc/wire.hpp"
+
+#include <stdexcept>
+
+#include "io/fsio.hpp"
+
+namespace adaparse::proc {
+namespace {
+
+/// Frames beyond this are garbage lengths, not real messages: a task
+/// message is bounded by the quarantine list, which is bounded by the
+/// corpus — and even a pathological campaign stays far under this.
+constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_string(std::string& out, std::string_view value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+/// Cursor over a payload; every get_* throws on truncation so a malformed
+/// payload can never read out of bounds.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > data.size()) {
+      throw std::runtime_error("proc wire: truncated payload");
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<std::uint8_t>(data[pos + i]))
+               << (8 * i);
+    }
+    pos += 4;
+    return value;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<std::uint8_t>(data[pos + i]))
+               << (8 * i);
+    }
+    pos += 8;
+    return value;
+  }
+  std::string str() {
+    const std::uint32_t size = u32();
+    need(size);
+    std::string value(data.substr(pos, size));
+    pos += size;
+    return value;
+  }
+};
+
+std::string encode_payload(const Message& m) {
+  std::string payload;
+  payload.push_back(static_cast<char>(m.type));
+  payload.push_back(static_cast<char>(m.status));
+  put_u64(payload, m.shard);
+  put_u64(payload, m.attempt);
+  put_u64(payload, m.docs_done);
+  put_u64(payload, m.records);
+  put_u64(payload, m.bytes);
+  put_u64(payload, m.checksum);
+  put_u64(payload, m.quarantined);
+  put_u64(payload, m.restaged);
+  put_u64(payload, m.wall_ms);
+  put_string(payload, m.failed_doc_id);
+  put_u32(payload, static_cast<std::uint32_t>(m.quarantine.size()));
+  for (const auto& id : m.quarantine) put_string(payload, id);
+  return payload;
+}
+
+Message decode_payload(std::string_view payload) {
+  Reader reader{payload};
+  Message m;
+  const std::uint8_t type = reader.u8();
+  if (type < static_cast<std::uint8_t>(MsgType::kTask) ||
+      type > static_cast<std::uint8_t>(MsgType::kResult)) {
+    throw std::runtime_error("proc wire: unknown message type");
+  }
+  m.type = static_cast<MsgType>(type);
+  m.status = reader.u8();
+  m.shard = reader.u64();
+  m.attempt = reader.u64();
+  m.docs_done = reader.u64();
+  m.records = reader.u64();
+  m.bytes = reader.u64();
+  m.checksum = reader.u64();
+  m.quarantined = reader.u64();
+  m.restaged = reader.u64();
+  m.wall_ms = reader.u64();
+  m.failed_doc_id = reader.str();
+  const std::uint32_t quarantine_count = reader.u32();
+  m.quarantine.reserve(quarantine_count);
+  for (std::uint32_t i = 0; i < quarantine_count; ++i) {
+    m.quarantine.push_back(reader.str());
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string encode_frame(const Message& message) {
+  const std::string payload = encode_payload(message);
+  std::string frame;
+  frame.reserve(12 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u64(frame, io::fnv1a(payload));
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<Message> FrameDecoder::next() {
+  if (buffer_.size() < 12) return std::nullopt;
+  Reader header{buffer_};
+  const std::uint32_t length = header.u32();
+  if (length > kMaxPayload) {
+    throw std::runtime_error("proc wire: oversized frame");
+  }
+  if (buffer_.size() < 12 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  const std::uint64_t crc = header.u64();
+  const std::string_view payload(buffer_.data() + 12, length);
+  if (io::fnv1a(payload) != crc) {
+    throw std::runtime_error("proc wire: frame crc mismatch");
+  }
+  Message message = decode_payload(payload);
+  buffer_.erase(0, 12 + static_cast<std::size_t>(length));
+  return message;
+}
+
+}  // namespace adaparse::proc

@@ -1,0 +1,76 @@
+// Length-prefixed, CRC'd wire codec for coordinator <-> worker messages.
+//
+// Frame layout (little-endian):
+//
+//   [u32 payload_len][u64 fnv1a(payload)][payload]
+//
+// The CRC makes a torn or garbled pipe read detectable the same way the
+// campaign manifest detects a torn journal line: a frame that fails its
+// checksum is protocol corruption and decoding throws — the coordinator
+// then treats that worker as lost. Payloads use one fixed field layout for
+// every message type (they are tens of bytes; sparseness is cheaper than a
+// per-type schema).
+//
+// Message types:
+//   kTask       coordinator -> worker: run `shard` as `attempt`, with the
+//               current quarantine list (doc ids excluded from the shard)
+//   kRevoke     coordinator -> worker: drop (shard, attempt) if still
+//               queued — its work was stolen by an idle worker
+//   kShutdown   coordinator -> worker: finish up and exit
+//   kHeartbeat  worker -> coordinator: still alive, `docs_done` records of
+//               (shard, attempt) emitted so far
+//   kResult     worker -> coordinator: attempt finished; status 0 = output
+//               file written (records/bytes/checksum describe it), 1 =
+//               attempt failed on `failed_doc_id`
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::proc {
+
+enum class MsgType : std::uint8_t {
+  kTask = 1,
+  kRevoke = 2,
+  kShutdown = 3,
+  kHeartbeat = 4,
+  kResult = 5,
+};
+
+struct Message {
+  MsgType type = MsgType::kShutdown;
+  std::uint8_t status = 0;        ///< result: 0 = committed output, 1 = failed
+  std::uint64_t shard = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t docs_done = 0;    ///< heartbeat: records emitted so far
+  std::uint64_t records = 0;      ///< result: lines in the output file
+  std::uint64_t bytes = 0;        ///< result: output file size
+  std::uint64_t checksum = 0;     ///< result: fnv1a over the output file
+  std::uint64_t quarantined = 0;  ///< result: stand-in records in the output
+  std::uint64_t restaged = 0;     ///< result: shard file rebuilt from source
+  std::uint64_t wall_ms = 0;      ///< result: attempt wall clock
+  std::string failed_doc_id;      ///< result (failed): document it died on
+  std::vector<std::string> quarantine;  ///< task: excluded doc ids
+};
+
+/// Serializes one message as a complete frame ready for write_all().
+std::string encode_frame(const Message& message);
+
+/// Incremental frame decoder over a byte stream (one per worker pipe).
+/// feed() whatever read_available() produced, then drain next() until it
+/// returns nullopt. next() throws std::runtime_error on a corrupt frame
+/// (bad CRC, oversized length, truncated payload) — pipes do not reorder
+/// or drop, so corruption means the peer is broken.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+  std::optional<Message> next();
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace adaparse::proc

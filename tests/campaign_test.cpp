@@ -156,6 +156,70 @@ TEST(CampaignManifest, FlippedByteFailsCrc) {
   EXPECT_THROW(load_manifest(path), std::runtime_error);
 }
 
+TEST(CampaignManifest, EmptyFileYieldsEmptyStateNotTornTail) {
+  const std::string dir = fresh_dir("empty_file");
+  fs::create_directories(dir);
+  const std::string path = dir + "/manifest.jsonl";
+  std::ofstream(path).close();  // zero bytes: created, never written
+  const auto state = load_manifest(path);
+  EXPECT_FALSE(state.plan.has_value());
+  EXPECT_TRUE(state.shards.empty());
+  EXPECT_FALSE(state.dropped_torn_tail);
+  EXPECT_EQ(state.valid_prefix_bytes, 0u);
+}
+
+TEST(CampaignManifest, FileEndingExactlyAtRecordBoundaryIsFullyValid) {
+  const std::string dir = fresh_dir("exact_boundary");
+  fs::create_directories(dir);
+  const std::string path = dir + "/manifest.jsonl";
+  {
+    ManifestWriter writer(path);
+    PlanRecord plan;
+    plan.docs = 4;
+    plan.shard_docs = {4};
+    plan.fingerprint = "f";
+    writer.append(plan);
+    ShardRecord shard;
+    shard.index = 0;
+    writer.append(shard);
+  }
+  // A journal whose last byte is the final record's newline is the normal
+  // clean-shutdown shape: nothing must be dropped, and the valid prefix
+  // must span the whole file (a resume truncates to this offset before
+  // appending — an off-by-one would eat the last record).
+  const auto state = load_manifest(path);
+  EXPECT_FALSE(state.dropped_torn_tail);
+  EXPECT_EQ(state.shards.size(), 1u);
+  EXPECT_EQ(state.valid_prefix_bytes, fs::file_size(path));
+}
+
+TEST(CampaignManifest, DuplicateShardCommitReplaysIdempotently) {
+  const std::string dir = fresh_dir("dup_commit");
+  fs::create_directories(dir);
+  const std::string path = dir + "/manifest.jsonl";
+  {
+    ManifestWriter writer(path);
+    ShardRecord first;
+    first.index = 2;
+    first.attempt = 0;
+    first.checksum = 0x1111;
+    writer.append(first);
+    // The same shard committed again (e.g. a resume re-executed it after
+    // its output file was damaged): replay must be idempotent — one entry,
+    // last record wins.
+    ShardRecord again;
+    again.index = 2;
+    again.attempt = 3;
+    again.checksum = 0x2222;
+    writer.append(again);
+  }
+  const auto state = load_manifest(path);
+  EXPECT_EQ(state.shards.size(), 1u);
+  ASSERT_EQ(state.shards.count(2), 1u);
+  EXPECT_EQ(state.shards.at(2).attempt, 3u);
+  EXPECT_EQ(state.shards.at(2).checksum, 0x2222u);
+}
+
 // ------------------------------------------------------------- runner ----
 
 /// Trains one small bundle per process (each ctest case is its own
@@ -519,6 +583,257 @@ TEST_F(CampaignFixture, RunIsIdempotentAfterCompletion) {
   EXPECT_EQ(again.shards_resumed_skip, 4u);
   EXPECT_EQ(again.attempts_started, 0u);
   EXPECT_EQ(output_bytes(runner), bytes);
+}
+
+// ------------------------------------------------- multi-process runner ----
+
+TEST_F(CampaignFixture, MultiProcessCleanRunMatchesInProcessByteForByte) {
+  auto config = base_config("mp_clean");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.shards_committed, 4u);
+  EXPECT_EQ(stats.docs_processed, 96u);
+  EXPECT_GE(stats.workers_spawned, 1u);
+  EXPECT_EQ(stats.workers_died, 0u);
+  EXPECT_EQ(output_bytes(runner), reference_bytes());
+  const std::string text = render_prometheus(stats);
+  EXPECT_NE(text.find("adaparse_campaign_workers_spawned"), std::string::npos);
+  EXPECT_NE(text.find("adaparse_campaign_shards_stolen"), std::string::npos);
+}
+
+/// The tentpole acceptance scenario, parameterized over every shard: a
+/// worker process is killed with a real SIGKILL mid-shard (no unwinding,
+/// no flushing — the kernel reaps it), the coordinator detects the death
+/// via waitpid, requeues its shards, and the campaign still produces
+/// byte-identical output; and a run halted at every shard boundary resumes
+/// byte-identically in multi-process mode.
+class CampaignRealKill : public CampaignFixture,
+                         public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(CampaignRealKill, SigkilledWorkerIsRecoveredByteIdentically) {
+  const std::size_t shard = GetParam();
+  auto config = base_config("mp_kill_" + std::to_string(shard));
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  // Attempt 0 of the target shard SIGKILLs its worker process after 12 of
+  // 24 records — a genuine kill -9, not a simulated failure.
+  config.failures.crashes = {{shard, /*attempt=*/0, /*after_docs=*/12}};
+  config.max_shard_attempts = 5;  // a single death must not quarantine
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.workers_died, 1u);
+  EXPECT_GE(stats.workers_spawned, 2u);  // at least one respawn
+  EXPECT_EQ(stats.docs_quarantined, 0u);
+  EXPECT_GE(stats.recovery_latency_seconds.size(), 1u);
+  EXPECT_GT(stats.recovery_wall_seconds, 0.0);
+  EXPECT_EQ(output_bytes(runner), reference_bytes());
+}
+
+TEST_P(CampaignRealKill, HaltAtEveryShardBoundaryResumesByteIdentically) {
+  const std::size_t halt_after = GetParam() + 1;  // 1..4 commits
+  auto config = base_config("mp_halt_" + std::to_string(halt_after));
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.failures.halt_after_commits = halt_after;
+  CampaignRunner first(*bundle_->llm, config);
+  const auto halted = first.run(source());
+  EXPECT_TRUE(halted.halted);
+  EXPECT_FALSE(halted.completed);
+  EXPECT_EQ(halted.shards_committed, halt_after);
+  EXPECT_FALSE(fs::exists(first.output_path()));
+
+  auto resume = config;
+  resume.failures = FailurePlan{};
+  CampaignRunner second(*bundle_->llm, resume);
+  const auto resumed = second.run(source());
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.shards_resumed_skip, halt_after);
+  EXPECT_EQ(output_bytes(second), reference_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryShard, CampaignRealKill,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST_F(CampaignFixture, MultiProcessPoisonQuarantineMatchesInProcess) {
+  const std::string poison_id = (*docs_)[30].id;  // lives in shard 1
+  auto config = base_config("mp_poison");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.failures.poison_docs = {poison_id};
+  config.max_shard_attempts = 2;
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.docs_quarantined, 1u);
+
+  // The quarantine decision flows over the wire (failed_doc_id in the
+  // result frame) but must land on the same document and produce the same
+  // bytes as the in-process run of the identical failure plan.
+  auto in_process = base_config("mp_poison_inproc");
+  in_process.failures.poison_docs = {poison_id};
+  in_process.max_shard_attempts = 2;
+  in_process.workers = 1;
+  CampaignRunner twin(*bundle_->llm, in_process);
+  ASSERT_TRUE(twin.run(source()).completed);
+  EXPECT_EQ(output_bytes(runner), output_bytes(twin));
+}
+
+TEST_F(CampaignFixture, MultiProcessRepeatedDeathsQuarantineTheSuspect) {
+  // Attempts 0 and 1 of shard 1 both SIGKILL their worker after 7 records:
+  // with max_shard_attempts=2 the coordinator must quarantine the first
+  // unemitted document — identified purely from heartbeat progress, since
+  // a SIGKILLed process reports nothing. The in-process run of the same
+  // plan (where the crash is simulated and the failed document reported
+  // directly) is the ground truth: byte-identical output proves the
+  // heartbeat-derived suspect matches.
+  auto config = base_config("mp_crashq");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.failures.crashes = {{/*shard=*/1, /*attempt=*/0, /*after_docs=*/7},
+                             {/*shard=*/1, /*attempt=*/1, /*after_docs=*/7}};
+  config.max_shard_attempts = 2;
+  // Stealing or hedging would renumber shard 1's attempts and dodge the
+  // scripted crashes; keep queues shallow and hedging off so attempts 0
+  // and 1 are exactly the two that die.
+  config.worker_queue_depth = 1;
+  config.hedge_factor = 0.0;
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.workers_died, 2u);
+  EXPECT_EQ(stats.docs_quarantined, 1u);
+
+  auto in_process = base_config("mp_crashq_inproc");
+  in_process.failures = config.failures;
+  in_process.max_shard_attempts = 2;
+  in_process.workers = 1;
+  CampaignRunner twin(*bundle_->llm, in_process);
+  const auto twin_stats = twin.run(source());
+  ASSERT_TRUE(twin_stats.completed);
+  EXPECT_EQ(twin_stats.docs_quarantined, 1u);
+  EXPECT_EQ(output_bytes(runner), output_bytes(twin));
+}
+
+TEST_F(CampaignFixture, MultiProcessIdleWorkerStealsQueuedShards) {
+  auto config = base_config("mp_steal");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.docs_per_shard = 12;  // 96 docs -> 8 shards
+  config.worker_queue_depth = 4;  // both workers pre-loaded with 4 shards
+  // Whoever draws shard 0 crawls (100ms per record); the other worker
+  // drains its own queue and must steal the victim's queued shards.
+  config.failures.stragglers = {
+      {/*shard=*/0, /*first_attempts=*/1,
+       /*per_doc_delay=*/std::chrono::milliseconds(100)}};
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.shards_stolen, 1u);
+
+  // Stolen work produces the same bytes it would have on the victim.
+  auto in_process = base_config("mp_steal_inproc");
+  in_process.docs_per_shard = 12;
+  CampaignRunner twin(*bundle_->llm, in_process);
+  ASSERT_TRUE(twin.run(source()).completed);
+  EXPECT_EQ(output_bytes(runner), output_bytes(twin));
+}
+
+TEST_F(CampaignFixture, MultiProcessHungWorkerIsKilledByHeartbeatTimeout) {
+  auto config = base_config("mp_hung");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  // The worker running shard 1 goes comatose between records (15s per
+  // document against a 4s heartbeat timeout). waitpid sees nothing — the
+  // process is alive — so only the missed-heartbeat path can save the
+  // campaign: SIGKILL the zombie-in-spirit, requeue, respawn. The wide
+  // margin matters: healthy workers' inter-record gaps grow ~15x under
+  // TSan, and a timeout they can miss turns this test into a kill loop.
+  config.failures.stragglers = {
+      {/*shard=*/1, /*first_attempts=*/1,
+       /*per_doc_delay=*/std::chrono::milliseconds(15000)}};
+  config.heartbeat_timeout = std::chrono::milliseconds(4000);
+  config.hedge_factor = 0.0;  // isolate the timeout path from hedging
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.workers_killed, 1u);
+  EXPECT_GE(stats.workers_died, 1u);
+  EXPECT_EQ(output_bytes(runner), reference_bytes());
+}
+
+TEST_F(CampaignFixture, MultiProcessStragglerIsHedged) {
+  auto config = base_config("mp_hedge");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.worker_queue_depth = 1;  // nothing queued to steal: hedging only
+  config.failures.stragglers = {
+      {/*shard=*/3, /*first_attempts=*/1,
+       /*per_doc_delay=*/std::chrono::milliseconds(150)}};
+  config.hedge_factor = 1e-6;
+  config.hedge_min_runtime = std::chrono::milliseconds(100);
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.hedges_launched, 1u);
+  EXPECT_EQ(output_bytes(runner), reference_bytes());
+}
+
+TEST_F(CampaignFixture, MultiProcessTornManifestCommitIsRedoneOnResume) {
+  auto config = base_config("mp_torn");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.failures.torn_manifest_shards = {0};
+  config.workers = 1;  // shard 0 commits first, deterministically
+  CampaignRunner first(*bundle_->llm, config);
+  EXPECT_TRUE(first.run(source()).halted);
+
+  auto resume = config;
+  resume.failures = FailurePlan{};
+  CampaignRunner second(*bundle_->llm, resume);
+  const auto resumed = second.run(source());
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_TRUE(resumed.recovered_torn_manifest);
+  EXPECT_EQ(resumed.shards_resumed_skip, 0u);  // the torn commit didn't count
+  EXPECT_EQ(output_bytes(second), reference_bytes());
+}
+
+TEST_F(CampaignFixture, MultiProcessCorruptShardIsRestagedInsideTheWorker) {
+  auto config = base_config("mp_corrupt_shard");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.failures.corrupt_shards = {1};
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.corrupt_shard_recoveries, 1u);
+  EXPECT_EQ(output_bytes(runner), reference_bytes());
+}
+
+TEST_F(CampaignFixture, CampaignResumesAcrossExecutionModes) {
+  // The two modes share the shard plan, manifest, and commit protocol —
+  // so a campaign killed under one mode must resume under the other with
+  // byte-identical final output (the engine fingerprint deliberately
+  // excludes the execution mode).
+  auto config = base_config("cross_mode");
+  config.failures.halt_after_commits = 2;
+  CampaignRunner first(*bundle_->llm, config);  // in-process, killed
+  EXPECT_TRUE(first.run(source()).halted);
+
+  auto mp_resume = config;
+  mp_resume.failures = FailurePlan{};
+  mp_resume.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  CampaignRunner second(*bundle_->llm, mp_resume);
+  const auto resumed = second.run(source());
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.shards_resumed_skip, 2u);
+  EXPECT_EQ(output_bytes(second), reference_bytes());
+
+  // And the mirror image: halted multi-process, finished in-process.
+  auto config2 = base_config("cross_mode_back");
+  config2.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config2.failures.halt_after_commits = 1;
+  CampaignRunner third(*bundle_->llm, config2);
+  EXPECT_TRUE(third.run(source()).halted);
+  auto in_resume = config2;
+  in_resume.failures = FailurePlan{};
+  in_resume.execution = CampaignConfig::ExecutionMode::kInProcess;
+  CampaignRunner fourth(*bundle_->llm, in_resume);
+  EXPECT_TRUE(fourth.run(source()).completed);
+  EXPECT_EQ(output_bytes(fourth), reference_bytes());
 }
 
 TEST_F(CampaignFixture, PrometheusRenderExposesCampaignCounters) {

@@ -232,6 +232,34 @@ TEST(Campaign, RecoveryOverheadLowersProjectedThroughput) {
   EXPECT_DOUBLE_EQ(clamped[0].throughput, clean[0].throughput);
 }
 
+TEST(Campaign, MeasuredRecoveryLatenciesMatchEquivalentFraction) {
+  const auto docs =
+      doc::CorpusGenerator(doc::born_digital_config(200, 9)).generate();
+  const auto nougat = parsers::make_parser(parsers::ParserKind::kNougat);
+  const auto tasks = campaign_tasks(*nougat, docs);
+  const auto base = cluster_for_parser(parsers::ParserKind::kNougat, 1);
+  const std::vector<int> nodes = {1, 2, 4};
+
+  // Two measured 1-second faults over a 10-second productive run is a 20%
+  // overhead — it must project exactly like the precomputed fraction.
+  const auto measured =
+      throughput_sweep_measured(tasks, base, nodes, {1.0, 1.0}, 10.0);
+  const auto fraction =
+      throughput_sweep_with_overhead(tasks, base, nodes, 0.2);
+  ASSERT_EQ(measured.size(), fraction.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    EXPECT_DOUBLE_EQ(measured[i].throughput, fraction[i].throughput);
+  }
+
+  // No faults — or a degenerate productive wall — projects the clean sweep.
+  const auto clean = throughput_sweep_tasks(tasks, base, nodes);
+  const auto no_faults = throughput_sweep_measured(tasks, base, nodes, {}, 10.0);
+  const auto degenerate =
+      throughput_sweep_measured(tasks, base, nodes, {5.0}, 0.0);
+  EXPECT_DOUBLE_EQ(no_faults[0].throughput, clean[0].throughput);
+  EXPECT_DOUBLE_EQ(degenerate[0].throughput, clean[0].throughput);
+}
+
 // --------------------------------------------------------------- trace ----
 
 TEST(Trace, BucketsCoverMakespan) {

@@ -260,6 +260,21 @@ TEST(Fsio, AtomicWriteRoundTripsAndLeavesNoTemp) {
   EXPECT_EQ(entries, 1u);
 }
 
+TEST(Fsio, AtomicWriteExercisesFsyncPath) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "adaparse_fsio_fsync";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  // Every atomic write must sync the temp file (data before the rename)
+  // and the parent directory (the rename itself) — at least two fsyncs.
+  const std::uint64_t before = fsync_count_for_testing();
+  write_file_atomic((dir / "durable.bin").string(), "must hit the platter");
+  const std::uint64_t after = fsync_count_for_testing();
+  EXPECT_GE(after - before, 2u);
+  EXPECT_EQ(read_file((dir / "durable.bin").string()).value_or(""),
+            "must hit the platter");
+}
+
 TEST(Fsio, Fnv1aIsStableAndContentSensitive) {
   EXPECT_EQ(fnv1a("campaign"), fnv1a("campaign"));
   EXPECT_NE(fnv1a("campaign"), fnv1a("campaigN"));

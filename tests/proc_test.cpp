@@ -1,0 +1,250 @@
+// Tests for the proc module: fork/waitpid child handles, pipe I/O
+// helpers, and the framed wire codec the campaign coordinator speaks.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "io/fsio.hpp"
+#include "proc/child.hpp"
+#include "proc/pipe.hpp"
+#include "proc/wire.hpp"
+
+namespace adaparse::proc {
+namespace {
+
+// ---------------------------------------------------------------- child ----
+
+TEST(Child, ExitCodeRoundTrips) {
+  Child child = Child::spawn([] { return 42; });
+  EXPECT_GT(child.pid(), 0);
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 42);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_FALSE(child.running());
+}
+
+TEST(Child, ThrowingBodyExitsNonzero) {
+  Child child = Child::spawn([]() -> int {
+    throw std::runtime_error("worker blew up");
+  });
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 125);
+}
+
+TEST(Child, SigkillReportsTerminationSignal) {
+  Pipe ready;
+  Child child = Child::spawn([&ready]() -> int {
+    ready.close_read();
+    write_all(ready.write_fd(), "x");
+    for (;;) ::pause();
+  });
+  ready.close_write();
+  // Wait for the child to signal it is parked, so the kill races nothing.
+  char buf = 0;
+  ASSERT_EQ(::read(ready.read_fd(), &buf, 1), 1);
+  child.kill(SIGKILL);
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+  EXPECT_FALSE(status.exited);
+}
+
+TEST(Child, TryWaitIsNonblockingAndReportsOnce) {
+  Pipe gate;
+  Child child = Child::spawn([&gate] {
+    gate.close_write();
+    // Block until the parent closes its write end (EOF), then exit.
+    std::string sink;
+    char buf = 0;
+    while (::read(gate.read_fd(), &buf, 1) > 0) sink.push_back(buf);
+    return 7;
+  });
+  gate.close_read();
+  EXPECT_FALSE(child.try_wait().has_value());  // still parked on the pipe
+  EXPECT_TRUE(child.running());
+  gate.close_write();  // EOF: child exits
+  std::optional<ExitStatus> status;
+  for (int i = 0; i < 2000 && !status; ++i) {
+    status = child.try_wait();
+    if (!status) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->exited);
+  EXPECT_EQ(status->exit_code, 7);
+  // Reaped exactly once; later polls report nothing.
+  EXPECT_FALSE(child.try_wait().has_value());
+}
+
+TEST(Child, DestructorReapsARunningChild) {
+  pid_t pid = -1;
+  {
+    Child child = Child::spawn([]() -> int {
+      for (;;) ::pause();
+    });
+    pid = child.pid();
+    ASSERT_GT(pid, 0);
+  }
+  // The dropped handle SIGKILLed and reaped: the pid is no longer ours.
+  // (kill(pid, 0) failing with ESRCH, or the pid belonging to a new
+  // process, both mean "not our zombie"; waitpid is the precise check.)
+  EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+}
+
+// ----------------------------------------------------------------- pipe ----
+
+TEST(Pipe, WriteAllThenReadAvailableRoundTrips) {
+  Pipe pipe;
+  Pipe::set_nonblocking(pipe.read_fd());
+  const std::string payload(100000, 'x');  // larger than the pipe buffer
+  std::string received;
+  std::thread writer([&] { EXPECT_TRUE(write_all(pipe.write_fd(), payload)); });
+  while (received.size() < payload.size()) {
+    if (!read_available(pipe.read_fd(), received)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  writer.join();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Pipe, ReadAvailableReportsEofAfterWriterCloses) {
+  Pipe pipe;
+  Pipe::set_nonblocking(pipe.read_fd());
+  write_all(pipe.write_fd(), "tail");
+  pipe.close_write();
+  std::string received;
+  // Drains the buffered bytes, then reports EOF (false).
+  EXPECT_FALSE(read_available(pipe.read_fd(), received));
+  EXPECT_EQ(received, "tail");
+}
+
+TEST(Pipe, WriteToClosedReadEndFailsInsteadOfKilling) {
+  signal(SIGPIPE, SIG_IGN);
+  Pipe pipe;
+  pipe.close_read();
+  EXPECT_FALSE(write_all(pipe.write_fd(), "nobody listens"));
+}
+
+// ----------------------------------------------------------------- wire ----
+
+Message sample_result() {
+  Message m;
+  m.type = MsgType::kResult;
+  m.status = 1;
+  m.shard = 3;
+  m.attempt = 2;
+  m.docs_done = 17;
+  m.records = 24;
+  m.bytes = 123456;
+  m.checksum = 0xfeedfacecafebeefULL;
+  m.quarantined = 1;
+  m.restaged = 1;
+  m.wall_ms = 250;
+  m.failed_doc_id = "doc-031";
+  m.quarantine = {"doc-007", "doc-019"};
+  return m;
+}
+
+void expect_equal(const Message& a, const Message& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.shard, b.shard);
+  EXPECT_EQ(a.attempt, b.attempt);
+  EXPECT_EQ(a.docs_done, b.docs_done);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.restaged, b.restaged);
+  EXPECT_EQ(a.wall_ms, b.wall_ms);
+  EXPECT_EQ(a.failed_doc_id, b.failed_doc_id);
+  EXPECT_EQ(a.quarantine, b.quarantine);
+}
+
+TEST(Wire, FrameRoundTrips) {
+  const Message sent = sample_result();
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(sent));
+  const auto received = decoder.next();
+  ASSERT_TRUE(received.has_value());
+  expect_equal(*received, sent);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, DecoderHandlesArbitraryChunking) {
+  // Pipes deliver byte streams, not messages: feeding one byte at a time
+  // must produce exactly the same frames as one big feed.
+  const Message first = sample_result();
+  Message second;
+  second.type = MsgType::kHeartbeat;
+  second.shard = 9;
+  second.attempt = 1;
+  second.docs_done = 5;
+  const std::string stream = encode_frame(first) + encode_frame(second);
+  FrameDecoder decoder;
+  std::vector<Message> received;
+  for (const char byte : stream) {
+    decoder.feed(std::string_view(&byte, 1));
+    while (auto message = decoder.next()) received.push_back(*message);
+  }
+  ASSERT_EQ(received.size(), 2u);
+  expect_equal(received[0], first);
+  expect_equal(received[1], second);
+}
+
+TEST(Wire, CorruptPayloadThrows) {
+  std::string frame = encode_frame(sample_result());
+  frame[frame.size() / 2] ^= 0x40;  // flip a payload bit; CRC must catch it
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  EXPECT_THROW(decoder.next(), std::runtime_error);
+}
+
+TEST(Wire, OversizedLengthThrows) {
+  // A garbage length prefix (e.g. reading a binary torrent of noise) must
+  // be rejected immediately, not buffered toward 4 GiB.
+  std::string frame;
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(0xFF));
+  frame.resize(12, '\0');
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  EXPECT_THROW(decoder.next(), std::runtime_error);
+}
+
+TEST(Wire, UnknownTypeThrows) {
+  // Build a valid frame, then rewrite the type byte and fix the CRC.
+  Message m = sample_result();
+  const std::string payload_probe = encode_frame(m);
+  std::string payload = payload_probe.substr(12);
+  payload[0] = 99;  // not a MsgType
+  std::string frame;
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((size >> (8 * i)) & 0xFF));
+  }
+  const std::uint64_t crc = io::fnv1a(payload);
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  frame += payload;
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  EXPECT_THROW(decoder.next(), std::runtime_error);
+}
+
+TEST(Wire, PartialFrameYieldsNothing) {
+  const std::string frame = encode_frame(sample_result());
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+}  // namespace
+}  // namespace adaparse::proc

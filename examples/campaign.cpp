@@ -29,6 +29,7 @@
 #include "doc/generator.hpp"
 #include "hpc/campaign.hpp"
 #include "io/fsio.hpp"
+#include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +37,9 @@ using namespace adaparse;
 namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
+  std::cout << "text hot path: " << simd::active_tier_name()
+            << " SIMD tier (override with ADAPARSE_SIMD)\n";
+
   std::size_t n = 500;
   std::size_t processes = 0;  // 0 = in-process threads
   bool chaos = false;

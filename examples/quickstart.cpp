@@ -15,11 +15,15 @@
 #include "doc/generator.hpp"
 #include "io/jsonl.hpp"
 #include "metrics/bleu.hpp"
+#include "simd/dispatch.hpp"
 #include "util/table.hpp"
 
 using namespace adaparse;
 
 int main() {
+  std::cout << "text hot path: " << simd::active_tier_name()
+            << " SIMD tier (override with ADAPARSE_SIMD)\n";
+
   // --- 1. A corpus of 200 mixed documents (some scans, some legacy). -----
   const auto train_docs =
       doc::CorpusGenerator(doc::benchmark_config(200, /*seed=*/1)).generate();

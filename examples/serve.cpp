@@ -14,6 +14,7 @@
 #include "core/doc_source.hpp"
 #include "doc/generator.hpp"
 #include "serve/service.hpp"
+#include "simd/dispatch.hpp"
 
 using namespace adaparse;
 using namespace std::chrono_literals;
@@ -35,6 +36,9 @@ serve::JobRequest job_for(std::string tenant, std::size_t docs,
 }  // namespace
 
 int main() {
+  std::cout << "text hot path: " << simd::active_tier_name()
+            << " SIMD tier (override with ADAPARSE_SIMD)\n";
+
   // FT-variant jobs only need the CLS II improver; an LLM-variant service
   // would also pass the trained AccuracyPredictor here.
   serve::ServiceConfig config;

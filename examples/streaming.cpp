@@ -12,11 +12,15 @@
 #include <iostream>
 
 #include "core/pipeline.hpp"
+#include "simd/dispatch.hpp"
 #include "util/table.hpp"
 
 using namespace adaparse;
 
 int main() {
+  std::cout << "text hot path: " << simd::active_tier_name()
+            << " SIMD tier (override with ADAPARSE_SIMD)\n";
+
   // FT variant with a default CLS II improver: no training pass, so the
   // example starts streaming immediately.
   core::EngineConfig engine_config;

@@ -11,13 +11,62 @@ run), so it is reported as a warning and left out of the merge rather than
 failing it. The merged object is keyed by the input file's stem, e.g.
 {"BENCH_micro": {...}, "BENCH_serve": {...}}, plus a "schema_version" field
 so downstream tooling can detect layout changes.
+
+Inputs that record a SIMD dispatch tier (a top-level "simd_tier" field, as
+bench_micro emits) are cross-checked: every seed/optimized benchmark pair
+(BM_Foo vs BM_Foo_Seed) must have been measured at the same tier, and all
+inputs must agree on the active tier — a mismatch means artifacts from
+different runs or machines were mixed, which would make the paired speedups
+meaningless. The agreed tier is hoisted into BENCH_all.json as "simd_tier".
+Benchmarks whose name ends in "_Scalar" are exempt from the pair check:
+they force the scalar tier on purpose to isolate the SIMD contribution.
 """
 
 import json
 import os
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+SEED_SUFFIX = "_Seed"
+
+
+def check_tiers(merged):
+    """Returns (simd_tier or None, [error strings]) for the merged object."""
+    errors = []
+    file_tiers = {}
+    for name, data in merged.items():
+        if name == "schema_version" or not isinstance(data, dict):
+            continue
+        tier = data.get("simd_tier")
+        if isinstance(tier, str):
+            file_tiers[name] = tier
+        benchmarks = data.get("benchmarks")
+        if not isinstance(benchmarks, dict):
+            continue
+        for bench_name, entry in benchmarks.items():
+            if not bench_name.endswith(SEED_SUFFIX):
+                continue
+            base_name = bench_name[: -len(SEED_SUFFIX)]
+            base = benchmarks.get(base_name)
+            if not isinstance(entry, dict) or not isinstance(base, dict):
+                continue
+            seed_tier = entry.get("simd_tier")
+            opt_tier = base.get("simd_tier")
+            if seed_tier is None or opt_tier is None:
+                continue
+            if base_name.endswith("_Scalar"):
+                continue
+            if seed_tier != opt_tier:
+                errors.append(
+                    f"{name}: paired entries {bench_name} ({seed_tier}) and "
+                    f"{base_name} ({opt_tier}) disagree on SIMD tier")
+    distinct = sorted(set(file_tiers.values()))
+    if len(distinct) > 1:
+        listing = ", ".join(f"{n}={t}" for n, t in sorted(file_tiers.items()))
+        errors.append(f"inputs disagree on SIMD tier: {listing}")
+    tier = distinct[0] if len(distinct) == 1 else None
+    return tier, errors
 
 
 def main(argv):
@@ -53,10 +102,19 @@ def main(argv):
     if failed:
         return 1
 
+    tier, tier_errors = check_tiers(merged)
+    if tier_errors:
+        for err in tier_errors:
+            print(f"merge_bench: {err}", file=sys.stderr)
+        return 1
+    if tier is not None:
+        merged["simd_tier"] = tier
+
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
-    count = len(merged) - 1  # schema_version is not a bench file
+    meta_keys = 1 + (1 if tier is not None else 0)  # schema_version, simd_tier
+    count = len(merged) - meta_keys
     suffix = f" ({skipped} absent input(s) skipped)" if skipped else ""
     print(f"merge_bench: merged {count} bench files into {out_path}{suffix}")
     return 0

@@ -12,6 +12,7 @@
 #include "io/fsio.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
+#include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 
 namespace adaparse::campaign {
@@ -85,6 +86,8 @@ std::string render_prometheus(const CampaignStats& stats) {
   emit_gauge(os, "adaparse_campaign_wall_seconds", stats.wall_seconds);
   emit_gauge(os, "adaparse_campaign_halted", stats.halted ? 1.0 : 0.0);
   emit_gauge(os, "adaparse_campaign_completed", stats.completed ? 1.0 : 0.0);
+  os << "# TYPE adaparse_simd_tier gauge\n"
+     << "adaparse_simd_tier{tier=\"" << simd::active_tier_name() << "\"} 1\n";
   return os.str();
 }
 

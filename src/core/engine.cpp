@@ -9,6 +9,7 @@
 #include "parsers/registry.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
+#include "simd/dispatch.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -268,6 +269,7 @@ RunOutput AdaParseEngine::run_barrier(
                     attempted[i] ? &upgrades[i] : nullptr, output.stats);
   }
   output.stats.wall_seconds = wall.seconds();
+  output.stats.simd_tier = simd::active_tier_name();
   return output;
 }
 

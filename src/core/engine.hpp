@@ -99,6 +99,8 @@ struct EngineStats {
   double extraction_cpu_seconds = 0.0;
   double nougat_gpu_seconds = 0.0;
   double wall_seconds = 0.0;         ///< real wall-clock of run()
+  /// SIMD dispatch tier the text hot path ran on ("scalar"/"sse2"/"avx2").
+  std::string simd_tier;
   PipelineStats pipeline;            ///< streaming-run observability
 };
 

@@ -16,6 +16,7 @@
 #include "sched/queue.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
+#include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 
 namespace adaparse::core {
@@ -387,6 +388,7 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
   fill(stats.pipeline.upgrade, upgrade_clock, completed.peak_size());
   fill(stats.pipeline.write, write_clock, 0);
   stats.wall_seconds = wall.seconds();
+  stats.simd_tier = simd::active_tier_name();
   return stats;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "simd/classify.hpp"
+#include "simd/dispatch.hpp"
 #include "text/char_class.hpp"
 #include "text/tokenize.hpp"
 #include "util/rng.hpp"
@@ -42,13 +44,33 @@ SparseVec hash_text(std::string_view text, const HashOptions& options) {
   // Word n-grams over lowercased tokens. Lowercasing never changes token
   // boundaries (tolower maps letters to letters in the C locale), so we
   // tokenize the raw text and fold the lowered bytes into one FNV-1a hash
-  // per token — no lowered copy, no token strings — then reuse those hashes
-  // across every n-gram order.
+  // per token, then reuse those hashes across every n-gram order. On the
+  // SIMD tiers the whole input is lowered once into leased scratch (the
+  // exhaustive lower_is_ascii check proves the vector lowering matches the
+  // table) and the per-token FNV streams read that buffer at the token's
+  // offset — the table load per byte disappears from the inner loop.
   scratch.token_hashes.clear();
+  const simd::ScratchLease lowered_lease =
+      (simd::use_simd(text.size()) &&
+       text::charclass::classifiers().lower_is_ascii)
+          ? simd::acquire_scratch((text.size() + 7) / 8)
+          : simd::ScratchLease{};
+  const char* lowered = nullptr;
+  if (lowered_lease) {
+    simd::to_lower_buf(text.data(), text.size(), lowered_lease.bytes());
+    lowered = lowered_lease.bytes();
+  }
   text::for_each_token(text, [&](std::string_view token) {
     std::uint64_t h = util::kFnvOffsetBasis;
-    for (unsigned char c : token) {
-      h = util::fnv1a_step(h, static_cast<unsigned char>(tables.lower[c]));
+    if (lowered != nullptr) {
+      const char* p = lowered + (token.data() - text.data());
+      for (std::size_t k = 0; k < token.size(); ++k) {
+        h = util::fnv1a_step(h, static_cast<unsigned char>(p[k]));
+      }
+    } else {
+      for (unsigned char c : token) {
+        h = util::fnv1a_step(h, static_cast<unsigned char>(tables.lower[c]));
+      }
     }
     scratch.token_hashes.push_back(h);
   });

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "simd/dispatch.hpp"
+
 namespace adaparse::serve {
 namespace {
 
@@ -212,6 +214,9 @@ std::string MetricsRegistry::render_prometheus() const {
      << '\n';
   gauge("adaparse_serve_uptime_seconds", "Seconds since service start");
   os << "adaparse_serve_uptime_seconds " << snap.uptime_seconds << '\n';
+  gauge("adaparse_simd_tier",
+        "Active SIMD dispatch tier of the text hot path (1 = active)");
+  os << "adaparse_simd_tier{tier=\"" << simd::active_tier_name() << "\"} 1\n";
   return os.str();
 }
 

@@ -1,0 +1,182 @@
+// Bitstream helpers over the per-byte masks the SIMD kernels produce.
+//
+// A mask is an array of 64-bit words where bit i (word i/64, bit i%64)
+// answers a per-byte predicate for input byte i. The tokenizers and the
+// fused featurizer consume masks through these helpers: boundary finding
+// is a couple of tzcnt's per token instead of a per-byte loop, and the
+// per-token detectors (consonant runs, case flips, SMILES counts) become
+// popcounts and run-length scans over bit ranges. All helpers are pure
+// and branch-light; tests/simd_test.cpp checks each against a naive
+// per-bit reference on randomized masks.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace adaparse::simd {
+
+/// Words needed to hold one bit per byte of an n-byte input.
+inline constexpr std::size_t mask_words(std::size_t n) {
+  return (n + 63) / 64;
+}
+
+inline bool test_bit(const std::uint64_t* w, std::size_t i) {
+  return ((w[i >> 6] >> (i & 63)) & 1U) != 0;
+}
+
+/// SWAR popcount. The library is compiled for baseline x86-64, where
+/// std::popcount lowers to a libgcc call (`__popcountdi2`) — measurable
+/// per-token overhead in the mask consumers. This inline sequence is a
+/// dozen ALU ops with no call.
+inline std::size_t popcount64(std::uint64_t x) {
+  x -= (x >> 1) & 0x5555555555555555ULL;
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  return static_cast<std::size_t>((x * 0x0101010101010101ULL) >> 56);
+}
+
+/// Index of the first set bit in [from, n), or n.
+inline std::size_t next_set_bit(const std::uint64_t* w, std::size_t from,
+                                std::size_t n) {
+  if (from >= n) return n;
+  std::size_t wi = from >> 6;
+  std::uint64_t cur = w[wi] & (~std::uint64_t{0} << (from & 63));
+  while (cur == 0) {
+    ++wi;
+    if (wi * 64 >= n) return n;
+    cur = w[wi];
+  }
+  const std::size_t i =
+      wi * 64 + static_cast<std::size_t>(std::countr_zero(cur));
+  return i < n ? i : n;
+}
+
+/// Index of the first clear bit in [from, n), or n.
+inline std::size_t next_zero_bit(const std::uint64_t* w, std::size_t from,
+                                 std::size_t n) {
+  if (from >= n) return n;
+  std::size_t wi = from >> 6;
+  std::uint64_t cur = ~w[wi] & (~std::uint64_t{0} << (from & 63));
+  while (cur == 0) {
+    ++wi;
+    if (wi * 64 >= n) return n;
+    cur = ~w[wi];
+  }
+  const std::size_t i =
+      wi * 64 + static_cast<std::size_t>(std::countr_zero(cur));
+  return i < n ? i : n;
+}
+
+/// The `len` mask bits starting at position `a`, packed into one word
+/// (bit k of the result = mask bit a+k). Requires len <= 64 and — when
+/// `a` is not word-aligned — a readable word after the last data word
+/// (callers allocate a zeroed guard word per mask). This turns every
+/// per-token detector over a short token into a few ALU ops on one
+/// register instead of a ranged loop over the mask array.
+inline std::uint64_t extract_bits(const std::uint64_t* w, std::size_t a,
+                                  std::size_t len) {
+  const std::size_t wi = a >> 6;
+  const std::size_t off = a & 63;
+  std::uint64_t x = w[wi] >> off;
+  if (off != 0) x |= w[wi + 1] << (64 - off);
+  if (len < 64) x &= (std::uint64_t{1} << len) - 1;
+  return x;
+}
+
+namespace bitdetail {
+
+/// The word `wi` of the mask restricted to bit positions [a, b): bits
+/// outside the range read as zero.
+inline std::uint64_t ranged_word(const std::uint64_t* w, std::size_t wi,
+                                 std::size_t a, std::size_t b) {
+  std::uint64_t m = w[wi];
+  const std::size_t base = wi * 64;
+  if (base < a) m &= ~std::uint64_t{0} << (a - base);
+  if (base + 64 > b) {
+    const std::size_t keep = b > base ? b - base : 0;
+    m &= keep >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << keep) - 1;
+  }
+  return m;
+}
+
+}  // namespace bitdetail
+
+/// Number of set bits in [a, b).
+inline std::size_t popcount_range(const std::uint64_t* w, std::size_t a,
+                                  std::size_t b) {
+  if (a >= b) return 0;
+  std::size_t count = 0;
+  for (std::size_t wi = a >> 6; wi * 64 < b; ++wi) {
+    count += popcount64(bitdetail::ranged_word(w, wi, a, b));
+  }
+  return count;
+}
+
+/// True when every bit in [a, b) is set (vacuously true for empty ranges).
+inline bool all_set(const std::uint64_t* w, std::size_t a, std::size_t b) {
+  if (a >= b) return true;
+  for (std::size_t wi = a >> 6; wi * 64 < b; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lo = base < a ? a - base : 0;
+    const std::size_t hi = base + 64 > b ? b - base : 64;
+    std::uint64_t want = ~std::uint64_t{0};
+    if (hi < 64) want = (std::uint64_t{1} << hi) - 1;
+    want &= ~std::uint64_t{0} << lo;
+    if ((w[wi] & want) != want) return false;
+  }
+  return true;
+}
+
+/// Length of the longest run of consecutive set bits within [a, b).
+inline std::size_t longest_one_run(const std::uint64_t* w, std::size_t a,
+                                   std::size_t b) {
+  if (a >= b) return 0;
+  std::size_t best = 0;
+  std::size_t carry = 0;  // run of set bits ending at the previous word
+  for (std::size_t wi = a >> 6; wi * 64 < b; ++wi) {
+    const std::uint64_t m = bitdetail::ranged_word(w, wi, a, b);
+    if (m == ~std::uint64_t{0}) {
+      carry += 64;
+      if (carry > best) best = carry;
+      continue;
+    }
+    const auto lead = static_cast<std::size_t>(std::countr_one(m));
+    if (carry + lead > best) best = carry + lead;
+    // Longest run fully inside this word (repeated shift-and: k grows by
+    // one per surviving iteration, so the loop runs max-run times).
+    std::uint64_t x = m;
+    std::size_t k = 0;
+    while (x != 0) {
+      x &= x << 1;
+      ++k;
+    }
+    if (k > best) best = k;
+    carry = static_cast<std::size_t>(std::countl_one(m));
+  }
+  return best;
+}
+
+/// Number of positions k in [a, b) with bit(k) != bit(k-1). Requires
+/// a >= 1 (position 0 has no predecessor); empty ranges return 0.
+inline std::size_t transition_count(const std::uint64_t* w, std::size_t a,
+                                    std::size_t b) {
+  if (a >= b) return 0;
+  std::size_t count = 0;
+  for (std::size_t wi = a >> 6; wi * 64 < b; ++wi) {
+    const std::uint64_t m = w[wi];
+    const std::uint64_t prev_top = wi > 0 ? w[wi - 1] >> 63 : 0;
+    // Bit j of x: does bit (wi*64 + j) differ from its predecessor?
+    std::uint64_t x = m ^ ((m << 1) | prev_top);
+    const std::size_t base = wi * 64;
+    if (base < a) x &= ~std::uint64_t{0} << (a - base);
+    if (base + 64 > b) {
+      const std::size_t keep = b - base;
+      x &= keep >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << keep) - 1;
+    }
+    count += popcount64(x);
+  }
+  return count;
+}
+
+}  // namespace adaparse::simd

@@ -1,0 +1,226 @@
+#include "simd/classify.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "simd/bits.hpp"
+#include "simd/kernels.hpp"
+
+namespace adaparse::simd {
+namespace {
+
+/// Classifies every byte value through `fn` and compares against the
+/// table — the exhaustive proof that a vector representation agrees with
+/// the scalar tables on all 256 inputs, NUL and high bytes included.
+template <typename BuildFn>
+bool matches_table_exhaustively(const bool* table, BuildFn&& fn) {
+  char all_bytes[256];
+  for (int i = 0; i < 256; ++i) all_bytes[i] = static_cast<char>(i);
+  std::uint64_t mask[4] = {0, 0, 0, 0};
+  fn(all_bytes, 256, mask);
+  for (int i = 0; i < 256; ++i) {
+    if (test_bit(mask, static_cast<std::size_t>(i)) != table[i]) return false;
+  }
+  return true;
+}
+
+ByteClassifier::Ranges extract_ranges(const bool* table) {
+  ByteClassifier::Ranges r;
+  int count = 0;
+  for (int c = 0; c < 256;) {
+    if (!table[c]) {
+      ++c;
+      continue;
+    }
+    int d = c;
+    while (d < 256 && table[d]) ++d;
+    if (count == 16) return {};  // too fragmented; count stays -1
+    r.lo[static_cast<std::size_t>(count)] = static_cast<unsigned char>(c);
+    r.span[static_cast<std::size_t>(count)] =
+        static_cast<unsigned char>(d - 1 - c);
+    ++count;
+    c = d;
+  }
+  r.count = count;
+  return r;
+}
+
+ByteClassifier::Nibbles extract_nibbles(const bool* table) {
+  ByteClassifier::Nibbles nb;
+  // Row pattern per high nibble: which low nibbles are members.
+  std::array<std::uint16_t, 16> rows{};
+  for (int c = 0; c < 256; ++c) {
+    if (table[c]) rows[static_cast<std::size_t>(c >> 4)] |=
+        static_cast<std::uint16_t>(1U << (c & 15));
+  }
+  // Assign each distinct non-empty row pattern one of 8 bits.
+  std::vector<std::uint16_t> patterns;
+  for (const std::uint16_t row : rows) {
+    if (row == 0) continue;
+    if (std::find(patterns.begin(), patterns.end(), row) == patterns.end()) {
+      patterns.push_back(row);
+    }
+  }
+  if (patterns.size() > 8) return nb;  // not decomposable; ok stays false
+  for (std::size_t hi = 0; hi < 16; ++hi) {
+    if (rows[hi] == 0) continue;
+    const auto bit = static_cast<std::size_t>(
+        std::find(patterns.begin(), patterns.end(), rows[hi]) -
+        patterns.begin());
+    nb.hi[hi] = static_cast<unsigned char>(1U << bit);
+  }
+  for (std::size_t lo = 0; lo < 16; ++lo) {
+    unsigned char bits = 0;
+    for (std::size_t b = 0; b < patterns.size(); ++b) {
+      if ((patterns[b] >> lo) & 1U) bits |= static_cast<unsigned char>(1U << b);
+    }
+    nb.lo[lo] = bits;
+  }
+  nb.ok = true;
+  return nb;
+}
+
+}  // namespace
+
+void scalar_mask(const bool* table256, const char* s, std::size_t n,
+                 std::uint64_t* out) {
+  const std::size_t words = mask_words(n);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t limit = std::min<std::size_t>(64, n - base);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < limit; ++j) {
+      bits |= static_cast<std::uint64_t>(
+                  table256[static_cast<unsigned char>(s[base + j])])
+              << j;
+    }
+    out[w] = bits;
+  }
+}
+
+ByteClassifier::ByteClassifier(const bool* table256) {
+  std::copy(table256, table256 + 256, table_.begin());
+  ranges_ = extract_ranges(table256);
+  nibbles_ = extract_nibbles(table256);
+
+  // Verify each representation with the kernel that would consume it; a
+  // representation that fails (or cannot run on this CPU) is dropped and
+  // build_mask falls back to the next one down.
+  if (ranges_.count >= 0) {
+    if (static_cast<int>(detected_tier()) < static_cast<int>(Tier::kSse2) ||
+        !matches_table_exhaustively(
+            table256, [this](const char* s, std::size_t n, std::uint64_t* out) {
+              detail::sse2_mask_ranges(ranges_, s, n, out);
+            })) {
+      ranges_.count = -1;
+    }
+  }
+  if (nibbles_.ok) {
+    if (static_cast<int>(detected_tier()) < static_cast<int>(Tier::kAvx2) ||
+        !matches_table_exhaustively(
+            table256, [this](const char* s, std::size_t n, std::uint64_t* out) {
+              detail::avx2_mask_nibbles(nibbles_, s, n, out);
+            })) {
+      nibbles_.ok = false;
+    }
+  }
+}
+
+void ByteClassifier::build_mask(const char* s, std::size_t n,
+                                std::uint64_t* out) const {
+  if (n == 0) return;
+  const Tier tier = active_tier();
+  if (tier == Tier::kAvx2 && nibbles_.ok) {
+    detail::avx2_mask_nibbles(nibbles_, s, n, out);
+    return;
+  }
+  if (tier >= Tier::kSse2 && ranges_.count >= 0) {
+    detail::sse2_mask_ranges(ranges_, s, n, out);
+    return;
+  }
+  scalar_mask(table_.data(), s, n, out);
+}
+
+void build_eq_mask(const char* s, std::size_t n, std::uint64_t* out) {
+  if (n == 0) return;
+  const Tier tier = active_tier();
+  if (tier == Tier::kAvx2 && detail::avx2_kernels_available()) {
+    detail::avx2_eq_mask(s, n, out);
+    return;
+  }
+  if (tier >= Tier::kSse2 && detail::sse2_kernels_available()) {
+    detail::sse2_eq_mask(s, n, out);
+    return;
+  }
+  const std::size_t words = mask_words(n);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t limit = std::min<std::size_t>(64, n - base);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < limit; ++j) {
+      const std::size_t i = base + j;
+      if (i > 0 && s[i] == s[i - 1]) bits |= std::uint64_t{1} << j;
+    }
+    out[w] = bits;
+  }
+}
+
+void to_lower_buf(const char* s, std::size_t n, char* out) {
+  const Tier tier = active_tier();
+  if (tier == Tier::kAvx2 && detail::avx2_kernels_available()) {
+    detail::avx2_to_lower(s, n, out);
+    return;
+  }
+  if (tier >= Tier::kSse2 && detail::sse2_kernels_available()) {
+    detail::sse2_to_lower(s, n, out);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = s[i];
+    out[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 0x20) : c;
+  }
+}
+
+bool lower_is_ascii(const char* lower256) {
+  for (int c = 0; c < 256; ++c) {
+    const char expected = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 0x20)
+                                                 : static_cast<char>(c);
+    if (lower256[c] != expected) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Per-thread scratch slots. Four levels cover the deepest hot-path
+/// nesting (hash_text's lowered buffer over a tokenizer's masks) with
+/// headroom; deeper callers fall back to scalar.
+struct ScratchPool {
+  std::array<std::vector<std::uint64_t>, 4> buffers;
+  std::array<bool, 4> in_use{};
+};
+
+thread_local ScratchPool g_scratch;
+
+}  // namespace
+
+ScratchLease acquire_scratch(std::size_t words) {
+  for (int i = 0; i < static_cast<int>(g_scratch.buffers.size()); ++i) {
+    if (g_scratch.in_use[static_cast<std::size_t>(i)]) continue;
+    auto& buf = g_scratch.buffers[static_cast<std::size_t>(i)];
+    if (buf.size() < words) buf.resize(words);
+    g_scratch.in_use[static_cast<std::size_t>(i)] = true;
+    ScratchLease lease;
+    lease.data_ = buf.data();
+    lease.slot_ = i;
+    return lease;
+  }
+  return {};
+}
+
+ScratchLease::~ScratchLease() {
+  if (slot_ >= 0) g_scratch.in_use[static_cast<std::size_t>(slot_)] = false;
+}
+
+}  // namespace adaparse::simd

@@ -1,0 +1,119 @@
+// Vectorized byte classification against arbitrary 256-entry tables.
+//
+// The text hot path classifies every byte against several character
+// classes (whitespace, word chars, alpha, SMILES alphabet, ...). Each
+// class lives in a 256-entry bool table built from C-locale <cctype> (see
+// text/char_class.hpp); a ByteClassifier derives two vector-friendly
+// representations from that table at construction:
+//
+//  - a range set (<= 16 maximal [lo, hi] byte runs) for the SSE2 tier:
+//    membership is an unsigned range check, three instructions per range;
+//  - nibble shuffle tables (simdjson-style) for the AVX2 tier: the table
+//    is factored into 16-entry low/high-nibble lookups when its 16 rows
+//    collapse to <= 8 distinct patterns; membership is two pshufb's and
+//    an AND for a whole 32-byte block.
+//
+// A representation is only used after an exhaustive self-check: at
+// construction the actual kernel classifies a buffer containing every
+// byte value 0..255 and the result is compared against the table. A
+// mismatch (or a table that does not decompose) disables that
+// representation and the classifier falls back to the scalar loop — the
+// SIMD tiers can therefore never classify any byte, including NUL and
+// bytes >= 0x80, differently from the scalar path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.hpp"
+
+namespace adaparse::simd {
+
+class ByteClassifier {
+ public:
+  /// Maximal-run representation for compare-based kernels.
+  struct Ranges {
+    std::array<unsigned char, 16> lo{};
+    std::array<unsigned char, 16> span{};  ///< hi - lo per range
+    int count = -1;                        ///< -1: not representable
+  };
+
+  /// Nibble-decomposed representation for shuffle-based kernels:
+  /// member(c) <=> (lo[c & 15] & hi[c >> 4]) != 0.
+  struct Nibbles {
+    std::array<unsigned char, 16> lo{};
+    std::array<unsigned char, 16> hi{};
+    bool ok = false;
+  };
+
+  ByteClassifier() = default;
+  /// Builds (and kernel-verifies) the vector representations of `table256`.
+  explicit ByteClassifier(const bool* table256);
+
+  /// Writes mask_words(n) words to `out`; bit i = table[s[i]]. Bits past
+  /// n are zero. Uses the active tier's best verified representation.
+  void build_mask(const char* s, std::size_t n, std::uint64_t* out) const;
+
+  bool test(unsigned char c) const { return table_[c]; }
+
+  /// Introspection for tests: which representations survived verification.
+  bool has_ranges() const { return ranges_.count >= 0; }
+  bool has_nibbles() const { return nibbles_.ok; }
+
+ private:
+  std::array<bool, 256> table_{};
+  Ranges ranges_;
+  Nibbles nibbles_;
+};
+
+/// Portable mask builder (also the tail/fallback path of the kernels).
+void scalar_mask(const bool* table256, const char* s, std::size_t n,
+                 std::uint64_t* out);
+
+/// Bit i = (i > 0 && s[i] == s[i-1]); bit 0 is always clear. Feeds the
+/// longest-identical-run feature.
+void build_eq_mask(const char* s, std::size_t n, std::uint64_t* out);
+
+/// ASCII lowering (A-Z += 0x20, everything else unchanged) into `out`.
+/// Callers must first confirm via lower_is_ascii() that this matches
+/// their lowering table; s and out may not overlap.
+void to_lower_buf(const char* s, std::size_t n, char* out);
+
+/// True when `lower256` is exactly the ASCII lowering map — the C-locale
+/// tolower table is; an exotic locale's would not be, and callers then
+/// keep their scalar table path.
+bool lower_is_ascii(const char* lower256);
+
+/// Reentrancy-safe per-thread scratch for masks and lowered buffers. A
+/// lease pins one pool slot; nested hot-path calls (e.g. hash_text's
+/// lowered buffer alive across a tokenizer's mask scratch) take distinct
+/// slots. Acquisition fails (returns a falsy lease) only past the nesting
+/// limit — callers then run their scalar path.
+class ScratchLease {
+ public:
+  ScratchLease() = default;
+  ~ScratchLease();
+  ScratchLease(ScratchLease&& other) noexcept
+      : data_(other.data_), slot_(other.slot_) {
+    other.data_ = nullptr;
+    other.slot_ = -1;
+  }
+  ScratchLease& operator=(ScratchLease&&) = delete;
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  explicit operator bool() const { return data_ != nullptr; }
+  std::uint64_t* words() const { return data_; }
+  char* bytes() const { return reinterpret_cast<char*>(data_); }
+
+ private:
+  friend ScratchLease acquire_scratch(std::size_t);
+  std::uint64_t* data_ = nullptr;
+  int slot_ = -1;
+};
+
+/// Leases at least `words` 64-bit words of thread-local scratch.
+ScratchLease acquire_scratch(std::size_t words);
+
+}  // namespace adaparse::simd

@@ -1,0 +1,110 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "simd/kernels.hpp"
+#include "util/log.hpp"
+
+namespace adaparse::simd {
+namespace {
+
+Tier clamp_to_detected(Tier t) {
+  return static_cast<int>(t) <= static_cast<int>(detected_tier())
+             ? t
+             : detected_tier();
+}
+
+bool parse_tier_name(std::string_view name, Tier& out) {
+  if (name == "scalar") {
+    out = Tier::kScalar;
+  } else if (name == "sse2") {
+    out = Tier::kSse2;
+  } else if (name == "avx2") {
+    out = Tier::kAvx2;
+  } else if (name == "auto") {
+    out = detected_tier();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Tier resolve_initial_tier() {
+  Tier t = detected_tier();
+  if (const char* env = std::getenv("ADAPARSE_SIMD")) {
+    Tier requested;
+    if (!parse_tier_name(env, requested)) {
+      util::log_line(util::LogLevel::kWarn,
+                     std::string("ADAPARSE_SIMD=") + env +
+                         " not recognized (want scalar|sse2|avx2|auto); "
+                         "using auto");
+    } else if (clamp_to_detected(requested) != requested) {
+      util::log_line(util::LogLevel::kWarn,
+                     std::string("ADAPARSE_SIMD=") + env +
+                         " unsupported on this CPU/build; clamping to " +
+                         tier_name(clamp_to_detected(requested)));
+      t = clamp_to_detected(requested);
+    } else {
+      t = requested;
+    }
+  }
+  return t;
+}
+
+// -1 until the first active_tier() call resolves the environment.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+Tier detected_tier() {
+  static const Tier detected = [] {
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+    if (detail::avx2_kernels_available() && __builtin_cpu_supports("avx2")) {
+      return Tier::kAvx2;
+    }
+    if (detail::sse2_kernels_available() && __builtin_cpu_supports("sse2")) {
+      return Tier::kSse2;
+    }
+#endif
+    return Tier::kScalar;
+  }();
+  return detected;
+}
+
+Tier active_tier() {
+  const int v = g_active.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Tier>(v);
+  int expected = -1;
+  g_active.compare_exchange_strong(expected,
+                                   static_cast<int>(resolve_initial_tier()),
+                                   std::memory_order_relaxed);
+  return static_cast<Tier>(g_active.load(std::memory_order_relaxed));
+}
+
+void set_tier(Tier tier) {
+  active_tier();  // ensure env resolution happened (keeps init one-shot)
+  g_active.store(static_cast<int>(clamp_to_detected(tier)),
+                 std::memory_order_relaxed);
+}
+
+bool set_tier(std::string_view name) {
+  Tier t;
+  if (!parse_tier_name(name, t)) return false;
+  set_tier(t);
+  return true;
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace adaparse::simd

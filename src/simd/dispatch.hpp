@@ -1,0 +1,72 @@
+// Runtime CPU dispatch for the vectorized text hot path.
+//
+// The library ships one binary with three code paths for the per-byte
+// kernels (classification masks, equality masks, lowering): a portable
+// scalar path, a 128-bit SSE2 path (the x86-64 baseline — no extra ISA
+// required), and a 256-bit AVX2 path compiled into its own translation
+// unit with -mavx2 and only ever entered after a cpuid check. The tier is
+// resolved once, at first use: cpuid picks the widest supported tier, the
+// ADAPARSE_SIMD environment variable ({scalar,sse2,avx2,auto}) can force a
+// narrower one, and set_tier() overrides programmatically (tests and the
+// microbench harness use this to measure tiers against each other in one
+// process). Requests above what the CPU supports clamp down — forcing
+// avx2 on an SSE2-only machine runs the SSE2 path rather than crashing.
+//
+// Every tier produces bit-identical outputs; the tier only changes how
+// fast the answer arrives. tests/simd_test.cpp pins that property with a
+// randomized differential sweep across tiers.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace adaparse::simd {
+
+/// Dispatch tiers, ordered: a higher tier strictly extends the ISA of the
+/// lower ones, so clamping an unsupported request means stepping down.
+enum class Tier : int {
+  kScalar = 0,  ///< portable table-lookup loops, always available
+  kSse2 = 1,    ///< 128-bit range-compare kernels (x86-64 baseline)
+  kAvx2 = 2,    ///< 256-bit shuffle-table kernels (cpuid-gated)
+};
+
+/// Widest tier this CPU (and this build) supports. Computed once.
+Tier detected_tier();
+
+/// The tier the hot paths currently use. First call resolves
+/// ADAPARSE_SIMD (unset or "auto" means detected_tier()).
+Tier active_tier();
+
+/// Forces a tier, clamped to detected_tier(). Not for use concurrently
+/// with hot-path work — callers are tests and benchmark harnesses.
+void set_tier(Tier tier);
+
+/// Parses "scalar"/"sse2"/"avx2"/"auto" and applies it (clamped).
+/// Returns false (and changes nothing) for an unrecognized name.
+bool set_tier(std::string_view name);
+
+const char* tier_name(Tier tier);
+inline const char* active_tier_name() { return tier_name(active_tier()); }
+
+/// Inputs shorter than this stay on the scalar path: the mask set-up cost
+/// only amortizes across at least a couple of vector blocks.
+inline constexpr std::size_t kSimdMinBytes = 32;
+
+/// True when `n` bytes of input should take the vectorized path.
+inline bool use_simd(std::size_t n) {
+  return n >= kSimdMinBytes && active_tier() != Tier::kScalar;
+}
+
+/// RAII tier override for tests/benches: restores the previous tier.
+class TierScope {
+ public:
+  explicit TierScope(Tier tier) : saved_(active_tier()) { set_tier(tier); }
+  ~TierScope() { set_tier(saved_); }
+  TierScope(const TierScope&) = delete;
+  TierScope& operator=(const TierScope&) = delete;
+
+ private:
+  Tier saved_;
+};
+
+}  // namespace adaparse::simd

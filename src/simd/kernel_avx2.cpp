@@ -1,0 +1,148 @@
+// 256-bit kernels. This TU is compiled with -mavx2 (see CMakeLists) and
+// its functions are only reachable after dispatch.cpp confirms AVX2 via
+// cpuid, so the rest of the library stays runnable on baseline x86-64.
+// Classification is simdjson-style shuffle-table lookup: two pshufb's and
+// an AND classify a whole 32-byte block against an arbitrary (nibble-
+// decomposable) 256-entry class. Tails are staged through a zero-padded
+// stack buffer and masked, as in the SSE2 kernels.
+#include "simd/kernels.hpp"
+
+#if (defined(__x86_64__) || defined(_M_X64) || defined(__i386__)) && \
+    defined(__AVX2__)
+#define ADAPARSE_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define ADAPARSE_HAVE_AVX2 0
+#endif
+
+#include <cstring>
+
+namespace adaparse::simd::detail {
+
+bool avx2_kernels_available() { return ADAPARSE_HAVE_AVX2 != 0; }
+
+#if ADAPARSE_HAVE_AVX2
+
+namespace {
+
+inline __m256i broadcast_table(const unsigned char* t16) {
+  const __m128i t =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t16));
+  return _mm256_broadcastsi128_si256(t);
+}
+
+/// 32 classification bits for one block: (lo_tab[c&15] & hi_tab[c>>4]) != 0.
+inline std::uint32_t classify_block(const char* p, __m256i lo_tab,
+                                    __m256i hi_tab) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i low_nib = _mm256_and_si256(v, _mm256_set1_epi8(0x0F));
+  const __m256i high_nib = _mm256_and_si256(_mm256_srli_epi16(v, 4),
+                                            _mm256_set1_epi8(0x0F));
+  const __m256i classified = _mm256_and_si256(
+      _mm256_shuffle_epi8(lo_tab, low_nib),
+      _mm256_shuffle_epi8(hi_tab, high_nib));
+  const __m256i zero = _mm256_cmpeq_epi8(classified, _mm256_setzero_si256());
+  return ~static_cast<std::uint32_t>(_mm256_movemask_epi8(zero));
+}
+
+inline std::uint64_t word_from_blocks(const char* p, __m256i lo_tab,
+                                      __m256i hi_tab) {
+  return static_cast<std::uint64_t>(classify_block(p, lo_tab, hi_tab)) |
+         (static_cast<std::uint64_t>(classify_block(p + 32, lo_tab, hi_tab))
+          << 32);
+}
+
+}  // namespace
+
+void avx2_mask_nibbles(const ByteClassifier::Nibbles& nb, const char* s,
+                       std::size_t n, std::uint64_t* out) {
+  const __m256i lo_tab = broadcast_table(nb.lo.data());
+  const __m256i hi_tab = broadcast_table(nb.hi.data());
+  const std::size_t full = n / 64;
+  for (std::size_t w = 0; w < full; ++w) {
+    out[w] = word_from_blocks(s + w * 64, lo_tab, hi_tab);
+  }
+  const std::size_t rem = n - full * 64;
+  if (rem > 0) {
+    char buf[64];
+    std::memset(buf, 0, sizeof(buf));
+    std::memcpy(buf, s + full * 64, rem);
+    const std::uint64_t bits = word_from_blocks(buf, lo_tab, hi_tab);
+    out[full] = bits & (rem == 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << rem) - 1);
+  }
+}
+
+namespace {
+
+inline std::uint64_t eq_word(const char* cur, const char* prev) {
+  std::uint64_t bits = 0;
+  for (int blk = 0; blk < 2; ++blk) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + blk * 32));
+    const __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + blk * 32));
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, p))))
+            << (blk * 32);
+  }
+  return bits;
+}
+
+}  // namespace
+
+void avx2_eq_mask(const char* s, std::size_t n, std::uint64_t* out) {
+  const std::size_t full = n / 64;
+  const std::size_t rem = n - full * 64;
+  for (std::size_t w = 0; w < full; ++w) {
+    if (w == 0) {
+      char buf[65];
+      buf[0] = static_cast<char>(~s[0]);
+      std::memcpy(buf + 1, s, 64);
+      out[0] = eq_word(buf + 1, buf);
+    } else {
+      out[w] = eq_word(s + w * 64, s + w * 64 - 1);
+    }
+  }
+  if (rem > 0) {
+    char buf[129];
+    std::memset(buf, 0, sizeof(buf));
+    buf[0] = full == 0 ? static_cast<char>(~s[0]) : s[full * 64 - 1];
+    std::memcpy(buf + 1, s + full * 64, rem);
+    const std::uint64_t bits = eq_word(buf + 1, buf);
+    out[full] =
+        bits & (rem == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1);
+  }
+}
+
+void avx2_to_lower(const char* s, std::size_t n, char* out) {
+  const __m256i lo_a = _mm256_set1_epi8('A');
+  const __m256i span = _mm256_set1_epi8(25);
+  const __m256i delta = _mm256_set1_epi8(0x20);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i t = _mm256_sub_epi8(v, lo_a);
+    const __m256i is_upper =
+        _mm256_cmpeq_epi8(_mm256_min_epu8(t, span), t);
+    const __m256i lowered =
+        _mm256_add_epi8(v, _mm256_and_si256(is_upper, delta));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lowered);
+  }
+  for (; i < n; ++i) {
+    const char c = s[i];
+    out[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 0x20) : c;
+  }
+}
+
+#else  // !ADAPARSE_HAVE_AVX2
+
+void avx2_mask_nibbles(const ByteClassifier::Nibbles&, const char*,
+                       std::size_t, std::uint64_t*) {}
+void avx2_eq_mask(const char*, std::size_t, std::uint64_t*) {}
+void avx2_to_lower(const char*, std::size_t, char*) {}
+
+#endif  // ADAPARSE_HAVE_AVX2
+
+}  // namespace adaparse::simd::detail

@@ -1,0 +1,153 @@
+// 128-bit kernels using nothing beyond the x86-64 baseline ISA (SSE2), so
+// this TU needs no special compile flags and the tier is always available
+// on x86-64. Tails are staged through a zero-padded stack buffer — loads
+// never touch bytes outside [s, s+n) — and mask bits past n are cleared.
+#include "simd/kernels.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || \
+    (defined(__i386__) && defined(__SSE2__))
+#define ADAPARSE_HAVE_SSE2 1
+#include <emmintrin.h>
+#else
+#define ADAPARSE_HAVE_SSE2 0
+#endif
+
+#include <cstring>
+
+namespace adaparse::simd::detail {
+
+bool sse2_kernels_available() { return ADAPARSE_HAVE_SSE2 != 0; }
+
+#if ADAPARSE_HAVE_SSE2
+
+namespace {
+
+/// Classifies one 16-byte block: byte in any [lo, lo+span] range.
+inline __m128i classify_block(__m128i v, const __m128i* lo, const __m128i* span,
+                              int count) {
+  __m128i m = _mm_setzero_si128();
+  for (int i = 0; i < count; ++i) {
+    // (uint8)(c - lo) <= span, branch-free unsigned range test.
+    const __m128i t = _mm_sub_epi8(v, lo[i]);
+    m = _mm_or_si128(m, _mm_cmpeq_epi8(_mm_min_epu8(t, span[i]), t));
+  }
+  return m;
+}
+
+inline std::uint64_t word_from_blocks(const char* p, const __m128i* lo,
+                                      const __m128i* span, int count) {
+  std::uint64_t bits = 0;
+  for (int blk = 0; blk < 4; ++blk) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + blk * 16));
+    const __m128i m = classify_block(v, lo, span, count);
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned>(_mm_movemask_epi8(m)) & 0xFFFFU)
+            << (blk * 16);
+  }
+  return bits;
+}
+
+}  // namespace
+
+void sse2_mask_ranges(const ByteClassifier::Ranges& r, const char* s,
+                      std::size_t n, std::uint64_t* out) {
+  __m128i lo[16];
+  __m128i span[16];
+  const int count = r.count;
+  for (int i = 0; i < count; ++i) {
+    lo[i] = _mm_set1_epi8(static_cast<char>(r.lo[static_cast<std::size_t>(i)]));
+    span[i] =
+        _mm_set1_epi8(static_cast<char>(r.span[static_cast<std::size_t>(i)]));
+  }
+  const std::size_t full = n / 64;
+  for (std::size_t w = 0; w < full; ++w) {
+    out[w] = word_from_blocks(s + w * 64, lo, span, count);
+  }
+  const std::size_t rem = n - full * 64;
+  if (rem > 0) {
+    char buf[64];
+    std::memset(buf, 0, sizeof(buf));
+    std::memcpy(buf, s + full * 64, rem);
+    const std::uint64_t bits = word_from_blocks(buf, lo, span, count);
+    out[full] = bits & (rem == 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << rem) - 1);
+  }
+}
+
+namespace {
+
+/// Equality-with-predecessor bits for 64 bytes where `cur` points at the
+/// bytes and `prev` at the bytes one position earlier.
+inline std::uint64_t eq_word(const char* cur, const char* prev) {
+  std::uint64_t bits = 0;
+  for (int blk = 0; blk < 4; ++blk) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + blk * 16));
+    const __m128i p =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(prev + blk * 16));
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, p))) &
+                0xFFFFU)
+            << (blk * 16);
+  }
+  return bits;
+}
+
+}  // namespace
+
+void sse2_eq_mask(const char* s, std::size_t n, std::uint64_t* out) {
+  const std::size_t full = n / 64;
+  const std::size_t rem = n - full * 64;
+  for (std::size_t w = 0; w < full; ++w) {
+    if (w == 0) {
+      // Byte 0 has no predecessor: stage with a sentinel that differs.
+      char buf[65];
+      buf[0] = static_cast<char>(~s[0]);
+      std::memcpy(buf + 1, s, 64);
+      out[0] = eq_word(buf + 1, buf);
+    } else {
+      out[w] = eq_word(s + w * 64, s + w * 64 - 1);
+    }
+  }
+  if (rem > 0) {
+    char buf[129];
+    std::memset(buf, 0, sizeof(buf));
+    buf[0] = full == 0 ? static_cast<char>(~s[0]) : s[full * 64 - 1];
+    std::memcpy(buf + 1, s + full * 64, rem);
+    // Zero padding compares equal to itself; the mask below drops those bits.
+    const std::uint64_t bits = eq_word(buf + 1, buf);
+    out[full] =
+        bits & (rem == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1);
+  }
+}
+
+void sse2_to_lower(const char* s, std::size_t n, char* out) {
+  const __m128i lo_a = _mm_set1_epi8('A');
+  const __m128i span = _mm_set1_epi8(25);
+  const __m128i delta = _mm_set1_epi8(0x20);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    const __m128i t = _mm_sub_epi8(v, lo_a);
+    const __m128i is_upper = _mm_cmpeq_epi8(_mm_min_epu8(t, span), t);
+    const __m128i lowered = _mm_add_epi8(v, _mm_and_si128(is_upper, delta));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), lowered);
+  }
+  for (; i < n; ++i) {
+    const char c = s[i];
+    out[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 0x20) : c;
+  }
+}
+
+#else  // !ADAPARSE_HAVE_SSE2
+
+void sse2_mask_ranges(const ByteClassifier::Ranges&, const char*, std::size_t,
+                      std::uint64_t*) {}
+void sse2_eq_mask(const char*, std::size_t, std::uint64_t*) {}
+void sse2_to_lower(const char*, std::size_t, char*) {}
+
+#endif  // ADAPARSE_HAVE_SSE2
+
+}  // namespace adaparse::simd::detail

@@ -1,0 +1,35 @@
+// Internal kernel entry points, one set per ISA tier. Only classify.cpp
+// (the dispatcher) and the kernel translation units include this header.
+//
+// kernel_avx2.cpp is compiled with -mavx2; its functions must only be
+// called after dispatch confirms AVX2 via cpuid. kernel_sse2.cpp uses
+// nothing beyond the x86-64 baseline. On non-x86 builds both TUs compile
+// to stubs and *_kernels_available() returns false, capping the detected
+// tier at scalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/classify.hpp"
+
+namespace adaparse::simd::detail {
+
+/// True when this build contains the tier's kernels (arch + compiler flag).
+bool sse2_kernels_available();
+bool avx2_kernels_available();
+
+// Each mask builder writes ceil(n/64) words to `out`; bit i of the stream
+// is the predicate for byte s[i]. Bits at positions >= n are zero.
+
+void sse2_mask_ranges(const ByteClassifier::Ranges& r, const char* s,
+                      std::size_t n, std::uint64_t* out);
+void sse2_eq_mask(const char* s, std::size_t n, std::uint64_t* out);
+void sse2_to_lower(const char* s, std::size_t n, char* out);
+
+void avx2_mask_nibbles(const ByteClassifier::Nibbles& nb, const char* s,
+                       std::size_t n, std::uint64_t* out);
+void avx2_eq_mask(const char* s, std::size_t n, std::uint64_t* out);
+void avx2_to_lower(const char* s, std::size_t n, char* out);
+
+}  // namespace adaparse::simd::detail

@@ -90,4 +90,24 @@ const Tables& tables() {
   return t;
 }
 
+const Classifiers& classifiers() {
+  static const Classifiers c = [] {
+    const Tables& t = tables();
+    Classifiers out;
+    out.space = simd::ByteClassifier(t.space);
+    out.word = simd::ByteClassifier(t.word);
+    out.alpha = simd::ByteClassifier(t.alpha);
+    out.upper = simd::ByteClassifier(t.upper);
+    out.vowel = simd::ByteClassifier(t.vowel);
+    out.smiles = simd::ByteClassifier(t.smiles);
+    out.ring_or_bond = simd::ByteClassifier(t.ring_or_bond);
+    bool latex[256];
+    for (int i = 0; i < 256; ++i) latex[i] = (t.flags[i] & kLatexSpecial) != 0;
+    out.latex = simd::ByteClassifier(latex);
+    out.lower_is_ascii = simd::lower_is_ascii(t.lower);
+    return out;
+  }();
+  return c;
+}
+
 }  // namespace adaparse::text::charclass

@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "simd/classify.hpp"
+
 namespace adaparse::text::charclass {
 
 /// Bit positions in Tables::flags — every class the fused featurizer needs,
@@ -42,6 +44,26 @@ struct Tables {
 
 /// The process-wide tables, built on first use.
 const Tables& tables();
+
+/// Vectorized classifiers over the same tables, one per class the hot
+/// path scans. Each is self-verified against its table for all 256 byte
+/// values at construction (see simd/classify.hpp), so every dispatch tier
+/// classifies NULs, high bytes, and everything between identically to the
+/// scalar table loads.
+struct Classifiers {
+  simd::ByteClassifier space;         ///< Tables::space
+  simd::ByteClassifier word;          ///< Tables::word
+  simd::ByteClassifier alpha;         ///< Tables::alpha
+  simd::ByteClassifier upper;         ///< Tables::upper
+  simd::ByteClassifier vowel;         ///< Tables::vowel
+  simd::ByteClassifier smiles;        ///< Tables::smiles
+  simd::ByteClassifier ring_or_bond;  ///< Tables::ring_or_bond
+  simd::ByteClassifier latex;         ///< flags & kLatexSpecial
+  bool lower_is_ascii = false;  ///< Tables::lower == plain ASCII lowering
+};
+
+/// The process-wide classifier set, built (and verified) on first use.
+const Classifiers& classifiers();
 
 /// True if the (any-case) letter pair is a common English bigram; false for
 /// anything outside [A-Za-z]^2. Matches the seed detector exactly.

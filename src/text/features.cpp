@@ -3,11 +3,23 @@
 // This file inlines the detector logic of detect.cpp into one fused pass;
 // threshold/transition changes must be made in both places —
 // HotPathFeatures.FusedPassMatchesLiveDetectors fails until the two agree.
+//
+// The pass has two implementations that must stay bit-identical: a scalar
+// per-byte loop (scan_scalar) and a vectorized one (scan_simd) that
+// classifies the whole input into per-byte bitmasks and turns the
+// per-token detectors into popcounts and run scans over bit ranges. Every
+// accumulator in ScanTotals is an integer, so identical counts guarantee
+// identical doubles out of the shared finalize() — the randomized
+// differential sweep in tests/simd_test.cpp pins this across tiers.
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
+#include "simd/bits.hpp"
+#include "simd/classify.hpp"
+#include "simd/dispatch.hpp"
 #include "text/char_class.hpp"
 
 namespace adaparse::text {
@@ -20,6 +32,19 @@ using charclass::kSmiles;
 using charclass::kSpace;
 using charclass::kUpper;
 using charclass::kVowel;
+
+/// Integer accumulators shared by both scan implementations. finalize()
+/// turns these into the TextFeatures doubles.
+struct ScanTotals {
+  std::array<std::size_t, 256> hist{};
+  std::size_t run_best = 0;
+  std::size_t latex_count = 0;
+  std::size_t token_count = 0;
+  std::size_t total_token_len = 0;
+  std::size_t alpha_tokens = 0;
+  std::size_t scrambled = 0;
+  std::size_t smiles_count = 0;
+};
 
 /// Streaming per-token state for the whitespace-token detectors (scrambled
 /// ratio, SMILES). Reset at every token boundary; all members are updated
@@ -38,22 +63,69 @@ struct TokenScan {
   unsigned char prev_letter = 0xFF;  ///< letter_idx of previous char
 };
 
-}  // namespace
-
-std::array<double, TextFeatures::kDim> TextFeatures::to_array() const {
-  return {char_count,     token_count,    avg_token_len,  alpha_ratio,
-          digit_ratio,    whitespace_ratio, non_ascii_ratio, scrambled_ratio,
-          latex_density,  smiles_density, entropy,        longest_run};
+/// Streams one token character through the detectors. Shared by the
+/// scalar pass and scan_simd's fallback for tokens longer than 64 bytes,
+/// so the two agree by construction.
+inline void token_step(const charclass::Tables& t, TokenScan& tok,
+                       unsigned char uc) {
+  const unsigned char flags = t.flags[uc];
+  ++tok.len;
+  if (!(flags & kAlpha)) tok.all_alpha = false;
+  if ((flags & (kAlpha | kVowel)) == kAlpha) {
+    tok.consonant_best = std::max(tok.consonant_best, ++tok.consonant_run);
+  } else {
+    tok.consonant_run = 0;
+  }
+  const bool upper = (flags & kUpper) != 0;
+  const unsigned char letter = t.letter_idx[uc];
+  if (tok.len >= 2) {
+    // Mirrors the seed's case-flip loop: pairs are compared from the
+    // second character, but only flips at index >= 2 are counted.
+    if (tok.prev_upper != upper && tok.len >= 3) ++tok.case_flips;
+    if (tok.prev_letter < 26 && letter < 26) {
+      tok.bigram_hits += t.bigram[tok.prev_letter * 26 + letter] ? 1 : 0;
+    }
+  }
+  tok.prev_upper = upper;
+  tok.prev_letter = letter;
+  if (!(flags & kSmiles)) tok.all_smiles = false;
+  if (flags & kRingOrBond) ++tok.ring_or_bond;
+  if (upper) ++tok.upper_count;
 }
 
-TextFeatures compute_features(std::string_view s) {
+/// Folds one finished token's detector verdicts (scrambled/SMILES) into
+/// the totals, without the token/length counting — scan_simd aggregates
+/// those in bulk via popcounts.
+inline void commit_detectors(const TokenScan& tok, ScanTotals& out) {
+  if (tok.len >= 4 && tok.all_alpha) {
+    ++out.alpha_tokens;
+    if (tok.consonant_best > 4) {
+      ++out.scrambled;
+    } else if (tok.case_flips >= 3) {
+      ++out.scrambled;
+    } else if (tok.len >= 6) {
+      const double bigram_fraction = static_cast<double>(tok.bigram_hits) /
+                                     static_cast<double>(tok.len - 1);
+      if (bigram_fraction < 0.55) ++out.scrambled;
+    }
+  }
+  if (tok.len >= 6 && tok.all_smiles && tok.ring_or_bond >= 2 &&
+      tok.upper_count >= 2) {
+    ++out.smiles_count;
+  }
+}
+
+/// Folds one finished token's detector state into the totals.
+inline void commit_token(const TokenScan& tok, ScanTotals& out) {
+  if (tok.len == 0) return;
+  ++out.token_count;
+  out.total_token_len += tok.len;
+  commit_detectors(tok, out);
+}
+
+void scan_scalar(std::string_view s, ScanTotals& out) {
   const auto& t = charclass::tables();
 
-  // Whole-string accumulators. The per-class character counts (alpha,
-  // digit, whitespace, non-ASCII) are derived from the entropy histogram
-  // after the loop, so the loop itself only touches the histogram, the run
-  // tracker, and the packed flags byte.
-  std::array<std::size_t, 256> hist{};
   std::size_t run_best = 0, run_cur = 0;
   char run_prev = '\0';
 
@@ -63,31 +135,10 @@ TextFeatures compute_features(std::string_view s) {
   long brace_balance = 0;
   std::size_t dollars = 0;
 
-  // Whitespace-token accumulators.
-  std::size_t token_count = 0, total_token_len = 0;
-  std::size_t alpha_tokens = 0, scrambled = 0, smiles_count = 0;
   TokenScan tok;
 
   const auto finish_token = [&] {
-    if (tok.len == 0) return;
-    ++token_count;
-    total_token_len += tok.len;
-    if (tok.len >= 4 && tok.all_alpha) {
-      ++alpha_tokens;
-      if (tok.consonant_best > 4) {
-        ++scrambled;
-      } else if (tok.case_flips >= 3) {
-        ++scrambled;
-      } else if (tok.len >= 6) {
-        const double bigram_fraction = static_cast<double>(tok.bigram_hits) /
-                                       static_cast<double>(tok.len - 1);
-        if (bigram_fraction < 0.55) ++scrambled;
-      }
-    }
-    if (tok.len >= 6 && tok.all_smiles && tok.ring_or_bond >= 2 &&
-        tok.upper_count >= 2) {
-      ++smiles_count;
-    }
+    commit_token(tok, out);
     tok = TokenScan{};
   };
 
@@ -96,7 +147,7 @@ TextFeatures compute_features(std::string_view s) {
     const auto uc = static_cast<unsigned char>(c);
     const unsigned char flags = t.flags[uc];
 
-    ++hist[uc];
+    ++out.hist[uc];
     run_cur = (c == run_prev) ? run_cur + 1 : 1;
     run_best = std::max(run_best, run_cur);
     run_prev = c;
@@ -124,28 +175,7 @@ TextFeatures compute_features(std::string_view s) {
     }
 
     // Token-level detectors, all streaming.
-    ++tok.len;
-    if (!(flags & kAlpha)) tok.all_alpha = false;
-    if ((flags & (kAlpha | kVowel)) == kAlpha) {
-      tok.consonant_best = std::max(tok.consonant_best, ++tok.consonant_run);
-    } else {
-      tok.consonant_run = 0;
-    }
-    const bool upper = (flags & kUpper) != 0;
-    const unsigned char letter = t.letter_idx[uc];
-    if (tok.len >= 2) {
-      // Mirrors the seed's case-flip loop: pairs are compared from the
-      // second character, but only flips at index >= 2 are counted.
-      if (tok.prev_upper != upper && tok.len >= 3) ++tok.case_flips;
-      if (tok.prev_letter < 26 && letter < 26) {
-        tok.bigram_hits += t.bigram[tok.prev_letter * 26 + letter] ? 1 : 0;
-      }
-    }
-    tok.prev_upper = upper;
-    tok.prev_letter = letter;
-    if (!(flags & kSmiles)) tok.all_smiles = false;
-    if (flags & kRingOrBond) ++tok.ring_or_bond;
-    if (upper) ++tok.upper_count;
+    token_step(t, tok, uc);
   }
   finish_token();
 
@@ -153,12 +183,257 @@ TextFeatures compute_features(std::string_view s) {
   latex_count += dollars % 2;  // unmatched math delimiter
   latex_count += dollars / 2;  // each $...$ pair is residue in plain text
 
+  out.run_best = run_best;
+  out.latex_count = latex_count;
+}
+
+/// The common-bigram table as 26 row bitmasks: bit c of rows[p] says the
+/// letter pair (p, c) is a common bigram.
+const std::array<std::uint32_t, 26>& bigram_rows(const charclass::Tables& t) {
+  static const std::array<std::uint32_t, 26> rows = [&t] {
+    std::array<std::uint32_t, 26> r{};
+    for (std::size_t p = 0; p < 26; ++p) {
+      for (std::size_t c = 0; c < 26; ++c) {
+        if (t.bigram[p * 26 + c]) r[p] |= std::uint32_t{1} << c;
+      }
+    }
+    return r;
+  }();
+  return rows;
+}
+
+/// Adjacent common-bigram hits over an all-alpha token [a, b) with
+/// b - a <= 64, same pairing as the streaming scalar detector (whose
+/// `< 26` guards always pass on alphabetic characters). Letter indices
+/// are staged first so the row-mask lookups carry no loop dependency;
+/// runs only for the length>=6 all-alpha tokens the cheap mask checks
+/// could not classify.
+std::size_t bigram_hits_alpha(const charclass::Tables& t, std::string_view s,
+                              std::size_t a, std::size_t b) {
+  const auto& rows = bigram_rows(t);
+  unsigned char idx[64];
+  const std::size_t len = b - a;
+  for (std::size_t k = 0; k < len; ++k) {
+    idx[k] = t.letter_idx[static_cast<unsigned char>(s[a + k])];
+  }
+  std::size_t hits = 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    hits += (rows[idx[k - 1]] >> idx[k]) & 1U;
+  }
+  return hits;
+}
+
+/// Vectorized scan: one classification pass builds per-byte bitmasks for
+/// every class the detectors consume, then token boundaries come from bit
+/// hops and the per-token detectors from popcount/run primitives. Returns
+/// false (without touching `out`) when mask scratch is unavailable.
+bool scan_simd(std::string_view s, ScanTotals& out) {
+  const std::size_t n = s.size();
+  const std::size_t words = simd::mask_words(n);
+  // One lease, eight mask regions: space, alpha, upper, vowel, smiles,
+  // ring_or_bond, latex, eq-with-predecessor. Each region carries one
+  // zeroed guard word so extract_bits can read one word past the data.
+  const std::size_t stride = words + 1;
+  const simd::ScratchLease lease = simd::acquire_scratch(stride * 8);
+  if (!lease) return false;
+
+  const auto& t = charclass::tables();
+  const auto& cls = charclass::classifiers();
+  std::uint64_t* const space = lease.words();
+  std::uint64_t* const alpha = space + stride;
+  std::uint64_t* const upper = alpha + stride;
+  std::uint64_t* const vowel = upper + stride;
+  std::uint64_t* const smiles = vowel + stride;
+  std::uint64_t* const ring = smiles + stride;
+  std::uint64_t* const latex = ring + stride;
+  std::uint64_t* const eq = latex + stride;
+
+  cls.space.build_mask(s.data(), n, space);
+  cls.alpha.build_mask(s.data(), n, alpha);
+  cls.upper.build_mask(s.data(), n, upper);
+  cls.vowel.build_mask(s.data(), n, vowel);
+  cls.smiles.build_mask(s.data(), n, smiles);
+  cls.ring_or_bond.build_mask(s.data(), n, ring);
+  cls.latex.build_mask(s.data(), n, latex);
+  simd::build_eq_mask(s.data(), n, eq);
+  for (int r = 0; r < 8; ++r) lease.words()[r * stride + words] = 0;
+
+  // Entropy histogram, four independent lanes to break the
+  // increment-to-increment dependency chain.
+  {
+    std::array<std::size_t, 256> h0{}, h1{}, h2{}, h3{};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      ++h0[static_cast<unsigned char>(s[i])];
+      ++h1[static_cast<unsigned char>(s[i + 1])];
+      ++h2[static_cast<unsigned char>(s[i + 2])];
+      ++h3[static_cast<unsigned char>(s[i + 3])];
+    }
+    for (; i < n; ++i) ++h0[static_cast<unsigned char>(s[i])];
+    for (std::size_t c = 0; c < 256; ++c) {
+      out.hist[c] = h0[c] + h1[c] + h2[c] + h3[c];
+    }
+  }
+
+  // A run of L identical characters sets L-1 consecutive eq bits.
+  out.run_best = n == 0 ? 0 : simd::longest_one_run(eq, 0, n) + 1;
+
+  // LaTeX artifacts: the special characters are sparse, so hop the latex
+  // mask and replay the scalar state machine only at those positions.
+  {
+    std::size_t latex_count = 0;
+    long brace_balance = 0;
+    std::size_t dollars = 0;
+    for (std::size_t i = simd::next_set_bit(latex, 0, n); i < n;
+         i = simd::next_set_bit(latex, i + 1, n)) {
+      const char c = s[i];
+      if (c == '\\') {
+        if (i + 1 < n &&
+            (t.flags[static_cast<unsigned char>(s[i + 1])] & kAlpha)) {
+          ++latex_count;
+        }
+      } else if (c == '{') {
+        ++brace_balance;
+      } else if (c == '}') {
+        --brace_balance;
+      } else if (c == '$') {
+        ++dollars;
+      } else {  // '^' or '_'
+        if (i + 1 < n && s[i + 1] == '{') ++latex_count;
+      }
+    }
+    latex_count += static_cast<std::size_t>(std::abs(brace_balance));
+    latex_count += dollars % 2;
+    latex_count += dollars / 2;
+    out.latex_count = latex_count;
+  }
+
+  // Whitespace tokens, in bulk: per 64-byte word, the token count is a
+  // popcount of space -> non-space transitions and the length total a
+  // popcount of non-space bits. Only tokens of length >= 4 — the shortest
+  // any detector cares about — are visited individually; they are found
+  // by eroding the non-space mask (ns & ns>>1 & ns>>2 & ns>>3 at a token
+  // start means at least four token bytes follow). Each visited token's
+  // class bits then collapse into single 64-bit registers:
+  //  - all_alpha / all_smiles   -> compare against the token length mask
+  //  - consonant run > 4        -> x & x>>1 & x>>2 & x>>3 & x>>4 != 0
+  //  - case flips at index >= 2 -> popcount of the upper-bit transition
+  //                                word with the first pair masked off
+  //  - ring_or_bond / upper_count counts -> popcount
+  // Tokens longer than 64 bytes (rare) replay the scalar per-byte
+  // detectors through the shared token_step.
+  const auto nonspace_word = [&](std::size_t w) -> std::uint64_t {
+    if (w >= words) return 0;
+    std::uint64_t v = ~space[w];
+    if (w == words - 1 && (n & 63) != 0) {
+      v &= (std::uint64_t{1} << (n & 63)) - 1;
+    }
+    return v;
+  };
+
+  std::uint64_t ns = nonspace_word(0);
+  std::uint64_t prev_ns_top = 0;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi << 6;
+    const std::uint64_t ns_next = nonspace_word(wi + 1);
+    const std::uint64_t starts = ns & ~((ns << 1) | prev_ns_top);
+    out.token_count += simd::popcount64(starts);
+    out.total_token_len += simd::popcount64(ns);
+    prev_ns_top = ns >> 63;
+
+    std::uint64_t cand = starts & ((ns >> 1) | (ns_next << 63)) &
+                         ((ns >> 2) | (ns_next << 62)) &
+                         ((ns >> 3) | (ns_next << 61));
+    while (cand != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(cand));
+      cand &= cand - 1;
+      const std::size_t a = base + j;
+      const std::uint64_t span =
+          j == 0 ? ns : (ns >> j) | (ns_next << (64 - j));
+      std::size_t len = static_cast<std::size_t>(std::countr_one(span));
+      if (len == 64) {
+        // The run fills the whole lookahead window; find its true end on
+        // the space mask (whose padding bits are zero, so text ending
+        // mid-run still terminates here).
+        const std::size_t b = simd::next_set_bit(space, a + 64, n);
+        len = b - a;
+        if (len > 64) {
+          TokenScan tok;
+          for (std::size_t i = a; i < b; ++i) {
+            token_step(t, tok, static_cast<unsigned char>(s[i]));
+          }
+          commit_detectors(tok, out);
+          continue;
+        }
+      }
+      const std::uint64_t lenmask =
+          len == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << len) - 1;
+      // Tokens inside this mask word shift the already-loaded class words
+      // directly; stragglers across the boundary take extract_bits.
+      const bool in_word = j + len <= 64;
+      const std::uint64_t al = (in_word ? alpha[wi] >> j
+                                        : simd::extract_bits(alpha, a, len)) &
+                               lenmask;
+      if (al == lenmask) {
+        ++out.alpha_tokens;
+        const std::uint64_t vo = in_word ? vowel[wi] >> j
+                                         : simd::extract_bits(vowel, a, len);
+        const std::uint64_t cons = lenmask & ~vo;
+        const std::uint64_t up = (in_word ? upper[wi] >> j
+                                          : simd::extract_bits(upper, a, len)) &
+                                 lenmask;
+        if ((cons & (cons >> 1) & (cons >> 2) & (cons >> 3) & (cons >> 4)) !=
+            0) {
+          ++out.scrambled;
+        } else {
+          // Bit k of `flips`: token chars k and k+1 differ in case. Bit 0
+          // (the pair at indices 0/1) is excluded, as in token_step. The
+          // all-lowercase common case skips the popcount entirely.
+          std::size_t flips = 0;
+          if (up != 0) {
+            flips = simd::popcount64((up ^ (up >> 1)) & (lenmask >> 1) &
+                                     ~std::uint64_t{1});
+          }
+          if (flips >= 3) {
+            ++out.scrambled;
+          } else if (len >= 6) {
+            const double bigram_fraction =
+                static_cast<double>(bigram_hits_alpha(t, s, a, a + len)) /
+                static_cast<double>(len - 1);
+            if (bigram_fraction < 0.55) ++out.scrambled;
+          }
+        }
+      }
+      if (len >= 6) {
+        const std::uint64_t sm =
+            (in_word ? smiles[wi] >> j : simd::extract_bits(smiles, a, len)) &
+            lenmask;
+        if (sm == lenmask) {
+          const std::uint64_t ri =
+              (in_word ? ring[wi] >> j : simd::extract_bits(ring, a, len)) &
+              lenmask;
+          const std::uint64_t up2 =
+              (in_word ? upper[wi] >> j : simd::extract_bits(upper, a, len)) &
+              lenmask;
+          if (simd::popcount64(ri) >= 2 && simd::popcount64(up2) >= 2) {
+            ++out.smiles_count;
+          }
+        }
+      }
+    }
+    ns = ns_next;
+  }
+  return true;
+}
+
+TextFeatures finalize(std::string_view s, const ScanTotals& totals) {
+  const auto& t = charclass::tables();
   TextFeatures f;
   f.char_count = static_cast<double>(s.size());
-  f.token_count = static_cast<double>(token_count);
-  if (token_count > 0) {
-    f.avg_token_len = static_cast<double>(total_token_len) /
-                      static_cast<double>(token_count);
+  f.token_count = static_cast<double>(totals.token_count);
+  if (totals.token_count > 0) {
+    f.avg_token_len = static_cast<double>(totals.total_token_len) /
+                      static_cast<double>(totals.token_count);
   }
   if (!s.empty()) {
     // Per-class counts fall out of the histogram: same totals the seed
@@ -166,8 +441,8 @@ TextFeatures compute_features(std::string_view s) {
     std::size_t alpha_n = 0, digit_n = 0, ws_n = 0, non_ascii_n = 0;
     const auto n = static_cast<double>(s.size());
     double entropy = 0.0;
-    for (std::size_t c = 0; c < hist.size(); ++c) {
-      const std::size_t count = hist[c];
+    for (std::size_t c = 0; c < totals.hist.size(); ++c) {
+      const std::size_t count = totals.hist[c];
       if (count == 0) continue;
       if (t.alpha[c]) alpha_n += count;
       if (t.digit[c]) digit_n += count;
@@ -183,16 +458,32 @@ TextFeatures compute_features(std::string_view s) {
     f.whitespace_ratio = static_cast<double>(ws_n) / n;
     f.non_ascii_ratio = static_cast<double>(non_ascii_n) / n;
     const double per_kchar = 1000.0 / n;
-    f.latex_density = static_cast<double>(latex_count) * per_kchar;
-    f.smiles_density = static_cast<double>(smiles_count) * per_kchar;
+    f.latex_density = static_cast<double>(totals.latex_count) * per_kchar;
+    f.smiles_density = static_cast<double>(totals.smiles_count) * per_kchar;
     f.entropy = entropy;
   }
-  if (alpha_tokens > 0) {
-    f.scrambled_ratio =
-        static_cast<double>(scrambled) / static_cast<double>(alpha_tokens);
+  if (totals.alpha_tokens > 0) {
+    f.scrambled_ratio = static_cast<double>(totals.scrambled) /
+                        static_cast<double>(totals.alpha_tokens);
   }
-  f.longest_run = static_cast<double>(run_best);
+  f.longest_run = static_cast<double>(totals.run_best);
   return f;
+}
+
+}  // namespace
+
+std::array<double, TextFeatures::kDim> TextFeatures::to_array() const {
+  return {char_count,     token_count,    avg_token_len,  alpha_ratio,
+          digit_ratio,    whitespace_ratio, non_ascii_ratio, scrambled_ratio,
+          latex_density,  smiles_density, entropy,        longest_run};
+}
+
+TextFeatures compute_features(std::string_view s) {
+  ScanTotals totals;
+  if (!simd::use_simd(s.size()) || !scan_simd(s, totals)) {
+    scan_scalar(s, totals);
+  }
+  return finalize(s, totals);
 }
 
 }  // namespace adaparse::text

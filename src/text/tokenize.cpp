@@ -1,5 +1,7 @@
 #include "text/tokenize.hpp"
 
+#include <bit>
+
 namespace adaparse::text {
 
 std::vector<std::string_view> tokenize_views(std::string_view s) {
@@ -17,8 +19,33 @@ std::vector<std::string_view> split_whitespace_views(std::string_view s) {
 }
 
 std::size_t count_tokens(std::string_view s) {
+  if (simd::use_simd(s.size())) {
+    const std::size_t n = s.size();
+    const std::size_t words = simd::mask_words(n);
+    if (const simd::ScratchLease lease = simd::acquire_scratch(words)) {
+      std::uint64_t* const space = lease.words();
+      charclass::classifiers().space.build_mask(s.data(), n, space);
+      // A chunk starts at every space -> non-space transition (with the
+      // virtual predecessor of byte 0 counting as space), so the count is
+      // one popcount per 64 bytes instead of a boundary walk.
+      std::size_t count = 0;
+      std::uint64_t prev_nonspace_top = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t nonspace = ~space[w];
+        const std::size_t base = w * 64;
+        if (base + 64 > n) {
+          nonspace &= (std::uint64_t{1} << (n - base)) - 1;
+        }
+        const std::uint64_t starts =
+            nonspace & ~((nonspace << 1) | prev_nonspace_top);
+        count += simd::popcount64(starts);
+        prev_nonspace_top = nonspace >> 63;
+      }
+      return count;
+    }
+  }
   std::size_t n = 0;
-  for_each_whitespace_token(s, [&](std::string_view) { ++n; });
+  for_each_whitespace_token_scalar(s, [&](std::string_view) { ++n; });
   return n;
 }
 
@@ -48,8 +75,12 @@ std::string join(const std::vector<std::string>& tokens) {
 }
 
 std::string to_lower(std::string_view s) {
-  const auto& t = charclass::tables();
   std::string out(s);
+  if (simd::use_simd(s.size()) && charclass::classifiers().lower_is_ascii) {
+    simd::to_lower_buf(s.data(), s.size(), out.data());
+    return out;
+  }
+  const auto& t = charclass::tables();
   for (char& c : out) {
     c = t.lower[static_cast<unsigned char>(c)];
   }

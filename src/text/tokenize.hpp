@@ -17,16 +17,17 @@
 #include <string_view>
 #include <vector>
 
+#include "simd/bits.hpp"
+#include "simd/classify.hpp"
+#include "simd/dispatch.hpp"
 #include "text/char_class.hpp"
 
 namespace adaparse::text {
 
-/// Calls `fn(std::string_view)` for each word token of `s`: maximal runs of
-/// alphanumeric characters (plus a few in-word characters such as '-' and
-/// '\'') with punctuation emitted as single-character tokens. Whitespace is
-/// discarded. Zero allocations; views point into `s`.
+/// Scalar reference traversal for `for_each_token`: per-byte table loads.
+/// Also the fallback for short inputs and exhausted mask scratch.
 template <typename Fn>
-void for_each_token(std::string_view s, Fn&& fn) {
+void for_each_token_scalar(std::string_view s, Fn&& fn) {
   const auto& t = charclass::tables();
   std::size_t i = 0;
   while (i < s.size()) {
@@ -49,10 +50,88 @@ void for_each_token(std::string_view s, Fn&& fn) {
   }
 }
 
-/// Calls `fn(std::string_view)` for each whitespace-delimited chunk of `s`,
-/// punctuation untouched. Zero allocations; views point into `s`.
+/// Calls `fn(std::string_view)` for each word token of `s`: maximal runs of
+/// alphanumeric characters (plus a few in-word characters such as '-' and
+/// '\'') with punctuation emitted as single-character tokens. Whitespace is
+/// discarded. Zero allocations; views point into `s`.
+///
+/// On the SIMD tiers the whole input is classified into per-byte
+/// space/word bitmasks up front and boundaries come from tzcnt hops, so
+/// the per-byte work is a couple of vector ops per 64-byte word instead
+/// of two table loads per byte. Token boundaries are bit-identical to the
+/// scalar traversal (see tests/simd_test.cpp).
 template <typename Fn>
-void for_each_whitespace_token(std::string_view s, Fn&& fn) {
+void for_each_token(std::string_view s, Fn&& fn) {
+  if (!simd::use_simd(s.size())) {
+    for_each_token_scalar(s, fn);
+    return;
+  }
+  const std::size_t n = s.size();
+  const std::size_t words = simd::mask_words(n);
+  const simd::ScratchLease lease = simd::acquire_scratch(words * 2);
+  if (!lease) {
+    for_each_token_scalar(s, fn);
+    return;
+  }
+  const auto& cls = charclass::classifiers();
+  std::uint64_t* const space = lease.words();
+  std::uint64_t* const word = space + words;
+  cls.space.build_mask(s.data(), n, space);
+  cls.word.build_mask(s.data(), n, word);
+  // Stream one 64-bit mask word at a time, keeping everything in
+  // registers. Word-char runs are consumed through paired run-start and
+  // run-end masks (one tzcnt each, cleared with blsr), punctuation bytes
+  // through their own mask; the word-vs-punct split compiles to cmovs, so
+  // the loop carries only a tzcnt + blsr dependency per token. `open`
+  // carries a word-char run across mask-word boundaries.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t open = npos;
+  std::uint64_t wd = word[0];
+  std::uint64_t prev_wd_top = 0;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi << 6;
+    const std::uint64_t wd_next = wi + 1 < words ? word[wi + 1] : 0;
+    const std::uint64_t valid = (wi == words - 1 && (n & 63) != 0)
+                                    ? (std::uint64_t{1} << (n & 63)) - 1
+                                    : ~std::uint64_t{0};
+    std::uint64_t ws = wd & ~((wd << 1) | prev_wd_top);
+    std::uint64_t we = wd & ~((wd >> 1) | (wd_next << 63));
+    std::uint64_t pm = ~space[wi] & valid & ~wd;
+    prev_wd_top = wd >> 63;
+    if (open != npos) {
+      if (we == 0) {  // the open run spans this whole word too
+        wd = wd_next;
+        continue;
+      }
+      const auto e = static_cast<std::size_t>(std::countr_zero(we));
+      fn(s.substr(open, base + e + 1 - open));
+      open = npos;
+      we &= we - 1;
+    }
+    std::uint64_t m = ws | pm;
+    while (m != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(m));
+      const bool is_word = ((wd >> j) & 1U) != 0;
+      if (is_word && we == 0) {  // run end lies in a later mask word
+        open = base + j;
+        break;
+      }
+      const auto e = static_cast<std::size_t>(std::countr_zero(we));
+      const std::size_t len = is_word ? e - j + 1 : 1;
+      fn(s.substr(base + j, len));
+      ws = is_word ? ws & (ws - 1) : ws;
+      we = is_word ? we & (we - 1) : we;
+      pm = is_word ? pm : pm & (pm - 1);
+      m = ws | pm;
+    }
+    wd = wd_next;
+  }
+  if (open != npos) fn(s.substr(open, n - open));
+}
+
+/// Scalar reference traversal for `for_each_whitespace_token`.
+template <typename Fn>
+void for_each_whitespace_token_scalar(std::string_view s, Fn&& fn) {
   const auto& t = charclass::tables();
   std::size_t i = 0;
   while (i < s.size()) {
@@ -62,6 +141,71 @@ void for_each_whitespace_token(std::string_view s, Fn&& fn) {
     if (j > i) fn(s.substr(i, j - i));
     i = j;
   }
+}
+
+/// Calls `fn(std::string_view)` for each whitespace-delimited chunk of `s`,
+/// punctuation untouched. Zero allocations; views point into `s`. SIMD
+/// tiers scan a single whitespace bitmask; chunk boundaries are
+/// bit-identical to the scalar traversal.
+template <typename Fn>
+void for_each_whitespace_token(std::string_view s, Fn&& fn) {
+  if (!simd::use_simd(s.size())) {
+    for_each_whitespace_token_scalar(s, fn);
+    return;
+  }
+  const std::size_t n = s.size();
+  const simd::ScratchLease lease = simd::acquire_scratch(simd::mask_words(n));
+  if (!lease) {
+    for_each_whitespace_token_scalar(s, fn);
+    return;
+  }
+  std::uint64_t* const space = lease.words();
+  const std::size_t words = simd::mask_words(n);
+  charclass::classifiers().space.build_mask(s.data(), n, space);
+  // Same register-resident word streaming as for_each_token, over a single
+  // non-space mask: chunks are consumed through paired run-start/run-end
+  // masks, one tzcnt + blsr each per chunk.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t open = npos;
+  std::uint64_t ns = ~space[0];
+  if (words == 1 && (n & 63) != 0) ns &= (std::uint64_t{1} << (n & 63)) - 1;
+  std::uint64_t prev_ns_top = 0;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi << 6;
+    std::uint64_t ns_next = 0;
+    if (wi + 1 < words) {
+      ns_next = ~space[wi + 1];
+      if (wi + 2 == words && (n & 63) != 0) {
+        ns_next &= (std::uint64_t{1} << (n & 63)) - 1;
+      }
+    }
+    std::uint64_t cs = ns & ~((ns << 1) | prev_ns_top);
+    std::uint64_t ce = ns & ~((ns >> 1) | (ns_next << 63));
+    prev_ns_top = ns >> 63;
+    if (open != npos) {
+      if (ce == 0) {  // the open chunk spans this whole word too
+        ns = ns_next;
+        continue;
+      }
+      const auto e = static_cast<std::size_t>(std::countr_zero(ce));
+      fn(s.substr(open, base + e + 1 - open));
+      open = npos;
+      ce &= ce - 1;
+    }
+    while (cs != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(cs));
+      if (ce == 0) {  // chunk end lies in a later mask word
+        open = base + j;
+        break;
+      }
+      const auto e = static_cast<std::size_t>(std::countr_zero(ce));
+      fn(s.substr(base + j, e - j + 1));
+      cs &= cs - 1;
+      ce &= ce - 1;
+    }
+    ns = ns_next;
+  }
+  if (open != npos) fn(s.substr(open, n - open));
 }
 
 /// Word tokens as views into `s` (same boundaries as `tokenize`).

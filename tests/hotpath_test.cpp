@@ -47,6 +47,18 @@ const std::vector<std::string>& corpus() {
       for (int b = 0; b < 256; ++b) all_bytes += static_cast<char>(b);
       out.push_back(all_bytes);
     }
+    // Embedded NULs and high bytes inside and across vector-block
+    // boundaries: the SIMD classifiers must treat them exactly like the
+    // scalar tables (simd/classify.hpp verifies this by construction).
+    out.push_back(std::string("nul\0inside token\0 \0", 19));
+    {
+      std::string s(70, '\x80');
+      s[0] = '\0';
+      s[31] = ' ';
+      s[32] = '\xFF';
+      s[69] = '\0';
+      out.push_back(s + "tail");
+    }
     doc::CorpusGenerator gen(doc::born_digital_config(3, 0xFEED));
     util::Rng rng(0xC0FFEE);
     for (std::size_t i = 0; i < 3; ++i) {

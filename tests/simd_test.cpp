@@ -1,0 +1,451 @@
+// Tests for the vectorized text hot path: runtime dispatch semantics, the
+// bitstream helpers against naive per-bit references, the self-verified
+// byte classifiers, and — the load-bearing property — randomized
+// differential sweeps proving every SIMD tier produces bit-identical
+// tokens, features, hashes, and metric scores to the scalar path, across
+// all input lengths 0..300 and all 32 starting alignments, on text and on
+// arbitrary binary input (embedded NULs and bytes >= 0x80 included).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/bleu.hpp"
+#include "metrics/rouge.hpp"
+#include "ml/feature_hash.hpp"
+#include "reference/seed_impl.hpp"
+#include "simd/bits.hpp"
+#include "simd/classify.hpp"
+#include "simd/dispatch.hpp"
+#include "text/char_class.hpp"
+#include "text/features.hpp"
+#include "text/tokenize.hpp"
+#include "util/rng.hpp"
+
+namespace adaparse {
+namespace {
+
+/// Every tier this machine can actually run, scalar first.
+std::vector<simd::Tier> available_tiers() {
+  std::vector<simd::Tier> tiers{simd::Tier::kScalar};
+  if (simd::detected_tier() >= simd::Tier::kSse2) {
+    tiers.push_back(simd::Tier::kSse2);
+  }
+  if (simd::detected_tier() >= simd::Tier::kAvx2) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+std::string random_text(util::Rng& rng, std::size_t n) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      " \t\n  .,;:!?-_'\"(){}[]$\\^#=@+/";
+  std::string s(n, '\0');
+  for (auto& c : s) {
+    c = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return s;
+}
+
+std::string random_binary(util::Rng& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.below(256));
+  return s;
+}
+
+// ------------------------------------------------------------- dispatch --
+
+TEST(SimdDispatch, NamesRoundTripAndUnknownNamesAreRejected) {
+  const simd::Tier before = simd::active_tier();
+  EXPECT_FALSE(simd::set_tier("avx512"));
+  EXPECT_FALSE(simd::set_tier(""));
+  EXPECT_EQ(simd::active_tier(), before);
+
+  for (const simd::Tier t : available_tiers()) {
+    ASSERT_TRUE(simd::set_tier(simd::tier_name(t)));
+    EXPECT_EQ(simd::active_tier(), t);
+    EXPECT_STREQ(simd::active_tier_name(), simd::tier_name(t));
+  }
+  ASSERT_TRUE(simd::set_tier("auto"));
+  EXPECT_EQ(simd::active_tier(), simd::detected_tier());
+  simd::set_tier(before);
+}
+
+TEST(SimdDispatch, RequestsAboveDetectedClampDown) {
+  const simd::Tier before = simd::active_tier();
+  simd::set_tier(simd::Tier::kAvx2);
+  EXPECT_LE(simd::active_tier(), simd::detected_tier());
+  simd::set_tier(before);
+}
+
+TEST(SimdDispatch, TierScopeRestores) {
+  const simd::Tier before = simd::active_tier();
+  {
+    simd::TierScope scope(simd::Tier::kScalar);
+    EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  }
+  EXPECT_EQ(simd::active_tier(), before);
+}
+
+TEST(SimdDispatch, ShortInputsStayScalar) {
+  EXPECT_FALSE(simd::use_simd(0));
+  EXPECT_FALSE(simd::use_simd(simd::kSimdMinBytes - 1));
+}
+
+// --------------------------------------------------------- bits helpers --
+
+TEST(SimdBits, HelpersMatchNaiveOnRandomMasks) {
+  util::Rng rng(0xB175);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.below(200);
+    const std::size_t words = simd::mask_words(n);
+    std::vector<std::uint64_t> mask(words);
+    for (auto& w : mask) {
+      // Mix dense, sparse, and balanced masks so runs of every length occur.
+      w = rng.next_u64() & rng.next_u64();
+      if (rng.chance(0.3)) w |= rng.next_u64();
+    }
+    if (n % 64 != 0) mask[words - 1] &= (std::uint64_t{1} << (n % 64)) - 1;
+
+    const auto bit = [&](std::size_t i) { return simd::test_bit(mask.data(), i); };
+    const std::size_t a = rng.below(n + 1);
+    const std::size_t b = a + rng.below(n + 1 - a);
+
+    std::size_t pop = 0, best = 0, run = 0;
+    bool all = true;
+    for (std::size_t i = a; i < b; ++i) {
+      if (bit(i)) {
+        ++pop;
+        run = run + 1;
+        if (run > best) best = run;
+      } else {
+        run = 0;
+        all = false;
+      }
+    }
+    EXPECT_EQ(simd::popcount_range(mask.data(), a, b), pop);
+    EXPECT_EQ(simd::all_set(mask.data(), a, b), all);
+    EXPECT_EQ(simd::longest_one_run(mask.data(), a, b), best);
+
+    if (a >= 1) {
+      std::size_t transitions = 0;
+      for (std::size_t i = a; i < b; ++i) {
+        if (bit(i) != bit(i - 1)) ++transitions;
+      }
+      EXPECT_EQ(simd::transition_count(mask.data(), a, b), transitions);
+    }
+
+    const std::size_t from = rng.below(n + 1);
+    std::size_t want_set = n, want_zero = n;
+    for (std::size_t i = from; i < n; ++i) {
+      if (bit(i) && want_set == n) want_set = i;
+      if (!bit(i) && want_zero == n) want_zero = i;
+    }
+    EXPECT_EQ(simd::next_set_bit(mask.data(), from, n), want_set);
+    EXPECT_EQ(simd::next_zero_bit(mask.data(), from, n), want_zero);
+  }
+}
+
+TEST(SimdBits, EmptyAndFullRangeEdgeCases) {
+  std::uint64_t mask[2] = {~std::uint64_t{0}, ~std::uint64_t{0}};
+  EXPECT_EQ(simd::popcount_range(mask, 5, 5), 0U);
+  EXPECT_TRUE(simd::all_set(mask, 5, 5));
+  EXPECT_EQ(simd::longest_one_run(mask, 0, 128), 128U);
+  EXPECT_EQ(simd::transition_count(mask, 1, 128), 0U);
+}
+
+// ----------------------------------------------------------- classifiers --
+
+TEST(SimdClassify, EveryHotPathClassifierAgreesWithItsTableExhaustively) {
+  const auto& t = text::charclass::tables();
+  const auto& cls = text::charclass::classifiers();
+  const std::pair<const simd::ByteClassifier*, const bool*> pairs[] = {
+      {&cls.space, t.space},   {&cls.word, t.word},
+      {&cls.alpha, t.alpha},   {&cls.upper, t.upper},
+      {&cls.vowel, t.vowel},   {&cls.smiles, t.smiles},
+      {&cls.ring_or_bond, t.ring_or_bond}};
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) all_bytes += static_cast<char>(b);
+
+  for (const auto& [classifier, table] : pairs) {
+    for (int c = 0; c < 256; ++c) {
+      EXPECT_EQ(classifier->test(static_cast<unsigned char>(c)), table[c]);
+    }
+    for (const simd::Tier tier : available_tiers()) {
+      simd::TierScope scope(tier);
+      std::uint64_t mask[4] = {};
+      classifier->build_mask(all_bytes.data(), all_bytes.size(), mask);
+      for (int c = 0; c < 256; ++c) {
+        EXPECT_EQ(simd::test_bit(mask, static_cast<std::size_t>(c)), table[c])
+            << "tier " << simd::tier_name(tier) << " byte " << c;
+      }
+    }
+  }
+}
+
+TEST(SimdClassify, MasksMatchScalarOnRandomBinaryAtEveryTierAndAlignment) {
+  const auto& cls = text::charclass::classifiers();
+  util::Rng rng(0xC1A55);
+  const std::string base = random_binary(rng, 512);
+  for (const simd::Tier tier : available_tiers()) {
+    simd::TierScope scope(tier);
+    for (std::size_t align = 0; align < 32; ++align) {
+      for (const std::size_t len : {0UL, 1UL, 31UL, 64UL, 65UL, 127UL, 300UL}) {
+        const char* p = base.data() + align;
+        std::vector<std::uint64_t> got(simd::mask_words(len) + 1, ~0ULL);
+        std::vector<std::uint64_t> want(simd::mask_words(len) + 1, ~0ULL);
+        cls.word.build_mask(p, len, got.data());
+        for (std::size_t w = 0; w < simd::mask_words(len); ++w) {
+          std::uint64_t bits = 0;
+          for (std::size_t j = 0; j < 64 && w * 64 + j < len; ++j) {
+            bits |= static_cast<std::uint64_t>(cls.word.test(
+                        static_cast<unsigned char>(p[w * 64 + j])))
+                    << j;
+          }
+          want[w] = bits;
+        }
+        want.back() = ~0ULL;  // sentinel: builder must not write past the end
+        EXPECT_EQ(got, want) << "tier " << simd::tier_name(tier) << " align "
+                             << align << " len " << len;
+      }
+    }
+  }
+}
+
+TEST(SimdClassify, EqMaskMatchesNaiveAtEveryTier) {
+  util::Rng rng(0xE0);
+  // Low-entropy bytes so equal-neighbor runs are common.
+  std::string s(300, '\0');
+  for (auto& c : s) c = static_cast<char>('a' + rng.below(3));
+  for (const simd::Tier tier : available_tiers()) {
+    simd::TierScope scope(tier);
+    for (const std::size_t len : {1UL, 2UL, 63UL, 64UL, 65UL, 130UL, 300UL}) {
+      std::vector<std::uint64_t> mask(simd::mask_words(len));
+      simd::build_eq_mask(s.data(), len, mask.data());
+      for (std::size_t i = 0; i < len; ++i) {
+        const bool want = i > 0 && s[i] == s[i - 1];
+        EXPECT_EQ(simd::test_bit(mask.data(), i), want)
+            << "tier " << simd::tier_name(tier) << " len " << len << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdClassify, ToLowerMatchesTableAtEveryTier) {
+  const auto& t = text::charclass::tables();
+  ASSERT_TRUE(text::charclass::classifiers().lower_is_ascii);
+  std::string all_bytes;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int b = 0; b < 256; ++b) all_bytes += static_cast<char>(b);
+  }
+  for (const simd::Tier tier : available_tiers()) {
+    simd::TierScope scope(tier);
+    std::string out(all_bytes.size(), 'X');
+    simd::to_lower_buf(all_bytes.data(), all_bytes.size(), out.data());
+    for (std::size_t i = 0; i < all_bytes.size(); ++i) {
+      EXPECT_EQ(out[i], t.lower[static_cast<unsigned char>(all_bytes[i])]);
+    }
+  }
+}
+
+TEST(SimdClassify, ScratchExhaustionFallsBackToScalarResults) {
+  // Hold every scratch slot so the hot paths cannot lease masks; they must
+  // fall back to the scalar loops and still produce identical output.
+  util::Rng rng(0x5C8A);
+  const std::string s = random_text(rng, 400);
+  const auto want_features = text::compute_features(s).to_array();
+  const auto want_tokens = text::tokenize(s);
+  const auto want_hash = ml::hash_text(s, {});
+  {
+    const simd::ScratchLease l0 = simd::acquire_scratch(8);
+    const simd::ScratchLease l1 = simd::acquire_scratch(8);
+    const simd::ScratchLease l2 = simd::acquire_scratch(8);
+    const simd::ScratchLease l3 = simd::acquire_scratch(8);
+    ASSERT_TRUE(l0 && l1 && l2 && l3);
+    EXPECT_FALSE(simd::acquire_scratch(8));
+    EXPECT_EQ(text::compute_features(s).to_array(), want_features);
+    EXPECT_EQ(text::tokenize(s), want_tokens);
+    const auto hash = ml::hash_text(s, {});
+    ASSERT_EQ(hash.size(), want_hash.size());
+    for (std::size_t i = 0; i < hash.size(); ++i) {
+      EXPECT_EQ(hash[i].index, want_hash[i].index);
+      EXPECT_EQ(hash[i].value, want_hash[i].value);
+    }
+  }
+  EXPECT_TRUE(simd::acquire_scratch(8));  // slots released by the leases
+}
+
+// ------------------------------------------------- differential sweeps --
+
+struct TokenRecord {
+  std::size_t offset;
+  std::size_t length;
+  bool operator==(const TokenRecord&) const = default;
+};
+
+std::vector<TokenRecord> token_records(std::string_view s) {
+  std::vector<TokenRecord> out;
+  text::for_each_token(s, [&](std::string_view t) {
+    out.push_back({static_cast<std::size_t>(t.data() - s.data()), t.size()});
+  });
+  return out;
+}
+
+std::vector<TokenRecord> whitespace_records(std::string_view s) {
+  std::vector<TokenRecord> out;
+  text::for_each_whitespace_token(s, [&](std::string_view t) {
+    out.push_back({static_cast<std::size_t>(t.data() - s.data()), t.size()});
+  });
+  return out;
+}
+
+/// The mandated sweep: every length 0..300 at every one of the 32 starting
+/// alignments, text and binary payloads, each SIMD tier against scalar.
+/// Tokens, whitespace chunks, token counts, features, and hashes must be
+/// bit-identical.
+TEST(SimdDifferential, AllLengthsAndAlignmentsMatchScalar) {
+  util::Rng rng(0xD1FF);
+  const std::string text_base = random_text(rng, 300 + 64);
+  const std::string binary_base = random_binary(rng, 300 + 64);
+  ml::HashOptions hash_options;
+  hash_options.dim = 1 << 10;
+
+  for (const std::string* base : {&text_base, &binary_base}) {
+    for (std::size_t len = 0; len <= 300; ++len) {
+      // Rotate through all 32 alignments as the length advances; every
+      // alignment is also exercised at len 269..300 ( > kSimdMinBytes).
+      const std::size_t align = (len * 7 + 13) % 32;
+      const std::string_view s(base->data() + align, len);
+
+      std::vector<TokenRecord> want_tokens, want_chunks;
+      std::size_t want_count = 0;
+      std::array<double, text::TextFeatures::kDim> want_features{};
+      ml::SparseVec want_hash;
+      {
+        simd::TierScope scope(simd::Tier::kScalar);
+        want_tokens = token_records(s);
+        want_chunks = whitespace_records(s);
+        want_count = text::count_tokens(s);
+        want_features = text::compute_features(s).to_array();
+        want_hash = ml::hash_text(s, hash_options);
+      }
+      for (const simd::Tier tier : available_tiers()) {
+        if (tier == simd::Tier::kScalar) continue;
+        simd::TierScope scope(tier);
+        EXPECT_EQ(token_records(s), want_tokens)
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+        EXPECT_EQ(whitespace_records(s), want_chunks)
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+        EXPECT_EQ(text::count_tokens(s), want_count)
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+        EXPECT_EQ(text::compute_features(s).to_array(), want_features)
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+        const ml::SparseVec hash = ml::hash_text(s, hash_options);
+        ASSERT_EQ(hash.size(), want_hash.size())
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+        for (std::size_t i = 0; i < hash.size(); ++i) {
+          EXPECT_EQ(hash[i].index, want_hash[i].index);
+          EXPECT_EQ(hash[i].value, want_hash[i].value);
+        }
+      }
+    }
+  }
+}
+
+/// Every alignment at a fixed SIMD-sized length, so all 32 offsets are
+/// exercised with every tier's full-word and tail code paths.
+TEST(SimdDifferential, EveryAlignmentAtSimdLengths) {
+  util::Rng rng(0xA116);
+  const std::string base = random_binary(rng, 400);
+  for (const std::size_t len : {32UL, 100UL, 192UL, 300UL}) {
+    for (std::size_t align = 0; align < 32; ++align) {
+      const std::string_view s(base.data() + align, len);
+      std::vector<TokenRecord> want_tokens;
+      std::array<double, text::TextFeatures::kDim> want_features{};
+      {
+        simd::TierScope scope(simd::Tier::kScalar);
+        want_tokens = token_records(s);
+        want_features = text::compute_features(s).to_array();
+      }
+      for (const simd::Tier tier : available_tiers()) {
+        if (tier == simd::Tier::kScalar) continue;
+        simd::TierScope scope(tier);
+        EXPECT_EQ(token_records(s), want_tokens)
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+        EXPECT_EQ(text::compute_features(s).to_array(), want_features)
+            << simd::tier_name(tier) << " len " << len << " align " << align;
+      }
+    }
+  }
+}
+
+/// Binary regression corpus: embedded NULs and bytes >= 0x80 in positions
+/// chosen to land in heads, tails, and full vector blocks. Every tier must
+/// match the frozen seed implementations exactly.
+TEST(SimdDifferential, BinaryInputMatchesSeedReferenceAtEveryTier) {
+  std::vector<std::string> corpus;
+  corpus.push_back(std::string("\0\0\0 word \0 after-nul", 21));
+  corpus.push_back("hi\x80\xFF\xC3\xA9 caf\xC3\xA9 " + std::string(40, '\xEE'));
+  {
+    std::string s;
+    for (int b = 255; b >= 0; --b) {
+      s += static_cast<char>(b);
+      if (b % 7 == 0) s += ' ';
+    }
+    corpus.push_back(s);
+  }
+  {
+    std::string s(130, 'A');
+    s[0] = '\0';
+    s[64] = '\0';
+    s[129] = '\xFF';
+    corpus.push_back(s + " tail\x80tail");
+  }
+  util::Rng rng(0xB1A2);
+  corpus.push_back(random_binary(rng, 4096));
+
+  for (const auto& s : corpus) {
+    const auto seed_features = reference::compute_features_seed(s).to_array();
+    const auto seed_hash = reference::hash_text_seed(s, {});
+    for (const simd::Tier tier : available_tiers()) {
+      simd::TierScope scope(tier);
+      EXPECT_EQ(text::compute_features(s).to_array(), seed_features)
+          << "tier " << simd::tier_name(tier);
+      const auto hash = ml::hash_text(s, {});
+      ASSERT_EQ(hash.size(), seed_hash.size()) << simd::tier_name(tier);
+      for (std::size_t i = 0; i < hash.size(); ++i) {
+        EXPECT_EQ(hash[i].index, seed_hash[i].index);
+        EXPECT_EQ(hash[i].value, seed_hash[i].value);
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, BleuAndRougeIdenticalAcrossTiers) {
+  util::Rng rng(0xB1EU);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 4; ++i) {
+    pairs.emplace_back(random_text(rng, 200 + 40 * static_cast<std::size_t>(i)),
+                       random_text(rng, 220));
+  }
+  pairs.emplace_back("the cat sat on the mat", "the cat sat on a mat");
+  for (const auto& [cand, ref] : pairs) {
+    double want_bleu = 0.0, want_rouge = 0.0;
+    {
+      simd::TierScope scope(simd::Tier::kScalar);
+      want_bleu = metrics::bleu(cand, ref);
+      want_rouge = metrics::rouge(cand, ref);
+    }
+    for (const simd::Tier tier : available_tiers()) {
+      simd::TierScope scope(tier);
+      EXPECT_EQ(metrics::bleu(cand, ref), want_bleu);
+      EXPECT_EQ(metrics::rouge(cand, ref), want_rouge);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaparse

@@ -13,6 +13,9 @@
 // falls more than `tolerance` (default 25%) below the checked-in baseline.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -22,7 +25,10 @@
 #include <string_view>
 
 #include "core/cls1.hpp"
+#include "core/doc_source.hpp"
+#include "core/pipeline.hpp"
 #include "doc/generator.hpp"
+#include "obs/trace.hpp"
 #include "metrics/bleu.hpp"
 #include "metrics/edit_distance.hpp"
 #include "metrics/rouge.hpp"
@@ -336,6 +342,135 @@ bool is_forced_scalar(const std::string& name) {
              0;
 }
 
+// ---------------------------------------------------- tracing overhead --
+//
+// Two paired measurements gate the obs tracer's cost:
+//   * enabled: a full streaming-pipeline run with spans recorded vs the same
+//     run with tracing off — the end-to-end price of instrumentation must
+//     stay under kEnabledOverheadPct (alternating min-of-rounds, so machine
+//     drift hits both sides equally);
+//   * disabled: a hot loop containing a SpanGuard site vs the same loop
+//     without one — a disabled span site is one relaxed atomic load and must
+//     vanish below the measured run-to-run noise floor.
+// Results land in BENCH_micro.json under "tracing_overhead"; a breach makes
+// the process exit non-zero like the speedup gates.
+
+struct TracingOverhead {
+  double pipeline_traced_ns = 0.0;
+  double pipeline_untraced_ns = 0.0;
+  double pipeline_overhead_pct = 0.0;
+  double site_ns_per_op = 0.0;
+  double plain_ns_per_op = 0.0;
+  double disabled_overhead_pct = 0.0;
+  double noise_floor_pct = 0.0;
+  int failures = 0;
+};
+
+constexpr double kEnabledOverheadPct = 3.0;
+
+double time_pipeline_run(const core::Pipeline& pipeline,
+                         const std::vector<doc::Document>& docs) {
+  const auto start = std::chrono::steady_clock::now();
+  core::VectorSource source(docs);
+  std::size_t sunk = 0;
+  pipeline.run(source, [&](std::size_t, const io::ParseRecord&,
+                           const core::RouteDecision&) { ++sunk; });
+  const std::chrono::duration<double, std::nano> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (sunk != docs.size()) std::abort();  // the measurement itself is broken
+  return elapsed.count();
+}
+
+double time_token_loop(const std::string& text, std::size_t iters,
+                       bool with_span_site) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (with_span_site) {
+      obs::SpanGuard span("bench", "site");
+      total += text::count_tokens(text);
+    } else {
+      total += text::count_tokens(text);
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  const std::chrono::duration<double, std::nano> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count() / static_cast<double>(iters);
+}
+
+TracingOverhead measure_tracing_overhead() {
+  TracingOverhead report;
+  auto& tracer = obs::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+
+  // --- enabled path: paired pipeline runs, alternating, min of rounds. ----
+  core::EngineConfig config;
+  config.variant = core::Variant::kFastText;
+  const core::AdaParseEngine engine(config, nullptr,
+                                    std::make_shared<core::Cls2Improver>());
+  const auto docs =
+      doc::CorpusGenerator(doc::benchmark_config(96, 0x0B5)).generate();
+  const core::Pipeline pipeline(engine);
+
+  constexpr int kRounds = 4;
+  double traced = 0.0, untraced = 0.0;
+  for (int round = -1; round < kRounds; ++round) {  // round -1 = warmup
+    tracer.set_enabled(false);
+    const double off = time_pipeline_run(pipeline, docs);
+    tracer.set_enabled(true);
+    const double on = time_pipeline_run(pipeline, docs);
+    static_cast<void>(tracer.collect());  // drop this round's spans
+    if (round < 0) continue;
+    untraced = untraced == 0.0 ? off : std::min(untraced, off);
+    traced = traced == 0.0 ? on : std::min(traced, on);
+  }
+  tracer.set_enabled(was_enabled);
+  report.pipeline_traced_ns = traced;
+  report.pipeline_untraced_ns = untraced;
+  report.pipeline_overhead_pct = 100.0 * (traced - untraced) / untraced;
+
+  // --- disabled path: span site vs plain, against the noise floor. --------
+  tracer.set_enabled(false);
+  const std::string text = document_text().substr(0, 4096);
+  constexpr std::size_t kIters = 20000;
+  static_cast<void>(time_token_loop(text, kIters / 4, false));  // warmup
+  const double plain_a = time_token_loop(text, kIters, false);
+  const double site = time_token_loop(text, kIters, true);
+  const double plain_b = time_token_loop(text, kIters, false);
+  tracer.set_enabled(was_enabled);
+  const double plain = std::min(plain_a, plain_b);
+  report.site_ns_per_op = site;
+  report.plain_ns_per_op = plain;
+  report.disabled_overhead_pct = 100.0 * (site - plain) / plain;
+  // Run-to-run jitter of the identical plain loop, with a 2% minimum so a
+  // suspiciously quiet machine cannot make the gate flaky-tight.
+  report.noise_floor_pct = std::max(
+      2.0, 2.0 * 100.0 * std::abs(plain_a - plain_b) / plain);
+
+  if (report.pipeline_overhead_pct > kEnabledOverheadPct) {
+    std::cerr << "REGRESSION: tracing-enabled pipeline overhead "
+              << report.pipeline_overhead_pct << "% exceeds "
+              << kEnabledOverheadPct << "%\n";
+    ++report.failures;
+  } else {
+    std::cout << "  gate tracing_enabled_overhead: "
+              << report.pipeline_overhead_pct << "% <= " << kEnabledOverheadPct
+              << "% ok\n";
+  }
+  if (report.disabled_overhead_pct > report.noise_floor_pct) {
+    std::cerr << "REGRESSION: disabled span-site overhead "
+              << report.disabled_overhead_pct << "% above noise floor "
+              << report.noise_floor_pct << "%\n";
+    ++report.failures;
+  } else {
+    std::cout << "  gate tracing_disabled_overhead: "
+              << report.disabled_overhead_pct << "% <= noise floor "
+              << report.noise_floor_pct << "% ok\n";
+  }
+  return report;
+}
+
 int write_report_and_check(const CaptureReporter& reporter) {
   const std::string active_tier = simd::active_tier_name();
   util::JsonObject benchmarks;
@@ -362,9 +497,22 @@ int write_report_and_check(const CaptureReporter& reporter) {
     speedups[pair.key] = seed->second.real_ns / opt->second.real_ns;
   }
 
+  std::cout << "\nmeasuring tracing overhead (paired pipeline runs)...\n";
+  const TracingOverhead overhead = measure_tracing_overhead();
+  util::JsonObject tracing;
+  tracing["pipeline_traced_ns"] = overhead.pipeline_traced_ns;
+  tracing["pipeline_untraced_ns"] = overhead.pipeline_untraced_ns;
+  tracing["pipeline_overhead_pct"] = overhead.pipeline_overhead_pct;
+  tracing["enabled_gate_pct"] = kEnabledOverheadPct;
+  tracing["disabled_site_ns_per_op"] = overhead.site_ns_per_op;
+  tracing["disabled_plain_ns_per_op"] = overhead.plain_ns_per_op;
+  tracing["disabled_overhead_pct"] = overhead.disabled_overhead_pct;
+  tracing["noise_floor_pct"] = overhead.noise_floor_pct;
+
   util::JsonObject root;
   root["benchmarks"] = std::move(benchmarks);
   root["speedups"] = util::Json(speedups);
+  root["tracing_overhead"] = std::move(tracing);
   root["simd_tier"] = active_tier;
   const std::string out_path = "BENCH_micro.json";
   std::ofstream out(out_path);
@@ -376,7 +524,7 @@ int write_report_and_check(const CaptureReporter& reporter) {
   }
 
   const char* baseline_path = std::getenv("ADAPARSE_BENCH_BASELINE");
-  if (baseline_path == nullptr) return 0;
+  if (baseline_path == nullptr) return overhead.failures == 0 ? 0 : 1;
   std::ifstream in(baseline_path);
   if (!in) {
     std::cerr << "cannot read baseline " << baseline_path << "\n";
@@ -414,7 +562,7 @@ int write_report_and_check(const CaptureReporter& reporter) {
                 << "x ok\n";
     }
   }
-  return failures == 0 ? 0 : 1;
+  return failures + overhead.failures == 0 ? 0 : 1;
 }
 
 }  // namespace

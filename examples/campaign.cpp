@@ -29,6 +29,8 @@
 #include "doc/generator.hpp"
 #include "hpc/campaign.hpp"
 #include "io/fsio.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -190,5 +192,20 @@ int main(int argc, char** argv) {
   std::cout << "local wall time: " << util::format_fixed(wall.seconds(), 1)
             << " s\n";
   fs::remove_all(root);
+
+  // --- Trace export: with ADAPARSE_TRACE=<path> every run above recorded
+  // spans (coordinator, forked workers, pipeline stages); write them out as
+  // one Chrome/Perfetto JSON plus a terminal flame summary.
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    const auto records = tracer.collect();
+    std::cout << "\ntrace: " << records.size() << " spans ("
+              << tracer.dropped() << " dropped)\n"
+              << obs::render_flame_summary(records);
+    if (obs::write_env_trace(records)) {
+      std::cout << "trace written to " << tracer.env_path()
+                << " (open in ui.perfetto.dev)\n";
+    }
+  }
   return resumed_bytes == ref_bytes ? 0 : 1;
 }

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace written by obs::write_trace_json.
+
+Usage: check_trace.py [--min-pids N] [--min-spans N] trace.json
+
+Checks, in order:
+  1. the file is valid JSON with the expected top-level shape
+     ({"displayTimeUnit": ..., "traceEvents": [...]});
+  2. every event is either a ph:"M" process_name metadata record or a
+     ph:"X" duration slice with numeric ts/dur and an args object carrying
+     hex-string span_id/parent_id;
+  3. span ids are unique and non-zero;
+  4. every non-zero parent_id resolves to a span_id present in the file —
+     the cross-process guarantee: a forked worker's spans must still link
+     to the coordinator's campaign span after the kSpans wire round-trip;
+  5. events are sorted by (pid, tid, ts) in file order (the exporter's
+     documented ordering), and every pid group leads with its metadata
+     record;
+  6. at least --min-pids distinct pids contributed slices (a multi-process
+     campaign with a coordinator and two workers must show >= 3) and at
+     least --min-spans slices exist.
+
+Exits 0 and prints a one-line summary on success; prints every violation
+and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(errors: list[str]) -> None:
+    for e in errors:
+        print(f"check_trace: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument("--min-pids", type=int, default=1,
+                        help="minimum distinct pids with slices (default 1)")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="minimum ph:X slices (default 1)")
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail([f"cannot parse {args.trace}: {e}"])
+
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        fail([f"{args.trace}: missing traceEvents array"])
+    events = root["traceEvents"]
+    if not isinstance(events, list):
+        fail([f"{args.trace}: traceEvents is not an array"])
+
+    slices = []
+    metadata_pids = set()
+    span_ids: dict[str, int] = {}
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict) or "ph" not in ev:
+            errors.append(f"{where}: not an object with a ph field")
+            continue
+        if ev["ph"] == "M":
+            if ev.get("name") != "process_name":
+                errors.append(f"{where}: unexpected metadata {ev.get('name')}")
+            elif not isinstance(ev.get("pid"), int):
+                errors.append(f"{where}: metadata without integer pid")
+            else:
+                metadata_pids.add(ev["pid"])
+            continue
+        if ev["ph"] != "X":
+            errors.append(f"{where}: unexpected phase {ev['ph']!r}")
+            continue
+        ok = True
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: non-integer {key}")
+                ok = False
+        for key in ("ts", "dur"):
+            if not isinstance(ev.get(key), (int, float)):
+                errors.append(f"{where}: non-numeric {key}")
+                ok = False
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing name")
+            ok = False
+        span_args = ev.get("args")
+        if not isinstance(span_args, dict):
+            errors.append(f"{where}: missing args object")
+            ok = False
+        else:
+            for key in ("span_id", "parent_id"):
+                v = span_args.get(key)
+                if not (isinstance(v, str) and v.startswith("0x")):
+                    errors.append(f"{where}: args.{key} not a hex string")
+                    ok = False
+        if not ok:
+            continue
+        sid = span_args["span_id"]
+        if sid == "0x0":
+            errors.append(f"{where}: zero span_id")
+        elif sid in span_ids:
+            errors.append(
+                f"{where}: duplicate span_id {sid} "
+                f"(first at event[{span_ids[sid]}])")
+        else:
+            span_ids[sid] = i
+        slices.append((i, ev))
+
+    # Parent resolution across the whole file (cross-process links included).
+    for i, ev in slices:
+        parent = ev["args"]["parent_id"]
+        if parent != "0x0" and parent not in span_ids:
+            errors.append(
+                f"event[{i}]: parent_id {parent} does not resolve to any "
+                f"span in the trace")
+
+    # Exporter ordering: (pid, tid, ts) non-decreasing in file order, and
+    # each pid group must have been introduced by a metadata record.
+    prev_key = None
+    for i, ev in slices:
+        key = (ev["pid"], ev["tid"], ev["ts"])
+        if prev_key is not None and key < prev_key:
+            errors.append(
+                f"event[{i}]: out of order — {key} after {prev_key}")
+        prev_key = key
+        if ev["pid"] not in metadata_pids:
+            errors.append(
+                f"event[{i}]: pid {ev['pid']} has no process_name metadata")
+
+    pids = {ev["pid"] for _, ev in slices}
+    if len(slices) < args.min_spans:
+        errors.append(
+            f"only {len(slices)} spans, expected >= {args.min_spans}")
+    if len(pids) < args.min_pids:
+        errors.append(
+            f"only {len(pids)} distinct pids ({sorted(pids)}), "
+            f"expected >= {args.min_pids}")
+
+    if errors:
+        fail(errors)
+    roots = sum(
+        1 for _, ev in slices if ev["args"]["parent_id"] == "0x0")
+    print(
+        f"check_trace: ok — {len(slices)} spans, {len(pids)} pids, "
+        f"{roots} roots, all parent links resolve")
+
+
+if __name__ == "__main__":
+    main()

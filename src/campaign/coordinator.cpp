@@ -11,6 +11,7 @@
 
 #include "io/doc_codec.hpp"
 #include "io/fsio.hpp"
+#include "obs/trace.hpp"
 
 namespace adaparse::campaign {
 
@@ -85,6 +86,9 @@ void Coordinator::spawn_worker() {
   proc::Pipe::set_nonblocking(w.from_child.read_fd());
   w.alive = true;
   w.last_message = std::chrono::steady_clock::now();
+  obs::Tracer::instance().instant(
+      "campaign", "worker.spawn", "pid",
+      static_cast<std::uint64_t>(w.child.pid()));
   workers_.push_back(std::move(w));
   ++spawned_;
   update([](CampaignStats& s) { ++s.workers_spawned; });
@@ -121,6 +125,10 @@ void Coordinator::on_worker_lost(std::size_t index) {
   Worker& w = workers_[index];
   w.alive = false;
   const auto now = std::chrono::steady_clock::now();
+  obs::Tracer::instance().instant(
+      "campaign", "worker.death", "pid",
+      static_cast<std::uint64_t>(w.child.pid()), "queued",
+      static_cast<std::uint64_t>(w.assigned.size()));
   update([](CampaignStats& s) { ++s.workers_died; });
   if (!w.assigned.empty()) {
     // The front task was the running one (workers are FIFO): the wall
@@ -198,6 +206,8 @@ void Coordinator::maybe_quarantine_crash_suspect(const PendingTask& task) {
   q.doc_id = run_ids[task.docs_done];
   quarantined_.push_back(q);
   manifest_.append(q);
+  obs::Tracer::instance().instant("campaign", "quarantine", "shard",
+                                  static_cast<std::uint64_t>(task.shard));
   update([](CampaignStats& s) { ++s.docs_quarantined; });
 }
 
@@ -210,6 +220,9 @@ void Coordinator::check_heartbeats() {
     // into an ordinary death that reap() recovers from.
     w.child.kill(SIGKILL);
     w.kill_sent = true;
+    obs::Tracer::instance().instant(
+        "campaign", "worker.kill", "pid",
+        static_cast<std::uint64_t>(w.child.pid()));
     update([](CampaignStats& s) { ++s.workers_killed; });
   }
 }
@@ -238,6 +251,8 @@ void Coordinator::send_task(Worker& worker, std::size_t shard, bool hedge) {
   // A failed write means the worker is already gone; reap() requeues this
   // task along with the rest of its queue.
   proc::write_all(worker.to_child.write_fd(), proc::encode_frame(message));
+  obs::Tracer::instance().instant("campaign", hedge ? "hedge" : "dispatch",
+                                  "shard", shard, "attempt", task.attempt);
   worker.assigned.push_back(std::move(task));
 }
 
@@ -303,6 +318,10 @@ void Coordinator::dispatch() {
       revoke.attempt = stolen.attempt;
       proc::write_all(victim->to_child.write_fd(),
                       proc::encode_frame(revoke));
+      obs::Tracer::instance().instant(
+          "campaign", "steal", "shard",
+          static_cast<std::uint64_t>(stolen.shard), "victim_pid",
+          static_cast<std::uint64_t>(victim->child.pid()));
       update([](CampaignStats& s) { ++s.shards_stolen; });
       send_task(thief, stolen.shard, stolen.hedge);
       continue;
@@ -362,6 +381,16 @@ void Coordinator::drain_worker(std::size_t index) {
 void Coordinator::handle_message(std::size_t index, proc::Message message) {
   Worker& w = workers_[index];
   w.last_message = std::chrono::steady_clock::now();
+  if (message.type == proc::MsgType::kSpans) {
+    // Trace spans recorded inside the worker, re-homed into our tracer so
+    // the whole campaign exports as one coherent trace. Telemetry must
+    // never take a worker down: a malformed batch is dropped, not fatal.
+    try {
+      obs::Tracer::instance().adopt(obs::decode_spans(message.spans));
+    } catch (const std::runtime_error&) {
+    }
+    return;
+  }
   if (message.type == proc::MsgType::kHeartbeat) {
     for (PendingTask& task : w.assigned) {
       if (task.shard == message.shard && task.attempt == message.attempt) {
@@ -473,6 +502,10 @@ void Coordinator::commit(const proc::Message& message,
   }
   manifest_.append(record);
   si.phase = ShardInfo::Phase::kCommitted;
+  obs::Tracer::instance().instant("campaign", "commit", "shard",
+                                  static_cast<std::uint64_t>(task.shard),
+                                  "docs",
+                                  static_cast<std::uint64_t>(record.docs));
   committed_seconds_.push_back(static_cast<double>(message.wall_ms) / 1e3);
   ++commits_this_run_;
   const std::size_t docs = record.docs;

@@ -10,25 +10,14 @@
 #include "campaign/worker.hpp"
 #include "io/doc_codec.hpp"
 #include "io/fsio.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
 #include "simd/dispatch.hpp"
 #include "util/stopwatch.hpp"
 
 namespace adaparse::campaign {
-namespace {
-
-// Monotonic series render as counters, point-in-time ones as gauges — the
-// same split serve::MetricsRegistry uses.
-void emit_counter(std::ostringstream& os, const char* name, double value) {
-  os << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
-}
-
-void emit_gauge(std::ostringstream& os, const char* name, double value) {
-  os << "# TYPE " << name << " gauge\n" << name << ' ' << value << '\n';
-}
-
-}  // namespace
 
 struct CampaignRunner::AttemptResult {
   enum class Kind { kSuccess, kFailed, kCancelled };
@@ -44,51 +33,61 @@ struct CampaignRunner::AttemptResult {
 };
 
 std::string render_prometheus(const CampaignStats& stats) {
-  std::ostringstream os;
-  emit_gauge(os, "adaparse_campaign_shards_total",
-             static_cast<double>(stats.shards_total));
-  emit_counter(os, "adaparse_campaign_shards_committed",
-               static_cast<double>(stats.shards_committed));
-  emit_counter(os, "adaparse_campaign_shards_resumed_skip",
-               static_cast<double>(stats.shards_resumed_skip));
-  emit_counter(os, "adaparse_campaign_attempts_started",
-               static_cast<double>(stats.attempts_started));
-  emit_counter(os, "adaparse_campaign_attempts_failed",
-               static_cast<double>(stats.attempts_failed));
-  emit_counter(os, "adaparse_campaign_shards_retried",
-               static_cast<double>(stats.shards_retried));
-  emit_counter(os, "adaparse_campaign_hedges_launched",
-               static_cast<double>(stats.hedges_launched));
-  emit_counter(os, "adaparse_campaign_hedges_won",
-               static_cast<double>(stats.hedges_won));
-  emit_counter(os, "adaparse_campaign_docs_processed",
-               static_cast<double>(stats.docs_processed));
-  emit_counter(os, "adaparse_campaign_docs_quarantined",
-               static_cast<double>(stats.docs_quarantined));
-  emit_counter(os, "adaparse_campaign_corrupt_shard_recoveries",
-               static_cast<double>(stats.corrupt_shard_recoveries));
-  emit_counter(os, "adaparse_campaign_corrupt_output_recoveries",
-               static_cast<double>(stats.corrupt_output_recoveries));
-  emit_gauge(os, "adaparse_campaign_recovered_torn_manifest",
-             stats.recovered_torn_manifest ? 1.0 : 0.0);
-  emit_counter(os, "adaparse_campaign_workers_spawned",
-               static_cast<double>(stats.workers_spawned));
-  emit_counter(os, "adaparse_campaign_workers_died",
-               static_cast<double>(stats.workers_died));
-  emit_counter(os, "adaparse_campaign_workers_killed",
-               static_cast<double>(stats.workers_killed));
-  emit_counter(os, "adaparse_campaign_shards_stolen",
-               static_cast<double>(stats.shards_stolen));
-  emit_counter(os, "adaparse_campaign_recovery_events",
-               static_cast<double>(stats.recovery_latency_seconds.size()));
-  emit_counter(os, "adaparse_campaign_recovery_wall_seconds",
-               stats.recovery_wall_seconds);
-  emit_gauge(os, "adaparse_campaign_wall_seconds", stats.wall_seconds);
-  emit_gauge(os, "adaparse_campaign_halted", stats.halted ? 1.0 : 0.0);
-  emit_gauge(os, "adaparse_campaign_completed", stats.completed ? 1.0 : 0.0);
-  os << "# TYPE adaparse_simd_tier gauge\n"
-     << "adaparse_simd_tier{tier=\"" << simd::active_tier_name() << "\"} 1\n";
-  return os.str();
+  // Built on the shared obs::Registry renderer. Values go in as doubles —
+  // the campaign exposition has always rendered through double formatting —
+  // and this surface carries no HELP lines; both properties keep the output
+  // byte-identical to the pre-registry renderer.
+  obs::Registry registry;
+  const auto counter = [&registry](const char* name, double value) {
+    registry.counter(name).set(value);
+  };
+  const auto gauge = [&registry](const char* name, double value) {
+    registry.gauge(name).set(value);
+  };
+  gauge("adaparse_campaign_shards_total",
+        static_cast<double>(stats.shards_total));
+  counter("adaparse_campaign_shards_committed",
+          static_cast<double>(stats.shards_committed));
+  counter("adaparse_campaign_shards_resumed_skip",
+          static_cast<double>(stats.shards_resumed_skip));
+  counter("adaparse_campaign_attempts_started",
+          static_cast<double>(stats.attempts_started));
+  counter("adaparse_campaign_attempts_failed",
+          static_cast<double>(stats.attempts_failed));
+  counter("adaparse_campaign_shards_retried",
+          static_cast<double>(stats.shards_retried));
+  counter("adaparse_campaign_hedges_launched",
+          static_cast<double>(stats.hedges_launched));
+  counter("adaparse_campaign_hedges_won",
+          static_cast<double>(stats.hedges_won));
+  counter("adaparse_campaign_docs_processed",
+          static_cast<double>(stats.docs_processed));
+  counter("adaparse_campaign_docs_quarantined",
+          static_cast<double>(stats.docs_quarantined));
+  counter("adaparse_campaign_corrupt_shard_recoveries",
+          static_cast<double>(stats.corrupt_shard_recoveries));
+  counter("adaparse_campaign_corrupt_output_recoveries",
+          static_cast<double>(stats.corrupt_output_recoveries));
+  gauge("adaparse_campaign_recovered_torn_manifest",
+        stats.recovered_torn_manifest ? 1.0 : 0.0);
+  counter("adaparse_campaign_workers_spawned",
+          static_cast<double>(stats.workers_spawned));
+  counter("adaparse_campaign_workers_died",
+          static_cast<double>(stats.workers_died));
+  counter("adaparse_campaign_workers_killed",
+          static_cast<double>(stats.workers_killed));
+  counter("adaparse_campaign_shards_stolen",
+          static_cast<double>(stats.shards_stolen));
+  counter("adaparse_campaign_recovery_events",
+          static_cast<double>(stats.recovery_latency_seconds.size()));
+  counter("adaparse_campaign_recovery_wall_seconds",
+          stats.recovery_wall_seconds);
+  gauge("adaparse_campaign_wall_seconds", stats.wall_seconds);
+  gauge("adaparse_campaign_halted", stats.halted ? 1.0 : 0.0);
+  gauge("adaparse_campaign_completed", stats.completed ? 1.0 : 0.0);
+  registry.gauge("adaparse_simd_tier", "", {{"tier", simd::active_tier_name()}})
+      .set(1);
+  return registry.render_prometheus();
 }
 
 CampaignRunner::CampaignRunner(const core::AdaParseEngine& engine,
@@ -131,6 +130,7 @@ std::string CampaignRunner::fingerprint() const {
 }
 
 void CampaignRunner::stage(const SourceFactory& source, ManifestState& state) {
+  obs::SpanGuard stage_span("campaign", "stage");
   auto stream = source();
   std::vector<doc::Document> chunk;
   chunk.reserve(config_.docs_per_shard);
@@ -152,6 +152,8 @@ void CampaignRunner::stage(const SourceFactory& source, ManifestState& state) {
   // The plan record is the staging commit point: a crash before this line
   // re-stages everything; after it, shard files are durable inputs.
   manifest_->append(plan);
+  stage_span.arg("docs", plan.docs);
+  stage_span.arg("shards", plan.shard_docs.size());
   state.plan = std::move(plan);
 }
 
@@ -478,6 +480,30 @@ void CampaignRunner::run_multi_process(const SourceFactory& source) {
 
 CampaignStats CampaignRunner::run(const SourceFactory& source) {
   util::Stopwatch wall;
+
+  // Root span of the whole campaign. Publishing its id as the ambient trace
+  // context makes it the parent of every root span recorded below — on this
+  // process's pool threads AND inside forked workers, which inherit the
+  // context through the fork memory image and flush their spans back over
+  // kSpans frames.
+  obs::SpanGuard run_span("campaign", "run");
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const obs::TraceContext outer_ctx = tracer.context();
+  struct ContextRestore {
+    obs::Tracer& tracer;
+    obs::TraceContext saved;
+    bool armed;
+    ~ContextRestore() {
+      if (armed) tracer.set_context(saved);
+    }
+  } restore{tracer, outer_ctx, run_span.active()};
+  if (run_span.active()) {
+    obs::TraceContext ctx = outer_ctx;
+    if (ctx.trace_id == 0) ctx.trace_id = run_span.id();
+    ctx.parent_span = run_span.id();
+    tracer.set_context(ctx);
+  }
+
   std::filesystem::create_directories(config_.dir);
 
   {
@@ -534,6 +560,12 @@ CampaignStats CampaignRunner::run(const SourceFactory& source) {
         ++stats_.corrupt_output_recoveries;
       }
       pending_.push_back(i);
+    }
+    if (stats_.shards_resumed_skip > 0) {
+      obs::Tracer::instance().instant(
+          "campaign", "resume", "skipped",
+          static_cast<std::uint64_t>(stats_.shards_resumed_skip), "pending",
+          static_cast<std::uint64_t>(pending_.size()));
     }
   }
 
@@ -596,6 +628,8 @@ CampaignStats CampaignRunner::run(const SourceFactory& source) {
       stats_.completed = true;
     }
     stats_.wall_seconds = wall.seconds();
+    run_span.arg("docs", stats_.docs_processed);
+    run_span.arg("shards", stats_.shards_committed);
     return stats_;
   }
 }

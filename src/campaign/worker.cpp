@@ -17,6 +17,7 @@
 
 #include "core/pipeline.hpp"
 #include "io/doc_codec.hpp"
+#include "obs/trace.hpp"
 #include "io/fsio.hpp"
 #include "io/jsonl.hpp"
 #include "proc/pipe.hpp"
@@ -97,6 +98,8 @@ AttemptOutcome ShardExecutor::run_attempt(
     const std::function<void(std::size_t)>& on_record) const {
   util::Stopwatch wall;
   AttemptOutcome result;
+  obs::SpanGuard attempt_span("campaign", "attempt", "shard", shard,
+                              "attempt", attempt);
 
   // --- Read the shard, re-staging from the source if the file is damaged.
   std::vector<doc::Document> docs;
@@ -188,10 +191,20 @@ AttemptOutcome ShardExecutor::run_attempt(
   std::vector<io::ParseRecord> records;
   records.reserve(attempt_docs.size());
   core::VectorSource attempt_source(attempt_docs);
+  // Pipeline stage spans run on pool threads whose span stacks are empty;
+  // pointing the ambient parent at this attempt links them under it (and,
+  // through the fork-inherited context, under the coordinator's campaign
+  // span).
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const obs::TraceContext outer_ctx = tracer.context();
+  if (attempt_span.active()) {
+    tracer.set_context({outer_ctx.trace_id, attempt_span.id()});
+  }
   const core::EngineStats run_stats = pipeline.run(
       attempt_source,
       [&](std::size_t, const io::ParseRecord& record,
           const core::RouteDecision&) { records.push_back(record); });
+  if (attempt_span.active()) tracer.set_context(outer_ctx);
   result.wall_seconds = wall.seconds();
 
   if (failing) {
@@ -228,6 +241,36 @@ int worker_main(const ShardExecutor& executor, int task_fd, int result_fd) {
   // with EPIPE, not kill us with SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
   proc::Pipe::set_nonblocking(task_fd);
+
+  // Tracing across the fork boundary: drop the ring contents inherited from
+  // the coordinator (it still owns those records) and re-stamp our pid; the
+  // trace id + parent span id arrive through the fork memory image, so our
+  // spans parent to the coordinator's campaign span with no handshake.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.on_fork_child();
+  const auto flush_spans = [&tracer, result_fd] {
+    if (!tracer.enabled()) return;
+    const std::vector<obs::SpanRecord> spans = tracer.collect();
+    // Chunked so a frame can never brush against the wire's payload cap.
+    constexpr std::size_t kChunk = 50000;
+    for (std::size_t i = 0; i < spans.size(); i += kChunk) {
+      const std::vector<obs::SpanRecord> slice(
+          spans.begin() + static_cast<std::ptrdiff_t>(i),
+          spans.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(spans.size(), i + kChunk)));
+      proc::Message frame;
+      frame.type = proc::MsgType::kSpans;
+      frame.spans = obs::encode_spans(slice);
+      if (!proc::write_all(result_fd, proc::encode_frame(frame))) return;
+    }
+  };
+  {
+    // Flushed before any task runs, so even a worker that is SIGKILLed
+    // mid-shard has already contributed its pid to the trace.
+    obs::SpanGuard boot("worker", "boot", "pid",
+                        static_cast<std::uint64_t>(::getpid()));
+  }
+  flush_spans();
 
   // A worker process runs one attempt at a time and owns its pipeline
   // substrate — process isolation is the point, nothing is shared.
@@ -343,7 +386,9 @@ int worker_main(const ShardExecutor& executor, int task_fd, int result_fd) {
       result.failed_doc_id = outcome.failed_doc_id;
     }
     if (!proc::write_all(result_fd, proc::encode_frame(result))) break;
+    flush_spans();
   }
+  flush_spans();
   return 0;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "io/jsonl.hpp"
+#include "obs/trace.hpp"
 #include "sched/queue.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
@@ -60,6 +61,7 @@ Pipeline::Pipeline(const AdaParseEngine& engine, PipelineConfig config)
 
 EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
   util::Stopwatch wall;
+  obs::SpanGuard run_span("pipeline", "run");
   EngineStats stats;
 
   const std::size_t cap = std::max<std::size_t>(1, config_.queue_capacity);
@@ -152,7 +154,11 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
           break;  // stop admitting; everything in flight still drains
         }
         util::Stopwatch op;
-        DocPtr doc = source.next();
+        DocPtr doc;
+        {
+          obs::SpanGuard span("pipeline", "prefetch", "doc", index);
+          doc = source.next();
+        }
         clock.busy += op.seconds();
         if (!doc) break;
         op.reset();
@@ -187,7 +193,17 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
           ExtractedItem out;
           out.index = item->index;
           out.doc = std::move(item->doc);
-          out.extraction = engine_.extractor_->parse(*out.doc);
+          {
+            obs::SpanGuard span("pipeline", "extract", "doc", out.index);
+            out.extraction = engine_.extractor_->parse(*out.doc);
+            if (span.active()) {
+              std::size_t bytes = 0;
+              for (const auto& page : out.extraction.pages) {
+                bytes += page.size();
+              }
+              span.arg("bytes", bytes);
+            }
+          }
           const std::size_t now = ++resident;
           std::size_t seen = peak_resident.load();
           while (now > seen &&
@@ -235,8 +251,12 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
         }
         std::vector<RouteDecision> decisions(window.size());
         util::Stopwatch work;
-        engine_.route_window(docs.data(), extractions.data(), window.size(),
-                             base, decisions.data());
+        {
+          obs::SpanGuard span("pipeline", "route.window", "base", base, "docs",
+                              window.size());
+          engine_.route_window(docs.data(), extractions.data(), window.size(),
+                               base, decisions.data());
+        }
         clock.busy += work.seconds();
         for (std::size_t i = 0; i < window.size(); ++i) {
           DoneItem out;
@@ -300,10 +320,18 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
           if (!item) break;
           op.reset();
           if (item->decision.chosen == parsers::ParserKind::kNougat) {
+            obs::SpanGuard span("pipeline", "upgrade", "doc", item->index);
             cache.get_or_load(
                 "nougat", [] { return std::make_shared<int>(0); },
                 engine_.nougat_->model_load_seconds());
             item->upgrade = engine_.nougat_->parse(*item->doc);
+            if (span.active() && item->upgrade.has_value()) {
+              std::size_t bytes = 0;
+              for (const auto& page : item->upgrade->pages) {
+                bytes += page.size();
+              }
+              span.arg("bytes", bytes);
+            }
           }
           clock.busy += op.seconds();
           op.reset();
@@ -336,6 +364,8 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
         clock.idle += op.seconds();
         if (!item) break;
         op.reset();
+        obs::SpanGuard span("pipeline", "write.emit", "first", next);
+        std::size_t emitted = 0;
         out_of_order.emplace(item->index, std::move(*item));
         for (auto it = out_of_order.find(next); it != out_of_order.end();
              it = out_of_order.find(next)) {
@@ -351,8 +381,10 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
           ++stats.total_docs;
           ++next;
           ++clock.items;
+          ++emitted;
           if (config_.on_progress) config_.on_progress(stats.total_docs);
         }
+        span.arg("docs", emitted);
         clock.busy += op.seconds();
       }
     } catch (...) {
@@ -389,6 +421,7 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
   fill(stats.pipeline.write, write_clock, 0);
   stats.wall_seconds = wall.seconds();
   stats.simd_tier = simd::active_tier_name();
+  run_span.arg("docs", stats.total_docs);
   return stats;
 }
 

@@ -1,0 +1,186 @@
+#include "obs/export.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "hpc/trace.hpp"
+
+namespace adaparse::obs {
+namespace {
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << *s;
+        }
+    }
+  }
+}
+
+void hex_id(std::ostream& os, std::uint64_t id) {
+  os << "\"0x" << std::hex << id << std::dec << '"';
+}
+
+void micros(std::ostream& os, std::uint64_t ns) {
+  os << std::fixed << std::setprecision(3)
+     << static_cast<double>(ns) / 1000.0;
+  os.unsetf(std::ios::floatfield);
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os, std::vector<SpanRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.pid != b.pid) return a.pid < b.pid;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;  // enclosing span first
+            });
+  const std::uint32_t self = static_cast<std::uint32_t>(::getpid());
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint32_t named_pid = 0;
+  bool named_any = false;
+  for (const SpanRecord& rec : records) {
+    if (!named_any || rec.pid != named_pid) {
+      // First record of each pid group: emit its process-name metadata.
+      if (!first) os << ',';
+      first = false;
+      os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << rec.pid
+         << ",\"args\":{\"name\":\""
+         << (rec.pid == self ? "adaparse coordinator" : "adaparse worker")
+         << " (pid " << rec.pid << ")\"}}";
+      named_pid = rec.pid;
+      named_any = true;
+    }
+    os << ",{\"ph\":\"X\",\"pid\":" << rec.pid << ",\"tid\":" << rec.tid
+       << ",\"ts\":";
+    micros(os, rec.start_ns);
+    os << ",\"dur\":";
+    micros(os, rec.dur_ns);
+    os << ",\"cat\":\"";
+    json_escape(os, rec.category);
+    os << "\",\"name\":\"";
+    json_escape(os, rec.name);
+    os << "\",\"args\":{\"span_id\":";
+    hex_id(os, rec.id);
+    os << ",\"parent_id\":";
+    hex_id(os, rec.parent);
+    if (rec.instant) os << ",\"instant\":1";
+    if (rec.tag != nullptr) {
+      os << ",\"tag\":\"";
+      json_escape(os, rec.tag);
+      os << '"';
+    }
+    if (rec.arg1_name != nullptr) {
+      os << ",\"";
+      json_escape(os, rec.arg1_name);
+      os << "\":" << rec.arg1;
+    }
+    if (rec.arg2_name != nullptr) {
+      os << ",\"";
+      json_escape(os, rec.arg2_name);
+      os << "\":" << rec.arg2;
+    }
+    os << "}}";
+  }
+  os << "]}\n";
+}
+
+std::string trace_to_json(std::vector<SpanRecord> records) {
+  std::ostringstream os;
+  write_trace_json(os, std::move(records));
+  return os.str();
+}
+
+bool write_env_trace() { return write_env_trace(Tracer::instance().collect()); }
+
+bool write_env_trace(std::vector<SpanRecord> records) {
+  Tracer& tracer = Tracer::instance();
+  const std::string& path = tracer.env_path();
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  write_trace_json(out, std::move(records));
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+  return true;
+}
+
+std::string render_flame_summary(const std::vector<SpanRecord>& records,
+                                 std::size_t width) {
+  struct Stage {
+    std::uint64_t total_ns = 0;
+    std::uint64_t count = 0;
+  };
+  // map keeps the output alphabetical within equal totals (deterministic).
+  std::map<std::string, Stage> stages;
+  for (const SpanRecord& rec : records) {
+    if (rec.instant) continue;
+    Stage& stage = stages[std::string(rec.category) + "/" + rec.name];
+    stage.total_ns += rec.dur_ns;
+    ++stage.count;
+  }
+  std::vector<std::pair<std::string, Stage>> rows(stages.begin(), stages.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_ns > b.second.total_ns;
+                   });
+  std::size_t name_width = 0;
+  std::uint64_t max_ns = 1;
+  for (const auto& [name, stage] : rows) {
+    name_width = std::max(name_width, name.size());
+    max_ns = std::max(max_ns, stage.total_ns);
+  }
+  std::ostringstream os;
+  for (const auto& [name, stage] : rows) {
+    const double share =
+        static_cast<double>(stage.total_ns) / static_cast<double>(max_ns);
+    // One cell per column, partially filled at the bar's leading edge, fed
+    // through the same glyph ramp the HPC utilization traces use.
+    std::vector<double> cells(width, 0.0);
+    for (std::size_t i = 0; i < width; ++i) {
+      cells[i] = std::clamp(share * static_cast<double>(width) -
+                                static_cast<double>(i),
+                            0.0, 1.0);
+    }
+    os << std::left << std::setw(static_cast<int>(name_width)) << name
+       << std::right << ' ' << std::setw(10) << std::fixed
+       << std::setprecision(3)
+       << static_cast<double>(stage.total_ns) / 1e9 << " s " << std::setw(8)
+       << stage.count << "x  " << hpc::render_row(cells) << '\n';
+    os.unsetf(std::ios::floatfield);
+  }
+  return os.str();
+}
+
+}  // namespace adaparse::obs

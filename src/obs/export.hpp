@@ -1,0 +1,37 @@
+// Trace exporters: Chrome trace-event / Perfetto JSON and an ASCII per-stage
+// flame summary for bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace adaparse::obs {
+
+// Renders records as a Chrome trace-event JSON object ("traceEvents" array of
+// ph:"X" duration slices, instants as zero-duration slices, plus ph:"M"
+// process-name metadata). Events are sorted by (pid, tid, ts), timestamps are
+// microseconds since the tracer epoch, and span/parent ids are emitted as hex
+// strings under args (u64 ids do not survive a double round-trip). Load the
+// file at https://ui.perfetto.dev or chrome://tracing.
+std::string trace_to_json(std::vector<SpanRecord> records);
+void write_trace_json(std::ostream& os, std::vector<SpanRecord> records);
+
+// Collects everything buffered in Tracer::instance() and writes it to the
+// path from ADAPARSE_TRACE. Returns false (and writes nothing) when the env
+// knob is unset; throws std::runtime_error when the file cannot be written.
+// The overload writes already-collected records instead (Tracer::collect()
+// drains the rings, so a caller that collected for its own reporting must
+// pass those records along rather than collect twice).
+bool write_env_trace();
+bool write_env_trace(std::vector<SpanRecord> records);
+
+// Aggregates spans by category:name and renders one line per stage — total
+// busy time, call count, and a sparkline-style bar scaled to the busiest
+// stage (the hpc::render_row glyph ramp). Instant events are skipped.
+std::string render_flame_summary(const std::vector<SpanRecord>& records,
+                                 std::size_t width = 32);
+
+}  // namespace adaparse::obs

@@ -1,0 +1,333 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace adaparse::obs {
+
+struct Registry::Series {
+  Labels labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<Quantile> quantile;
+};
+
+struct Registry::Family {
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  std::vector<std::unique_ptr<Series>> series;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+namespace {
+
+void render_value(std::ostream& os, const Value& v) {
+  if (v.integral) {
+    os << static_cast<long long>(std::llround(v.num));
+  } else {
+    os << v.num;
+  }
+}
+
+void render_labels(std::ostream& os, const Labels& labels,
+                   const Labels& extra = {}) {
+  if (labels.empty() && extra.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const Labels* group : {&labels, &extra}) {
+    for (const auto& [key, value] : *group) {
+      if (!first) os << ',';
+      first = false;
+      os << key << "=\"" << Registry::escape_label(value) << '"';
+    }
+  }
+  os << '}';
+}
+
+const char* type_name(Registry::Kind kind);
+
+}  // namespace
+
+// ----------------------------------------------------------- instruments --
+
+void Counter::add(Value v) {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  value_.integral = value_.integral && v.integral;
+  value_.num += v.num;
+}
+
+void Counter::set(Value v) {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  value_ = v;
+}
+
+double Counter::value() const {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return value_.num;
+}
+
+void Gauge::set(Value v) {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  value_ = v;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return value_.num;
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  std::size_t bucket = edges_.size();  // +Inf
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (v <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  sum_ += v;
+  ++count_;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return sum_;
+}
+
+void Quantile::observe(double v) {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  for (util::P2Quantile& est : estimators_) est.add(v);
+  ++count_;
+}
+
+double Quantile::estimate(std::size_t q_index) const {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return estimators_.at(q_index).value();
+}
+
+std::uint64_t Quantile::count() const {
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return count_;
+}
+
+// -------------------------------------------------------------- registry --
+
+Registry::Family& Registry::family_locked(const std::string& name,
+                                          const std::string& help, Kind kind) {
+  for (const auto& f : families_) {
+    if (f->name == name) {
+      if (f->kind != kind) {
+        throw std::logic_error("metric family '" + name +
+                               "' reused with a different instrument kind");
+      }
+      return *f;
+    }
+  }
+  families_.push_back(std::make_unique<Family>());
+  Family& family = *families_.back();
+  family.name = name;
+  family.help = help;
+  family.kind = kind;
+  return family;
+}
+
+void Registry::declare(const std::string& name, const std::string& help,
+                       Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  family_locked(name, help, kind);
+}
+
+Registry::Series& Registry::series(const std::string& name,
+                                   const std::string& help, Kind kind,
+                                   const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_locked(name, help, kind);
+  for (const auto& s : family.series) {
+    if (s->labels == labels) return *s;
+  }
+  family.series.push_back(std::make_unique<Series>());
+  Series& s = *family.series.back();
+  s.labels = labels;
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  Series& s = series(name, help, Kind::kCounter, labels);
+  if (!s.counter) {
+    s.counter = std::make_unique<Counter>();
+    s.counter->owner_ = this;
+  }
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  Series& s = series(name, help, Kind::kGauge, labels);
+  if (!s.gauge) {
+    s.gauge = std::make_unique<Gauge>();
+    s.gauge->owner_ = this;
+  }
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<double> edges,
+                               const Labels& labels) {
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    if (edges[i] <= edges[i - 1]) {
+      throw std::logic_error("histogram edges must be strictly increasing");
+    }
+  }
+  Series& s = series(name, help, Kind::kHistogram, labels);
+  if (!s.histogram) {
+    s.histogram = std::make_unique<Histogram>();
+    s.histogram->owner_ = this;
+    s.histogram->edges_ = std::move(edges);
+    s.histogram->buckets_.assign(s.histogram->edges_.size() + 1, 0);
+  }
+  return *s.histogram;
+}
+
+Quantile& Registry::quantile(const std::string& name, const std::string& help,
+                             std::vector<double> qs, const Labels& labels) {
+  Series& s = series(name, help, Kind::kQuantile, labels);
+  if (!s.quantile) {
+    s.quantile = std::make_unique<Quantile>();
+    s.quantile->owner_ = this;
+    for (const double q : qs) s.quantile->estimators_.emplace_back(q);
+    s.quantile->qs_ = std::move(qs);
+  }
+  return *s.quantile;
+}
+
+namespace {
+
+const char* type_name(Registry::Kind kind) {
+  switch (kind) {
+    case Registry::Kind::kCounter:
+      return "counter";
+    case Registry::Kind::kHistogram:
+      return "histogram";
+    case Registry::Kind::kGauge:
+    case Registry::Kind::kQuantile:
+      break;
+  }
+  return "gauge";
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& family : families_) {
+    if (!family->help.empty()) {
+      os << "# HELP " << family->name << ' ' << family->help << '\n';
+    }
+    os << "# TYPE " << family->name << ' ' << type_name(family->kind) << '\n';
+    for (const auto& s : family->series) {
+      switch (family->kind) {
+        case Kind::kCounter: {
+          os << family->name;
+          render_labels(os, s->labels);
+          os << ' ';
+          render_value(os, s->counter->value_);
+          os << '\n';
+          break;
+        }
+        case Kind::kGauge: {
+          os << family->name;
+          render_labels(os, s->labels);
+          os << ' ';
+          render_value(os, s->gauge->value_);
+          os << '\n';
+          break;
+        }
+        case Kind::kHistogram: {
+          const Histogram& h = *s->histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.edges_.size(); ++i) {
+            cumulative += h.buckets_[i];
+            std::ostringstream le;
+            le << h.edges_[i];
+            os << family->name << "_bucket";
+            render_labels(os, s->labels, {{"le", le.str()}});
+            os << ' ' << cumulative << '\n';
+          }
+          os << family->name << "_bucket";
+          render_labels(os, s->labels, {{"le", "+Inf"}});
+          os << ' ' << h.count_ << '\n';
+          os << family->name << "_sum";
+          render_labels(os, s->labels);
+          os << ' ' << h.sum_ << '\n';
+          os << family->name << "_count";
+          render_labels(os, s->labels);
+          os << ' ' << h.count_ << '\n';
+          break;
+        }
+        case Kind::kQuantile: {
+          const Quantile& q = *s->quantile;
+          for (std::size_t i = 0; i < q.qs_.size(); ++i) {
+            std::ostringstream qv;
+            qv << q.qs_[i];
+            os << family->name;
+            render_labels(os, s->labels, {{"quantile", qv.str()}});
+            os << ' ' << q.estimators_[i].value() << '\n';
+          }
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+std::vector<double> Registry::log_buckets(double lo, double hi,
+                                          std::size_t count) {
+  if (!(lo > 0.0) || !(hi > lo) || count < 2) {
+    throw std::logic_error("log_buckets requires 0 < lo < hi and count >= 2");
+  }
+  std::vector<double> edges;
+  edges.reserve(count);
+  const double ratio = std::log(hi / lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(lo * std::exp(ratio * static_cast<double>(i)));
+  }
+  edges.back() = hi;  // land exactly on hi despite float rounding
+  return edges;
+}
+
+std::string Registry::escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace adaparse::obs

@@ -1,0 +1,157 @@
+// Shared metrics registry: counters, gauges, log-bucket histograms, and
+// P²-quantile summaries behind ONE Prometheus text renderer.
+//
+// Two usage styles, both first-class:
+//   * live instruments — create once, update from anywhere (thread-safe via
+//     the registry mutex; none of these sit on a per-document hot path);
+//   * snapshot builder — build a fresh Registry inside an existing stats
+//     object's render call and set absolute values. This is how
+//     serve::MetricsRegistry and campaign::render_prometheus migrate onto the
+//     shared renderer without changing their exposition byte-for-byte.
+//
+// Rendering rules (chosen to reproduce the legacy expositions exactly):
+//   * families render in creation order, series within a family in creation
+//     order;
+//   * a family with empty help renders no "# HELP" line (campaign style);
+//   * integral values render as integers, real values through default
+//     ostream formatting (so 0.25 -> "0.25", 4.0 -> "4");
+//   * label values are escaped (backslash, quote, newline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace adaparse::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// A sample that remembers whether it was set from an integral type, so the
+// renderer can print `7` for counts but `0.25` / `2.5e+06` for reals.
+struct Value {
+  double num = 0.0;
+  bool integral = true;
+
+  Value() = default;
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Value(T v) : num(static_cast<double>(v)), integral(true) {}  // NOLINT
+  template <typename T, std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  Value(T v) : num(static_cast<double>(v)), integral(false) {}  // NOLINT
+};
+
+class Registry;
+
+class Counter {
+ public:
+  void add(Value v);
+  void set(Value v);  // snapshot-builder style: absolute value
+  double value() const;
+
+ private:
+  friend class Registry;
+  Registry* owner_ = nullptr;
+  Value value_;
+};
+
+class Gauge {
+ public:
+  void set(Value v);
+  double value() const;
+
+ private:
+  friend class Registry;
+  Registry* owner_ = nullptr;
+  Value value_;
+};
+
+// Fixed-edge histogram (cumulative Prometheus buckets + _sum/_count). Edges
+// are upper bounds, strictly increasing; a trailing +Inf bucket is implicit.
+class Histogram {
+ public:
+  void observe(double v);
+  std::uint64_t count() const;
+  double sum() const;
+
+ private:
+  friend class Registry;
+  Registry* owner_ = nullptr;
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> buckets_;  // edges_.size() + 1 (last = +Inf)
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+// Streaming quantile estimates (util::P2Quantile per requested q), rendered
+// as a gauge family with a `quantile` label — the serve exposition style.
+class Quantile {
+ public:
+  void observe(double v);
+  double estimate(std::size_t q_index) const;
+  std::uint64_t count() const;
+
+ private:
+  friend class Registry;
+  Registry* owner_ = nullptr;
+  std::vector<double> qs_;
+  std::vector<util::P2Quantile> estimators_;
+  std::uint64_t count_ = 0;
+};
+
+class Registry {
+ public:
+  Registry();   // out of line: Family is incomplete here
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  enum class Kind { kCounter, kGauge, kHistogram, kQuantile };
+
+  // Creates (or finds) a family without adding a series — lets a snapshot
+  // builder emit HELP/TYPE headers even while a labeled family has zero
+  // series, as the serve exposition does before any tenant exists.
+  void declare(const std::string& name, const std::string& help, Kind kind);
+
+  // Instrument handles are stable for the registry's lifetime. Repeated calls
+  // with the same (name, labels) return the same instrument; a name reused
+  // with a different instrument kind throws std::logic_error.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> edges, const Labels& labels = {});
+  Quantile& quantile(const std::string& name, const std::string& help,
+                     std::vector<double> qs, const Labels& labels = {});
+
+  // The one Prometheus text renderer.
+  std::string render_prometheus() const;
+
+  // `count` log-spaced upper bounds from lo to hi inclusive (lo, hi > 0).
+  static std::vector<double> log_buckets(double lo, double hi,
+                                         std::size_t count);
+  static std::string escape_label(const std::string& value);
+
+ private:
+  struct Series;
+  struct Family;
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  friend class Quantile;
+
+  Family& family_locked(const std::string& name, const std::string& help,
+                        Kind kind);
+  Series& series(const std::string& name, const std::string& help, Kind kind,
+                 const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace adaparse::obs

@@ -1,0 +1,437 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace adaparse::obs {
+namespace {
+
+constexpr std::size_t kRingCapacity = 16384;  // records per thread (~1.5 MB)
+
+// Single-producer (owning thread) / single-consumer (collect) ring. The
+// producer publishes with a release store of head; the consumer acquires head
+// and releases tail. A full ring drops the record — recording never blocks.
+struct Ring {
+  std::vector<SpanRecord> slots{kRingCapacity};
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> in_use{false};
+  std::uint32_t tid = 0;
+  // Owner-thread-only state (never touched by the collector).
+  std::vector<std::uint64_t> stack;  // open SpanGuard ids, innermost last
+  std::uint64_t next_seq = 1;
+
+  void push(const SpanRecord& rec) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail.load(std::memory_order_acquire);
+    if (h - t >= kRingCapacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[h % kRingCapacity] = rec;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  void drain_into(std::vector<SpanRecord>& out) {
+    const std::uint64_t t = tail.load(std::memory_order_relaxed);
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    for (std::uint64_t i = t; i < h; ++i) out.push_back(slots[i % kRingCapacity]);
+    tail.store(h, std::memory_order_release);
+  }
+};
+
+// All rings ever created, intentionally leaked: records must stay collectable
+// after their thread exits, and leaking sidesteps shutdown-order races with
+// thread_local destructors. Exited threads return their ring to the free pool
+// for the next thread, so the set stays bounded by peak thread concurrency.
+struct Registry {
+  std::mutex mutex;
+  std::uint32_t next_tid = 0;
+  std::vector<Ring*> rings;
+  std::vector<SpanRecord> adopted;
+  std::mutex adopted_mutex;
+  std::mutex collect_mutex;
+  std::mutex intern_mutex;
+  std::unordered_set<std::string> interned;  // node-based: stable pointers
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_pid{0};
+std::atomic<std::uint64_t> g_trace_id{0};
+std::atomic<std::uint64_t> g_parent_span{0};
+std::chrono::steady_clock::time_point g_epoch;
+std::string* g_env_path = nullptr;
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+struct RingLease {
+  Ring* ring = nullptr;
+  ~RingLease() {
+    if (ring != nullptr) ring->in_use.store(false, std::memory_order_release);
+  }
+};
+
+thread_local RingLease t_lease;
+
+Ring& acquire_ring() {
+  if (t_lease.ring != nullptr) return *t_lease.ring;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (Ring* ring : reg.rings) {
+    if (!ring->in_use.load(std::memory_order_acquire)) {
+      ring->in_use.store(true, std::memory_order_release);
+      ring->stack.clear();
+      // A fresh tid per acquisition: the dead thread's still-buffered
+      // records copied the old tid at write time, so re-stamping keeps
+      // sequentially-live threads on distinct trace lanes without
+      // touching what they already recorded.
+      ring->tid = reg.next_tid++;
+      t_lease.ring = ring;
+      return *ring;
+    }
+  }
+  Ring* ring = new Ring();
+  ring->tid = reg.next_tid++;
+  ring->in_use.store(true, std::memory_order_release);
+  reg.rings.push_back(ring);
+  t_lease.ring = ring;
+  return *ring;
+}
+
+std::uint64_t make_span_id(Ring& ring) {
+  const std::uint64_t pid = g_pid.load(std::memory_order_relaxed);
+  return (pid << 40) | (static_cast<std::uint64_t>(ring.tid & 0xFFF) << 28) |
+         (ring.next_seq++ & 0x0FFFFFFF);
+}
+
+std::uint64_t current_parent(const Ring& ring) {
+  if (!ring.stack.empty()) return ring.stack.back();
+  return g_parent_span.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  g_epoch = std::chrono::steady_clock::now();
+  g_pid.store(static_cast<std::uint32_t>(::getpid()), std::memory_order_relaxed);
+  g_env_path = new std::string();
+  if (const char* path = std::getenv("ADAPARSE_TRACE");
+      path != nullptr && *path != '\0') {
+    *g_env_path = path;
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+bool Tracer::enabled() const { return g_enabled.load(std::memory_order_relaxed); }
+
+void Tracer::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_context(const TraceContext& ctx) {
+  g_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  g_parent_span.store(ctx.parent_span, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::context() const {
+  return {g_trace_id.load(std::memory_order_relaxed),
+          g_parent_span.load(std::memory_order_relaxed)};
+}
+
+const char* Tracer::intern(std::string_view s) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.intern_mutex);
+  return reg.interned.emplace(s).first->c_str();
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - g_epoch)
+          .count());
+}
+
+void Tracer::instant(const char* category, const char* name,
+                     const char* arg1_name, std::uint64_t arg1,
+                     const char* arg2_name, std::uint64_t arg2,
+                     const char* tag) {
+  if (!enabled()) return;
+  Ring& ring = acquire_ring();
+  SpanRecord rec;
+  rec.start_ns = now_ns();
+  rec.dur_ns = 0;
+  rec.id = make_span_id(ring);
+  rec.parent = current_parent(ring);
+  rec.category = category;
+  rec.name = name;
+  rec.tag = tag;
+  rec.arg1_name = arg1_name;
+  rec.arg1 = arg1;
+  rec.arg2_name = arg2_name;
+  rec.arg2 = arg2;
+  rec.pid = g_pid.load(std::memory_order_relaxed);
+  rec.tid = ring.tid;
+  rec.instant = true;
+  ring.push(rec);
+}
+
+std::vector<SpanRecord> Tracer::collect() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> collect_lock(reg.collect_mutex);
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (Ring* ring : reg.rings) ring->drain_into(out);
+  }
+  {
+    std::lock_guard<std::mutex> lock(reg.adopted_mutex);
+    out.insert(out.end(), reg.adopted.begin(), reg.adopted.end());
+    reg.adopted.clear();
+  }
+  return out;
+}
+
+void Tracer::adopt(std::vector<SpanRecord> records) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.adopted_mutex);
+  reg.adopted.insert(reg.adopted.end(), records.begin(), records.end());
+}
+
+std::uint64_t Tracer::dropped() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const Ring* ring : reg.rings) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::on_fork_child() {
+  // The child is single-threaded (fork() clones only the calling thread), so
+  // walking every ring here is race-free by construction.
+  Registry& reg = registry();
+  Ring* mine = t_lease.ring;
+  for (Ring* ring : reg.rings) {
+    ring->tail.store(ring->head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
+    ring->stack.clear();
+    if (ring != mine) ring->in_use.store(false, std::memory_order_relaxed);
+  }
+  reg.adopted.clear();
+  g_pid.store(static_cast<std::uint32_t>(::getpid()), std::memory_order_relaxed);
+}
+
+const std::string& Tracer::env_path() const { return *g_env_path; }
+
+bool tracing_enabled() {
+  Tracer::instance();  // make sure ADAPARSE_TRACE has been consulted
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+#ifndef ADAPARSE_OBS_DISABLED
+
+SpanGuard::SpanGuard(const char* category, const char* name) {
+  if (!Tracer::instance().enabled()) return;
+  Ring& ring = acquire_ring();
+  rec_.start_ns = Tracer::instance().now_ns();
+  rec_.id = make_span_id(ring);
+  rec_.parent = current_parent(ring);
+  rec_.category = category;
+  rec_.name = name;
+  rec_.pid = g_pid.load(std::memory_order_relaxed);
+  rec_.tid = ring.tid;
+  ring.stack.push_back(rec_.id);
+  active_ = true;
+}
+
+SpanGuard::SpanGuard(const char* category, const char* name,
+                     const char* arg1_name, std::uint64_t arg1)
+    : SpanGuard(category, name) {
+  if (active_) {
+    rec_.arg1_name = arg1_name;
+    rec_.arg1 = arg1;
+  }
+}
+
+SpanGuard::SpanGuard(const char* category, const char* name,
+                     const char* arg1_name, std::uint64_t arg1,
+                     const char* arg2_name, std::uint64_t arg2)
+    : SpanGuard(category, name, arg1_name, arg1) {
+  if (active_) {
+    rec_.arg2_name = arg2_name;
+    rec_.arg2 = arg2;
+  }
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  Ring& ring = acquire_ring();
+  rec_.dur_ns = Tracer::instance().now_ns() - rec_.start_ns;
+  // Pop our id. Guards are strictly scoped, so it is the innermost entry.
+  if (!ring.stack.empty() && ring.stack.back() == rec_.id) ring.stack.pop_back();
+  ring.push(rec_);
+}
+
+void SpanGuard::arg(const char* name, std::uint64_t value) {
+  if (!active_) return;
+  if (rec_.arg1_name == nullptr || std::strcmp(rec_.arg1_name, name) == 0) {
+    rec_.arg1_name = name;
+    rec_.arg1 = value;
+  } else {
+    rec_.arg2_name = name;
+    rec_.arg2 = value;
+  }
+}
+
+void SpanGuard::tag(const char* tag) {
+  if (active_) rec_.tag = tag;
+}
+
+#endif  // ADAPARSE_OBS_DISABLED
+
+// --------------------------------------------------------------------------
+// kSpans payload codec. Layout: u32 count, then per record the fixed u64/u32
+// fields followed by length-prefixed strings (absent strings encode as the
+// sentinel 0xFFFF, distinct from a present-but-empty string).
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_str(std::string& out, const char* s) {
+  if (s == nullptr) {
+    out.push_back('\xFF');
+    out.push_back('\xFF');
+    return;
+  }
+  const std::size_t len = std::strlen(s);
+  if (len >= 0xFFFF) throw std::runtime_error("span string too long");
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.append(s, len);
+}
+
+struct SpanReader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > data.size()) throw std::runtime_error("span payload truncated");
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  const char* str() {
+    need(2);
+    const std::uint32_t len =
+        static_cast<unsigned char>(data[pos]) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + 1]))
+         << 8);
+    pos += 2;
+    if (len == 0xFFFF) return nullptr;
+    need(len);
+    const char* out =
+        Tracer::instance().intern(std::string_view(data.data() + pos, len));
+    pos += len;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string encode_spans(const std::vector<SpanRecord>& records) {
+  std::string out;
+  out.reserve(16 + records.size() * 80);
+  put_u32(out, static_cast<std::uint32_t>(records.size()));
+  for (const SpanRecord& rec : records) {
+    put_u64(out, rec.start_ns);
+    put_u64(out, rec.dur_ns);
+    put_u64(out, rec.id);
+    put_u64(out, rec.parent);
+    put_u64(out, rec.arg1);
+    put_u64(out, rec.arg2);
+    put_u32(out, rec.pid);
+    put_u32(out, rec.tid);
+    out.push_back(rec.instant ? '\1' : '\0');
+    put_str(out, rec.category);
+    put_str(out, rec.name);
+    put_str(out, rec.tag);
+    put_str(out, rec.arg1_name);
+    put_str(out, rec.arg2_name);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> decode_spans(std::string_view payload) {
+  SpanReader reader{payload};
+  const std::uint32_t count = reader.u32();
+  std::vector<SpanRecord> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SpanRecord rec;
+    rec.start_ns = reader.u64();
+    rec.dur_ns = reader.u64();
+    rec.id = reader.u64();
+    rec.parent = reader.u64();
+    rec.arg1 = reader.u64();
+    rec.arg2 = reader.u64();
+    rec.pid = reader.u32();
+    rec.tid = reader.u32();
+    reader.need(1);
+    rec.instant = payload[reader.pos++] != '\0';
+    rec.category = reader.str();
+    rec.name = reader.str();
+    rec.tag = reader.str();
+    rec.arg1_name = reader.str();
+    rec.arg2_name = reader.str();
+    if (rec.category == nullptr) rec.category = "";
+    if (rec.name == nullptr) rec.name = "";
+    out.push_back(rec);
+  }
+  if (reader.pos != payload.size()) {
+    throw std::runtime_error("span payload has trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace adaparse::obs

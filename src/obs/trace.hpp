@@ -1,0 +1,170 @@
+// In-process tracer: thread-local lock-free ring buffers of fixed-size span
+// records, drained on demand into one coherent trace.
+//
+// Design constraints, in order:
+//   1. The disabled path must be invisible to the SIMD hot loops: one relaxed
+//      atomic load per span site, no allocation, no branch beyond the check.
+//      Defining ADAPARSE_OBS_DISABLED at compile time removes even that.
+//   2. Recording a span never blocks: each OS thread owns a single-producer /
+//      single-consumer ring of fixed-size records. When the ring is full the
+//      record is dropped and counted — tracing sheds load, it never applies
+//      backpressure to the pipeline.
+//   3. Spans survive fork(): a campaign worker inherits the tracer's memory
+//      image (epoch, trace id, parent context) and calls
+//      Tracer::on_fork_child() to discard the coordinator's buffered records
+//      and re-stamp its pid; its spans are later re-adopted by the
+//      coordinator via a proc/wire kSpans frame (see encode_spans below), so
+//      one multi-process campaign yields a single pid/tid-tagged trace.
+//
+// Timestamps are steady-clock nanoseconds relative to the tracer epoch.
+// CLOCK_MONOTONIC is machine-wide on Linux and the epoch is inherited across
+// fork, so coordinator and worker spans share one timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::obs {
+
+// One completed span (or instant event, dur_ns == 0 && instant == true).
+// Fixed size, trivially copyable; string fields are interned pointers with
+// process lifetime (see Tracer::intern), so records can be memcpy'd into the
+// ring. `tag` carries a low-cardinality dynamic label (tenant name, parser
+// name); args carry two optional u64 measurements.
+struct SpanRecord {
+  std::uint64_t start_ns = 0;  // since tracer epoch (steady clock)
+  std::uint64_t dur_ns = 0;
+  std::uint64_t id = 0;       // unique within the trace; never 0
+  std::uint64_t parent = 0;   // 0 = root
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+  const char* category = "";
+  const char* name = "";
+  const char* tag = nullptr;
+  const char* arg1_name = nullptr;
+  const char* arg2_name = nullptr;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;  // small per-process thread index, not the OS tid
+  bool instant = false;
+};
+
+// Trace id + parent span id carried across process boundaries. The
+// coordinator sets this before forking workers; the child inherits it through
+// the fork memory image, so every worker-side root span parents to the
+// coordinator's campaign span without any wire handshake.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
+class Tracer {
+ public:
+  // Process-wide singleton. Reads ADAPARSE_TRACE on first touch: a non-empty
+  // value enables tracing and remembers the path for write_env_trace().
+  static Tracer& instance();
+
+  bool enabled() const;
+  void set_enabled(bool on);
+
+  void set_context(const TraceContext& ctx);
+  TraceContext context() const;
+
+  // Copies `s` into process-lifetime storage and returns a stable pointer;
+  // repeated calls with the same string return the same pointer. Use for
+  // dynamic low-cardinality labels (tenant names) that must outlive the
+  // caller's string. Takes a mutex — not for hot per-record use.
+  const char* intern(std::string_view s);
+
+  // Emit an instant event (zero-duration mark) on the calling thread,
+  // parented to the innermost open SpanGuard.
+  void instant(const char* category, const char* name,
+               const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+               const char* arg2_name = nullptr, std::uint64_t arg2 = 0,
+               const char* tag = nullptr);
+
+  // Drain every thread's ring plus all adopted foreign records. Safe to call
+  // while other threads keep recording (they are single-producer rings; the
+  // collector is the single consumer, serialized internally).
+  std::vector<SpanRecord> collect();
+
+  // Merge records harvested from another process (a kSpans frame). Records
+  // keep their original pid/tid/ids.
+  void adopt(std::vector<SpanRecord> records);
+
+  // Total records dropped because a ring was full.
+  std::uint64_t dropped() const;
+
+  // Must be called by a forked child before it records anything: discards
+  // ring contents inherited from the parent (the parent still owns those
+  // records), drops adopted foreign records, and re-stamps the cached pid.
+  // The trace context and epoch are deliberately preserved.
+  void on_fork_child();
+
+  // Path from ADAPARSE_TRACE, or empty when the env knob is unset.
+  const std::string& env_path() const;
+
+  std::uint64_t now_ns() const;  // ns since the tracer epoch
+
+ private:
+  Tracer();
+  friend class SpanGuard;
+};
+
+// True when span recording is on. Use to gate argument computation that is
+// only worth doing when a record will actually be written.
+bool tracing_enabled();
+
+#ifndef ADAPARSE_OBS_DISABLED
+
+// RAII span: records [construction, destruction) on the calling thread.
+// Nesting on one thread links parents automatically; the outermost span on a
+// thread parents to Tracer::context().parent_span.
+class SpanGuard {
+ public:
+  SpanGuard(const char* category, const char* name);
+  SpanGuard(const char* category, const char* name, const char* arg1_name,
+            std::uint64_t arg1);
+  SpanGuard(const char* category, const char* name, const char* arg1_name,
+            std::uint64_t arg1, const char* arg2_name, std::uint64_t arg2);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  // Attach or update an argument after construction (e.g. a count known only
+  // at scope exit). Fills arg1 then arg2; further names overwrite arg2.
+  void arg(const char* name, std::uint64_t value);
+  void tag(const char* tag);       // interned pointer, see Tracer::intern
+  std::uint64_t id() const { return rec_.id; }
+  bool active() const { return active_; }
+
+ private:
+  SpanRecord rec_;
+  bool active_ = false;
+};
+
+#else  // ADAPARSE_OBS_DISABLED: span sites compile to nothing.
+
+class SpanGuard {
+ public:
+  SpanGuard(const char*, const char*) {}
+  SpanGuard(const char*, const char*, const char*, std::uint64_t) {}
+  SpanGuard(const char*, const char*, const char*, std::uint64_t, const char*,
+            std::uint64_t) {}
+  void arg(const char*, std::uint64_t) {}
+  void tag(const char*) {}
+  std::uint64_t id() const { return 0; }
+  bool active() const { return false; }
+};
+
+#endif
+
+// Wire codec for shipping span batches between processes (the payload of a
+// proc::MsgType::kSpans frame). decode_spans interns the string fields so the
+// returned records have process-lifetime names like locally recorded ones.
+// Throws std::runtime_error on a malformed payload.
+std::string encode_spans(const std::vector<SpanRecord>& records);
+std::vector<SpanRecord> decode_spans(std::string_view payload);
+
+}  // namespace adaparse::obs

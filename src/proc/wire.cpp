@@ -89,6 +89,7 @@ std::string encode_payload(const Message& m) {
   put_u64(payload, m.restaged);
   put_u64(payload, m.wall_ms);
   put_string(payload, m.failed_doc_id);
+  put_string(payload, m.spans);
   put_u32(payload, static_cast<std::uint32_t>(m.quarantine.size()));
   for (const auto& id : m.quarantine) put_string(payload, id);
   return payload;
@@ -99,8 +100,12 @@ Message decode_payload(std::string_view payload) {
   Message m;
   const std::uint8_t type = reader.u8();
   if (type < static_cast<std::uint8_t>(MsgType::kTask) ||
-      type > static_cast<std::uint8_t>(MsgType::kResult)) {
-    throw std::runtime_error("proc wire: unknown message type");
+      type > static_cast<std::uint8_t>(MsgType::kSpans)) {
+    // The frame's CRC already checked out, so this is a well-formed frame of
+    // a kind this build does not know — a newer peer, not a broken one. Skip
+    // it instead of reading fields that may not follow the fixed layout.
+    m.type = MsgType::kUnknown;
+    return m;
   }
   m.type = static_cast<MsgType>(type);
   m.status = reader.u8();
@@ -114,6 +119,7 @@ Message decode_payload(std::string_view payload) {
   m.restaged = reader.u64();
   m.wall_ms = reader.u64();
   m.failed_doc_id = reader.str();
+  m.spans = reader.str();
   const std::uint32_t quarantine_count = reader.u32();
   m.quarantine.reserve(quarantine_count);
   for (std::uint32_t i = 0; i < quarantine_count; ++i) {

@@ -22,6 +22,13 @@
 //   kResult     worker -> coordinator: attempt finished; status 0 = output
 //               file written (records/bytes/checksum describe it), 1 =
 //               attempt failed on `failed_doc_id`
+//   kSpans      worker -> coordinator: a batch of obs trace spans recorded
+//               in the worker (`spans` holds an obs::encode_spans payload)
+//
+// Forward compatibility: a frame whose CRC checks out but whose type byte is
+// unrecognized decodes as kUnknown with no fields — receivers skip it instead
+// of declaring the peer corrupt. That lets an older coordinator survive a
+// newer worker's frame kinds (this is exactly how kSpans was introduced).
 #pragma once
 
 #include <cstdint>
@@ -33,11 +40,13 @@
 namespace adaparse::proc {
 
 enum class MsgType : std::uint8_t {
+  kUnknown = 0,  ///< decode result for an unrecognized (future) frame kind
   kTask = 1,
   kRevoke = 2,
   kShutdown = 3,
   kHeartbeat = 4,
   kResult = 5,
+  kSpans = 6,
 };
 
 struct Message {
@@ -53,6 +62,7 @@ struct Message {
   std::uint64_t restaged = 0;     ///< result: shard file rebuilt from source
   std::uint64_t wall_ms = 0;      ///< result: attempt wall clock
   std::string failed_doc_id;      ///< result (failed): document it died on
+  std::string spans;              ///< spans: obs::encode_spans payload
   std::vector<std::string> quarantine;  ///< task: excluded doc ids
 };
 
@@ -63,7 +73,9 @@ std::string encode_frame(const Message& message);
 /// feed() whatever read_available() produced, then drain next() until it
 /// returns nullopt. next() throws std::runtime_error on a corrupt frame
 /// (bad CRC, oversized length, truncated payload) — pipes do not reorder
-/// or drop, so corruption means the peer is broken.
+/// or drop, so corruption means the peer is broken. A frame that passes its
+/// CRC but carries an unrecognized type byte is NOT corruption: it decodes
+/// as MsgType::kUnknown (fields defaulted) and the caller skips it.
 class FrameDecoder {
  public:
   void feed(std::string_view bytes) { buffer_.append(bytes); }

@@ -1,7 +1,6 @@
 #include "serve/metrics.hpp"
 
-#include <sstream>
-
+#include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
 
 namespace adaparse::serve {
@@ -11,31 +10,6 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
-}
-
-/// Escapes a Prometheus label value (tenant names are client-supplied):
-/// backslash, double quote, and newline must be escaped or the whole
-/// exposition payload becomes unparsable — and a raw newline would let one
-/// tenant inject arbitrary metric lines.
-std::string escape_label(const std::string& value) {
-  std::string out;
-  out.reserve(value.size());
-  for (const char c : value) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -142,82 +116,96 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::string MetricsRegistry::render_prometheus() const {
+  // Snapshot-builder style on the shared obs::Registry renderer: declare the
+  // families in the legacy order (headers render even with zero tenants),
+  // then set absolute values per series. Counts arrive as size_t and render
+  // as integers; seconds/rates arrive as double and render through default
+  // ostream formatting — byte-identical to the hand-rolled exposition this
+  // replaces (see tests/serve_test.cpp golden).
   const MetricsSnapshot snap = snapshot();
-  std::ostringstream os;
+  obs::Registry registry;
+  using Kind = obs::Registry::Kind;
 
-  const auto counter = [&os](const char* name, const char* help) {
-    os << "# HELP " << name << ' ' << help << '\n'
-       << "# TYPE " << name << " counter\n";
-  };
-  const auto gauge = [&os](const char* name, const char* help) {
-    os << "# HELP " << name << ' ' << help << '\n'
-       << "# TYPE " << name << " gauge\n";
-  };
-
-  counter("adaparse_serve_jobs_total",
-          "Jobs by tenant and terminal-or-submitted outcome");
+  registry.declare("adaparse_serve_jobs_total",
+                   "Jobs by tenant and terminal-or-submitted outcome",
+                   Kind::kCounter);
   for (const auto& t : snap.tenants) {
     const std::pair<const char*, std::size_t> outcomes[] = {
         {"submitted", t.jobs_submitted}, {"completed", t.jobs_completed},
         {"cancelled", t.jobs_cancelled}, {"rejected", t.jobs_rejected},
         {"failed", t.jobs_failed}};
     for (const auto& [outcome, count] : outcomes) {
-      os << "adaparse_serve_jobs_total{tenant=\"" << escape_label(t.tenant)
-         << "\",outcome=\"" << outcome << "\"} " << count << '\n';
+      registry
+          .counter("adaparse_serve_jobs_total", "",
+                   {{"tenant", t.tenant}, {"outcome", outcome}})
+          .set(count);
     }
   }
 
-  counter("adaparse_serve_docs_completed_total",
-          "Documents parsed to completion by tenant");
+  registry.declare("adaparse_serve_docs_completed_total",
+                   "Documents parsed to completion by tenant", Kind::kCounter);
   for (const auto& t : snap.tenants) {
-    os << "adaparse_serve_docs_completed_total{tenant=\""
-       << escape_label(t.tenant) << "\"} " << t.docs_completed << '\n';
+    registry
+        .counter("adaparse_serve_docs_completed_total", "",
+                 {{"tenant", t.tenant}})
+        .set(t.docs_completed);
   }
 
-  gauge("adaparse_serve_queue_wait_seconds_mean",
-        "Mean seconds jobs waited from submission to first slice");
+  registry.declare("adaparse_serve_queue_wait_seconds_mean",
+                   "Mean seconds jobs waited from submission to first slice",
+                   Kind::kGauge);
   for (const auto& t : snap.tenants) {
-    os << "adaparse_serve_queue_wait_seconds_mean{tenant=\""
-       << escape_label(t.tenant) << "\"} " << t.queue_wait_mean_seconds
-       << '\n';
+    registry
+        .gauge("adaparse_serve_queue_wait_seconds_mean", "",
+               {{"tenant", t.tenant}})
+        .set(t.queue_wait_mean_seconds);
   }
 
-  gauge("adaparse_serve_job_latency_seconds",
-        "Job latency (submission to terminal state) quantile estimates");
+  registry.declare("adaparse_serve_job_latency_seconds",
+                   "Job latency (submission to terminal state) quantile "
+                   "estimates",
+                   Kind::kGauge);
   for (const auto& t : snap.tenants) {
     const std::pair<const char*, double> quantiles[] = {
         {"0.5", t.latency_p50_seconds},
         {"0.95", t.latency_p95_seconds},
         {"0.99", t.latency_p99_seconds}};
     for (const auto& [q, value] : quantiles) {
-      os << "adaparse_serve_job_latency_seconds{tenant=\""
-         << escape_label(t.tenant) << "\",quantile=\"" << q << "\"} "
-         << value << '\n';
+      registry
+          .gauge("adaparse_serve_job_latency_seconds", "",
+                 {{"tenant", t.tenant}, {"quantile", q}})
+          .set(value);
     }
   }
 
-  gauge("adaparse_serve_tenant_throughput_docs_per_second",
-        "Completed documents per second of service uptime");
+  registry.declare("adaparse_serve_tenant_throughput_docs_per_second",
+                   "Completed documents per second of service uptime",
+                   Kind::kGauge);
   for (const auto& t : snap.tenants) {
-    os << "adaparse_serve_tenant_throughput_docs_per_second{tenant=\""
-       << escape_label(t.tenant) << "\"} " << t.throughput_docs_per_second
-       << '\n';
+    registry
+        .gauge("adaparse_serve_tenant_throughput_docs_per_second", "",
+               {{"tenant", t.tenant}})
+        .set(t.throughput_docs_per_second);
   }
 
-  gauge("adaparse_serve_queued_jobs", "Jobs admitted and waiting");
-  os << "adaparse_serve_queued_jobs " << snap.queued_jobs << '\n';
-  gauge("adaparse_serve_running_jobs", "Jobs with a slice executing now");
-  os << "adaparse_serve_running_jobs " << snap.running_jobs << '\n';
-  gauge("adaparse_serve_resident_documents",
-        "Estimated documents of admitted-but-unfinished work");
-  os << "adaparse_serve_resident_documents " << snap.resident_documents
-     << '\n';
-  gauge("adaparse_serve_uptime_seconds", "Seconds since service start");
-  os << "adaparse_serve_uptime_seconds " << snap.uptime_seconds << '\n';
-  gauge("adaparse_simd_tier",
-        "Active SIMD dispatch tier of the text hot path (1 = active)");
-  os << "adaparse_simd_tier{tier=\"" << simd::active_tier_name() << "\"} 1\n";
-  return os.str();
+  registry.gauge("adaparse_serve_queued_jobs", "Jobs admitted and waiting")
+      .set(snap.queued_jobs);
+  registry
+      .gauge("adaparse_serve_running_jobs", "Jobs with a slice executing now")
+      .set(snap.running_jobs);
+  registry
+      .gauge("adaparse_serve_resident_documents",
+             "Estimated documents of admitted-but-unfinished work")
+      .set(snap.resident_documents);
+  registry
+      .gauge("adaparse_serve_uptime_seconds", "Seconds since service start")
+      .set(snap.uptime_seconds);
+  registry
+      .gauge("adaparse_simd_tier",
+             "Active SIMD dispatch tier of the text hot path (1 = active)",
+             {{"tier", simd::active_tier_name()}})
+      .set(1);
+  return registry.render_prometheus();
 }
 
 }  // namespace adaparse::serve

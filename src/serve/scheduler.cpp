@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace adaparse::serve {
 
 namespace {
@@ -120,6 +122,11 @@ std::optional<ScheduleItem> FairScheduler::next(TimePoint now) {
       urgent_tenant->deficit -= static_cast<double>(item.slice_cost);
       --deadline_queued_;
       after_pop(*urgent_name, *urgent_tenant);
+      auto& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.instant("serve", "sched.grant", "id", item.id, "boost", 1,
+                       tracer.intern(item.tenant));
+      }
       return item;
     }
   }
@@ -156,6 +163,11 @@ std::optional<ScheduleItem> FairScheduler::next(TimePoint now) {
       if (item.deadline) --deadline_queued_;
       after_pop(tenant, t);
       if (cursor_ >= rotation_.size()) cursor_ = 0;
+      auto& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.instant("serve", "sched.grant", "id", item.id, "boost", 0,
+                       tracer.intern(item.tenant));
+      }
       return item;
     }
     // Opportunity over: leftover credit carries; next tenant's visit opens.

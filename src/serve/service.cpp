@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/pipeline.hpp"
+#include "obs/trace.hpp"
 
 namespace adaparse::serve {
 namespace {
@@ -156,6 +157,13 @@ JobHandle ParseService::submit(JobRequest request) {
   }
   JobHandle job(new ParseJob(id, std::move(request), now));
   job->resident_estimate_ = std::max<std::size_t>(1, job->total_hint_);
+  {
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      tracer.instant("serve", "job.submit", "id", id, "docs_hint",
+                     job->total_hint_, tracer.intern(tenant));
+    }
+  }
 
   const auto reject = [&](std::string reason) {
     {
@@ -343,6 +351,11 @@ void ParseService::run_slice(const JobHandle& job) {
   const std::size_t base = j.docs_pulled_;
   LimitSource slice_source(*j.source_, planned);
 
+  obs::SpanGuard slice_span("serve", "job.slice", "id", j.id());
+  if (slice_span.active()) {
+    slice_span.tag(obs::Tracer::instance().intern(j.tenant_));
+  }
+
   core::PipelineConfig pipeline_config;
   pipeline_config.queue_capacity = config_.queue_capacity;
   pipeline_config.extract_workers = slice_extract_workers_;
@@ -385,6 +398,7 @@ void ParseService::run_slice(const JobHandle& job) {
     failed = true;
     error = "unknown slice error";
   }
+  slice_span.arg("docs", slice_docs_done);
   j.docs_pulled_ += slice_source.pulled();
   if (slice_docs_done > 0) {
     metrics_.on_docs_completed(j.tenant_, slice_docs_done);
@@ -426,6 +440,14 @@ void ParseService::finalize(const JobHandle& job, JobState state,
     latency = seconds_between(j.submitted_, j.finished_);
   }
   j.cv_.notify_all();
+  {
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      tracer.instant("serve", "job.complete", "id", j.id(), "state",
+                     static_cast<std::uint64_t>(state),
+                     tracer.intern(job_state_name(state)));
+    }
+  }
   switch (state) {
     case JobState::kCompleted:
       metrics_.on_completed(j.tenant_, latency);

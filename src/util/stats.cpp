@@ -169,6 +169,9 @@ P2Quantile::P2Quantile(double q) : q_(q) {
 }
 
 void P2Quantile::add(double x) {
+  // A single NaN would poison every marker height (and Inf the parabolic
+  // step), so non-finite observations are dropped instead of ingested.
+  if (!std::isfinite(x)) return;
   if (count_ < 5) {
     // Bootstrap: collect the first five observations sorted.
     heights_[count_] = x;

@@ -72,8 +72,14 @@ class P2Quantile {
   /// `q` in (0,1): the quantile to track (e.g. 0.95).
   explicit P2Quantile(double q);
 
+  /// Ingests one observation. Non-finite values (NaN, ±Inf) are silently
+  /// dropped — a single NaN would otherwise poison every marker height.
   void add(double x);
-  /// Current estimate; 0 before any observation.
+  /// Current estimate; 0 before any observation. With fewer than five
+  /// observations the P² markers are not yet initialized, so this returns
+  /// the *exact* order statistic of the sorted bootstrap buffer (linear
+  /// interpolation between samples); from the fifth observation on it is
+  /// the streaming P² estimate (the middle marker height).
   double value() const;
   std::size_t count() const { return count_; }
   double q() const { return q_; }

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +22,10 @@
 #include "doc/generator.hpp"
 #include "io/fsio.hpp"
 #include "io/jsonl.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
+#include "util/json.hpp"
 
 namespace adaparse::campaign {
 namespace {
@@ -846,6 +852,147 @@ TEST_F(CampaignFixture, PrometheusRenderExposesCampaignCounters) {
   EXPECT_NE(text.find("adaparse_campaign_docs_processed 96"),
             std::string::npos);
   EXPECT_NE(text.find("adaparse_campaign_completed 1"), std::string::npos);
+}
+
+TEST(CampaignMetrics, PrometheusExpositionMatchesGoldenText) {
+  // Byte-exact regression gate for the migration onto obs::Registry. The
+  // golden below was captured from the pre-migration hand-rolled renderer:
+  // same family order, no HELP lines, counters-vs-gauges split, bools as
+  // 0/1, recovery_events derived from the latency vector, and default
+  // double formatting ("1.5", "0.25") must all survive.
+  const simd::TierScope scope(simd::Tier::kScalar);
+  CampaignStats stats;
+  stats.shards_total = 4;
+  stats.shards_committed = 4;
+  stats.shards_resumed_skip = 1;
+  stats.attempts_started = 6;
+  stats.attempts_failed = 2;
+  stats.shards_retried = 2;
+  stats.hedges_launched = 1;
+  stats.hedges_won = 1;
+  stats.docs_processed = 96;
+  stats.docs_quarantined = 1;
+  stats.corrupt_shard_recoveries = 1;
+  stats.corrupt_output_recoveries = 0;
+  stats.recovered_torn_manifest = true;
+  stats.workers_spawned = 3;
+  stats.workers_died = 1;
+  stats.workers_killed = 1;
+  stats.shards_stolen = 2;
+  stats.recovery_wall_seconds = 1.5;
+  stats.recovery_latency_seconds = {0.5, 1.0};
+  stats.wall_seconds = 0.25;
+  stats.halted = false;
+  stats.completed = true;
+
+  const std::string golden = R"(# TYPE adaparse_campaign_shards_total gauge
+adaparse_campaign_shards_total 4
+# TYPE adaparse_campaign_shards_committed counter
+adaparse_campaign_shards_committed 4
+# TYPE adaparse_campaign_shards_resumed_skip counter
+adaparse_campaign_shards_resumed_skip 1
+# TYPE adaparse_campaign_attempts_started counter
+adaparse_campaign_attempts_started 6
+# TYPE adaparse_campaign_attempts_failed counter
+adaparse_campaign_attempts_failed 2
+# TYPE adaparse_campaign_shards_retried counter
+adaparse_campaign_shards_retried 2
+# TYPE adaparse_campaign_hedges_launched counter
+adaparse_campaign_hedges_launched 1
+# TYPE adaparse_campaign_hedges_won counter
+adaparse_campaign_hedges_won 1
+# TYPE adaparse_campaign_docs_processed counter
+adaparse_campaign_docs_processed 96
+# TYPE adaparse_campaign_docs_quarantined counter
+adaparse_campaign_docs_quarantined 1
+# TYPE adaparse_campaign_corrupt_shard_recoveries counter
+adaparse_campaign_corrupt_shard_recoveries 1
+# TYPE adaparse_campaign_corrupt_output_recoveries counter
+adaparse_campaign_corrupt_output_recoveries 0
+# TYPE adaparse_campaign_recovered_torn_manifest gauge
+adaparse_campaign_recovered_torn_manifest 1
+# TYPE adaparse_campaign_workers_spawned counter
+adaparse_campaign_workers_spawned 3
+# TYPE adaparse_campaign_workers_died counter
+adaparse_campaign_workers_died 1
+# TYPE adaparse_campaign_workers_killed counter
+adaparse_campaign_workers_killed 1
+# TYPE adaparse_campaign_shards_stolen counter
+adaparse_campaign_shards_stolen 2
+# TYPE adaparse_campaign_recovery_events counter
+adaparse_campaign_recovery_events 2
+# TYPE adaparse_campaign_recovery_wall_seconds counter
+adaparse_campaign_recovery_wall_seconds 1.5
+# TYPE adaparse_campaign_wall_seconds gauge
+adaparse_campaign_wall_seconds 0.25
+# TYPE adaparse_campaign_halted gauge
+adaparse_campaign_halted 0
+# TYPE adaparse_campaign_completed gauge
+adaparse_campaign_completed 1
+# TYPE adaparse_simd_tier gauge
+adaparse_simd_tier{tier="scalar"} 1
+)";
+  EXPECT_EQ(render_prometheus(stats), golden);
+}
+
+TEST_F(CampaignFixture, MultiProcessRunWithRealKillTracesAcrossProcesses) {
+  // The tentpole acceptance scenario with tracing on: a multi-process
+  // campaign with >= 2 workers and a real SIGKILL must yield one coherent
+  // trace — spans from the coordinator pid AND >= 2 worker pids, shipped
+  // over kSpans frames, with every surviving parent link resolving (a
+  // SIGKILLed worker loses an attempt's unflushed spans and their parent
+  // together, never a child without its parent).
+  auto& tracer = obs::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  static_cast<void>(tracer.collect());  // drop anything from earlier tests
+
+  auto config = base_config("mp_trace");
+  config.execution = CampaignConfig::ExecutionMode::kMultiProcess;
+  config.workers = 2;
+  config.failures.crashes = {{/*shard=*/1, /*attempt=*/0, /*after_docs=*/12}};
+  config.max_shard_attempts = 5;
+  CampaignRunner runner(*bundle_->llm, config);
+  const auto stats = runner.run(source());
+
+  const auto records = tracer.collect();
+  tracer.set_enabled(was_enabled);
+
+  ASSERT_TRUE(stats.completed);
+  EXPECT_GE(stats.workers_died, 1u);
+  EXPECT_EQ(output_bytes(runner), reference_bytes());
+
+  std::set<std::int32_t> pids;
+  std::set<std::uint64_t> ids;
+  for (const auto& rec : records) {
+    pids.insert(rec.pid);
+    ids.insert(rec.id);
+  }
+  EXPECT_GE(pids.size(), 3u) << "coordinator + 2 worker pids expected";
+  EXPECT_TRUE(pids.count(static_cast<std::int32_t>(::getpid())));
+  EXPECT_EQ(ids.size(), records.size()) << "span ids must be unique";
+  for (const auto& rec : records) {
+    if (rec.parent != 0) {
+      EXPECT_TRUE(ids.count(rec.parent))
+          << "dangling parent for span " << rec.name;
+    }
+  }
+
+  // The exporter must render the whole multi-process batch as one valid
+  // Chrome-trace JSON document with per-pid process metadata.
+  const auto root = util::Json::parse(obs::trace_to_json(records));
+  const auto& events = root.at("traceEvents").as_array();
+  std::set<double> meta_pids;
+  std::size_t slices = 0;
+  for (const auto& event : events) {
+    if (event.at("ph").as_string() == "M") {
+      meta_pids.insert(event.at("pid").as_number());
+    } else {
+      ++slices;
+    }
+  }
+  EXPECT_EQ(meta_pids.size(), pids.size());
+  EXPECT_GE(slices, records.size());
 }
 
 }  // namespace

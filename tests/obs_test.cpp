@@ -1,0 +1,456 @@
+// Unit tests for the obs module: tracer + span rings, the cross-process
+// span codec, the shared metrics registry / Prometheus renderer, and the
+// Chrome-trace exporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace adaparse::obs {
+namespace {
+
+/// Turns tracing on for one test and restores the previous state (draining
+/// anything the test recorded, so cases stay independent).
+class TracingScope {
+ public:
+  TracingScope() : was_(Tracer::instance().enabled()) {
+    Tracer::instance().set_enabled(true);
+  }
+  ~TracingScope() {
+    static_cast<void>(Tracer::instance().collect());
+    Tracer::instance().set_enabled(was_);
+  }
+
+ private:
+  bool was_;
+};
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& records,
+                            const char* name) {
+  for (const auto& rec : records) {
+    if (std::strcmp(rec.name, name) == 0) return &rec;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- tracer ----
+
+TEST(Tracer, DisabledSpanGuardRecordsNothing) {
+  auto& tracer = Tracer::instance();
+  ASSERT_FALSE(tracer.enabled());  // ADAPARSE_TRACE is unset under ctest
+  {
+    SpanGuard span("test", "noop", "a", 1);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST(Tracer, RecordsSpanWithArgsTagAndTiming) {
+  TracingScope scope;
+  auto& tracer = Tracer::instance();
+  {
+    SpanGuard span("cat", "work", "docs", 7);
+    EXPECT_TRUE(span.active());
+    EXPECT_NE(span.id(), 0u);
+    span.arg("bytes", 99);
+    span.tag(tracer.intern("tenant-a"));
+  }
+  const auto records = tracer.collect();
+  ASSERT_EQ(records.size(), 1u);
+  const SpanRecord& rec = records[0];
+  EXPECT_STREQ(rec.category, "cat");
+  EXPECT_STREQ(rec.name, "work");
+  EXPECT_STREQ(rec.arg1_name, "docs");
+  EXPECT_EQ(rec.arg1, 7u);
+  EXPECT_STREQ(rec.arg2_name, "bytes");
+  EXPECT_EQ(rec.arg2, 99u);
+  EXPECT_STREQ(rec.tag, "tenant-a");
+  EXPECT_FALSE(rec.instant);
+  EXPECT_NE(rec.id, 0u);
+  EXPECT_EQ(rec.parent, 0u);
+  EXPECT_GT(rec.pid, 0u);
+}
+
+TEST(Tracer, NestedSpansLinkParentsOnOneThread) {
+  TracingScope scope;
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    SpanGuard outer("t", "outer");
+    outer_id = outer.id();
+    {
+      SpanGuard inner("t", "inner");
+      inner_id = inner.id();
+    }
+  }
+  const auto records = Tracer::instance().collect();
+  ASSERT_EQ(records.size(), 2u);
+  const SpanRecord* outer = find_span(records, "outer");
+  const SpanRecord* inner = find_span(records, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->id, outer_id);
+  EXPECT_EQ(inner->id, inner_id);
+  EXPECT_EQ(inner->parent, outer_id);
+  EXPECT_EQ(outer->parent, 0u);
+  // The inner span closed first but started later and nests inside.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+}
+
+TEST(Tracer, OutermostSpanParentsToAmbientContext) {
+  TracingScope scope;
+  auto& tracer = Tracer::instance();
+  const TraceContext saved = tracer.context();
+  tracer.set_context({0xABCD, 0x1234});
+  { SpanGuard span("t", "child-of-context"); }
+  tracer.set_context(saved);
+  const auto records = tracer.collect();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].parent, 0x1234u);
+}
+
+TEST(Tracer, InstantEventsAreZeroDuration) {
+  TracingScope scope;
+  auto& tracer = Tracer::instance();
+  tracer.instant("coord", "steal", "shard", 5, "victim", 42);
+  const auto records = tracer.collect();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].instant);
+  EXPECT_EQ(records[0].dur_ns, 0u);
+  EXPECT_EQ(records[0].arg1, 5u);
+  EXPECT_EQ(records[0].arg2, 42u);
+}
+
+TEST(Tracer, FullRingDropsAndCounts) {
+  TracingScope scope;
+  auto& tracer = Tracer::instance();
+  const std::uint64_t dropped_before = tracer.dropped();
+  // Well past the per-thread ring capacity without an intervening collect.
+  for (int i = 0; i < 40000; ++i) {
+    SpanGuard span("t", "flood");
+  }
+  EXPECT_GT(tracer.dropped(), dropped_before);
+  const auto records = tracer.collect();
+  EXPECT_GT(records.size(), 0u);
+  EXPECT_LT(records.size(), 40000u);  // some were shed, none blocked
+}
+
+TEST(Tracer, SpansFromMultipleThreadsCarryDistinctTids) {
+  TracingScope scope;
+  std::thread other([] { SpanGuard span("t", "other-thread"); });
+  other.join();
+  { SpanGuard span("t", "this-thread"); }
+  const auto records = Tracer::instance().collect();
+  ASSERT_EQ(records.size(), 2u);
+  const SpanRecord* a = find_span(records, "other-thread");
+  const SpanRecord* b = find_span(records, "this-thread");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->tid, b->tid);
+  EXPECT_NE(a->id, b->id);
+}
+
+TEST(Tracer, InternReturnsStablePointerForEqualStrings) {
+  auto& tracer = Tracer::instance();
+  const char* a = tracer.intern("tenant-42");
+  const char* b = tracer.intern(std::string("tenant-") + "42");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "tenant-42");
+  EXPECT_NE(a, tracer.intern("tenant-43"));
+}
+
+TEST(Tracer, AdoptMergesForeignRecordsIntoCollect) {
+  TracingScope scope;
+  auto& tracer = Tracer::instance();
+  SpanRecord foreign;
+  foreign.id = 0x77;
+  foreign.pid = 99999;
+  foreign.name = tracer.intern("foreign");
+  foreign.category = tracer.intern("worker");
+  tracer.adopt({foreign});
+  { SpanGuard span("t", "local"); }
+  const auto records = tracer.collect();
+  ASSERT_EQ(records.size(), 2u);
+  const SpanRecord* adopted = find_span(records, "foreign");
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted->pid, 99999u);  // original pid preserved
+  EXPECT_TRUE(tracer.collect().empty());  // adopted records drain once
+}
+
+// --------------------------------------------------------- span codec ----
+
+TEST(SpanCodec, RoundTripPreservesEveryField) {
+  auto& tracer = Tracer::instance();
+  SpanRecord rec;
+  rec.start_ns = 123456789;
+  rec.dur_ns = 1000;
+  rec.id = 0xDEADBEEF;
+  rec.parent = 0xFEED;
+  rec.arg1 = 7;
+  rec.arg2 = 9;
+  rec.category = tracer.intern("campaign");
+  rec.name = tracer.intern("attempt");
+  rec.tag = tracer.intern("shard-3");
+  rec.arg1_name = tracer.intern("shard");
+  rec.arg2_name = nullptr;  // null and empty must both survive
+  rec.pid = 4242;
+  rec.tid = 3;
+  rec.instant = false;
+  SpanRecord instant;
+  instant.id = 0x2;
+  instant.name = tracer.intern("steal");
+  instant.category = tracer.intern("coord");
+  instant.instant = true;
+
+  const std::string payload = encode_spans({rec, instant});
+  const auto decoded = decode_spans(payload);
+  ASSERT_EQ(decoded.size(), 2u);
+  const SpanRecord& d = decoded[0];
+  EXPECT_EQ(d.start_ns, rec.start_ns);
+  EXPECT_EQ(d.dur_ns, rec.dur_ns);
+  EXPECT_EQ(d.id, rec.id);
+  EXPECT_EQ(d.parent, rec.parent);
+  EXPECT_EQ(d.arg1, rec.arg1);
+  EXPECT_EQ(d.arg2, rec.arg2);
+  EXPECT_STREQ(d.category, "campaign");
+  EXPECT_STREQ(d.name, "attempt");
+  EXPECT_STREQ(d.tag, "shard-3");
+  EXPECT_STREQ(d.arg1_name, "shard");
+  EXPECT_EQ(d.arg2_name, nullptr);
+  EXPECT_EQ(d.pid, rec.pid);
+  EXPECT_EQ(d.tid, rec.tid);
+  EXPECT_FALSE(d.instant);
+  EXPECT_TRUE(decoded[1].instant);
+  EXPECT_STREQ(decoded[1].name, "steal");
+}
+
+TEST(SpanCodec, EmptyBatchRoundTrips) {
+  EXPECT_TRUE(decode_spans(encode_spans({})).empty());
+}
+
+TEST(SpanCodec, MalformedPayloadThrows) {
+  EXPECT_THROW(decode_spans("xx"), std::runtime_error);
+  const std::string good = encode_spans({SpanRecord{}});
+  EXPECT_THROW(decode_spans(std::string_view(good).substr(0, good.size() - 1)),
+               std::runtime_error);
+  EXPECT_THROW(decode_spans(good + "trailing"), std::runtime_error);
+}
+
+// ----------------------------------------------------------- registry ----
+
+TEST(Registry, CountersRenderIntegralGaugesRenderReal) {
+  Registry registry;
+  registry.counter("jobs_total", "All jobs").add(std::size_t{3});
+  registry.counter("jobs_total", "All jobs").add(std::size_t{4});
+  registry.gauge("load", "Current load").set(0.25);
+  registry.gauge("slots", "").set(8);
+  EXPECT_EQ(registry.render_prometheus(),
+            "# HELP jobs_total All jobs\n"
+            "# TYPE jobs_total counter\n"
+            "jobs_total 7\n"
+            "# HELP load Current load\n"
+            "# TYPE load gauge\n"
+            "load 0.25\n"
+            "# TYPE slots gauge\n"  // empty help -> no HELP line
+            "slots 8\n");
+}
+
+TEST(Registry, DoubleValuedCountersUseDefaultFormatting) {
+  Registry registry;
+  registry.counter("seconds_total").set(1.5);
+  registry.counter("whole").set(4.0);  // double 4.0 still renders as "4"
+  EXPECT_EQ(registry.render_prometheus(),
+            "# TYPE seconds_total counter\n"
+            "seconds_total 1.5\n"
+            "# TYPE whole counter\n"
+            "whole 4\n");
+}
+
+TEST(Registry, LabeledSeriesRenderInCreationOrder) {
+  Registry registry;
+  registry.counter("reqs", "", {{"tenant", "b"}, {"outcome", "ok"}}).add(1);
+  registry.counter("reqs", "", {{"tenant", "a"}, {"outcome", "ok"}}).add(2);
+  registry.counter("reqs", "", {{"tenant", "b"}, {"outcome", "ok"}}).add(10);
+  EXPECT_EQ(registry.render_prometheus(),
+            "# TYPE reqs counter\n"
+            "reqs{tenant=\"b\",outcome=\"ok\"} 11\n"
+            "reqs{tenant=\"a\",outcome=\"ok\"} 2\n");
+}
+
+TEST(Registry, DeclareEmitsHeadersForEmptyFamilies) {
+  Registry registry;
+  registry.declare("later", "Declared first, filled never",
+                   Registry::Kind::kCounter);
+  registry.gauge("up", "").set(1);
+  EXPECT_EQ(registry.render_prometheus(),
+            "# HELP later Declared first, filled never\n"
+            "# TYPE later counter\n"
+            "# TYPE up gauge\n"
+            "up 1\n");
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry registry;
+  registry.counter("x").add(1);
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.declare("x", "", Registry::Kind::kHistogram),
+               std::logic_error);
+}
+
+TEST(Registry, HistogramRendersCumulativeBuckets) {
+  Registry registry;
+  auto& h = registry.histogram("lat", "Latency", {0.1, 1.0, 10.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(99.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.05);
+  EXPECT_EQ(registry.render_prometheus(),
+            "# HELP lat Latency\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"0.1\"} 1\n"
+            "lat_bucket{le=\"1\"} 3\n"
+            "lat_bucket{le=\"10\"} 3\n"
+            "lat_bucket{le=\"+Inf\"} 4\n"
+            "lat_sum 100.05\n"
+            "lat_count 4\n");
+}
+
+TEST(Registry, QuantileRendersGaugeFamilyWithQuantileLabel) {
+  Registry registry;
+  auto& q = registry.quantile("wait", "", {0.5});
+  for (int i = 1; i <= 100; ++i) q.observe(static_cast<double>(i));
+  EXPECT_EQ(q.count(), 100u);
+  EXPECT_NEAR(q.estimate(0), 50.0, 5.0);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# TYPE wait gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("wait{quantile=\"0.5\"} "), std::string::npos);
+}
+
+TEST(Registry, LogBucketsAreGeometricAndLandOnHi) {
+  const auto edges = Registry::log_buckets(0.001, 10.0, 9);
+  ASSERT_EQ(edges.size(), 9u);
+  EXPECT_DOUBLE_EQ(edges.front(), 0.001);
+  EXPECT_DOUBLE_EQ(edges.back(), 10.0);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i], edges[i - 1]);
+    EXPECT_NEAR(edges[i] / edges[i - 1], edges[1] / edges[0], 1e-9);
+  }
+  EXPECT_THROW(Registry::log_buckets(0.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Registry::log_buckets(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Registry::log_buckets(1.0, 2.0, 1), std::logic_error);
+}
+
+TEST(Registry, EscapesLabelValues) {
+  Registry registry;
+  registry.counter("c", "", {{"tenant", "a\\b\"c\nd"}}).add(1);
+  EXPECT_EQ(registry.render_prometheus(),
+            "# TYPE c counter\n"
+            "c{tenant=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+// ----------------------------------------------------------- exporter ----
+
+std::vector<SpanRecord> sample_records() {
+  auto& tracer = Tracer::instance();
+  SpanRecord root;
+  root.start_ns = 2000;
+  root.dur_ns = 5000;
+  root.id = 0x10;
+  root.category = tracer.intern("campaign");
+  root.name = tracer.intern("run");
+  root.pid = 100;
+  root.tid = 0;
+  SpanRecord child;  // different pid: a forked worker's span
+  child.start_ns = 3000;
+  child.dur_ns = 1000;
+  child.id = 0x11;
+  child.parent = 0x10;
+  child.category = tracer.intern("pipeline");
+  child.name = tracer.intern("extract \"quoted\"");
+  child.arg1_name = tracer.intern("docs");
+  child.arg1 = 64;
+  child.pid = 200;
+  child.tid = 1;
+  SpanRecord mark;
+  mark.start_ns = 3500;
+  mark.id = 0x12;
+  mark.parent = 0x10;
+  mark.category = tracer.intern("campaign");
+  mark.name = tracer.intern("steal");
+  mark.instant = true;
+  mark.pid = 100;
+  mark.tid = 0;
+  return {child, mark, root};  // deliberately unsorted
+}
+
+TEST(Exporter, EmitsParsableChromeTraceJson) {
+  const std::string json = trace_to_json(sample_records());
+  const auto parsed = util::Json::parse(json);
+  ASSERT_TRUE(parsed.contains("traceEvents"));
+  const auto& events = parsed.at("traceEvents").as_array();
+  // 3 spans + one process_name metadata record per distinct pid.
+  ASSERT_EQ(events.size(), 5u);
+  std::size_t metadata = 0, slices = 0;
+  for (const auto& event : events) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(event.at("name").as_string(), "process_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++slices;
+    EXPECT_EQ(event.at("args").at("span_id").as_string().rfind("0x", 0), 0u);
+  }
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(slices, 3u);
+}
+
+TEST(Exporter, SortsByPidTidTimeAndLinksParentsAcrossPids) {
+  const std::string json = trace_to_json(sample_records());
+  const auto parsed = util::Json::parse(json);
+  const auto& events = parsed.at("traceEvents").as_array();
+  std::vector<std::pair<double, double>> order;  // (pid, ts) of slices
+  for (const auto& event : events) {
+    if (event.at("ph").as_string() != "X") continue;
+    order.emplace_back(event.at("pid").as_number(),
+                       event.at("ts").as_number());
+    if (event.at("name").as_string().rfind("extract", 0) == 0) {
+      // Worker-pid span still points at the coordinator-pid parent.
+      EXPECT_EQ(event.at("args").at("parent_id").as_string(), "0x10");
+      EXPECT_EQ(event.at("args").at("docs").as_number(), 64.0);
+      EXPECT_EQ(event.at("ts").as_number(), 3.0);   // 3000 ns -> 3 us
+      EXPECT_EQ(event.at("dur").as_number(), 1.0);
+    }
+    if (event.at("name").as_string() == "steal") {
+      EXPECT_EQ(event.at("args").at("instant").as_number(), 1.0);
+    }
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Exporter, FlameSummaryAggregatesByStage) {
+  const std::string summary = render_flame_summary(sample_records());
+  EXPECT_NE(summary.find("campaign/run"), std::string::npos);
+  EXPECT_NE(summary.find("pipeline/extract"), std::string::npos);
+  // Instants carry no duration and are excluded from the flame view.
+  EXPECT_EQ(summary.find("campaign/steal"), std::string::npos);
+  // The busiest stage leads.
+  EXPECT_LT(summary.find("campaign/run"), summary.find("pipeline/extract"));
+}
+
+}  // namespace
+}  // namespace adaparse::obs

@@ -165,6 +165,7 @@ void expect_equal(const Message& a, const Message& b) {
   EXPECT_EQ(a.restaged, b.restaged);
   EXPECT_EQ(a.wall_ms, b.wall_ms);
   EXPECT_EQ(a.failed_doc_id, b.failed_doc_id);
+  EXPECT_EQ(a.spans, b.spans);
   EXPECT_EQ(a.quarantine, b.quarantine);
 }
 
@@ -218,12 +219,11 @@ TEST(Wire, OversizedLengthThrows) {
   EXPECT_THROW(decoder.next(), std::runtime_error);
 }
 
-TEST(Wire, UnknownTypeThrows) {
-  // Build a valid frame, then rewrite the type byte and fix the CRC.
-  Message m = sample_result();
-  const std::string payload_probe = encode_frame(m);
-  std::string payload = payload_probe.substr(12);
-  payload[0] = 99;  // not a MsgType
+// Rewrites a frame's type byte to `type` and fixes up the CRC, producing a
+// structurally valid frame of a kind this build does not know about.
+std::string frame_with_type(const Message& m, char type) {
+  std::string payload = encode_frame(m).substr(12);
+  payload[0] = type;
   std::string frame;
   const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) {
@@ -234,9 +234,47 @@ TEST(Wire, UnknownTypeThrows) {
     frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
   }
   frame += payload;
+  return frame;
+}
+
+TEST(Wire, UnknownTypeDecodesToSkippableMessage) {
+  // Forward compatibility: a checksum-valid frame of an unknown kind (a
+  // newer peer's message) must decode to kUnknown for the receiver to
+  // skip, not kill the connection like corruption does.
   FrameDecoder decoder;
-  decoder.feed(frame);
-  EXPECT_THROW(decoder.next(), std::runtime_error);
+  decoder.feed(frame_with_type(sample_result(), 99));
+  const auto received = decoder.next();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->type, MsgType::kUnknown);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, DecoderContinuesPastUnknownFrame) {
+  // The frame after a skipped unknown one must still decode cleanly — the
+  // length prefix, not the payload schema, delimits frames.
+  const Message keeper = sample_result();
+  FrameDecoder decoder;
+  decoder.feed(frame_with_type(sample_result(), 77) + encode_frame(keeper));
+  const auto skipped = decoder.next();
+  ASSERT_TRUE(skipped.has_value());
+  EXPECT_EQ(skipped->type, MsgType::kUnknown);
+  const auto kept = decoder.next();
+  ASSERT_TRUE(kept.has_value());
+  expect_equal(*kept, keeper);
+}
+
+TEST(Wire, SpansFrameRoundTripsPayload) {
+  Message m;
+  m.type = MsgType::kSpans;
+  m.shard = 3;
+  m.spans = std::string("\x00\x01\xFFopaque-span-bytes\x00", 20);
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(m));
+  const auto received = decoder.next();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->type, MsgType::kSpans);
+  EXPECT_EQ(received->shard, 3u);
+  EXPECT_EQ(received->spans, m.spans);  // binary payload, byte-exact
 }
 
 TEST(Wire, PartialFrameYieldsNothing) {

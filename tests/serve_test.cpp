@@ -11,6 +11,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
+#include "simd/dispatch.hpp"
 
 namespace adaparse::serve {
 namespace {
@@ -319,6 +322,112 @@ TEST(MetricsRegistryTest, CountersQuantilesAndPrometheusRendering) {
   EXPECT_NE(text.find("adaparse_serve_queued_jobs 3"), std::string::npos);
   EXPECT_NE(text.find("adaparse_serve_resident_documents 640"),
             std::string::npos);
+}
+
+/// Replaces the value on time-derived exposition lines (uptime, and the
+/// per-tenant throughput that divides by it) so the rest of the payload can
+/// be compared byte-for-byte.
+std::string normalize_volatile_lines(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("adaparse_serve_tenant_throughput_docs_per_second{", 0) ==
+            0 ||
+        line.rfind("adaparse_serve_uptime_seconds ", 0) == 0) {
+      line.erase(line.rfind(' ') + 1);
+      line += "<time-derived>";
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionMatchesGoldenText) {
+  // Byte-exact regression gate for the migration onto obs::Registry: this
+  // golden was captured from the pre-migration hand-rolled renderer. HELP
+  // lines, family and series order, integer-vs-default-double formatting,
+  // and label layout must all survive. Only the two time-derived values
+  // are normalized away.
+  const simd::TierScope scope(simd::Tier::kScalar);
+  MetricsRegistry metrics;
+  metrics.on_submitted("acme");
+  metrics.on_submitted("acme");
+  metrics.on_submitted("beta");
+  metrics.on_rejected("beta");
+  metrics.on_started("acme", 0.25);
+  metrics.on_docs_completed("acme", 64);
+  metrics.on_completed("acme", 1.5);
+  metrics.on_cancelled("acme", 0.5);
+  metrics.set_gauges(3, 1, 640);
+
+  const std::string golden = R"(# HELP adaparse_serve_jobs_total Jobs by tenant and terminal-or-submitted outcome
+# TYPE adaparse_serve_jobs_total counter
+adaparse_serve_jobs_total{tenant="acme",outcome="submitted"} 2
+adaparse_serve_jobs_total{tenant="acme",outcome="completed"} 1
+adaparse_serve_jobs_total{tenant="acme",outcome="cancelled"} 1
+adaparse_serve_jobs_total{tenant="acme",outcome="rejected"} 0
+adaparse_serve_jobs_total{tenant="acme",outcome="failed"} 0
+adaparse_serve_jobs_total{tenant="beta",outcome="submitted"} 1
+adaparse_serve_jobs_total{tenant="beta",outcome="completed"} 0
+adaparse_serve_jobs_total{tenant="beta",outcome="cancelled"} 0
+adaparse_serve_jobs_total{tenant="beta",outcome="rejected"} 1
+adaparse_serve_jobs_total{tenant="beta",outcome="failed"} 0
+# HELP adaparse_serve_docs_completed_total Documents parsed to completion by tenant
+# TYPE adaparse_serve_docs_completed_total counter
+adaparse_serve_docs_completed_total{tenant="acme"} 64
+adaparse_serve_docs_completed_total{tenant="beta"} 0
+# HELP adaparse_serve_queue_wait_seconds_mean Mean seconds jobs waited from submission to first slice
+# TYPE adaparse_serve_queue_wait_seconds_mean gauge
+adaparse_serve_queue_wait_seconds_mean{tenant="acme"} 0.25
+adaparse_serve_queue_wait_seconds_mean{tenant="beta"} 0
+# HELP adaparse_serve_job_latency_seconds Job latency (submission to terminal state) quantile estimates
+# TYPE adaparse_serve_job_latency_seconds gauge
+adaparse_serve_job_latency_seconds{tenant="acme",quantile="0.5"} 1
+adaparse_serve_job_latency_seconds{tenant="acme",quantile="0.95"} 1.45
+adaparse_serve_job_latency_seconds{tenant="acme",quantile="0.99"} 1.49
+adaparse_serve_job_latency_seconds{tenant="beta",quantile="0.5"} 0
+adaparse_serve_job_latency_seconds{tenant="beta",quantile="0.95"} 0
+adaparse_serve_job_latency_seconds{tenant="beta",quantile="0.99"} 0
+# HELP adaparse_serve_tenant_throughput_docs_per_second Completed documents per second of service uptime
+# TYPE adaparse_serve_tenant_throughput_docs_per_second gauge
+adaparse_serve_tenant_throughput_docs_per_second{tenant="acme"} <time-derived>
+adaparse_serve_tenant_throughput_docs_per_second{tenant="beta"} <time-derived>
+# HELP adaparse_serve_queued_jobs Jobs admitted and waiting
+# TYPE adaparse_serve_queued_jobs gauge
+adaparse_serve_queued_jobs 3
+# HELP adaparse_serve_running_jobs Jobs with a slice executing now
+# TYPE adaparse_serve_running_jobs gauge
+adaparse_serve_running_jobs 1
+# HELP adaparse_serve_resident_documents Estimated documents of admitted-but-unfinished work
+# TYPE adaparse_serve_resident_documents gauge
+adaparse_serve_resident_documents 640
+# HELP adaparse_serve_uptime_seconds Seconds since service start
+# TYPE adaparse_serve_uptime_seconds gauge
+adaparse_serve_uptime_seconds <time-derived>
+# HELP adaparse_simd_tier Active SIMD dispatch tier of the text hot path (1 = active)
+# TYPE adaparse_simd_tier gauge
+adaparse_simd_tier{tier="scalar"} 1
+)";
+  EXPECT_EQ(normalize_volatile_lines(metrics.render_prometheus()), golden);
+}
+
+TEST(MetricsRegistryTest, ZeroTenantsStillEmitsEveryFamilyHeader) {
+  // A fresh registry must expose all families (HELP + TYPE) even before any
+  // tenant exists — scrapers rely on stable family metadata.
+  MetricsRegistry metrics;
+  const std::string text = metrics.render_prometheus();
+  for (const char* family :
+       {"adaparse_serve_jobs_total", "adaparse_serve_docs_completed_total",
+        "adaparse_serve_queue_wait_seconds_mean",
+        "adaparse_serve_job_latency_seconds",
+        "adaparse_serve_tenant_throughput_docs_per_second"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " "),
+              std::string::npos)
+        << family;
+    EXPECT_EQ(text.find(std::string(family) + "{"), std::string::npos)
+        << family << " should have no series yet";
+  }
 }
 
 TEST(MetricsRegistryTest, EscapesTenantNamesInPrometheusLabels) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -302,6 +303,43 @@ TEST(P2QuantileTest, ExactForFewerThanFiveSamples) {
 TEST(P2QuantileTest, RejectsDegenerateQuantiles) {
   EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
   EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2QuantileTest, TwoValuesInterpolateExactly) {
+  // Still in the exact-order-statistics bootstrap regime (n < 5): the p95
+  // of {1, 3} is the linear interpolation at rank 0.95 * (n - 1).
+  P2Quantile p95(0.95);
+  p95.add(3.0);
+  p95.add(1.0);
+  EXPECT_NEAR(p95.value(), 1.0 + 0.95 * 2.0, 1e-12);
+  P2Quantile p50(0.5);
+  p50.add(10.0);
+  p50.add(20.0);
+  EXPECT_NEAR(p50.value(), 15.0, 1e-12);
+}
+
+TEST(P2QuantileTest, ConstantStreamStaysConstant) {
+  // Every marker height equals the constant; the parabolic update's
+  // divisions must not wander off it or divide by zero.
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 1000; ++i) p99.add(7.5);
+  EXPECT_DOUBLE_EQ(p99.value(), 7.5);
+  EXPECT_EQ(p99.count(), 1000U);
+}
+
+TEST(P2QuantileTest, NonFiniteObservationsAreDropped) {
+  P2Quantile p50(0.5);
+  p50.add(std::nan(""));
+  EXPECT_EQ(p50.count(), 0U);  // dropped before the bootstrap buffer
+  EXPECT_EQ(p50.value(), 0.0);
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) p50.add(x);
+  const double before = p50.value();
+  p50.add(std::nan(""));
+  p50.add(std::numeric_limits<double>::infinity());
+  p50.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(p50.count(), 6U);
+  EXPECT_DOUBLE_EQ(p50.value(), before);  // estimate unpoisoned
+  EXPECT_FALSE(std::isnan(p50.value()));
 }
 
 TEST(P2QuantileTest, TracksUniformDistributionQuantiles) {

@@ -1,0 +1,396 @@
+// Closed-loop graceful-degradation benchmark: the same burst workload under
+// an injected serve-path fault, with and without the SLO guardian.
+//
+// A single open-loop tenant submits jobs at a steady rate. After a warmup,
+// a FaultPlan starts injecting a per-upgrade latency spike — every
+// Nougat-routed document costs extra wall time, a stand-in for a degraded
+// GPU parser. The uncontrolled service keeps spending its full
+// floor(alpha*k) budget on the now-expensive lane and stays in p95 breach;
+// the controlled service walks the degradation ladder, sheds the budget,
+// and mechanically sheds the injected latency with it. The bench records
+// both p95 trajectories (0.5 s buckets over job completion times), the
+// SLO-recovery time after fault onset, and the quality give-back (Nougat
+// share of completed documents), then verifies the controlled run's
+// decision journal replays identically. Emits BENCH_adaptive.json.
+//
+//   ADAPARSE_ADAPTIVE_JOBS    jobs per run            (default 40)
+//   ADAPARSE_ADAPTIVE_DOCS    documents per job       (default 32)
+//   ADAPARSE_ADAPTIVE_STRICT  1 = fail unless the controlled run recovers
+//                             and the uncontrolled run stays in breach
+//                             (CI chaos job sets this; off by default so
+//                             slow machines don't flake local runs)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/doc_source.hpp"
+#include "doc/generator.hpp"
+#include "serve/control/journal.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace adaparse;
+
+namespace {
+
+/// All workload timing, derived from a measured healthy-service baseline so
+/// the bench is machine-independent: a sanitizer build or a slow CI runner
+/// parses the same documents severalfold slower, and a hard-coded SLO would
+/// make the workload infeasible there (base latency alone in breach — no
+/// controller could ever recover it).
+struct Timing {
+  double base_seconds = 0.0;     ///< measured healthy p~max job latency
+  double slo_seconds = 0.25;     ///< p95 SLO: 3x base, floored at 250 ms
+  double arrival_seconds = 0.15; ///< inter-job spacing (2 dispatchers)
+  double fault_from_seconds = 1.0;
+  double bucket_seconds = 0.5;
+  std::chrono::milliseconds upgrade_delay{100};  ///< per Nougat doc
+  std::chrono::milliseconds control_tick{150};
+};
+
+Timing derive_timing(double base_seconds) {
+  Timing t;
+  t.base_seconds = base_seconds;
+  // Healthy service must sit comfortably below the clear line (0.7 * SLO):
+  // 3x base keeps even p95 scatter under it.
+  t.slo_seconds = std::max(0.25, 3.0 * base_seconds);
+  // Utilization ~ base / (dispatchers * arrival) = 1/3: overload under the
+  // fault comes from the injection, never from the healthy workload.
+  t.arrival_seconds = std::max(0.15, 1.5 * base_seconds);
+  t.fault_from_seconds = std::max(1.0, 6.0 * t.arrival_seconds);
+  t.bucket_seconds = std::max(0.5, 2.0 * t.arrival_seconds);
+  // One SLO of injected delay per Nougat doc: with floor(0.25*8) = 2 such
+  // docs per job, the faulted full-budget service breaches by injected
+  // service time alone, independent of queueing.
+  t.upgrade_delay = std::chrono::milliseconds(
+      static_cast<long>(std::ceil(t.slo_seconds * 1e3)));
+  // Tick at the completion rate so latency windows rarely come up empty
+  // (empty windows read as "no evidence" and stall the controller streaks).
+  t.control_tick = std::chrono::milliseconds(
+      static_cast<long>(std::ceil(t.arrival_seconds * 1e3)));
+  return t;
+}
+
+struct RunResult {
+  std::vector<double> bucket_p95;  ///< p95 job latency per completion bucket
+  std::vector<std::size_t> bucket_n;
+  double recovery_seconds = -1.0;  ///< -1 = still in breach at run end
+  bool in_breach_at_end = false;
+  double nougat_share = 0.0;
+  std::size_t jobs = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  bool clean_drain = false;
+  serve::ControlState control;
+  bool journal_replay_ok = true;  ///< vacuous for the uncontrolled run
+};
+
+serve::FaultPlan make_fault_plan(const Timing& timing) {
+  serve::FaultPlan plan;
+  serve::FaultPlan::LatencySpike spike;
+  spike.from_seconds = timing.fault_from_seconds;  // never ends
+  spike.per_upgrade_delay = timing.upgrade_delay;
+  plan.latency_spikes.push_back(spike);
+  return plan;
+}
+
+core::EngineConfig workload_engine() {
+  core::EngineConfig engine;
+  engine.variant = core::Variant::kFastText;
+  engine.batch_size = 32;
+  engine.alpha = 0.25;  // a fat budget: plenty of quality to give back
+  return engine;
+}
+
+/// Measures healthy per-job latency: the same jobs against a fault-free,
+/// controller-free service, submitted one at a time (no queueing). Returns
+/// the slowest post-warmup job — the conservative end of "healthy".
+double calibrate_base_seconds(std::size_t docs_per_job) {
+  serve::ServiceConfig config;
+  config.dispatchers = 2;
+  config.slice_batches = 1;
+  serve::ParseService service(config, nullptr,
+                              std::make_shared<core::Cls2Improver>());
+  util::Rng rng(0xCA11B7A7E);
+  double base = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    serve::JobRequest request;
+    request.tenant = "calibrate";
+    request.engine = workload_engine();
+    request.source = std::make_unique<core::GeneratorSource>(
+        doc::benchmark_config(docs_per_job, rng.next_u64()));
+    auto job = service.submit(std::move(request));
+    job->wait();
+    // First two jobs pay model warmup; the rest are the steady state.
+    if (i >= 2) base = std::max(base, job->progress().latency_seconds);
+  }
+  service.shutdown();
+  return base;
+}
+
+RunResult run_workload(bool controlled, const Timing& timing,
+                       std::size_t jobs_total, std::size_t docs_per_job,
+                       const std::string& journal_path) {
+  // The decision journal is append-only by design (restart-safe); a bench
+  // run wants a fresh ledger, not last run's ticks replayed under this
+  // run's config.
+  if (!journal_path.empty()) std::remove(journal_path.c_str());
+
+  serve::ServiceConfig config;
+  config.dispatchers = 2;
+  config.slice_batches = 1;
+  config.fault_plan = make_fault_plan(timing);
+  if (controlled) {
+    config.enable_slo_controller = true;
+    // Escalate on first breach, restore reluctantly (long cooldown), so
+    // the short bench shows one clean shed-and-recover arc.
+    config.control_tick = timing.control_tick;
+    config.control.slo_p95_micros =
+        static_cast<std::uint64_t>(timing.slo_seconds * 1e6);
+    config.control.breach_ticks_to_escalate = 1;
+    config.control.clear_ticks_to_restore = 8;
+    config.control.cooldown_ticks = 20;
+    config.decision_journal_path = journal_path;
+  }
+  serve::ParseService service(config, nullptr,
+                              std::make_shared<core::Cls2Improver>());
+
+  const core::EngineConfig engine = workload_engine();
+
+  util::Rng rng(0xADA9717E);
+  std::vector<serve::JobHandle> jobs;
+  std::vector<double> submit_at;
+  jobs.reserve(jobs_total);
+  submit_at.reserve(jobs_total);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < jobs_total; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration<double>(timing.arrival_seconds *
+                                              static_cast<double>(i)));
+    serve::JobRequest request;
+    request.tenant = "burst";
+    request.engine = engine;
+    request.source = std::make_unique<core::GeneratorSource>(
+        doc::benchmark_config(docs_per_job, rng.next_u64()));
+    submit_at.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    jobs.push_back(service.submit(std::move(request)));
+  }
+  service.drain();
+
+  RunResult result;
+  result.jobs = jobs.size();
+
+  // Completion-time buckets of job latency -> the p95 trajectory. Computed
+  // bench-side from the recorded submit times + per-job latencies (the
+  // controller's own window is drained every tick and unavailable here).
+  std::vector<std::vector<double>> buckets;
+  std::size_t nougat_docs = 0, total_docs = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
+    const auto state = job->state();
+    if (!serve::job_state_terminal(state)) continue;
+    if (state == serve::JobState::kRejected) {
+      ++result.rejected;
+      continue;
+    }
+    if (state == serve::JobState::kCompleted) ++result.completed;
+    const double latency = job->progress().latency_seconds;
+    const double done_at = submit_at[i] + latency;
+    const auto bucket = static_cast<std::size_t>(std::max(0.0, done_at) /
+                                                 timing.bucket_seconds);
+    if (buckets.size() <= bucket) buckets.resize(bucket + 1);
+    buckets[bucket].push_back(latency);
+    for (const auto& record : job->take_results()) {
+      ++total_docs;
+      if (record.decision.chosen == parsers::ParserKind::kNougat) {
+        ++nougat_docs;
+      }
+    }
+  }
+  result.nougat_share =
+      total_docs > 0
+          ? static_cast<double>(nougat_docs) / static_cast<double>(total_docs)
+          : 0.0;
+
+  result.bucket_p95.reserve(buckets.size());
+  result.bucket_n.reserve(buckets.size());
+  double last_breach_end = -1.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    result.bucket_n.push_back(buckets[b].size());
+    const double p95 =
+        buckets[b].empty() ? 0.0 : util::quantile(buckets[b], 0.95);
+    result.bucket_p95.push_back(p95);
+    const double bucket_end = timing.bucket_seconds * static_cast<double>(b + 1);
+    if (!buckets[b].empty() && p95 > timing.slo_seconds &&
+        bucket_end > timing.fault_from_seconds) {
+      last_breach_end = bucket_end;
+      result.in_breach_at_end = b + 1 == buckets.size();
+    }
+  }
+  // Recovery = end of the last breaching bucket, measured from fault onset;
+  // 0 = never breached, -1 = still breaching when the run ended.
+  if (result.in_breach_at_end) {
+    result.recovery_seconds = -1.0;
+  } else {
+    result.recovery_seconds =
+        last_breach_end < 0.0
+            ? 0.0
+            : std::max(0.0, last_breach_end - timing.fault_from_seconds);
+  }
+
+  result.control = service.metrics().control;
+  result.clean_drain = service.queued_jobs() == 0 &&
+                       service.running_jobs() == 0 &&
+                       service.resident_documents() == 0;
+  service.shutdown();
+
+  if (controlled && !journal_path.empty()) {
+    // The audit property, end to end: the journaled decisions re-derive
+    // identically from the journaled sensor readings.
+    const auto log = serve::control::load_decision_log(journal_path);
+    std::vector<serve::control::SensorReading> readings;
+    readings.reserve(log.ticks.size());
+    for (const auto& tick : log.ticks) readings.push_back(tick.reading);
+    result.journal_replay_ok =
+        log.config.has_value() &&
+        serve::control::replay(*log.config, readings) == log.ticks;
+  }
+  return result;
+}
+
+util::Json run_json(const RunResult& r, const Timing& timing) {
+  util::JsonObject out;
+  out["jobs"] = r.jobs;
+  out["completed"] = r.completed;
+  out["rejected"] = r.rejected;
+  out["clean_drain"] = r.clean_drain;
+  out["nougat_share"] = r.nougat_share;
+  out["slo_recovery_seconds"] = r.recovery_seconds;
+  out["in_breach_at_end"] = r.in_breach_at_end;
+  out["journal_replay_ok"] = r.journal_replay_ok;
+  std::vector<util::Json> trajectory;
+  trajectory.reserve(r.bucket_p95.size());
+  for (std::size_t b = 0; b < r.bucket_p95.size(); ++b) {
+    util::JsonObject point;
+    point["t_seconds"] = timing.bucket_seconds * static_cast<double>(b + 1);
+    point["p95_seconds"] = r.bucket_p95[b];
+    point["jobs"] = r.bucket_n[b];
+    trajectory.emplace_back(std::move(point));
+  }
+  out["p95_trajectory"] = util::Json(std::move(trajectory));
+  if (r.control.enabled) {
+    util::JsonObject control;
+    control["final_level"] = r.control.level;
+    control["final_level_name"] = r.control.level_name;
+    control["transitions_up"] = r.control.transitions_up;
+    control["transitions_down"] = r.control.transitions_down;
+    control["ticks"] = r.control.ticks;
+    out["control"] = util::Json(std::move(control));
+  }
+  return util::Json(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  util::Stopwatch total;
+  std::size_t jobs_total = 40;
+  std::size_t docs_per_job = 8;
+  if (const char* env = std::getenv("ADAPARSE_ADAPTIVE_JOBS")) {
+    jobs_total = static_cast<std::size_t>(std::max(4, std::atoi(env)));
+  }
+  if (const char* env = std::getenv("ADAPARSE_ADAPTIVE_DOCS")) {
+    docs_per_job = static_cast<std::size_t>(std::max(8, std::atoi(env)));
+  }
+  const bool strict = [] {
+    const char* env = std::getenv("ADAPARSE_ADAPTIVE_STRICT");
+    return env != nullptr && env[0] == '1';
+  }();
+
+  const Timing timing = derive_timing(calibrate_base_seconds(docs_per_job));
+  std::cout << "== SLO-guarded serving under an injected upgrade-lane fault ("
+            << jobs_total << " jobs x " << docs_per_job << " docs, +"
+            << timing.upgrade_delay.count() << " ms per Nougat doc from t="
+            << util::format_fixed(timing.fault_from_seconds, 2) << " s) ==\n"
+            << "calibrated: base job latency "
+            << util::format_fixed(timing.base_seconds * 1e3, 1)
+            << " ms -> SLO p95 "
+            << util::format_fixed(timing.slo_seconds * 1e3, 1)
+            << " ms, arrival every "
+            << util::format_fixed(timing.arrival_seconds * 1e3, 1)
+            << " ms, control tick " << timing.control_tick.count() << " ms\n";
+
+  const RunResult uncontrolled =
+      run_workload(false, timing, jobs_total, docs_per_job, "");
+  const RunResult controlled = run_workload(
+      true, timing, jobs_total, docs_per_job, "BENCH_adaptive_journal.jsonl");
+
+  util::Table table({"Run", "jobs", "done", "nougat %", "recovery (s)",
+                     "breach@end", "clean"});
+  const auto row = [&](const char* name, const RunResult& r) {
+    table.row()
+        .add(name)
+        .add(r.jobs)
+        .add(r.completed)
+        .add(100.0 * r.nougat_share, 1)
+        .add(r.recovery_seconds, 2)
+        .add(r.in_breach_at_end ? "yes" : "no")
+        .add(r.clean_drain ? "yes" : "no");
+  };
+  row("uncontrolled", uncontrolled);
+  row("controlled", controlled);
+  table.print(std::cout);
+  std::cout << "controller: level=" << controlled.control.level_name
+            << " transitions up=" << controlled.control.transitions_up
+            << " down=" << controlled.control.transitions_down
+            << " ticks=" << controlled.control.ticks << "; journal replay "
+            << (controlled.journal_replay_ok ? "ok" : "MISMATCH") << "\n";
+
+  util::JsonObject out;
+  out["bench"] = "adaptive";
+  out["calibrated_base_seconds"] = timing.base_seconds;
+  out["slo_p95_seconds"] = timing.slo_seconds;
+  out["arrival_seconds"] = timing.arrival_seconds;
+  out["fault_from_seconds"] = timing.fault_from_seconds;
+  out["upgrade_delay_ms"] =
+      static_cast<std::size_t>(timing.upgrade_delay.count());
+  out["bucket_seconds"] = timing.bucket_seconds;
+  out["docs_per_job"] = docs_per_job;
+  out["strict"] = strict;
+  out["uncontrolled"] = run_json(uncontrolled, timing);
+  out["controlled"] = run_json(controlled, timing);
+  out["quality_giveback_nougat_share"] =
+      uncontrolled.nougat_share - controlled.nougat_share;
+  {
+    std::ofstream json_file("BENCH_adaptive.json");
+    json_file << util::Json(std::move(out)).dump() << '\n';
+  }
+  std::cout << "wrote BENCH_adaptive.json; total wall time: "
+            << util::format_fixed(total.seconds(), 1) << " s\n";
+
+  bool ok = uncontrolled.clean_drain && controlled.clean_drain &&
+            controlled.journal_replay_ok;
+  if (strict) {
+    // The acceptance gate: under the fault, the controller returns p95
+    // below the SLO in bounded time while the uncontrolled run is still in
+    // breach at run end, and the recovery was bought with quality.
+    ok = ok && controlled.recovery_seconds >= 0.0 &&
+         uncontrolled.in_breach_at_end &&
+         controlled.nougat_share < uncontrolled.nougat_share;
+  }
+  if (!ok) std::cout << "bench_adaptive: FAILED acceptance checks\n";
+  return ok ? 0 : 1;
+}

@@ -13,11 +13,20 @@
 //
 //   ADAPARSE_BENCH_N       total documents across all jobs (default 1000)
 //   ADAPARSE_SERVE_DOCS    documents per job               (default 25)
+//   ADAPARSE_SERVE_CHAOS   1 = run under a scripted FaultPlan (latency
+//                          spike on beta, transient nougat model-load
+//                          failures absorbed by warm-cache retry, a
+//                          mid-run load burst, a slow-draining gamma
+//                          consumer) with the SLO controller enabled; the
+//                          clean-drain gate additionally requires zero
+//                          failed jobs — the CI chaos-serve job's config
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -41,14 +50,38 @@ int main() {
     docs_per_job = std::max(1, std::atoi(env_docs));
   }
   const std::size_t num_jobs = std::max<std::size_t>(6, n / docs_per_job);
+  const bool chaos = [] {
+    const char* env = std::getenv("ADAPARSE_SERVE_CHAOS");
+    return env != nullptr && env[0] == '1';
+  }();
   std::cout << "== multi-tenant parse service, open-loop workload ("
-            << num_jobs << " jobs x " << docs_per_job << " docs) ==\n";
+            << num_jobs << " jobs x " << docs_per_job << " docs"
+            << (chaos ? ", CHAOS" : "") << ") ==\n";
 
   serve::ServiceConfig config;
   config.dispatchers = 2;
   config.slice_batches = 1;
   config.quantum_docs = 64;
   config.deadline_slack = std::chrono::milliseconds(250);
+  if (chaos) {
+    // Every scripted fault class at once; the gate below still demands a
+    // clean drain and zero failed jobs.
+    serve::FaultPlan::LatencySpike spike;
+    spike.tenant = "beta";
+    spike.from_seconds = 0.2;
+    spike.until_seconds = 1.5;
+    spike.per_doc_delay = std::chrono::milliseconds(5);
+    config.fault_plan.latency_spikes.push_back(spike);
+    config.fault_plan.model_load_faults.push_back({"nougat", 2});
+    config.fault_plan.slow_consumers.push_back(
+        {"gamma", std::chrono::milliseconds(50)});
+    config.fault_plan.bursts.push_back({0.5, 4, 0, "burst"});
+    config.warm_cache_retry.max_attempts = 4;
+    config.warm_cache_retry.base_backoff = std::chrono::milliseconds(5);
+    config.warm_cache_retry.max_backoff = std::chrono::milliseconds(40);
+    config.enable_slo_controller = true;
+    config.control_tick = std::chrono::milliseconds(25);
+  }
   serve::ParseService service(config, nullptr,
                               std::make_shared<core::Cls2Improver>());
   service.set_tenant_weight("alpha", 2.0);
@@ -79,6 +112,14 @@ int main() {
       arrivals.push_back({at, tenants[t], rng.next_u64()});
     }
   }
+  // Driver-side fault interpretation: scripted load bursts join the
+  // arrival schedule as instantaneous job volleys.
+  for (const auto& burst : config.fault_plan.bursts) {
+    for (std::size_t j = 0; j < burst.jobs; ++j) {
+      arrivals.push_back(
+          {burst.at_seconds, burst.tenant.c_str(), rng.next_u64()});
+    }
+  }
   std::sort(arrivals.begin(), arrivals.end(),
             [](const Arrival& a, const Arrival& b) {
               return a.at_seconds < b.at_seconds;
@@ -87,6 +128,26 @@ int main() {
   std::vector<serve::JobHandle> jobs;
   jobs.reserve(arrivals.size());
   const auto start = std::chrono::steady_clock::now();
+
+  // Driver-side slow consumer: one thread per scripted tenant drains that
+  // tenant's results only every drain_interval, so pending records pool in
+  // the job handles between drains.
+  std::atomic<bool> consumers_stop{false};
+  std::mutex jobs_mutex;  // guards `jobs` against the consumer threads
+  std::vector<std::thread> consumers;
+  for (const auto& slow : config.fault_plan.slow_consumers) {
+    consumers.emplace_back([&, tenant = slow.tenant,
+                            interval = slow.drain_interval] {
+      while (!consumers_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(interval);
+        std::lock_guard<std::mutex> lock(jobs_mutex);
+        for (const auto& job : jobs) {
+          if (job->tenant() == tenant) (void)job->take_results();
+        }
+      }
+    });
+  }
+
   for (const Arrival& arrival : arrivals) {
     std::this_thread::sleep_until(
         start + std::chrono::duration<double>(arrival.at_seconds));
@@ -98,22 +159,30 @@ int main() {
     if (request.tenant == std::string("gamma")) {
       request.deadline = std::chrono::milliseconds(200);
     }
-    jobs.push_back(service.submit(std::move(request)));
+    auto job = service.submit(std::move(request));
+    std::lock_guard<std::mutex> lock(jobs_mutex);
+    jobs.push_back(std::move(job));
   }
   service.drain();
+  consumers_stop.store(true, std::memory_order_relaxed);
+  for (auto& consumer : consumers) consumer.join();
   const double wall = total.seconds();
 
-  // ---- clean-drain check: every job terminal, service gauges at zero. ----
-  std::size_t completed = 0, rejected = 0, nonterminal = 0;
+  // ---- clean-drain check: every job terminal, service gauges at zero;
+  // under chaos, additionally no failed jobs (the scripted model-load
+  // failures must be absorbed by the warm-cache retry budget). ----
+  std::size_t completed = 0, rejected = 0, failed = 0, nonterminal = 0;
   for (const auto& job : jobs) {
     const auto state = job->state();
     if (!serve::job_state_terminal(state)) ++nonterminal;
     if (state == serve::JobState::kCompleted) ++completed;
     if (state == serve::JobState::kRejected) ++rejected;
+    if (state == serve::JobState::kFailed) ++failed;
   }
   const bool clean = nonterminal == 0 && service.queued_jobs() == 0 &&
                      service.running_jobs() == 0 &&
-                     service.resident_documents() == 0;
+                     service.resident_documents() == 0 &&
+                     (!chaos || failed == 0);
 
   const auto snap = service.metrics();
   util::Table table({"Tenant", "jobs", "done", "docs", "docs/s", "wait (ms)",
@@ -132,9 +201,18 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "jobs: " << jobs.size() << " submitted, " << completed
-            << " completed, " << rejected << " rejected; clean drain: "
-            << (clean ? "yes" : "NO") << "; wall "
-            << util::format_fixed(wall, 2) << " s\n";
+            << " completed, " << rejected << " rejected, " << failed
+            << " failed; clean drain: " << (clean ? "yes" : "NO")
+            << "; wall " << util::format_fixed(wall, 2) << " s\n";
+  if (chaos) {
+    const auto nougat_stats = service.warm_cache().stats("nougat");
+    std::cout << "chaos: warm-cache nougat loads=" << nougat_stats.loads
+              << " failures=" << nougat_stats.failures
+              << " retries=" << nougat_stats.retries
+              << "; controller level=" << snap.control.level_name
+              << " up=" << snap.control.transitions_up
+              << " down=" << snap.control.transitions_down << "\n";
+  }
 
   util::JsonObject out;
   out["bench"] = "serve";
@@ -142,7 +220,20 @@ int main() {
   out["docs_per_job"] = docs_per_job;
   out["completed"] = completed;
   out["rejected"] = rejected;
+  out["failed"] = failed;
+  out["chaos"] = chaos;
   out["clean_drain"] = clean;
+  if (chaos) {
+    const auto nougat_stats = service.warm_cache().stats("nougat");
+    util::JsonObject chaos_obj;
+    chaos_obj["warm_cache_load_failures"] = nougat_stats.failures;
+    chaos_obj["warm_cache_retries"] = nougat_stats.retries;
+    chaos_obj["control_final_level"] = snap.control.level;
+    chaos_obj["control_transitions_up"] = snap.control.transitions_up;
+    chaos_obj["control_transitions_down"] = snap.control.transitions_down;
+    chaos_obj["control_ticks"] = snap.control.ticks;
+    out["chaos_detail"] = util::Json(std::move(chaos_obj));
+  }
   out["wall_seconds"] = wall;
   out["pool_threads"] = service.pool_threads();
   out["dispatchers"] = config.dispatchers;

@@ -20,15 +20,58 @@ different runs or machines were mixed, which would make the paired speedups
 meaningless. The agreed tier is hoisted into BENCH_all.json as "simd_tier".
 Benchmarks whose name ends in "_Scalar" are exempt from the pair check:
 they force the scalar tier on purpose to isolate the SIMD contribution.
+
+A BENCH_adaptive input (bench_adaptive: SLO-guarded serving under fault
+injection) is schema-checked — both runs must carry a clean_drain flag, a
+p95 trajectory, and a recovery figure, and the controlled run must carry a
+journal-replay verdict — and its headline numbers are hoisted into
+BENCH_all.json as "slo_recovery" so dashboards don't need to dig.
 """
 
 import json
 import os
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 SEED_SUFFIX = "_Seed"
+
+ADAPTIVE_RUN_KEYS = ("clean_drain", "slo_recovery_seconds", "p95_trajectory",
+                     "nougat_share", "in_breach_at_end")
+
+
+def check_adaptive(merged):
+    """Returns (hoisted dict or None, [error strings]) for BENCH_adaptive."""
+    data = merged.get("BENCH_adaptive")
+    if data is None:
+        return None, []
+    errors = []
+    if not isinstance(data, dict) or data.get("bench") != "adaptive":
+        return None, ["BENCH_adaptive: not a bench_adaptive emission"]
+    for run in ("controlled", "uncontrolled"):
+        entry = data.get(run)
+        if not isinstance(entry, dict):
+            errors.append(f"BENCH_adaptive: missing '{run}' run object")
+            continue
+        for key in ADAPTIVE_RUN_KEYS:
+            if key not in entry:
+                errors.append(f"BENCH_adaptive: {run} lacks '{key}'")
+        if not isinstance(entry.get("p95_trajectory"), list):
+            errors.append(f"BENCH_adaptive: {run} p95_trajectory not a list")
+    controlled = data.get("controlled")
+    if isinstance(controlled, dict) and "journal_replay_ok" not in controlled:
+        errors.append("BENCH_adaptive: controlled lacks 'journal_replay_ok'")
+    if errors:
+        return None, errors
+    hoisted = {
+        "controlled_recovery_seconds": controlled["slo_recovery_seconds"],
+        "uncontrolled_in_breach_at_end":
+            data["uncontrolled"]["in_breach_at_end"],
+        "quality_giveback_nougat_share":
+            data.get("quality_giveback_nougat_share"),
+        "journal_replay_ok": controlled["journal_replay_ok"],
+    }
+    return hoisted, []
 
 
 def check_tiers(merged):
@@ -103,17 +146,22 @@ def main(argv):
         return 1
 
     tier, tier_errors = check_tiers(merged)
-    if tier_errors:
-        for err in tier_errors:
+    slo, adaptive_errors = check_adaptive(merged)
+    if tier_errors or adaptive_errors:
+        for err in tier_errors + adaptive_errors:
             print(f"merge_bench: {err}", file=sys.stderr)
         return 1
     if tier is not None:
         merged["simd_tier"] = tier
+    if slo is not None:
+        merged["slo_recovery"] = slo
 
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
-    meta_keys = 1 + (1 if tier is not None else 0)  # schema_version, simd_tier
+    # schema_version plus the optional hoisted simd_tier / slo_recovery
+    meta_keys = 1 + (1 if tier is not None else 0) + \
+        (1 if slo is not None else 0)
     count = len(merged) - meta_keys
     suffix = f" ({skipped} absent input(s) skipped)" if skipped else ""
     print(f"merge_bench: merged {count} bench files into {out_path}{suffix}")

@@ -64,7 +64,7 @@ std::size_t AdaParseEngine::worker_threads() const {
 void AdaParseEngine::route_window(
     const doc::Document* const* docs,
     const parsers::ParseResult* const* extractions, std::size_t count,
-    std::size_t base_index, RouteDecision* out) const {
+    std::size_t base_index, double alpha, RouteDecision* out) const {
   std::vector<double> gains(count, 0.0);
 
   for (std::size_t i = 0; i < count; ++i) {
@@ -122,7 +122,7 @@ void AdaParseEngine::route_window(
   }
 
   // Budgeted assignment within the batch: floor(alpha * k) Nougat slots.
-  const auto selected = select_budgeted(gains, config_.alpha,
+  const auto selected = select_budgeted(gains, alpha,
                                         /*require_positive_gain=*/true);
   for (std::size_t local : selected) {
     RouteDecision& decision = out[local];
@@ -147,7 +147,7 @@ void AdaParseEngine::route_batch(
     extraction_ptrs[i] = &extractions[begin + i];
   }
   route_window(doc_ptrs.data(), extraction_ptrs.data(), k, begin,
-               out.data() + begin);
+               config_.alpha, out.data() + begin);
 }
 
 std::vector<parsers::ParseResult> AdaParseEngine::extract_all(

@@ -153,9 +153,12 @@ class AdaParseEngine {
   /// Routes one window of `count` documents whose global indices start at
   /// `base_index`, applying the per-batch floor(alpha*k) budget. The
   /// pointer spans let the streaming pipeline route non-contiguous storage.
+  /// `alpha` is explicit so callers under closed-loop control (the serve
+  /// path's SLO guardian) can shrink the budget per window; batch paths
+  /// always pass config().alpha.
   void route_window(const doc::Document* const* docs,
                     const parsers::ParseResult* const* extractions,
-                    std::size_t count, std::size_t base_index,
+                    std::size_t count, std::size_t base_index, double alpha,
                     RouteDecision* out) const;
 
   /// Routes one contiguous batch given its extraction results.

@@ -250,12 +250,20 @@ EngineStats Pipeline::run(DocumentSource& source, const Sink& sink) const {
           extractions[i] = &window[i].extraction;
         }
         std::vector<RouteDecision> decisions(window.size());
+        // One budget read per window: every document in the window is
+        // routed under the same effective alpha, and the controller's
+        // scale can never split a batch's floor(alpha*k) accounting.
+        double alpha = engine_.config().alpha;
+        if (config_.alpha_scale != nullptr) {
+          alpha *= std::clamp(
+              config_.alpha_scale->load(std::memory_order_relaxed), 0.0, 1.0);
+        }
         util::Stopwatch work;
         {
           obs::SpanGuard span("pipeline", "route.window", "base", base, "docs",
                               window.size());
           engine_.route_window(docs.data(), extractions.data(), window.size(),
-                               base, decisions.data());
+                               base, alpha, decisions.data());
         }
         clock.busy += work.seconds();
         for (std::size_t i = 0; i < window.size(); ++i) {

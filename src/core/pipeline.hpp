@@ -55,6 +55,13 @@ struct PipelineConfig {
   /// jobs) reuse one resident model per key. When null, each run warms its
   /// own cache.
   sched::WarmModelCache* warm_cache = nullptr;
+  /// Optional live multiplier on the engine's alpha budget, read once per
+  /// route-window flush (values clamped to [0, 1]). This is the SLO
+  /// guardian's budget-shrink actuator: serve::ParseService points it at
+  /// the controller's effective-alpha gauge. Null (the default, and always
+  /// null on batch/campaign paths) means the fixed config().alpha — runs
+  /// stay byte-identical to a build without the hook.
+  const std::atomic<double>* alpha_scale = nullptr;
   /// Optional cooperative cancellation flag. Checked by the prefetcher
   /// before each admission: once set, no further documents are admitted;
   /// documents already in flight drain to the sink, so a cancelled run

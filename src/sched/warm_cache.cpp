@@ -1,26 +1,70 @@
 #include "sched/warm_cache.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
 namespace adaparse::sched {
 
 WarmModelCache::Handle WarmModelCache::get_or_load(const std::string& key,
                                                    const Loader& loader,
                                                    double load_seconds) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (enabled_) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++stats_[key].hits;
-      return it->second;
+  for (std::size_t call_attempt = 1;; ++call_attempt) {
+    if (enabled_) {
+      // Re-checked on every iteration: while this thread slept off a
+      // backoff, another may have loaded the key successfully.
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_[key].hits;
+        return it->second;
+      }
+    }
+    // Pay the load. (Loader runs under the lock: model loads are rare and
+    // serializing them mirrors real GPU memory allocation behaviour.)
+    auto& s = stats_[key];
+    ++s.loads;
+    s.load_seconds_paid += load_seconds;
+    const std::size_t attempt_ordinal = s.loads;  // per-key, lifetime-wide
+    try {
+      if (failure_hook_ && failure_hook_(key, attempt_ordinal)) {
+        throw std::runtime_error("injected load failure for model '" + key +
+                                 "' (attempt " +
+                                 std::to_string(attempt_ordinal) + ")");
+      }
+      Handle handle = loader();
+      if (enabled_) cache_[key] = handle;
+      return handle;
+    } catch (...) {
+      ++s.failures;
+      if (call_attempt >= std::max<std::size_t>(1, retry_.max_attempts)) {
+        throw;  // budget spent: surface as a failed job, never a hang
+      }
+      ++s.retries;
+      // Capped exponential backoff with deterministic jitter (up to +50%).
+      const auto shift = std::min<std::size_t>(call_attempt - 1, 20);
+      std::chrono::milliseconds backoff{retry_.base_backoff.count()
+                                        << shift};
+      backoff = std::min(backoff, retry_.max_backoff);
+      const auto jittered = backoff + std::chrono::milliseconds(jitter_.below(
+                                          static_cast<std::uint64_t>(
+                                              backoff.count() / 2 + 1)));
+      lock.unlock();  // never sleep while holding the cache
+      std::this_thread::sleep_for(jittered);
+      lock.lock();
     }
   }
-  // Pay the load. (Loader runs under the lock: model loads are rare and
-  // serializing them mirrors real GPU memory allocation behaviour.)
-  auto& s = stats_[key];
-  ++s.loads;
-  s.load_seconds_paid += load_seconds;
-  Handle handle = loader();
-  if (enabled_) cache_[key] = handle;
-  return handle;
+}
+
+void WarmModelCache::set_retry_policy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retry_ = policy;
+  jitter_ = util::Rng(policy.jitter_seed);
+}
+
+void WarmModelCache::set_load_failure_hook(LoadFailureHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failure_hook_ = std::move(hook);
 }
 
 WarmCacheStats WarmModelCache::stats(const std::string& key) const {

@@ -6,21 +6,44 @@
 // task boundary. WarmModelCache reproduces that mechanism: get_or_load()
 // loads a model at most once per worker slot and reuses it afterwards,
 // while counting loads so the ablation bench can price cold starts.
+//
+// Real model loads also fail transiently (checkpoint fetch hiccups, GPU
+// allocator pressure), so get_or_load() retries with capped exponential
+// backoff plus deterministic jitter. A serve::FaultPlan scripts such
+// failures through the load-failure hook; past the retry budget the
+// loader's exception propagates, so the job whose slice needed the model
+// fails cleanly instead of hanging.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "util/rng.hpp"
+
 namespace adaparse::sched {
 
 /// Statistics for one cached model key.
 struct WarmCacheStats {
-  std::size_t loads = 0;  ///< times the loader actually ran
+  std::size_t loads = 0;  ///< load attempts (the loader actually ran)
   std::size_t hits = 0;   ///< times a cached instance was reused
+  std::size_t failures = 0;  ///< load attempts that failed
+  std::size_t retries = 0;   ///< failed attempts that were retried
   double load_seconds_paid = 0.0;  ///< simulated load time accumulated
+};
+
+/// Retry discipline for transient load failures: up to `max_attempts`
+/// loads per get_or_load() call, sleeping min(base * 2^(attempt-1), max)
+/// plus up to 50% deterministic jitter between attempts.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{250};
+  std::uint64_t jitter_seed = 0x5EEDBACC;
 };
 
 /// Keyed cache of opaque model handles with once-per-key loading.
@@ -28,14 +51,26 @@ class WarmModelCache {
  public:
   using Handle = std::shared_ptr<void>;
   using Loader = std::function<Handle()>;
+  /// Fault-injection hook consulted before each load attempt. `attempt` is
+  /// the per-key cumulative attempt ordinal (1-based, across the cache
+  /// lifetime); returning true makes that attempt fail as if the loader
+  /// threw. Scripted by serve::FaultPlan::load_fail_attempts.
+  using LoadFailureHook =
+      std::function<bool(const std::string& key, std::size_t attempt)>;
 
   /// When disabled, every call pays the loader (cold-start ablation mode).
-  explicit WarmModelCache(bool enabled = true) : enabled_(enabled) {}
+  explicit WarmModelCache(bool enabled = true)
+      : enabled_(enabled), jitter_(RetryPolicy{}.jitter_seed) {}
 
   /// Returns the cached handle for `key`, loading it on first use.
   /// `load_seconds` is the simulated load cost accounted to stats.
+  /// Retries transient failures per the RetryPolicy; once the per-call
+  /// attempt budget is spent the failure propagates to the caller.
   Handle get_or_load(const std::string& key, const Loader& loader,
                      double load_seconds);
+
+  void set_retry_policy(const RetryPolicy& policy);
+  void set_load_failure_hook(LoadFailureHook hook);
 
   WarmCacheStats stats(const std::string& key) const;
   /// Sum of simulated seconds spent loading across all keys.
@@ -48,6 +83,9 @@ class WarmModelCache {
   mutable std::mutex mutex_;
   std::map<std::string, Handle> cache_;
   std::map<std::string, WarmCacheStats> stats_;
+  RetryPolicy retry_;
+  LoadFailureHook failure_hook_;
+  util::Rng jitter_;
 };
 
 }  // namespace adaparse::sched

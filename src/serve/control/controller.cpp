@@ -1,0 +1,165 @@
+#include "serve/control/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace adaparse::serve::control {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kNormal:
+      return "normal";
+    case Level::kBudgetShrink:
+      return "budget-shrink";
+    case Level::kHedgeOff:
+      return "hedge-off";
+    case Level::kAdmissionTight:
+      return "admission-tight";
+  }
+  return "unknown";
+}
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kHold:
+      return "hold";
+    case Action::kEscalate:
+      return "escalate";
+    case Action::kRestore:
+      return "restore";
+  }
+  return "unknown";
+}
+
+SloController::SloController(ControlConfig config) : config_(config) {
+  config_.recover_fraction = std::clamp(config_.recover_fraction, 0.0, 1.0);
+  config_.breach_ticks_to_escalate =
+      std::max<std::size_t>(1, config_.breach_ticks_to_escalate);
+  config_.clear_ticks_to_restore =
+      std::max<std::size_t>(1, config_.clear_ticks_to_restore);
+  config_.queue_low = std::min(config_.queue_low, config_.queue_high);
+  // Fixed at construction so the breach/clear comparison is pure integer
+  // arithmetic — replay cannot drift on floating-point rounding.
+  clear_p95_micros_ = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(config_.slo_p95_micros) *
+                 config_.recover_fraction));
+}
+
+double SloController::alpha_scale_for(const ControlConfig& config,
+                                      Level level) {
+  switch (level) {
+    case Level::kNormal:
+      return 1.0;
+    case Level::kBudgetShrink:
+      return std::clamp(config.alpha_scale_l1, 0.0, 1.0);
+    case Level::kHedgeOff:
+      return std::clamp(config.alpha_scale_l2, 0.0, 1.0);
+    case Level::kAdmissionTight:
+      return std::clamp(config.alpha_scale_l3, 0.0, 1.0);
+  }
+  return 1.0;
+}
+
+double SloController::admission_scale_for(const ControlConfig& config,
+                                          Level level) {
+  return level >= Level::kAdmissionTight
+             ? std::clamp(config.admission_scale, 0.0, 1.0)
+             : 1.0;
+}
+
+double SloController::alpha_scale() const {
+  return alpha_scale_for(config_, level_);
+}
+
+double SloController::admission_scale() const {
+  return admission_scale_for(config_, level_);
+}
+
+bool SloController::breached(const SensorReading& reading) const {
+  if (reading.window_count > 0 && reading.p95_micros > config_.slo_p95_micros) {
+    return true;
+  }
+  return reading.queued_jobs > config_.queue_high;
+}
+
+bool SloController::cleared(const SensorReading& reading) const {
+  // An empty window is "no evidence of breach", not "healthy" — it clears
+  // only together with a drained queue, so a stalled service (nothing
+  // completing, queue pinned) cannot restore itself.
+  const bool latency_clear =
+      reading.window_count == 0 || reading.p95_micros < clear_p95_micros_;
+  return latency_clear && reading.queued_jobs <= config_.queue_low;
+}
+
+Decision SloController::step(const SensorReading& reading) {
+  ++ticks_seen_;
+  if (ticks_since_transition_ !=
+      std::numeric_limits<std::uint64_t>::max()) {
+    ++ticks_since_transition_;
+  }
+
+  Decision decision;
+  const bool is_breach = breached(reading);
+  const bool is_clear = !is_breach && cleared(reading);
+
+  if (is_breach) {
+    ++breach_streak_;
+    clear_streak_ = 0;
+  } else if (is_clear) {
+    ++clear_streak_;
+    breach_streak_ = 0;
+  } else {
+    // Dead band: inside the hysteresis gap on either signal. Resetting
+    // both streaks here is what makes the band an oscillation damper —
+    // noise straddling a threshold never accumulates into a transition.
+    breach_streak_ = 0;
+    clear_streak_ = 0;
+  }
+
+  if (is_breach && level_ < Level::kAdmissionTight &&
+      breach_streak_ >= config_.breach_ticks_to_escalate) {
+    level_ = static_cast<Level>(static_cast<std::uint8_t>(level_) + 1);
+    ++transitions_up_;
+    breach_streak_ = 0;
+    ticks_since_transition_ = 0;
+    has_transitioned_ = true;
+    decision.action = Action::kEscalate;
+    decision.reason = reading.window_count > 0 &&
+                              reading.p95_micros > config_.slo_p95_micros
+                          ? "p95-breach"
+                          : "queue-breach";
+  } else if (is_clear && level_ > Level::kNormal &&
+             clear_streak_ >= config_.clear_ticks_to_restore &&
+             (!has_transitioned_ ||
+              ticks_since_transition_ >= config_.cooldown_ticks)) {
+    level_ = static_cast<Level>(static_cast<std::uint8_t>(level_) - 1);
+    ++transitions_down_;
+    clear_streak_ = 0;
+    ticks_since_transition_ = 0;
+    decision.action = Action::kRestore;
+    decision.reason = "recovered";
+  } else {
+    decision.action = Action::kHold;
+    if (is_breach) {
+      decision.reason =
+          level_ == Level::kAdmissionTight ? "hold:floor" : "hold:breach";
+    } else if (is_clear) {
+      if (level_ == Level::kNormal) {
+        decision.reason = "hold";
+      } else if (has_transitioned_ &&
+                 ticks_since_transition_ < config_.cooldown_ticks) {
+        decision.reason = "hold:cooldown";
+      } else {
+        decision.reason = "hold:clear-streak";
+      }
+    } else {
+      decision.reason = "hold:dead-band";
+    }
+  }
+
+  decision.level = level_;
+  return decision;
+}
+
+}  // namespace adaparse::serve::control

@@ -1,0 +1,152 @@
+// The SLO guardian: a closed-loop degradation ladder for the serve path.
+//
+// The paper's floor(alpha*k) accuracy budget is a static knob; under
+// multi-tenant load a fixed budget either wastes quality headroom or lets
+// the latency SLO collapse. SloController closes the loop: once per control
+// tick it receives one atomically-snapshotted SensorReading (windowed p95
+// job latency + queue/resident pressure, all from the same registry read)
+// and walks a deterministic ladder of degradation levels:
+//
+//   L0 normal           full floor(alpha*k) budget, all mechanisms on
+//   L1 budget-shrink    effective alpha scaled down (cheap parsers first)
+//   L2 hedge-off        + deadline-hedged re-dispatch (EDF boost) suspended
+//   L3 admission-tight  + admission watermarks tightened for below-
+//                         protected-priority submissions
+//
+// Anti-oscillation is structural, not tuned: escalation requires a streak
+// of consecutive breach ticks, restoration requires a streak of consecutive
+// clear ticks AND a cooldown since the last transition, readings inside the
+// hysteresis dead band (between the breach and clear thresholds) reset both
+// streaks, and transitions move exactly one level at a time. The controller
+// is a pure function of (config, reading sequence) — no clocks, no
+// randomness — so a journaled run replays bit-identically (journal.hpp).
+// Latencies cross the boundary as integer microseconds for the same reason.
+//
+// Batch/campaign runs never see this type: only serve::ParseService opts in
+// via ServiceConfig, keeping the determinism boundary explicit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adaparse::serve::control {
+
+/// Degradation ladder levels, in escalation order.
+enum class Level : std::uint8_t {
+  kNormal = 0,
+  kBudgetShrink = 1,
+  kHedgeOff = 2,
+  kAdmissionTight = 3,
+};
+
+inline constexpr std::size_t kLevelCount = 4;
+const char* level_name(Level level);
+
+/// Ladder tuning. Everything the decision logic depends on lives here, so
+/// journaling this struct (journal.hpp) makes a run replayable.
+struct ControlConfig {
+  /// The SLO: windowed p95 job latency must stay at or below this.
+  std::uint64_t slo_p95_micros = 250000;
+  /// Clear threshold = slo * recover_fraction. The band between the two is
+  /// the hysteresis dead band: readings inside it reset both streaks.
+  double recover_fraction = 0.7;
+  /// Queue-depth pressure watermarks (queued jobs), with their own band.
+  /// Queue pressure matters because a fully stalled service completes no
+  /// jobs — the latency window goes empty and p95 alone would read healthy.
+  std::size_t queue_high = 32;
+  std::size_t queue_low = 8;
+  /// Consecutive breach ticks before escalating one level.
+  std::size_t breach_ticks_to_escalate = 2;
+  /// Consecutive clear ticks before restoring one level.
+  std::size_t clear_ticks_to_restore = 4;
+  /// Minimum ticks since the *last* transition (either direction) before a
+  /// restoration step may run. Escalation is deliberately not cooled down:
+  /// shedding load late is worse than shedding it twice.
+  std::size_t cooldown_ticks = 8;
+  /// Effective-alpha multiplier at each degraded level (L0 is always 1).
+  double alpha_scale_l1 = 0.5;
+  double alpha_scale_l2 = 0.25;
+  double alpha_scale_l3 = 0.0;
+  /// Admission-watermark multiplier at kAdmissionTight for submissions
+  /// below protected_priority; protected submissions keep full watermarks.
+  double admission_scale = 0.5;
+  int protected_priority = 1;
+};
+
+/// One control tick's sensor snapshot. All fields are sampled under a
+/// single registry lock (MetricsRegistry::set_gauges_and_sample) so a
+/// decision never mixes readings from different ticks.
+struct SensorReading {
+  std::uint64_t tick = 0;
+  /// Exact p95 over job latencies completed since the previous tick;
+  /// 0 when the window is empty (see window_count).
+  std::uint64_t p95_micros = 0;
+  std::size_t window_count = 0;  ///< jobs that reached a terminal state
+  std::size_t queued_jobs = 0;
+  std::size_t running_jobs = 0;
+  std::size_t resident_documents = 0;
+};
+
+enum class Action : std::uint8_t { kHold = 0, kEscalate = 1, kRestore = 2 };
+const char* action_name(Action action);
+
+/// What one tick decided, and why.
+struct Decision {
+  Action action = Action::kHold;
+  Level level = Level::kNormal;  ///< ladder level AFTER the action
+  /// Machine-stable reason token, e.g. "p95-breach", "queue-breach",
+  /// "recovered", "hold", "hold:cooldown", "hold:dead-band".
+  std::string reason;
+};
+
+class SloController {
+ public:
+  explicit SloController(ControlConfig config);
+
+  /// Consumes one sensor reading, possibly transitioning the ladder.
+  /// Deterministic: equal configs fed equal reading sequences produce
+  /// equal decision sequences.
+  Decision step(const SensorReading& reading);
+
+  Level level() const { return level_; }
+  /// Effective-alpha multiplier implied by the current level.
+  double alpha_scale() const;
+  /// True from kHedgeOff upward: deadline-hedged re-dispatch suspended.
+  bool hedge_suspended() const { return level_ >= Level::kHedgeOff; }
+  /// Admission-watermark multiplier for below-protected-priority
+  /// submissions (1.0 below kAdmissionTight).
+  double admission_scale() const;
+
+  std::size_t transitions_up() const { return transitions_up_; }
+  std::size_t transitions_down() const { return transitions_down_; }
+  std::uint64_t ticks_seen() const { return ticks_seen_; }
+  const ControlConfig& config() const { return config_; }
+
+  /// Level-effect helpers shared with tests and the service.
+  static double alpha_scale_for(const ControlConfig& config, Level level);
+  static double admission_scale_for(const ControlConfig& config, Level level);
+
+ private:
+  /// SLO breached: latency over the limit (when there is evidence) or the
+  /// queue past its high watermark.
+  bool breached(const SensorReading& reading) const;
+  /// Fully clear: latency under the recover band (or no evidence) AND the
+  /// queue at or under its low watermark.
+  bool cleared(const SensorReading& reading) const;
+
+  ControlConfig config_;
+  std::uint64_t clear_p95_micros_ = 0;  ///< slo * recover_fraction, fixed
+  Level level_ = Level::kNormal;
+  std::size_t breach_streak_ = 0;
+  std::size_t clear_streak_ = 0;
+  std::uint64_t ticks_seen_ = 0;
+  /// Ticks elapsed since the last transition; saturates. Starts "old"
+  /// so the first restoration after boot is not artificially delayed.
+  std::uint64_t ticks_since_transition_ = 0;
+  bool has_transitioned_ = false;
+  std::size_t transitions_up_ = 0;
+  std::size_t transitions_down_ = 0;
+};
+
+}  // namespace adaparse::serve::control

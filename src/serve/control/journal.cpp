@@ -1,0 +1,227 @@
+#include "serve/control/journal.hpp"
+
+#include <stdexcept>
+
+#include "io/fsio.hpp"
+#include "util/json.hpp"
+
+namespace adaparse::serve::control {
+namespace {
+
+std::uint64_t parse_u64(const std::string& s) {
+  if (s.empty()) throw std::runtime_error("decision log: empty u64 field");
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("decision log: bad u64 field");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Same sealing discipline as the campaign manifest: CRC = FNV-1a over the
+/// object's dump without the crc field (std::map keys keep it canonical).
+std::string seal_line(util::JsonObject obj) {
+  const std::string body = util::Json(obj).dump();
+  obj["crc"] = std::to_string(io::fnv1a(body));
+  return util::Json(std::move(obj)).dump();
+}
+
+std::optional<util::JsonObject> open_line(const std::string& line) {
+  util::Json parsed;
+  try {
+    parsed = util::Json::parse(line);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+  if (!parsed.is_object()) return std::nullopt;
+  util::JsonObject obj = parsed.as_object();
+  const auto crc_it = obj.find("crc");
+  if (crc_it == obj.end() || !crc_it->second.is_string()) return std::nullopt;
+  const std::string stored = crc_it->second.as_string();
+  obj.erase(crc_it);
+  try {
+    if (parse_u64(stored) != io::fnv1a(util::Json(obj).dump())) {
+      return std::nullopt;
+    }
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+  return obj;
+}
+
+std::size_t as_size(const util::Json& v) {
+  return static_cast<std::size_t>(v.as_number());
+}
+
+util::JsonObject to_object(const ControlConfig& config) {
+  util::JsonObject obj;
+  obj["type"] = "config";
+  obj["slo_p95_micros"] = std::to_string(config.slo_p95_micros);
+  obj["recover_fraction"] = config.recover_fraction;
+  obj["queue_high"] = config.queue_high;
+  obj["queue_low"] = config.queue_low;
+  obj["breach_ticks"] = config.breach_ticks_to_escalate;
+  obj["clear_ticks"] = config.clear_ticks_to_restore;
+  obj["cooldown_ticks"] = config.cooldown_ticks;
+  obj["alpha_scale_l1"] = config.alpha_scale_l1;
+  obj["alpha_scale_l2"] = config.alpha_scale_l2;
+  obj["alpha_scale_l3"] = config.alpha_scale_l3;
+  obj["admission_scale"] = config.admission_scale;
+  obj["protected_priority"] = config.protected_priority;
+  return obj;
+}
+
+ControlConfig config_from(const util::Json& record) {
+  ControlConfig config;
+  config.slo_p95_micros = parse_u64(record.at("slo_p95_micros").as_string());
+  config.recover_fraction = record.at("recover_fraction").as_number();
+  config.queue_high = as_size(record.at("queue_high"));
+  config.queue_low = as_size(record.at("queue_low"));
+  config.breach_ticks_to_escalate = as_size(record.at("breach_ticks"));
+  config.clear_ticks_to_restore = as_size(record.at("clear_ticks"));
+  config.cooldown_ticks = as_size(record.at("cooldown_ticks"));
+  config.alpha_scale_l1 = record.at("alpha_scale_l1").as_number();
+  config.alpha_scale_l2 = record.at("alpha_scale_l2").as_number();
+  config.alpha_scale_l3 = record.at("alpha_scale_l3").as_number();
+  config.admission_scale = record.at("admission_scale").as_number();
+  config.protected_priority =
+      static_cast<int>(record.at("protected_priority").as_number());
+  return config;
+}
+
+util::JsonObject to_object(const TickRecord& record) {
+  util::JsonObject obj;
+  obj["type"] = "tick";
+  obj["tick"] = std::to_string(record.reading.tick);
+  // p95 travels as integer microseconds: exact through JSON, and the only
+  // latency representation the controller ever compares against.
+  obj["p95_micros"] = std::to_string(record.reading.p95_micros);
+  obj["window"] = record.reading.window_count;
+  obj["queued"] = record.reading.queued_jobs;
+  obj["running"] = record.reading.running_jobs;
+  obj["resident"] = record.reading.resident_documents;
+  obj["action"] = action_name(record.action);
+  obj["level"] = static_cast<std::size_t>(record.level);
+  obj["reason"] = record.reason;
+  return obj;
+}
+
+TickRecord tick_from(const util::Json& record) {
+  TickRecord tick;
+  tick.reading.tick = parse_u64(record.at("tick").as_string());
+  tick.reading.p95_micros = parse_u64(record.at("p95_micros").as_string());
+  tick.reading.window_count = as_size(record.at("window"));
+  tick.reading.queued_jobs = as_size(record.at("queued"));
+  tick.reading.running_jobs = as_size(record.at("running"));
+  tick.reading.resident_documents = as_size(record.at("resident"));
+  const std::string& action = record.at("action").as_string();
+  if (action == "hold") {
+    tick.action = Action::kHold;
+  } else if (action == "escalate") {
+    tick.action = Action::kEscalate;
+  } else if (action == "restore") {
+    tick.action = Action::kRestore;
+  } else {
+    throw std::runtime_error("decision log: unknown action '" + action + "'");
+  }
+  const std::size_t level = as_size(record.at("level"));
+  if (level >= kLevelCount) {
+    throw std::runtime_error("decision log: ladder level out of range");
+  }
+  tick.level = static_cast<Level>(level);
+  tick.reason = record.at("reason").as_string();
+  return tick;
+}
+
+}  // namespace
+
+DecisionLog load_decision_log(const std::string& path) {
+  DecisionLog log;
+  const auto bytes = io::read_file(path);
+  if (!bytes) return log;
+
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < bytes->size()) {
+    std::size_t end = bytes->find('\n', begin);
+    if (end == std::string::npos) end = bytes->size();
+    if (end > begin) lines.push_back(bytes->substr(begin, end - begin));
+    begin = end + 1;
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto obj = open_line(lines[i]);
+    if (!obj) {
+      if (i + 1 == lines.size()) {
+        log.dropped_torn_tail = true;  // classic torn append: drop the tail
+        break;
+      }
+      throw std::runtime_error("decision log: corrupt record at line " +
+                               std::to_string(i + 1) + " of " + path);
+    }
+    const util::Json record{*obj};
+    const std::string& type = record.at("type").as_string();
+    if (type == "config") {
+      log.config = config_from(record);
+    } else if (type == "tick") {
+      log.ticks.push_back(tick_from(record));
+    } else {
+      throw std::runtime_error("decision log: unknown record type '" + type +
+                               "'");
+    }
+  }
+  return log;
+}
+
+DecisionJournal::DecisionJournal(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::app), path_(path) {
+  if (!out_) throw std::runtime_error("decision log: cannot open " + path);
+}
+
+void DecisionJournal::append(const ControlConfig& config) {
+  append_line(seal_line(to_object(config)));
+}
+
+void DecisionJournal::append(const TickRecord& record) {
+  append_line(seal_line(to_object(record)));
+}
+
+void DecisionJournal::append_line(const std::string& line) {
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.put('\n');
+  out_.flush();
+  if (!out_) throw std::runtime_error("decision log: append failed " + path_);
+}
+
+std::vector<TickRecord> replay(const ControlConfig& config,
+                               const std::vector<SensorReading>& readings) {
+  SloController controller(config);
+  std::vector<TickRecord> ticks;
+  ticks.reserve(readings.size());
+  for (const SensorReading& reading : readings) {
+    const Decision decision = controller.step(reading);
+    TickRecord tick;
+    tick.reading = reading;
+    tick.action = decision.action;
+    tick.level = decision.level;
+    tick.reason = decision.reason;
+    ticks.push_back(std::move(tick));
+  }
+  return ticks;
+}
+
+bool operator==(const SensorReading& a, const SensorReading& b) {
+  return a.tick == b.tick && a.p95_micros == b.p95_micros &&
+         a.window_count == b.window_count && a.queued_jobs == b.queued_jobs &&
+         a.running_jobs == b.running_jobs &&
+         a.resident_documents == b.resident_documents;
+}
+
+bool operator==(const TickRecord& a, const TickRecord& b) {
+  return a.reading == b.reading && a.action == b.action &&
+         a.level == b.level && a.reason == b.reason;
+}
+
+}  // namespace adaparse::serve::control

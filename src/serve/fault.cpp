@@ -1,0 +1,34 @@
+#include "serve/fault.hpp"
+
+namespace adaparse::serve {
+
+std::chrono::milliseconds FaultPlan::delay_for(std::string_view tenant,
+                                               bool upgraded,
+                                               double uptime_seconds) const {
+  std::chrono::milliseconds total{0};
+  for (const LatencySpike& spike : latency_spikes) {
+    if (!spike.tenant.empty() && spike.tenant != tenant) continue;
+    if (uptime_seconds < spike.from_seconds ||
+        uptime_seconds >= spike.until_seconds) {
+      continue;
+    }
+    total += spike.per_doc_delay;
+    if (upgraded) total += spike.per_upgrade_delay;
+  }
+  return total;
+}
+
+std::size_t FaultPlan::load_fail_attempts(std::string_view key) const {
+  std::size_t attempts = 0;
+  for (const ModelLoadFault& fault : model_load_faults) {
+    if (fault.key == key) attempts += fault.fail_attempts;
+  }
+  return attempts;
+}
+
+bool FaultPlan::empty() const {
+  return latency_spikes.empty() && model_load_faults.empty() &&
+         slow_consumers.empty() && bursts.empty();
+}
+
+}  // namespace adaparse::serve

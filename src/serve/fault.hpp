@@ -1,0 +1,90 @@
+// Deterministic fault injection for the serve path — the robustness proof
+// counterpart of campaign::FailurePlan.
+//
+// A FaultPlan scripts every fault the SLO guardian is expected to absorb,
+// so tests and benches can drive the identical fault sequence against a
+// controlled and an uncontrolled service and compare trajectories:
+//
+//   latency_spikes     per-document (and per-Nougat-upgrade) delays for a
+//                      tenant during a window of service uptime — a slow
+//                      model or noisy-neighbor stand-in. Injected by the
+//                      service on the slice writer thread, so backpressure
+//                      propagates exactly as a genuinely slow stage would.
+//   model_load_faults  the first N load attempts of a warm-cache key
+//                      throw — a transient model-load failure for the
+//                      retry/backoff path (WarmModelCache) to absorb, or,
+//                      past the retry budget, to surface as a failed job.
+//   slow_consumers     a tenant's client drains take_results() only every
+//                      `drain_interval` — interpreted by the workload
+//                      driver (bench/tests), not the service.
+//   bursts             load bursts: `jobs` submissions at `at_seconds` —
+//                      also driver-interpreted.
+//
+// The service-side hooks (spikes, load faults) key off deterministic
+// inputs — tenant, routing decision, uptime window, attempt ordinal — so a
+// plan replays the same faults on every run of the same workload.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaparse::serve {
+
+struct FaultPlan {
+  /// Delay injected while service uptime is inside [from, until) seconds.
+  /// `per_doc_delay` applies to every completed document of the tenant;
+  /// `per_upgrade_delay` only to Nougat-routed documents — the knob that
+  /// makes alpha-shrink degradation mechanically shed the injected load.
+  struct LatencySpike {
+    std::string tenant;  ///< empty = every tenant
+    double from_seconds = 0.0;
+    double until_seconds = 1e18;
+    std::chrono::milliseconds per_doc_delay{0};
+    std::chrono::milliseconds per_upgrade_delay{0};
+  };
+  std::vector<LatencySpike> latency_spikes;
+
+  /// The first `fail_attempts` load attempts of `key` fail (counting from
+  /// 1, across the whole cache lifetime). With fail_attempts below the
+  /// retry budget the load eventually succeeds; at or above it, the job
+  /// whose slice needed the model fails cleanly.
+  struct ModelLoadFault {
+    std::string key = "nougat";
+    std::size_t fail_attempts = 1;
+  };
+  std::vector<ModelLoadFault> model_load_faults;
+
+  /// Driver-side: the tenant's client calls take_results() only every
+  /// `drain_interval`, letting pending results pile up in job handles.
+  struct SlowConsumer {
+    std::string tenant;
+    std::chrono::milliseconds drain_interval{0};
+  };
+  std::vector<SlowConsumer> slow_consumers;
+
+  /// Driver-side: `jobs` submissions of `docs_per_job` documents fired at
+  /// `at_seconds` of driver time.
+  struct LoadBurst {
+    double at_seconds = 0.0;
+    std::size_t jobs = 0;
+    std::size_t docs_per_job = 0;
+    std::string tenant = "burst";
+  };
+  std::vector<LoadBurst> bursts;
+
+  /// Total injected delay for one completed document of `tenant` at
+  /// `uptime_seconds`, given whether it was Nougat-upgraded. Spikes stack.
+  std::chrono::milliseconds delay_for(std::string_view tenant, bool upgraded,
+                                      double uptime_seconds) const;
+
+  /// Scripted failing attempts for a warm-cache key (0 = none).
+  std::size_t load_fail_attempts(std::string_view key) const;
+
+  /// True when the plan injects nothing service-side or driver-side.
+  bool empty() const;
+};
+
+}  // namespace adaparse::serve

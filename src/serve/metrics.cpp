@@ -27,6 +27,7 @@ void MetricsRegistry::observe_latency_locked(Tenant& t,
   t.latency_p50.add(latency_seconds);
   t.latency_p95.add(latency_seconds);
   t.latency_p99.add(latency_seconds);
+  latency_window_.push_back(latency_seconds);
 }
 
 void MetricsRegistry::on_submitted(const std::string& tenant) {
@@ -84,6 +85,34 @@ void MetricsRegistry::set_gauges(std::size_t queued_jobs,
   resident_documents_ = resident_documents;
 }
 
+ControlSample MetricsRegistry::set_gauges_and_sample(
+    std::size_t queued_jobs, std::size_t running_jobs,
+    std::size_t resident_documents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queued_jobs_ = queued_jobs;
+  running_jobs_ = running_jobs;
+  resident_documents_ = resident_documents;
+  ControlSample sample;
+  sample.queued_jobs = queued_jobs;
+  sample.running_jobs = running_jobs;
+  sample.resident_documents = resident_documents;
+  sample.window_count = latency_window_.size();
+  if (!latency_window_.empty()) {
+    // Exact quantile over the (small: one window's worth of) buffer, not
+    // the P2 estimate: floored to integer microseconds so the reading the
+    // controller journals replays without floating-point drift.
+    const double p95 = util::quantile(std::move(latency_window_), 0.95);
+    sample.p95_micros = static_cast<std::uint64_t>(p95 * 1e6);
+    latency_window_.clear();  // moved-from: reset to a known empty state
+  }
+  return sample;
+}
+
+void MetricsRegistry::set_control_state(const ControlState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  control_ = state;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
@@ -91,6 +120,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.queued_jobs = queued_jobs_;
   snap.running_jobs = running_jobs_;
   snap.resident_documents = resident_documents_;
+  snap.control = control_;
   snap.tenants.reserve(tenants_.size());
   for (const auto& [name, t] : tenants_) {
     TenantSnapshot ts;
@@ -205,6 +235,35 @@ std::string MetricsRegistry::render_prometheus() const {
              "Active SIMD dispatch tier of the text hot path (1 = active)",
              {{"tier", simd::active_tier_name()}})
       .set(1);
+  // Control-state families exist only on services with an SLO controller
+  // attached, appended after the legacy families so a controller-less
+  // exposition stays byte-identical (golden test).
+  if (snap.control.enabled) {
+    registry
+        .gauge("adaparse_serve_control_level",
+               "Degradation ladder level (1 = at this level)",
+               {{"level", snap.control.level_name}})
+        .set(snap.control.level);
+    registry
+        .gauge("adaparse_serve_control_alpha_scale",
+               "Live multiplier on the engine's floor(alpha*k) budget")
+        .set(snap.control.alpha_scale);
+    registry.declare("adaparse_serve_control_transitions_total",
+                     "Ladder transitions by direction",
+                     obs::Registry::Kind::kCounter);
+    registry
+        .counter("adaparse_serve_control_transitions_total", "",
+                 {{"direction", "up"}})
+        .set(snap.control.transitions_up);
+    registry
+        .counter("adaparse_serve_control_transitions_total", "",
+                 {{"direction", "down"}})
+        .set(snap.control.transitions_down);
+    registry
+        .counter("adaparse_serve_control_ticks_total",
+                 "Control ticks evaluated since service start")
+        .set(snap.control.ticks);
+  }
   return registry.render_prometheus();
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -36,6 +37,18 @@ struct TenantSnapshot {
   double throughput_docs_per_second = 0.0;
 };
 
+/// The SLO guardian's published state (rendered only when a controller is
+/// attached, so controller-less services keep a byte-identical exposition).
+struct ControlState {
+  bool enabled = false;
+  std::size_t level = 0;
+  std::string level_name = "normal";
+  double alpha_scale = 1.0;
+  std::size_t transitions_up = 0;
+  std::size_t transitions_down = 0;
+  std::uint64_t ticks = 0;
+};
+
 /// Plain-value view of the whole service.
 struct MetricsSnapshot {
   double uptime_seconds = 0.0;
@@ -43,6 +56,22 @@ struct MetricsSnapshot {
   std::size_t running_jobs = 0;
   std::size_t resident_documents = 0;
   std::vector<TenantSnapshot> tenants;  ///< sorted by tenant name
+  ControlState control;
+};
+
+/// One atomically-coherent sensor snapshot for the SLO controller: the
+/// latency window and the pressure gauges are read under a single registry
+/// lock, so a control decision never mixes readings from different
+/// instants (a p95 from one moment against a queue depth from another).
+struct ControlSample {
+  /// Exact p95 (util::quantile, not the P² estimate) over the job
+  /// latencies observed since the previous sample, as integer
+  /// microseconds — the controller's replayable currency.
+  std::uint64_t p95_micros = 0;
+  std::size_t window_count = 0;
+  std::size_t queued_jobs = 0;
+  std::size_t running_jobs = 0;
+  std::size_t resident_documents = 0;
 };
 
 /// Thread-safe metrics sink; one per ParseService.
@@ -61,6 +90,19 @@ class MetricsRegistry {
 
   void set_gauges(std::size_t queued_jobs, std::size_t running_jobs,
                   std::size_t resident_documents);
+
+  /// The controller's sensor read: sets the pressure gauges AND drains the
+  /// windowed latency buffer under one lock, returning both as a coherent
+  /// ControlSample. The window resets on every call (one caller: the
+  /// control tick).
+  ControlSample set_gauges_and_sample(std::size_t queued_jobs,
+                                      std::size_t running_jobs,
+                                      std::size_t resident_documents);
+
+  /// Publishes the controller's state for snapshots and the Prometheus
+  /// exposition. Never calling this (the default, and the only possibility
+  /// on controller-less services) keeps the exposition byte-identical.
+  void set_control_state(const ControlState& state);
 
   MetricsSnapshot snapshot() const;
   /// Prometheus text exposition format (counters, gauges, and the latency
@@ -89,6 +131,10 @@ class MetricsRegistry {
   std::size_t queued_jobs_ = 0;
   std::size_t running_jobs_ = 0;
   std::size_t resident_documents_ = 0;
+  /// Job latencies (all terminal outcomes) observed since the last
+  /// set_gauges_and_sample() drain — the controller's evidence window.
+  std::vector<double> latency_window_;
+  ControlState control_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -91,7 +91,9 @@ std::optional<ScheduleItem> FairScheduler::next(TimePoint now) {
   // bounded: once a tenant's debt would exceed its borrow cap the item is
   // no longer boosted (it stays eligible through the normal rotation), so
   // stamping tight deadlines on everything cannot starve other tenants. ----
-  if (deadline_queued_ > 0) {  // skip the scan for deadline-free workloads
+  // skip the scan for deadline-free workloads or while the SLO guardian
+  // has the boost suspended (degradation level >= hedge-off)
+  if (deadline_queued_ > 0 && deadline_boost_enabled_) {
     Tenant* urgent_tenant = nullptr;
     std::deque<ScheduleItem>::iterator urgent_it;
     const std::string* urgent_name = nullptr;

@@ -84,6 +84,16 @@ class FairScheduler {
   /// Removes a queued item by job id (cancellation); false if not found.
   bool remove(std::uint64_t id);
 
+  /// Suspends/resumes the deadline-boost EDF bypass. While disabled every
+  /// dispatch goes through the plain rotation — deadline-stamped jobs keep
+  /// their place but stop borrowing capacity. This is the SLO guardian's
+  /// "hedge off" actuator: under overload the boost only re-disperses a
+  /// latency debt nobody can pay. Default enabled.
+  void set_deadline_boost_enabled(bool enabled) {
+    deadline_boost_enabled_ = enabled;
+  }
+  bool deadline_boost_enabled() const { return deadline_boost_enabled_; }
+
   /// Removes and returns every queued item matching `pred` — the service's
   /// reap pass for jobs cancelled while still queued, so their admission
   /// capacity is released without waiting for their fair-share turn.
@@ -134,6 +144,7 @@ class FairScheduler {
   /// Queued items carrying a deadline; the EDF scan is skipped entirely
   /// (the common, deadline-free case) while this is zero.
   std::size_t deadline_queued_ = 0;
+  bool deadline_boost_enabled_ = true;
 };
 
 }  // namespace adaparse::serve

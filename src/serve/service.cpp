@@ -110,6 +110,7 @@ ParseService::ParseService(
       cache_(/*enabled=*/true),
       pool_(resolve_pool_threads(config)),
       scheduler_(scheduler_config(config)),
+      started_at_(ParseJob::Clock::now()),
       wake_(256) {
   config_.dispatchers = std::max<std::size_t>(1, config_.dispatchers);
   config_.slice_batches = std::max<std::size_t>(1, config_.slice_batches);
@@ -120,13 +121,46 @@ ParseService::ParseService(
       std::max<std::size_t>(2, pool_.size() / config_.dispatchers);
   slice_upgrade_workers_ = per_slice >= 6 ? 2 : 1;
   slice_extract_workers_ = per_slice - slice_upgrade_workers_;
+
+  cache_.set_retry_policy(config_.warm_cache_retry);
+  if (!config_.fault_plan.model_load_faults.empty()) {
+    // Scripted transient model-load failures: the first N cumulative load
+    // attempts of a key fail, exercising the warm-cache retry path.
+    cache_.set_load_failure_hook(
+        [this](const std::string& key, std::size_t attempt) {
+          return attempt <= config_.fault_plan.load_fail_attempts(key);
+        });
+  }
+
+  // Controller and journal come up before any worker thread so a throwing
+  // journal path cannot leak running dispatchers.
+  if (config_.enable_slo_controller) {
+    controller_ = std::make_unique<control::SloController>(config_.control);
+    if (!config_.decision_journal_path.empty()) {
+      journal_ = std::make_unique<control::DecisionJournal>(
+          config_.decision_journal_path);
+      journal_->append(controller_->config());  // the clamped config
+    }
+    ControlState state;
+    state.enabled = true;
+    metrics_.set_control_state(state);
+  }
+
   dispatchers_.reserve(config_.dispatchers);
   for (std::size_t d = 0; d < config_.dispatchers; ++d) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
   }
+  if (controller_) {
+    control_thread_ = std::thread([this] { control_loop(); });
+  }
 }
 
 ParseService::~ParseService() { shutdown(); }
+
+double ParseService::uptime_seconds() const {
+  return std::chrono::duration<double>(ParseJob::Clock::now() - started_at_)
+      .count();
+}
 
 std::size_t ParseService::slice_docs_for(const ParseJob& job) const {
   const std::size_t k =
@@ -188,19 +222,31 @@ JobHandle ParseService::submit(JobRequest request) {
   }
 
   // Admission control: shed load once either watermark is exceeded, so
-  // queue depth (and with it the queue-wait tail) stays bounded.
+  // queue depth (and with it the queue-wait tail) stays bounded. At ladder
+  // level admission-tight the SLO guardian scales the watermarks down for
+  // submissions below the protected priority — load shedding starts at the
+  // door, and protected tenants keep their full headroom.
+  std::size_t max_queued = config_.max_queued_jobs;
+  std::size_t max_resident = config_.max_resident_documents;
+  if (controller_ && job->priority() < config_.control.protected_priority) {
+    const double scale = admission_scale_.load(std::memory_order_relaxed);
+    max_queued = static_cast<std::size_t>(
+        static_cast<double>(max_queued) * scale);
+    max_resident = static_cast<std::size_t>(
+        static_cast<double>(max_resident) * scale);
+  }
   std::string reject_reason;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shut_down_ || stopping_.load(std::memory_order_relaxed)) {
       reject_reason = "service shutdown";
-    } else if (scheduler_.queued() >= config_.max_queued_jobs) {
+    } else if (scheduler_.queued() >= max_queued) {
       reject_reason = "admission: queued-jobs watermark";
-    } else if (resident_docs_ + job->resident_estimate_ >
-               config_.max_resident_documents) {
+    } else if (resident_docs_ + job->resident_estimate_ > max_resident) {
       reject_reason = "admission: resident-work watermark";
     } else {
       resident_docs_ += job->resident_estimate_;
+      active_jobs_.emplace(job->id(), job);
       scheduler_.enqueue(make_item(job));
     }
   }
@@ -257,12 +303,61 @@ void ParseService::drain() {
   idle_cv_.wait(lock, [this] { return scheduler_.empty() && running_ == 0; });
 }
 
+std::vector<std::uint64_t> ParseService::drain(
+    std::chrono::milliseconds deadline) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (idle_cv_.wait_for(lock, deadline, [this] {
+          return scheduler_.empty() && running_ == 0;
+        })) {
+      return {};
+    }
+  }
+  // Deadline missed: cancel everything still outstanding. Cancellation is
+  // cooperative — in-flight slices stop admitting documents and drain what
+  // they already hold, queued jobs are reaped by the dispatchers — so the
+  // follow-up wait is bounded by one slice's drain, not by the backlog.
+  std::vector<JobHandle> outstanding;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outstanding.reserve(active_jobs_.size());
+    for (const auto& [id, handle] : active_jobs_) {
+      outstanding.push_back(handle);
+    }
+  }
+  std::vector<std::uint64_t> unfinished;
+  unfinished.reserve(outstanding.size());
+  for (const JobHandle& job : outstanding) {
+    if (job_state_terminal(job->state())) continue;  // beat us to the line
+    unfinished.push_back(job->id());
+    job->cancel();
+  }
+  wake_.try_push(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return scheduler_.empty() && running_ == 0; });
+  }
+  return unfinished;
+}
+
+void ParseService::stop_controller() {
+  if (!control_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    control_stop_ = true;
+  }
+  control_cv_.notify_all();
+  control_thread_.join();
+}
+
 void ParseService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }
+  stop_controller();
   stopping_.store(true, std::memory_order_relaxed);
   wake_.close();
   for (auto& dispatcher : dispatchers_) dispatcher.join();
@@ -276,6 +371,13 @@ void ParseService::shutdown() {
   }
   pool_.shutdown();
   update_gauges();
+}
+
+std::vector<std::uint64_t> ParseService::shutdown(
+    std::chrono::milliseconds deadline) {
+  auto unfinished = drain(deadline);
+  shutdown();
+  return unfinished;
 }
 
 void ParseService::dispatcher_loop() {
@@ -363,6 +465,9 @@ void ParseService::run_slice(const JobHandle& job) {
   pipeline_config.pool = &pool_;
   pipeline_config.warm_cache = &cache_;
   pipeline_config.cancel = &j.cancel_;
+  // The SLO guardian's budget actuator: only controller-enabled services
+  // set the hook, so everything else routes byte-identically.
+  if (controller_) pipeline_config.alpha_scale = &alpha_scale_;
   const core::Pipeline pipeline(*j.engine_, pipeline_config);
 
   core::EngineStats slice_stats;
@@ -377,6 +482,8 @@ void ParseService::run_slice(const JobHandle& job) {
         slice_source,
         [&](std::size_t index, const io::ParseRecord& record,
             const core::RouteDecision& decision) {
+          const bool upgraded =
+              decision.chosen == parsers::ParserKind::kNougat;
           JobRecord out;
           out.index = base + index;
           out.record = record;
@@ -390,6 +497,15 @@ void ParseService::run_slice(const JobHandle& job) {
             ++j.docs_completed_;
           }
           ++slice_docs_done;
+          // Scripted latency spikes land on the writer thread, after the
+          // record is safely delivered: the slice slows down end-to-end
+          // (backpressuring its stages exactly like a genuinely slow
+          // consumer) without ever losing a document.
+          if (!config_.fault_plan.latency_spikes.empty()) {
+            const auto delay = config_.fault_plan.delay_for(
+                j.tenant_, upgraded, uptime_seconds());
+            if (delay.count() > 0) std::this_thread::sleep_for(delay);
+          }
         });
   } catch (const std::exception& e) {
     failed = true;
@@ -464,8 +580,86 @@ void ParseService::finalize(const JobHandle& job, JobState state,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     resident_docs_ -= std::min(resident_docs_, j.resident_estimate_);
+    active_jobs_.erase(j.id());
   }
   idle_cv_.notify_all();
+}
+
+void ParseService::control_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      control_cv_.wait_for(lock, config_.control_tick,
+                           [this] { return control_stop_; });
+      if (control_stop_) return;
+    }
+    control_tick();
+  }
+}
+
+void ParseService::control_tick() {
+  // Sensor read: the live counters and the latency window leave the
+  // registry under ONE lock (set_gauges_and_sample), so the p95 and the
+  // queue depth in a reading are from the same instant.
+  std::size_t queued, running, resident;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queued = scheduler_.queued();
+    running = running_;
+    resident = resident_docs_;
+  }
+  const ControlSample sample =
+      metrics_.set_gauges_and_sample(queued, running, resident);
+
+  control::SensorReading reading;
+  reading.tick = ++control_ticks_;
+  reading.p95_micros = sample.p95_micros;
+  reading.window_count = sample.window_count;
+  reading.queued_jobs = sample.queued_jobs;
+  reading.running_jobs = sample.running_jobs;
+  reading.resident_documents = sample.resident_documents;
+
+  const control::Decision decision = controller_->step(reading);
+
+  // Actuate. The atomics are the lock-free hot-path reads (route-window
+  // flush, admission check); the hedge switch rides the service mutex the
+  // scheduler already lives under.
+  alpha_scale_.store(controller_->alpha_scale(), std::memory_order_relaxed);
+  admission_scale_.store(controller_->admission_scale(),
+                         std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scheduler_.set_deadline_boost_enabled(!controller_->hedge_suspended());
+  }
+
+  ControlState state;
+  state.enabled = true;
+  state.level = static_cast<std::size_t>(controller_->level());
+  state.level_name = control::level_name(controller_->level());
+  state.alpha_scale = controller_->alpha_scale();
+  state.transitions_up = controller_->transitions_up();
+  state.transitions_down = controller_->transitions_down();
+  state.ticks = controller_->ticks_seen();
+  metrics_.set_control_state(state);
+
+  if (journal_) {
+    control::TickRecord record;
+    record.reading = reading;
+    record.action = decision.action;
+    record.level = decision.level;
+    record.reason = decision.reason;
+    journal_->append(record);
+  }
+
+  if (decision.action != control::Action::kHold) {
+    auto& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      tracer.instant("serve", "control.transition", "level", state.level,
+                     "up",
+                     decision.action == control::Action::kEscalate ? 1 : 0,
+                     tracer.intern(decision.reason));
+    }
+  }
 }
 
 }  // namespace adaparse::serve

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,9 @@
 #include "sched/queue.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/warm_cache.hpp"
+#include "serve/control/controller.hpp"
+#include "serve/control/journal.hpp"
+#include "serve/fault.hpp"
 #include "serve/job.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
@@ -95,6 +99,24 @@ struct ServiceConfig {
 
   /// Per-stage bounded-queue capacity inside each slice's pipeline run.
   std::size_t queue_capacity = 16;
+
+  /// Opts this service into the closed-loop SLO guardian (src/serve/
+  /// control). Off by default — and deliberately absent from the batch and
+  /// campaign paths — so runs without a controller stay byte-identical to
+  /// a build without the control layer (the determinism boundary).
+  bool enable_slo_controller = false;
+  /// Degradation-ladder tuning (used only when the controller is enabled).
+  control::ControlConfig control;
+  /// Control-loop sampling period.
+  std::chrono::milliseconds control_tick{50};
+  /// When non-empty (and the controller is enabled), every control tick is
+  /// journaled to this CRC-protected append-only decision log.
+  std::string decision_journal_path;
+
+  /// Scripted fault injection (tests/benches only; empty = no faults).
+  FaultPlan fault_plan;
+  /// Retry discipline for transient warm-cache model-load failures.
+  sched::RetryPolicy warm_cache_retry;
 };
 
 /// The service. Construct with the shared models (predictor for LLM-variant
@@ -125,9 +147,20 @@ class ParseService {
   /// Blocks until no job is queued or running.
   void drain();
 
+  /// Bounded drain: waits up to `deadline` for the service to go idle; if
+  /// the deadline passes, cooperatively cancels every outstanding job,
+  /// waits for the cancellations to settle (bounded by the in-flight
+  /// slices draining), and returns the ids of the jobs that did not finish
+  /// on their own. Empty return = drained cleanly within the deadline.
+  std::vector<std::uint64_t> drain(std::chrono::milliseconds deadline);
+
   /// Stops dispatchers (after their in-flight slices), cancels queued
   /// jobs, and joins. Idempotent; submits during/after are rejected.
   void shutdown();
+
+  /// Bounded shutdown: drain(deadline), then shutdown(). Returns the ids
+  /// of jobs cancelled because they missed the deadline.
+  std::vector<std::uint64_t> shutdown(std::chrono::milliseconds deadline);
 
   /// Snapshot with the queue/running/resident gauges refreshed first.
   MetricsSnapshot metrics() const;
@@ -153,6 +186,12 @@ class ParseService {
   ScheduleItem make_item(const JobHandle& job) const;
   std::size_t slice_docs_for(const ParseJob& job) const;
   void update_gauges() const;
+  void control_loop();
+  /// One controller evaluation: atomic sensor sample -> step -> actuate
+  /// (alpha scale, hedge suspend, admission scale) -> export -> journal.
+  void control_tick();
+  void stop_controller();
+  double uptime_seconds() const;
 
   ServiceConfig config_;
   std::shared_ptr<const core::AccuracyPredictor> predictor_;
@@ -172,6 +211,22 @@ class ParseService {
   std::size_t resident_docs_ = 0;
   std::uint64_t next_job_id_ = 1;
   bool shut_down_ = false;
+  /// Every admitted, non-terminal job — what a deadline drain must cancel.
+  std::map<std::uint64_t, JobHandle> active_jobs_;
+
+  // ---- SLO controller (present only when ServiceConfig opts in) ----
+  /// Live actuator values, read lock-free on the hot paths (route-window
+  /// flush, admission check); written only by the control thread.
+  std::atomic<double> alpha_scale_{1.0};
+  std::atomic<double> admission_scale_{1.0};
+  std::unique_ptr<control::SloController> controller_;  ///< control thread only
+  std::unique_ptr<control::DecisionJournal> journal_;
+  std::uint64_t control_ticks_ = 0;  ///< control thread only
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  bool control_stop_ = false;
+  std::thread control_thread_;
+  ParseJob::Clock::time_point started_at_;
 
   std::atomic<bool> stopping_{false};
   /// Wake channel: submits/requeues push tokens so idle dispatchers react

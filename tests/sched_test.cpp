@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "sched/batcher.hpp"
@@ -455,6 +457,79 @@ TEST(WarmCacheTest, ClearForcesReload) {
   cache.clear();
   cache.get_or_load("k", loader, 1.0);
   EXPECT_EQ(loads.load(), 2);
+}
+
+TEST(WarmCacheTest, TransientLoadFailuresAreRetriedThenCached) {
+  WarmModelCache cache(true);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(4);
+  cache.set_retry_policy(policy);
+  // First two load attempts fail (a flaky GPU allocation); the third lands.
+  cache.set_load_failure_hook(
+      [](const std::string&, std::size_t attempt) { return attempt <= 2; });
+
+  std::atomic<int> loads{0};
+  auto handle = cache.get_or_load("nougat", [&loads] {
+    ++loads;
+    return std::make_shared<int>(42);
+  }, 1.0);
+  EXPECT_EQ(loads.load(), 1);  // loader only runs on the surviving attempt
+  ASSERT_NE(handle, nullptr);
+
+  const auto stats = cache.stats("nougat");
+  EXPECT_EQ(stats.loads, 3U);
+  EXPECT_EQ(stats.failures, 2U);
+  EXPECT_EQ(stats.retries, 2U);
+
+  // Healed: the next call is a plain cache hit, no further load attempts.
+  cache.get_or_load("nougat", [&loads] {
+    ++loads;
+    return std::make_shared<int>(0);
+  }, 1.0);
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ(cache.stats("nougat").hits, 1U);
+}
+
+TEST(WarmCacheTest, ExhaustedRetryBudgetThrowsNotHangs) {
+  WarmModelCache cache(true);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(2);
+  cache.set_retry_policy(policy);
+  cache.set_load_failure_hook(
+      [](const std::string&, std::size_t) { return true; });  // never heals
+
+  EXPECT_THROW(cache.get_or_load(
+                   "doomed", [] { return std::make_shared<int>(0); }, 1.0),
+               std::runtime_error);
+  const auto stats = cache.stats("doomed");
+  EXPECT_EQ(stats.failures, 3U);   // one per attempt
+  EXPECT_EQ(stats.retries, 2U);    // the last failure is surfaced, not slept
+  EXPECT_EQ(cache.stats("doomed").hits, 0U);
+}
+
+TEST(WarmCacheTest, LoaderExceptionsUseTheSameRetryBudget) {
+  // Failures thrown by the loader itself (not the injection hook) follow
+  // the identical retry discipline.
+  WarmModelCache cache(true);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(2);
+  cache.set_retry_policy(policy);
+
+  std::atomic<int> calls{0};
+  auto handle = cache.get_or_load("flaky", [&calls] {
+    if (++calls <= 2) throw std::runtime_error("transient");
+    return std::make_shared<int>(7);
+  }, 1.0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(*std::static_pointer_cast<int>(handle), 7);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(cache.stats("flaky").retries, 2U);
 }
 
 }  // namespace

@@ -782,6 +782,76 @@ TEST(ParseServiceTest, ShutdownCancelsQueuedJobsAndDrainsCleanly) {
   EXPECT_EQ(late->state(), JobState::kRejected);
 }
 
+TEST(ParseServiceTest, DeadlineDrainReturnsEmptyWhenServiceGoesIdle) {
+  const auto docs = mixed_corpus(32, 1234);
+  ServiceConfig config;
+  config.dispatchers = 1;
+  config.pool_threads = 4;
+  ParseService service(config, nullptr, shared_improver());
+
+  auto job = service.submit(make_request("x", docs, 16));
+  const auto unfinished = service.drain(std::chrono::seconds(30));
+  EXPECT_TRUE(unfinished.empty());
+  EXPECT_EQ(job->state(), JobState::kCompleted);
+  EXPECT_EQ(service.queued_jobs(), 0U);
+  EXPECT_EQ(service.running_jobs(), 0U);
+}
+
+TEST(ParseServiceTest, DeadlineDrainCancelsStragglersAndReturnsTheirIds) {
+  // A scripted latency spike makes every document cost ~20 ms of wall
+  // time, so these jobs cannot finish inside the drain deadline; the drain
+  // must cancel them, settle, and report exactly the unfinished ids.
+  const auto docs = mixed_corpus(128, 4321);
+  ServiceConfig config;
+  config.dispatchers = 1;
+  config.slice_batches = 1;
+  config.pool_threads = 4;
+  FaultPlan::LatencySpike spike;
+  spike.per_doc_delay = std::chrono::milliseconds(20);
+  config.fault_plan.latency_spikes.push_back(spike);
+  ParseService service(config, nullptr, shared_improver());
+
+  auto slow = service.submit(make_request("x", docs, 16));
+  auto queued = service.submit(make_request("x", docs, 16));
+  ASSERT_FALSE(job_state_terminal(slow->state()));
+
+  const auto unfinished = service.drain(std::chrono::milliseconds(100));
+  ASSERT_EQ(unfinished.size(), 2U);
+
+  // Both jobs are terminal (cancelled mid-flight, partial results kept)
+  // and the service really is idle afterwards — drain settled, not bailed.
+  EXPECT_EQ(slow->state(), JobState::kCancelled);
+  EXPECT_EQ(queued->state(), JobState::kCancelled);
+  EXPECT_EQ(service.queued_jobs(), 0U);
+  EXPECT_EQ(service.running_jobs(), 0U);
+  EXPECT_EQ(service.resident_documents(), 0U);
+
+  // The service stays usable after a deadline drain: a tiny job clears
+  // even with the spike still active (4 docs x 20 ms).
+  auto after = service.submit(make_request("x", mixed_corpus(4, 9), 4));
+  after->wait();
+  EXPECT_EQ(after->state(), JobState::kCompleted);
+}
+
+TEST(ParseServiceTest, DeadlineShutdownCancelsAndRefusesNewWork) {
+  const auto docs = mixed_corpus(128, 5678);
+  ServiceConfig config;
+  config.dispatchers = 1;
+  config.pool_threads = 4;
+  FaultPlan::LatencySpike spike;
+  spike.per_doc_delay = std::chrono::milliseconds(20);
+  config.fault_plan.latency_spikes.push_back(spike);
+  ParseService service(config, nullptr, shared_improver());
+
+  auto slow = service.submit(make_request("x", docs, 16));
+  const auto unfinished = service.shutdown(std::chrono::milliseconds(50));
+  ASSERT_EQ(unfinished.size(), 1U);
+  EXPECT_EQ(slow->state(), JobState::kCancelled);
+
+  auto late = service.submit(make_request("x", docs, 16));
+  EXPECT_EQ(late->state(), JobState::kRejected);
+}
+
 // ------------------------------------------------- shared warm cache ----
 
 TEST(ParseServiceTest, ManyConcurrentJobsShareOneWarmModelLoad) {

@@ -126,8 +126,8 @@ double calibrate_base_seconds(std::size_t docs_per_job) {
   double base = 0.0;
   for (int i = 0; i < 5; ++i) {
     serve::JobRequest request;
-    request.tenant = "calibrate";
-    request.engine = workload_engine();
+    request.spec.tenant = "calibrate";
+    request.spec.engine = workload_engine();
     request.source = std::make_unique<core::GeneratorSource>(
         doc::benchmark_config(docs_per_job, rng.next_u64()));
     auto job = service.submit(std::move(request));
@@ -179,8 +179,8 @@ RunResult run_workload(bool controlled, const Timing& timing,
         start + std::chrono::duration<double>(timing.arrival_seconds *
                                               static_cast<double>(i)));
     serve::JobRequest request;
-    request.tenant = "burst";
-    request.engine = engine;
+    request.spec.tenant = "burst";
+    request.spec.engine = engine;
     request.source = std::make_unique<core::GeneratorSource>(
         doc::benchmark_config(docs_per_job, rng.next_u64()));
     submit_at.push_back(

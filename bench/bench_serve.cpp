@@ -152,12 +152,12 @@ int main() {
     std::this_thread::sleep_until(
         start + std::chrono::duration<double>(arrival.at_seconds));
     serve::JobRequest request;
-    request.tenant = arrival.tenant;
-    request.engine = engine;
+    request.spec.tenant = arrival.tenant;
+    request.spec.engine = engine;
     request.source = std::make_unique<core::GeneratorSource>(
         doc::benchmark_config(docs_per_job, arrival.seed));
-    if (request.tenant == std::string("gamma")) {
-      request.deadline = std::chrono::milliseconds(200);
+    if (request.spec.tenant == std::string("gamma")) {
+      request.spec.deadline = std::chrono::milliseconds(200);
     }
     auto job = service.submit(std::move(request));
     std::lock_guard<std::mutex> lock(jobs_mutex);

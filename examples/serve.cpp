@@ -24,10 +24,10 @@ namespace {
 serve::JobRequest job_for(std::string tenant, std::size_t docs,
                           std::uint64_t seed) {
   serve::JobRequest request;
-  request.tenant = std::move(tenant);
-  request.engine.variant = core::Variant::kFastText;
-  request.engine.batch_size = 32;
-  request.engine.alpha = 0.10;
+  request.spec.tenant = std::move(tenant);
+  request.spec.engine.variant = core::Variant::kFastText;
+  request.spec.engine.batch_size = 32;
+  request.spec.engine.alpha = 0.10;
   request.source = std::make_unique<core::GeneratorSource>(
       doc::benchmark_config(docs, seed));
   return request;
@@ -56,8 +56,8 @@ int main() {
 
   // A small job with a tight deadline jumps the fair-share rotation.
   auto urgent_request = job_for("free", 64, 33);
-  urgent_request.deadline = 150ms;
-  urgent_request.priority = 5;
+  urgent_request.spec.deadline = 150ms;
+  urgent_request.spec.priority = 5;
   auto urgent = service.submit(std::move(urgent_request));
 
   // Stream results off the enterprise job while everything runs.

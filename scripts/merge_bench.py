@@ -26,13 +26,19 @@ injection) is schema-checked — both runs must carry a clean_drain flag, a
 p95 trajectory, and a recovery figure, and the controlled run must carry a
 journal-replay verdict — and its headline numbers are hoisted into
 BENCH_all.json as "slo_recovery" so dashboards don't need to dig.
+
+A BENCH_http input (bench_http: the open-loop load generator against the
+/v1 network front end) is schema-checked too — it must carry the latency
+percentile object (p50 <= p95 <= p99), a clean_drain flag, and, when the
+slow-client scenario ran, a bounded resident-work verdict — and its
+percentiles are hoisted as "http_latency".
 """
 
 import json
 import os
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 SEED_SUFFIX = "_Seed"
 
@@ -72,6 +78,44 @@ def check_adaptive(merged):
         "journal_replay_ok": controlled["journal_replay_ok"],
     }
     return hoisted, []
+
+
+HTTP_LATENCY_KEYS = ("p50_seconds", "p95_seconds", "p99_seconds")
+
+
+def check_http(merged):
+    """Returns (hoisted dict or None, [error strings]) for BENCH_http."""
+    data = merged.get("BENCH_http")
+    if data is None:
+        return None, []
+    errors = []
+    if not isinstance(data, dict) or data.get("bench") != "http":
+        return None, ["BENCH_http: not a bench_http emission"]
+    if "clean_drain" not in data:
+        errors.append("BENCH_http: lacks 'clean_drain'")
+    latency = data.get("latency")
+    if not isinstance(latency, dict):
+        errors.append("BENCH_http: lacks the 'latency' percentile object")
+    else:
+        for key in HTTP_LATENCY_KEYS:
+            if not isinstance(latency.get(key), (int, float)):
+                errors.append(f"BENCH_http: latency lacks numeric '{key}'")
+        if not errors:
+            p50, p95, p99 = (latency[k] for k in HTTP_LATENCY_KEYS)
+            if not p50 <= p95 <= p99:
+                errors.append(
+                    f"BENCH_http: percentiles not monotone "
+                    f"(p50={p50}, p95={p95}, p99={p99})")
+    slow = data.get("slow_client")
+    if not isinstance(slow, dict) or "ran" not in slow:
+        errors.append("BENCH_http: lacks the 'slow_client' verdict object")
+    elif slow["ran"] and not slow.get("bounded"):
+        errors.append(
+            "BENCH_http: slow-client scenario ran but resident work "
+            "was not bounded")
+    if errors:
+        return None, errors
+    return dict(latency), []
 
 
 def check_tiers(merged):
@@ -147,21 +191,25 @@ def main(argv):
 
     tier, tier_errors = check_tiers(merged)
     slo, adaptive_errors = check_adaptive(merged)
-    if tier_errors or adaptive_errors:
-        for err in tier_errors + adaptive_errors:
+    http, http_errors = check_http(merged)
+    if tier_errors or adaptive_errors or http_errors:
+        for err in tier_errors + adaptive_errors + http_errors:
             print(f"merge_bench: {err}", file=sys.stderr)
         return 1
     if tier is not None:
         merged["simd_tier"] = tier
     if slo is not None:
         merged["slo_recovery"] = slo
+    if http is not None:
+        merged["http_latency"] = http
 
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
-    # schema_version plus the optional hoisted simd_tier / slo_recovery
+    # schema_version plus the optional hoisted simd_tier / slo_recovery /
+    # http_latency
     meta_keys = 1 + (1 if tier is not None else 0) + \
-        (1 if slo is not None else 0)
+        (1 if slo is not None else 0) + (1 if http is not None else 0)
     count = len(merged) - meta_keys
     suffix = f" ({skipped} absent input(s) skipped)" if skipped else ""
     print(f"merge_bench: merged {count} bench files into {out_path}{suffix}")

@@ -55,6 +55,29 @@ class VectorSource final : public DocumentSource {
   std::size_t next_ = 0;
 };
 
+/// Owning variant of VectorSource for corpora materialized on behalf of a
+/// caller who keeps nothing (e.g. documents parsed out of a wire request):
+/// the source itself keeps the documents alive for the whole run.
+class OwnedVectorSource final : public DocumentSource {
+ public:
+  explicit OwnedVectorSource(std::vector<doc::Document> docs)
+      : docs_(std::move(docs)) {}
+
+  std::shared_ptr<const doc::Document> next() override {
+    if (next_ >= docs_.size()) return nullptr;
+    // Aliasing shared_ptr into our own vector: valid because the pipeline
+    // finishes (and drops every document reference) before the source dies.
+    return std::shared_ptr<const doc::Document>(
+        std::shared_ptr<const doc::Document>(), &docs_[next_++]);
+  }
+
+  std::size_t size_hint() const override { return docs_.size(); }
+
+ private:
+  std::vector<doc::Document> docs_;
+  std::size_t next_ = 0;
+};
+
 /// Generates documents on demand from a CorpusGenerator — the "millions of
 /// documents that don't fit in RAM" ingress: only the documents currently
 /// in flight through the pipeline are resident.

@@ -1,0 +1,159 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace adaparse::net {
+
+EventLoop::EventLoop() {
+  epoll_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    throw std::runtime_error(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+  }
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) < 0) {
+    throw std::runtime_error(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+  add(wake_read_.get(), kReadable, [this](std::uint32_t) {
+    drain_wake_pipe();
+  });
+}
+
+EventLoop::~EventLoop() = default;
+
+std::uint32_t EventLoop::to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if (interest & kReadable) events |= EPOLLIN;
+  if (interest & kWritable) events |= EPOLLOUT;
+  return events;
+}
+
+void EventLoop::add(int fd, std::uint32_t interest, Callback callback) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw std::runtime_error(std::string("epoll_ctl(ADD): ") +
+                             std::strerror(errno));
+  }
+  entries_[fd] = Entry{std::move(callback), next_generation_++};
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw std::runtime_error(std::string("epoll_ctl(MOD): ") +
+                             std::strerror(errno));
+  }
+}
+
+void EventLoop::remove(int fd) {
+  // The fd may already be closed by the caller; EBADF/ENOENT are fine.
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  entries_.erase(fd);
+}
+
+void EventLoop::drain_wake_pipe() {
+  std::array<char, 64> sink;
+  while (true) {
+    const ssize_t n = ::read(wake_read_.get(), sink.data(), sink.size());
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || static_cast<std::size_t>(n) < sink.size()) break;
+  }
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::poll(std::chrono::milliseconds timeout) {
+  std::array<epoll_event, 64> events;
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.get(), events.data(),
+                     static_cast<int>(events.size()),
+                     static_cast<int>(timeout.count()));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    throw std::runtime_error(std::string("epoll_wait: ") +
+                             std::strerror(errno));
+  }
+  // Capture generations first: a callback may remove (or close + re-add)
+  // any fd in this batch, and the stale event must then be dropped.
+  struct Pending {
+    int fd;
+    std::uint32_t ready;
+    std::uint64_t generation;
+  };
+  std::array<Pending, 64> pending;
+  int live = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    const auto it = entries_.find(fd);
+    if (it == entries_.end()) continue;
+    const std::uint32_t raw = events[static_cast<std::size_t>(i)].events;
+    std::uint32_t ready = 0;
+    if (raw & EPOLLIN) ready |= kReadable;
+    if (raw & EPOLLOUT) ready |= kWritable;
+    if (raw & (EPOLLERR | EPOLLHUP)) ready |= kError;
+    pending[static_cast<std::size_t>(live++)] =
+        Pending{fd, ready, it->second.generation};
+  }
+  for (int i = 0; i < live; ++i) {
+    const Pending& p = pending[static_cast<std::size_t>(i)];
+    const auto it = entries_.find(p.fd);
+    if (it == entries_.end() || it->second.generation != p.generation) {
+      continue;  // removed (or replaced) by an earlier callback
+    }
+    it->second.callback(p.ready);
+  }
+  run_posted();
+}
+
+void EventLoop::run(std::chrono::milliseconds max_wait,
+                    const std::function<void()>& tick) {
+  stop_ = false;
+  while (!stop_) {
+    poll(max_wait);
+    if (tick) tick();
+  }
+}
+
+void EventLoop::stop() {
+  post([this] { stop_ = true; });
+}
+
+void EventLoop::wake() {
+  const char token = 1;
+  for (;;) {
+    const ssize_t n = ::write(wake_write_.get(), &token, 1);
+    if (n >= 0 || errno != EINTR) break;  // EAGAIN = already pending; fine
+  }
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+}  // namespace adaparse::net

@@ -1,0 +1,89 @@
+// net::EventLoop — a single-threaded epoll readiness loop.
+//
+// The HTTP front end multiplexes every connection over one loop thread:
+// sockets are registered with an interest mask (readable/writable) and a
+// callback; the loop parks in epoll_wait and dispatches callbacks as the
+// kernel reports readiness (level-triggered — a callback that does not
+// drain is simply called again, so there is no edge-notification
+// bookkeeping to get wrong). Cross-thread interaction goes through two
+// thread-safe entry points only: wake(), which interrupts the current
+// epoll_wait (the job-progress notification path), and post(), which
+// queues a closure to run on the loop thread (how the server thread asks
+// the loop to shut down). Everything else — add/modify/remove, the
+// callbacks themselves — must happen on the loop thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace adaparse::net {
+
+class EventLoop {
+ public:
+  /// Interest/readiness bits (a callback's `events` argument is the
+  /// readiness subset, plus kError on EPOLLERR/EPOLLHUP).
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kError = 1u << 2;
+
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();   ///< throws std::runtime_error if epoll/pipe setup fails
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with an interest mask. The fd stays owned by the
+  /// caller. Loop thread only (or before run()).
+  void add(int fd, std::uint32_t interest, Callback callback);
+  /// Updates the interest mask of a registered fd. Loop thread only.
+  void set_interest(int fd, std::uint32_t interest);
+  /// Deregisters `fd`; safe to call from inside its own callback (the
+  /// dispatch pass checks liveness before every delivery).
+  void remove(int fd);
+
+  /// Runs until stop(). `max_wait` bounds one epoll_wait so periodic
+  /// work (the caller's tick callback) runs even when no fd fires.
+  void run(std::chrono::milliseconds max_wait,
+           const std::function<void()>& tick = {});
+  /// One dispatch iteration (tests drive the loop step by step).
+  void poll(std::chrono::milliseconds timeout);
+
+  /// Asks run() to return after the current iteration. Thread-safe.
+  void stop();
+  /// Interrupts the current epoll_wait. Thread-safe, coalescing.
+  void wake();
+  /// Queues `fn` to run on the loop thread next iteration. Thread-safe.
+  void post(std::function<void()> fn);
+
+  std::size_t watched_fds() const { return entries_.size(); }
+
+ private:
+  void drain_wake_pipe();
+  void run_posted();
+  static std::uint32_t to_epoll(std::uint32_t interest);
+
+  Fd epoll_;
+  Fd wake_read_;
+  Fd wake_write_;
+  /// Registered fds. Generation counters make remove() safe mid-dispatch:
+  /// an event captured for a closed (or re-added) fd is dropped.
+  struct Entry {
+    Callback callback;
+    std::uint64_t generation = 0;
+  };
+  std::unordered_map<int, Entry> entries_;
+  std::uint64_t next_generation_ = 1;
+  bool stop_ = false;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace adaparse::net

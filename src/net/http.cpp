@@ -1,0 +1,398 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace adaparse::net::http {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// RFC 9110 token characters (method and header-name alphabet).
+bool is_token_char(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!is_token_char(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* Request::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view Request::path() const {
+  const std::string_view t(target);
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+RequestParser::RequestParser(Limits limits) : limits_(limits) {}
+
+void RequestParser::reset() {
+  state_ = State::kRequestLine;
+  buffer_.clear();
+  request_ = Request{};
+  error_ = ParseError{};
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  chunk_remaining_ = 0;
+  has_content_length_ = false;
+  chunked_ = false;
+}
+
+ParseStatus RequestParser::fail(int status, std::string message) {
+  state_ = State::kError;
+  error_ = ParseError{status, std::move(message)};
+  return ParseStatus::kError;
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(method) || method.size() > 24) {
+    fail(400, "malformed method");
+    return false;
+  }
+  if (target.empty() || target.front() != '/') {
+    fail(400, "request target must be origin-form");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    fail(505, "unsupported HTTP version");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed header field");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!is_token(name)) {
+    // Covers the smuggling-prone obs-fold / space-before-colon cases too.
+    fail(400, "malformed header name");
+    return false;
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    fail(431, "too many header fields");
+    return false;
+  }
+  request_.headers.emplace_back(to_lower(name),
+                                std::string(trim(line.substr(colon + 1))));
+  return true;
+}
+
+bool RequestParser::finish_headers() {
+  const std::string* te = request_.header("transfer-encoding");
+  const std::string* cl = request_.header("content-length");
+  if (te && cl) {
+    // Ambiguous framing is the classic request-smuggling vector; reject.
+    fail(400, "both Transfer-Encoding and Content-Length");
+    return false;
+  }
+  if (te) {
+    if (!iequals(trim(*te), "chunked")) {
+      fail(501, "unsupported Transfer-Encoding: " + *te);
+      return false;
+    }
+    chunked_ = true;
+  } else if (cl) {
+    const std::string_view v = *cl;
+    if (v.empty() ||
+        !std::all_of(v.begin(), v.end(), [](unsigned char c) {
+          return std::isdigit(c);
+        }) ||
+        v.size() > 15) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    std::size_t n = 0;
+    for (const char c : v) n = n * 10 + static_cast<std::size_t>(c - '0');
+    if (n > limits_.max_body_bytes) {
+      fail(413, "request body exceeds limit");
+      return false;
+    }
+    has_content_length_ = true;
+    body_expected_ = n;
+  }
+
+  // Keep-alive: HTTP/1.1 defaults on, HTTP/1.0 defaults off; an explicit
+  // Connection header overrides either way.
+  request_.keep_alive = request_.version_minor >= 1;
+  if (const std::string* conn = request_.header("connection")) {
+    if (iequals(trim(*conn), "close")) {
+      request_.keep_alive = false;
+    } else if (iequals(trim(*conn), "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+
+  if (chunked_) {
+    state_ = State::kChunkSize;
+  } else if (body_expected_ > 0) {
+    state_ = State::kBody;
+  } else {
+    state_ = State::kComplete;
+  }
+  return true;
+}
+
+ParseStatus RequestParser::consume(std::string_view data,
+                                   std::size_t* consumed) {
+  *consumed = 0;
+  if (state_ == State::kError) return ParseStatus::kError;
+  if (state_ == State::kComplete) return ParseStatus::kComplete;
+
+  while (true) {
+    const std::string_view rest = data.substr(*consumed);
+    switch (state_) {
+      case State::kRequestLine:
+      case State::kHeaders:
+      case State::kChunkSize:
+      case State::kChunkDataCrlf:
+      case State::kTrailers: {
+        // Line-oriented states: accumulate until '\n', enforcing the
+        // relevant size limit on the partial line as it grows, so an
+        // attacker cannot buffer unbounded bytes by never sending one.
+        const std::size_t nl = rest.find('\n');
+        const std::size_t take =
+            nl == std::string_view::npos ? rest.size() : nl + 1;
+        buffer_.append(rest.substr(0, take));
+        *consumed += take;
+        const bool line_done = nl != std::string_view::npos;
+
+        if (state_ == State::kRequestLine) {
+          if (buffer_.size() > limits_.max_request_line) {
+            return fail(431, "request line too long");
+          }
+        } else if (state_ == State::kHeaders ||
+                   state_ == State::kTrailers) {
+          if (header_bytes_ + buffer_.size() > limits_.max_header_bytes) {
+            return fail(431, "header block exceeds limit");
+          }
+        } else if (buffer_.size() > 256) {  // chunk-size / CRLF lines
+          return fail(400, "malformed chunk framing");
+        }
+        if (!line_done) return ParseStatus::kNeedMore;
+
+        std::string_view line(buffer_);
+        line.remove_suffix(1);  // '\n'
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+        switch (state_) {
+          case State::kRequestLine:
+            if (line.empty()) break;  // tolerate leading blank lines
+            if (!parse_request_line(line)) return ParseStatus::kError;
+            state_ = State::kHeaders;
+            break;
+          case State::kHeaders:
+            header_bytes_ += buffer_.size();
+            if (line.empty()) {
+              if (!finish_headers()) return ParseStatus::kError;
+            } else if (!parse_header_line(line)) {
+              return ParseStatus::kError;
+            }
+            break;
+          case State::kChunkSize: {
+            std::size_t size = 0;
+            std::size_t i = 0;
+            for (; i < line.size(); ++i) {
+              const unsigned char c =
+                  static_cast<unsigned char>(line[i]);
+              int digit;
+              if (std::isdigit(c)) {
+                digit = c - '0';
+              } else if (c >= 'a' && c <= 'f') {
+                digit = c - 'a' + 10;
+              } else if (c >= 'A' && c <= 'F') {
+                digit = c - 'A' + 10;
+              } else {
+                break;
+              }
+              if (size > (limits_.max_body_bytes >> 4)) {
+                return fail(413, "request body exceeds limit");
+              }
+              size = size * 16 + static_cast<std::size_t>(digit);
+            }
+            if (i == 0 || (i < line.size() && line[i] != ';')) {
+              return fail(400, "malformed chunk size");
+            }
+            if (request_.body.size() + size > limits_.max_body_bytes) {
+              return fail(413, "request body exceeds limit");
+            }
+            chunk_remaining_ = size;
+            state_ = size == 0 ? State::kTrailers : State::kChunkData;
+            break;
+          }
+          case State::kChunkDataCrlf:
+            if (!line.empty()) {
+              return fail(400, "malformed chunk terminator");
+            }
+            state_ = State::kChunkSize;
+            break;
+          case State::kTrailers:
+            header_bytes_ += buffer_.size();
+            if (line.empty()) state_ = State::kComplete;
+            break;
+          default:
+            break;
+        }
+        buffer_.clear();
+        break;
+      }
+
+      case State::kBody: {
+        const std::size_t want = body_expected_ - request_.body.size();
+        const std::size_t take = std::min(want, rest.size());
+        request_.body.append(rest.substr(0, take));
+        *consumed += take;
+        if (request_.body.size() < body_expected_) {
+          return ParseStatus::kNeedMore;
+        }
+        state_ = State::kComplete;
+        break;
+      }
+
+      case State::kChunkData: {
+        const std::size_t take = std::min(chunk_remaining_, rest.size());
+        request_.body.append(rest.substr(0, take));
+        chunk_remaining_ -= take;
+        *consumed += take;
+        if (chunk_remaining_ > 0) return ParseStatus::kNeedMore;
+        state_ = State::kChunkDataCrlf;
+        break;
+      }
+
+      case State::kComplete:
+        return ParseStatus::kComplete;
+      case State::kError:
+        return ParseStatus::kError;
+    }
+    if (state_ == State::kComplete) return ParseStatus::kComplete;
+    if (*consumed >= data.size()) return ParseStatus::kNeedMore;
+  }
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string response_head(
+    int status,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string out;
+  out.reserve(128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+std::string chunk(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  char size_buf[17];
+  std::size_t n = payload.size();
+  int i = 16;
+  size_buf[16] = '\0';
+  do {
+    size_buf[--i] = "0123456789abcdef"[n & 0xF];
+    n >>= 4;
+  } while (n != 0);
+  out.append(&size_buf[i]);
+  out += "\r\n";
+  out += payload;
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace adaparse::net::http

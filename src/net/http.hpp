@@ -1,0 +1,128 @@
+// Incremental HTTP/1.1 request parsing + response serialization.
+//
+// The parser is a push-style state machine built for a non-blocking event
+// loop: feed it whatever bytes arrived, it consumes as much as it can and
+// reports kNeedMore / kComplete / kError. It handles requests torn at any
+// byte boundary, pipelined requests (consume() stops at the end of one
+// message; the caller resets and feeds the remainder), Content-Length and
+// chunked bodies, and enforces the header/body limits production servers
+// need (431 Request Header Fields Too Large, 413 Content Too Large).
+//
+// Deliberately out of scope (this is an API front end, not a general web
+// server): multipart bodies, compression, HTTP/2, trailer *use* (trailers
+// are parsed and discarded), and request targets in absolute-URI form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adaparse::net::http {
+
+/// Parser limits; exceeding one fails the request with the right status.
+struct Limits {
+  std::size_t max_request_line = 8192;
+  /// Total bytes of the header block (all field lines).
+  std::size_t max_header_bytes = 16384;
+  std::size_t max_headers = 100;
+  std::size_t max_body_bytes = 4u << 20;
+};
+
+/// One parsed request. Header names are lowercased at parse time (HTTP
+/// field names are case-insensitive); values keep their bytes.
+struct Request {
+  std::string method;
+  std::string target;   ///< origin-form, e.g. "/v1/jobs/7?verbose=1"
+  int version_minor = 1;  ///< 1 for HTTP/1.1, 0 for HTTP/1.0
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Resolved keep-alive semantics (version default + Connection header).
+  bool keep_alive = true;
+
+  /// First header value for `name` (lowercase), or nullptr.
+  const std::string* header(std::string_view name) const;
+  /// Target path without the query string.
+  std::string_view path() const;
+};
+
+enum class ParseStatus : std::uint8_t {
+  kNeedMore,  ///< consumed everything given; request incomplete
+  kComplete,  ///< one full request parsed; unconsumed bytes are pipelined
+  kError,     ///< malformed or over-limit; see error()
+};
+
+/// Parse failure, pre-mapped to the HTTP status the server should answer
+/// with (400 bad syntax, 413 body too large, 431 headers too large,
+/// 501 unsupported transfer-encoding, 505 bad version).
+struct ParseError {
+  int status = 400;
+  std::string message;
+};
+
+class RequestParser {
+ public:
+  explicit RequestParser(Limits limits = {});
+
+  /// Consumes bytes from `data`. Returns the parse status; `*consumed`
+  /// (always set) is how many bytes were used — on kComplete the caller
+  /// re-feeds the remainder after reset() (pipelining).
+  ParseStatus consume(std::string_view data, std::size_t* consumed);
+
+  /// The parsed request (valid after kComplete; moved-from after reset).
+  Request& request() { return request_; }
+  const ParseError& error() const { return error_; }
+
+  /// Re-arms for the next request on the same connection.
+  void reset();
+
+ private:
+  enum class State : std::uint8_t {
+    kRequestLine,
+    kHeaders,
+    kBody,        // Content-Length
+    kChunkSize,   // chunked: size line
+    kChunkData,
+    kChunkDataCrlf,
+    kTrailers,    // chunked: trailer section (parsed, discarded)
+    kComplete,
+    kError,
+  };
+
+  ParseStatus fail(int status, std::string message);
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  /// Resolves framing (Content-Length vs chunked) once headers end.
+  bool finish_headers();
+
+  Limits limits_;
+  State state_ = State::kRequestLine;
+  std::string buffer_;  ///< partial line / header block accumulator
+  Request request_;
+  ParseError error_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;   ///< Content-Length remaining
+  std::size_t chunk_remaining_ = 0;
+  bool has_content_length_ = false;
+  bool chunked_ = false;
+};
+
+/// Serializes a response head: status line + headers + blank line.
+/// `headers` are emitted in order, verbatim.
+std::string response_head(
+    int status,
+    const std::vector<std::pair<std::string, std::string>>& headers);
+
+/// The reason phrase for the status codes this server emits.
+const char* status_reason(int status);
+
+/// One chunked-transfer-encoding frame for `payload` (empty payload is
+/// skipped by callers — a zero-size chunk would terminate the body).
+std::string chunk(std::string_view payload);
+
+/// The terminal chunk ("0\r\n\r\n").
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+}  // namespace adaparse::net::http

@@ -1,0 +1,143 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace adaparse::net {
+
+void Fd::reset() {
+  if (fd_ < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR from close; Linux
+  // always releases it, so retrying would race a concurrent open. Close
+  // once and move on.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+IoResult read_some(int fd, char* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n), 0};
+    if (n == 0) return {IoStatus::kEof, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0, 0};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+IoResult write_some(int fd, std::string_view data) {
+  for (;;) {
+    const ssize_t n =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n), 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0, 0};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(std::string("fcntl(O_NONBLOCK): ") +
+                             std::strerror(errno));
+  }
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid IPv4 address: " + address);
+  }
+  return addr;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& address, std::uint16_t port,
+                         int backlog)
+    : address_(address) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(address, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw std::runtime_error("bind " + address + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    throw std::runtime_error(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    throw std::runtime_error(std::string("getsockname: ") +
+                             std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(fd.get());
+  fd_ = std::move(fd);
+}
+
+Fd TcpListener::accept_nonblocking() {
+  for (;;) {
+    const int fd =
+        ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      set_tcp_nodelay(fd);
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN: drained. Anything else (ECONNABORTED, EMFILE, ...) is a
+    // per-connection transient; the listener itself stays healthy.
+    return Fd();
+  }
+}
+
+Fd connect_blocking(const std::string& address, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr = make_addr(address, port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      set_tcp_nodelay(fd.get());
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error("connect " + address + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace adaparse::net

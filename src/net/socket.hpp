@@ -1,0 +1,99 @@
+// TCP sockets for the network front end — the thin, RAII layer over the
+// BSD socket API that net::EventLoop and the HTTP server build on.
+//
+// Everything here is zero-dependency POSIX: an owning fd handle, a
+// listener that binds/accepts non-blocking connections, and EINTR-safe
+// read/write helpers that report "would block" distinctly from EOF and
+// hard errors, because a non-blocking event loop must treat those three
+// outcomes completely differently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adaparse::net {
+
+/// Owning file-descriptor handle (close-on-destroy, move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();  ///< closes if valid (EINTR-safe)
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a non-blocking read/write attempt.
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< >= 1 byte transferred
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — retry when the loop says ready
+  kEof,         ///< read: orderly peer shutdown (write never returns this)
+  kError,       ///< hard error (ECONNRESET, EPIPE, ...); errno preserved
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+  int error = 0;  ///< errno for kError
+};
+
+/// Reads once into `buf` (EINTR retried). Non-blocking fds report
+/// kWouldBlock instead of blocking.
+IoResult read_some(int fd, char* buf, std::size_t len);
+/// Writes once from `data` (EINTR retried; SIGPIPE suppressed via
+/// MSG_NOSIGNAL so a reset peer surfaces as kError/EPIPE, not a signal).
+IoResult write_some(int fd, std::string_view data);
+
+/// Sets O_NONBLOCK; throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+/// Disables Nagle (TCP_NODELAY) — streamed JSONL lines should not wait
+/// out a 40 ms delayed-ACK interaction. Best-effort.
+void set_tcp_nodelay(int fd);
+
+/// A bound, listening TCP socket (IPv4). Accepted connections come back
+/// non-blocking with TCP_NODELAY set.
+class TcpListener {
+ public:
+  /// Binds `address:port` (port 0 = kernel-assigned; see port()) with
+  /// SO_REUSEADDR and listens. Throws std::runtime_error on failure.
+  TcpListener(const std::string& address, std::uint16_t port,
+              int backlog = 128);
+
+  int fd() const { return fd_.get(); }
+  std::uint16_t port() const { return port_; }
+  const std::string& address() const { return address_; }
+
+  /// Accepts one pending connection; invalid Fd when none pending
+  /// (EAGAIN) or on a transient accept error.
+  Fd accept_nonblocking();
+
+ private:
+  Fd fd_;
+  std::string address_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to `address:port` (test/bench clients). Throws
+/// std::runtime_error on failure. The returned fd is blocking.
+Fd connect_blocking(const std::string& address, std::uint16_t port);
+
+}  // namespace adaparse::net

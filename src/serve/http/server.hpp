@@ -1,0 +1,159 @@
+// serve::http::HttpServer — the /v1 network front end for ParseService.
+//
+// One net::EventLoop thread multiplexes every connection; the service's
+// own dispatcher threads do the parsing work and wake the loop through
+// ParseJob::set_notify as records land. Routes:
+//
+//   POST   /v1/parse     JobSpec JSON in, streamed JSONL out (one line
+//                        per record, in input order, chunked transfer
+//                        encoding) — records appear as slices complete,
+//                        byte-identical to a standalone engine run.
+//   GET    /v1/jobs/{id} job status (state/progress/error).
+//   DELETE /v1/jobs/{id} cooperative cancel; answers with the status.
+//   GET    /metrics      service exposition + adaparse_http_* families.
+//
+// Every non-2xx response carries the uniform error envelope
+// {"error":{"code","message"}}.
+//
+// Backpressure: a connection whose client reads slowly accumulates
+// buffered response bytes; at write_high_watermark the server parks the
+// job's slice scheduling (ParseService::set_job_paused), and resumes once
+// the buffer drains under write_low_watermark. A slow reader therefore
+// costs its own job's admission reservation — never unbounded server
+// memory, never the worker pool. A connection that drops mid-stream
+// cancels its job.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/event_loop.hpp"
+#include "net/http.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+
+namespace adaparse::serve::http {
+
+struct HttpServerConfig {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned (see HttpServer::port)
+  net::http::Limits limits;
+  /// Accepts beyond this are closed immediately (connection shedding).
+  std::size_t max_connections = 256;
+  /// Buffered-response-bytes watermark that pauses the connection's job.
+  std::size_t write_high_watermark = 256 * 1024;
+  /// Drain level that resumes a paused job.
+  std::size_t write_low_watermark = 64 * 1024;
+  /// Upper bound on one epoll wait — the loop's housekeeping cadence.
+  std::chrono::milliseconds idle_poll{50};
+};
+
+class HttpServer {
+ public:
+  /// Binds the listener and starts the loop thread; throws
+  /// std::runtime_error if the bind fails.
+  HttpServer(ParseService& service, HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Closes the listener and every connection (cancelling in-flight
+  /// streamed jobs) and joins the loop thread. Idempotent.
+  void stop();
+
+  /// The bound port (resolved when config.port was 0).
+  std::uint16_t port() const { return listener_.port(); }
+  const std::string& address() const { return listener_.address(); }
+  std::size_t open_connections() const {
+    return open_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    net::Fd fd;
+    net::http::RequestParser parser;
+    std::string inbuf;   ///< received, not yet parsed (pipelining)
+    std::string outbuf;  ///< serialized, not yet written
+    std::uint32_t interest = 0;
+    bool want_close = false;  ///< close once outbuf drains
+    bool read_eof = false;
+    /// Active streamed response; while set, pipelined requests wait in
+    /// inbuf.
+    JobHandle job;
+    bool job_paused = false;
+    bool stream_keep_alive = false;
+    bool stream_chunked = true;
+    std::chrono::steady_clock::time_point request_start;
+
+    explicit Connection(net::Fd socket) : fd(std::move(socket)) {}
+  };
+
+  // All of these run on the loop thread.
+  void on_accept();
+  void on_event(int fd, std::uint32_t events);
+  void process_input(Connection& conn);
+  void dispatch(Connection& conn, net::http::Request request);
+  void handle_parse(Connection& conn, const net::http::Request& request);
+  void handle_job(Connection& conn, const net::http::Request& request);
+  void handle_metrics(Connection& conn, const net::http::Request& request);
+  void begin_stream(Connection& conn, JobHandle job, bool keep_alive,
+                    bool chunked);
+  /// Moves ready records (and, when terminal, the done line) into outbuf,
+  /// pausing the job at the high watermark.
+  void pump_stream(Connection& conn);
+  void end_stream(Connection& conn);
+  void append_stream_payload(Connection& conn, const std::string& payload);
+  void send_response(Connection& conn, const char* route, int status,
+                     const std::string& content_type, std::string body,
+                     bool keep_alive);
+  void send_error(Connection& conn, const char* route, int status,
+                  const std::string& code, const std::string& message,
+                  bool keep_alive);
+  void flush(Connection& conn);
+  void update_interest(Connection& conn);
+  /// `disconnected` = the peer vanished (EOF/reset): an in-flight
+  /// streamed job is cancelled.
+  void close_connection(int fd, bool disconnected);
+  void tick();
+  void shutdown_on_loop();
+  void count_request(const char* route, int status);
+  /// Evicts the oldest terminal jobs once the id registry outgrows its
+  /// cap, so a long-lived server's status history stays bounded.
+  void trim_jobs();
+
+  ParseService& service_;
+  HttpServerConfig config_;
+  net::TcpListener listener_;
+  net::EventLoop loop_;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  /// Jobs submitted through this server, by id — what GET/DELETE
+  /// /v1/jobs/{id} resolves against. Ordered so trim_jobs evicts oldest
+  /// first. Loop thread only.
+  std::map<std::uint64_t, JobHandle> jobs_;
+  std::atomic<std::size_t> open_count_{0};
+  std::atomic<bool> stopped_{false};
+
+  // adaparse_http_* families, appended to GET /metrics after the
+  // service's own exposition.
+  obs::Registry registry_;
+  obs::Counter& connections_total_;
+  obs::Counter& connections_shed_;
+  obs::Gauge& connections_open_;
+  obs::Counter& bytes_received_;
+  obs::Counter& bytes_sent_;
+  obs::Counter& backpressure_pauses_;
+  obs::Counter& disconnect_cancels_;
+  obs::Quantile& request_latency_;
+
+  std::thread thread_;  ///< last member: joins before anything else dies
+};
+
+}  // namespace adaparse::serve::http

@@ -1,0 +1,69 @@
+#include "serve/http/wire.hpp"
+
+namespace adaparse::serve::http {
+
+util::Json error_envelope(const std::string& code,
+                          const std::string& message) {
+  util::JsonObject inner;
+  inner["code"] = code;
+  inner["message"] = message;
+  util::JsonObject out;
+  out["error"] = util::Json(std::move(inner));
+  return util::Json(std::move(out));
+}
+
+util::Json job_status_json(std::uint64_t id, const std::string& tenant,
+                           const JobProgress& progress,
+                           const std::string& error) {
+  util::JsonObject out;
+  out["id"] = static_cast<std::int64_t>(id);
+  out["tenant"] = tenant;
+  out["state"] = job_state_name(progress.state);
+  out["docs_completed"] = progress.docs_completed;
+  out["docs_total_hint"] = progress.docs_total_hint;
+  out["queue_wait_seconds"] = progress.queue_wait_seconds;
+  out["latency_seconds"] = progress.latency_seconds;
+  out["error"] = error;
+  return util::Json(std::move(out));
+}
+
+util::Json stream_created_line(std::uint64_t id, const std::string& tenant,
+                               std::size_t docs_total_hint) {
+  util::JsonObject job;
+  job["id"] = static_cast<std::int64_t>(id);
+  job["tenant"] = tenant;
+  job["docs_total_hint"] = docs_total_hint;
+  util::JsonObject out;
+  out["job"] = util::Json(std::move(job));
+  return util::Json(std::move(out));
+}
+
+util::Json stream_record_line(const JobRecord& record) {
+  util::JsonObject out;
+  out["index"] = record.index;
+  out["record"] = record.record.to_json();
+  return util::Json(std::move(out));
+}
+
+util::Json stream_done_line(JobState state, std::size_t docs_completed,
+                            const std::string& error) {
+  util::JsonObject done;
+  done["state"] = job_state_name(state);
+  done["docs_completed"] = docs_completed;
+  done["error"] = error;
+  util::JsonObject out;
+  out["done"] = util::Json(std::move(done));
+  return util::Json(std::move(out));
+}
+
+RejectStatus classify_reject(const std::string& reason) {
+  if (reason.rfind("admission:", 0) == 0) {
+    return {429, "over_capacity"};
+  }
+  if (reason == "service shutdown") {
+    return {503, "shutting_down"};
+  }
+  return {400, "invalid_request"};
+}
+
+}  // namespace adaparse::serve::http

@@ -1,0 +1,57 @@
+// The /v1 wire schemas — every JSON shape the HTTP front end emits.
+//
+// Builders are pure functions over plain values (never over live ParseJob
+// handles), so tests can golden-pin the exact serialized bytes. The three
+// response families:
+//
+//   * error envelope   {"error":{"code":"...","message":"..."}}  (uniform
+//     across every non-2xx response);
+//   * job status       {"id":...,"tenant":...,"state":...,...}   (GET and
+//     DELETE on /v1/jobs/{id});
+//   * stream lines     one JSON object per JSONL line on POST /v1/parse:
+//     a created line, one record line per document (in input order), and
+//     a final done line.
+//
+// JobState wire names come from job_state_name() — frozen vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/job.hpp"
+#include "util/json.hpp"
+
+namespace adaparse::serve::http {
+
+/// {"error":{"code":code,"message":message}}
+util::Json error_envelope(const std::string& code,
+                          const std::string& message);
+
+/// Flat job-status object for GET/DELETE /v1/jobs/{id}.
+util::Json job_status_json(std::uint64_t id, const std::string& tenant,
+                           const JobProgress& progress,
+                           const std::string& error);
+
+/// First stream line: {"job":{"id":...,"tenant":...,"docs_total_hint":...}}
+util::Json stream_created_line(std::uint64_t id, const std::string& tenant,
+                               std::size_t docs_total_hint);
+
+/// Per-document stream line: {"index":i,"record":{...io::ParseRecord...}}
+util::Json stream_record_line(const JobRecord& record);
+
+/// Final stream line:
+/// {"done":{"state":...,"docs_completed":...,"error":...}}
+util::Json stream_done_line(JobState state, std::size_t docs_completed,
+                            const std::string& error);
+
+/// How a ParseService rejection reason maps onto the wire.
+struct RejectStatus {
+  int http_status;
+  const char* code;
+};
+
+/// Admission sheds -> 429 over_capacity, shutdown -> 503 shutting_down,
+/// bad specs (and anything else) -> 400 invalid_request.
+RejectStatus classify_reject(const std::string& reason);
+
+}  // namespace adaparse::serve::http

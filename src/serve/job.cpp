@@ -22,6 +22,15 @@ const char* job_state_name(JobState state) {
   return "unknown";
 }
 
+std::optional<JobState> job_state_parse(std::string_view name) {
+  for (const JobState state :
+       {JobState::kQueued, JobState::kRunning, JobState::kCompleted,
+        JobState::kCancelled, JobState::kRejected, JobState::kFailed}) {
+    if (name == job_state_name(state)) return state;
+  }
+  return std::nullopt;
+}
+
 bool job_state_terminal(JobState state) {
   return state == JobState::kCompleted || state == JobState::kCancelled ||
          state == JobState::kRejected || state == JobState::kFailed;
@@ -29,12 +38,14 @@ bool job_state_terminal(JobState state) {
 
 ParseJob::ParseJob(std::uint64_t id, JobRequest request, Clock::time_point now)
     : id_(id),
-      tenant_(std::move(request.tenant)),
-      engine_config_(request.engine),
-      priority_(request.priority),
+      tenant_(std::move(request.spec.tenant)),
+      engine_config_(request.spec.engine),
+      priority_(request.spec.priority),
       submitted_(now),
       source_(std::move(request.source)) {
-  if (request.deadline.count() > 0) deadline_ = now + request.deadline;
+  if (request.spec.deadline.count() > 0) {
+    deadline_ = now + request.spec.deadline;
+  }
   if (source_) total_hint_ = source_->size_hint();
 }
 
@@ -89,6 +100,14 @@ bool ParseJob::wait_for(std::chrono::steady_clock::duration timeout) const {
 core::EngineStats ParseJob::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void ParseJob::set_notify(std::function<void()> fn) {
+  auto holder =
+      fn ? std::make_shared<const std::function<void()>>(std::move(fn))
+         : nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  notify_ = std::move(holder);
 }
 
 }  // namespace adaparse::serve

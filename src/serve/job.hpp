@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,6 +30,7 @@
 #include "core/doc_source.hpp"
 #include "core/engine.hpp"
 #include "io/jsonl.hpp"
+#include "serve/job_spec.hpp"
 
 namespace adaparse::serve {
 
@@ -43,22 +45,20 @@ enum class JobState : std::uint8_t {
   kFailed,     ///< a slice threw; error() carries the message
 };
 
+/// The state's wire name ("queued", "running", ...) — part of the /v1
+/// API vocabulary; these strings are frozen (see tests/http_test.cpp).
 const char* job_state_name(JobState state);
+/// Inverse of job_state_name; nullopt for any unknown spelling.
+std::optional<JobState> job_state_parse(std::string_view name);
 bool job_state_terminal(JobState state);
 
-/// One parse request as submitted by a tenant.
+/// One parse request as submitted by a tenant: the serializable spec plus
+/// an optional in-process document source. When `source` is null the
+/// service materializes one from spec.make_source() (the wire path always
+/// does this); a non-null source overrides the spec's documents section.
 struct JobRequest {
-  std::string tenant = "default";
-  /// Per-job engine configuration (alpha, batch size, variant). The
-  /// `threads` field is ignored: the service owns the worker pool.
-  core::EngineConfig engine;
+  JobSpec spec;
   std::unique_ptr<core::DocumentSource> source;
-  /// Higher runs earlier among this tenant's queued jobs (FIFO within a
-  /// priority level).
-  int priority = 0;
-  /// Time allowed from submission before the job becomes deadline-urgent;
-  /// zero = no deadline. Urgent jobs jump the fair-share rotation.
-  std::chrono::milliseconds deadline{0};
 };
 
 /// One finished document, exactly as the engine would have produced it in
@@ -117,6 +117,13 @@ class ParseJob {
   /// Engine statistics aggregated over every executed slice.
   core::EngineStats stats() const;
 
+  /// Installs a progress hook invoked (outside the job lock) whenever new
+  /// records land in the handle or the job reaches a terminal state. Used
+  /// by the HTTP layer to wake its event loop instead of polling; pass
+  /// nullptr to clear. The hook must be cheap and must not call back into
+  /// the job or service.
+  void set_notify(std::function<void()> fn);
+
  private:
   friend class ParseService;
 
@@ -141,6 +148,13 @@ class ParseJob {
 
   // ---- shared state ----
   std::atomic<bool> cancel_{false};
+  /// Set by ParseService::set_job_paused (connection backpressure): a
+  /// paused job's slices stop being scheduled; already-running slices
+  /// finish normally.
+  std::atomic<bool> paused_{false};
+  /// Progress hook (see set_notify); shared_ptr so a concurrent
+  /// set_notify(nullptr) cannot free it mid-call.
+  std::shared_ptr<const std::function<void()>> notify_;
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   JobState state_ = JobState::kQueued;

@@ -1,0 +1,91 @@
+// serve::JobSpec — the serializable half of a parse job.
+//
+// One schema, two transports: the wire path (POST /v1/parse) parses a
+// JobSpec out of a JSON body, and the in-process path embeds the same
+// struct inside serve::JobRequest, so the external API and the library
+// API cannot drift apart. The spec carries everything a job needs that
+// *can* be written down — tenant, engine knobs, priority, deadline, and
+// a documents section (inline documents, a deterministic generator ref,
+// or a staged shard file) — while the in-process-only part (a live
+// core::DocumentSource) stays on JobRequest as an optional override.
+//
+// from_json() is strict: unknown keys, wrong types, and out-of-range
+// values all throw SpecError naming the offending field, which the HTTP
+// layer maps onto the /v1 error envelope verbatim.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/doc_source.hpp"
+#include "core/engine.hpp"
+#include "doc/generator.hpp"
+#include "util/json.hpp"
+
+namespace adaparse::serve {
+
+/// A spec validation failure: `field()` is the dotted path of the bad
+/// field (e.g. "engine.alpha"), what() a human-readable reason.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(std::string field, const std::string& message)
+      : std::runtime_error(field + ": " + message),
+        field_(std::move(field)) {}
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// One document supplied inline over the wire. Builds a born-digital
+/// synthetic document whose text layer equals its groundtruth, so quality
+/// metrics behave as for a pristine source.
+struct InlineDocument {
+  std::string id;
+  std::vector<std::string> pages;
+  std::uint64_t seed = 0;  ///< per-document noise stream seed
+};
+
+struct JobSpec {
+  std::string tenant = "default";
+  /// Engine knobs (variant/alpha/batch_size/cls2_threshold). `threads`
+  /// and `cls1_rules` are service-owned and not part of the wire schema.
+  core::EngineConfig engine;
+  int priority = 0;
+  /// Zero = no deadline; otherwise the deadline-boost window.
+  std::chrono::milliseconds deadline{0};
+
+  /// Which documents section is populated.
+  enum class Documents : std::uint8_t {
+    kNone,       ///< in-process caller supplies JobRequest::source
+    kInline,     ///< documents shipped in the request body
+    kGenerator,  ///< deterministic synthetic-corpus reference
+    kShardFile,  ///< staged shard archive on service-local storage
+  };
+  Documents documents = Documents::kNone;
+  std::vector<InlineDocument> inline_docs;
+  doc::GeneratorConfig generator;
+  std::string shard_file;
+
+  /// Serializes the wire schema (documents section included only when
+  /// present). Round-trips through from_json for every wire-visible
+  /// field.
+  util::Json to_json() const;
+  /// Parses + validates; throws SpecError naming the bad field.
+  static JobSpec from_json(const util::Json& json);
+  /// Range/shape validation only (from_json calls this last).
+  void validate() const;
+
+  /// Materializes the documents section as a self-owning source.
+  /// Throws SpecError (kNone) or std::runtime_error (unreadable shard).
+  std::unique_ptr<core::DocumentSource> make_source() const;
+};
+
+/// The engine-knob names used on the wire ("fasttext" / "llm") — distinct
+/// from core::variant_name(), which is the paper's display string.
+const char* variant_wire_name(core::Variant v);
+
+}  // namespace adaparse::serve

@@ -181,8 +181,21 @@ ScheduleItem ParseService::make_item(const JobHandle& job) const {
 
 JobHandle ParseService::submit(JobRequest request) {
   const auto now = ParseJob::Clock::now();
-  const std::string tenant = request.tenant;
+  const std::string tenant = request.spec.tenant;
   metrics_.on_submitted(tenant);
+
+  // Wire path: no live source, so materialize one from the spec's
+  // documents section. A bad spec becomes a rejection, not an exception —
+  // the caller always gets a handle.
+  std::string source_error;
+  if (!request.source &&
+      request.spec.documents != JobSpec::Documents::kNone) {
+    try {
+      request.source = request.spec.make_source();
+    } catch (const std::exception& e) {
+      source_error = std::string("spec: ") + e.what();
+    }
+  }
 
   std::uint64_t id;
   {
@@ -213,6 +226,7 @@ JobHandle ParseService::submit(JobRequest request) {
     return job;
   };
 
+  if (!source_error.empty()) return reject(std::move(source_error));
   if (!job->source_) return reject("no document source");
   try {
     job->engine_ = std::make_unique<core::AdaParseEngine>(
@@ -262,6 +276,29 @@ void ParseService::set_tenant_weight(const std::string& tenant,
   scheduler_.set_weight(tenant, weight);
 }
 
+void ParseService::set_job_paused(const JobHandle& job, bool paused) {
+  if (!job) return;
+  job->paused_.store(paused, std::memory_order_relaxed);
+  if (paused) {
+    // The dispatchers' park pass (or the requeue path) moves the job out
+    // of the scheduler at its next touch; nudge them so a queued job is
+    // parked promptly rather than at the next natural wake.
+    wake_.try_push(0);
+    return;
+  }
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = parked_.find(job->id());
+    if (it != parked_.end()) {
+      scheduler_.requeue(std::move(it->second));
+      parked_.erase(it);
+      resumed = true;
+    }
+  }
+  if (resumed) wake_.try_push(0);
+}
+
 std::size_t ParseService::queued_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return scheduler_.queued();
@@ -275,6 +312,11 @@ std::size_t ParseService::running_jobs() const {
 std::size_t ParseService::resident_documents() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return resident_docs_;
+}
+
+std::size_t ParseService::parked_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parked_.size();
 }
 
 void ParseService::update_gauges() const {
@@ -365,6 +407,8 @@ void ParseService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     leftovers = scheduler_.take_all();
+    for (auto& [id, item] : parked_) leftovers.push_back(std::move(item));
+    parked_.clear();
   }
   for (auto& item : leftovers) {
     finalize(item.job, JobState::kCancelled, "service shutdown");
@@ -387,10 +431,12 @@ void ParseService::dispatcher_loop() {
     (void)wake_.pop_for(config_.dispatch_poll);
     if (stopping_.load(std::memory_order_relaxed)) return;
 
-    // Reap jobs cancelled while still queued: finalizing them here (instead
-    // of when their fair-share turn would have come) releases their
-    // admission capacity immediately, so cancelled work cannot keep the
-    // watermarks tripped against other tenants.
+    // Reap jobs cancelled while still queued or parked: finalizing them
+    // here (instead of when their fair-share turn would have come)
+    // releases their admission capacity immediately, so cancelled work
+    // cannot keep the watermarks tripped against other tenants. The same
+    // pass parks queued jobs whose connection backpressured them
+    // (set_job_paused) — cancel wins over pause.
     std::vector<ScheduleItem> reaped;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -398,6 +444,23 @@ void ParseService::dispatcher_loop() {
         return item.job &&
                item.job->cancel_.load(std::memory_order_relaxed);
       });
+      for (auto it = parked_.begin(); it != parked_.end();) {
+        if (it->second.job &&
+            it->second.job->cancel_.load(std::memory_order_relaxed)) {
+          reaped.push_back(std::move(it->second));
+          it = parked_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      auto to_park = scheduler_.take_if([](const ScheduleItem& item) {
+        return item.job &&
+               item.job->paused_.load(std::memory_order_relaxed);
+      });
+      for (auto& item : to_park) {
+        const std::uint64_t id = item.id;
+        parked_.emplace(id, std::move(item));
+      }
     }
     for (const auto& item : reaped) {
       finalize(item.job, JobState::kCancelled, "");
@@ -491,11 +554,16 @@ void ParseService::run_slice(const JobHandle& job) {
           // Slice-local indices become corpus-global ones, matching what
           // a standalone run would have produced.
           out.decision.doc_index = base + decision.doc_index;
+          std::shared_ptr<const std::function<void()>> notify;
           {
             std::lock_guard<std::mutex> lock(j.mutex_);
             j.pending_.push_back(std::move(out));
             ++j.docs_completed_;
+            notify = j.notify_;
           }
+          // Progress hook fires outside the job lock (it may wake an
+          // event loop, which must never re-enter the job).
+          if (notify) (*notify)();
           ++slice_docs_done;
           // Scripted latency spikes land on the writer thread, after the
           // record is safely delivered: the slice slows down end-to-end
@@ -538,7 +606,13 @@ void ParseService::run_slice(const JobHandle& job) {
     finalize(job, JobState::kCompleted, "");
   } else {
     std::lock_guard<std::mutex> lock(mutex_);
-    scheduler_.requeue(make_item(job));
+    if (j.paused_.load(std::memory_order_relaxed)) {
+      // Backpressured mid-job: the next slice waits for the connection to
+      // drain instead of producing records nobody can take yet.
+      parked_.emplace(j.id(), make_item(job));
+    } else {
+      scheduler_.requeue(make_item(job));
+    }
   }
 }
 
@@ -546,6 +620,7 @@ void ParseService::finalize(const JobHandle& job, JobState state,
                             std::string error) {
   ParseJob& j = *job;
   double latency;
+  std::shared_ptr<const std::function<void()>> notify;
   {
     std::lock_guard<std::mutex> lock(j.mutex_);
     if (job_state_terminal(j.state_)) return;  // already settled
@@ -554,8 +629,10 @@ void ParseService::finalize(const JobHandle& job, JobState state,
     j.finished_ = ParseJob::Clock::now();
     j.finished_set_ = true;
     latency = seconds_between(j.submitted_, j.finished_);
+    notify = j.notify_;
   }
   j.cv_.notify_all();
+  if (notify) (*notify)();
   {
     auto& tracer = obs::Tracer::instance();
     if (tracer.enabled()) {

@@ -144,6 +144,14 @@ class ParseService {
   /// Takes effect at the tenant's next scheduler visit.
   void set_tenant_weight(const std::string& tenant, double weight);
 
+  /// Connection backpressure: while paused, a job's remaining slices are
+  /// parked instead of scheduled (in-flight slices finish normally, and
+  /// their records stay in the handle). Unpausing requeues a parked job
+  /// immediately. The job keeps its admission charge while parked — a
+  /// stalled consumer holds its own resident-work reservation, not the
+  /// worker pool. No-op on terminal jobs; cancel() overrides a pause.
+  void set_job_paused(const JobHandle& job, bool paused);
+
   /// Blocks until no job is queued or running.
   void drain();
 
@@ -176,6 +184,10 @@ class ParseService {
   std::size_t queued_jobs() const;
   std::size_t running_jobs() const;
   std::size_t resident_documents() const;
+  /// Jobs currently parked by set_job_paused (not queued, not running).
+  /// Note plain drain() returns once nothing is *runnable* — parked jobs
+  /// don't block it; deadline drain/shutdown cancels them.
+  std::size_t parked_jobs() const;
 
  private:
   void dispatcher_loop();
@@ -213,6 +225,10 @@ class ParseService {
   bool shut_down_ = false;
   /// Every admitted, non-terminal job — what a deadline drain must cancel.
   std::map<std::uint64_t, JobHandle> active_jobs_;
+  /// Jobs sidelined by set_job_paused: their schedule item waits here (not
+  /// in the scheduler) until resume requeues it or cancel/shutdown reaps
+  /// it. Guarded by mutex_.
+  std::map<std::uint64_t, ScheduleItem> parked_;
 
   // ---- SLO controller (present only when ServiceConfig opts in) ----
   /// Live actuator values, read lock-free on the hot paths (route-window

@@ -411,8 +411,8 @@ TEST(ControlServiceTest, LiveTicksJournalAndReplayIdentically) {
                          std::make_shared<core::Cls2Improver>());
     for (int i = 0; i < 3; ++i) {
       JobRequest request;
-      request.tenant = "t";
-      request.engine = ft_engine();
+      request.spec.tenant = "t";
+      request.spec.engine = ft_engine();
       request.source = std::make_unique<core::GeneratorSource>(
           doc::benchmark_config(32, 1000 + static_cast<std::uint64_t>(i)));
       service.submit(std::move(request))->wait();

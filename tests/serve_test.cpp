@@ -54,8 +54,8 @@ JobRequest make_request(std::string tenant,
                         const std::vector<doc::Document>& docs,
                         std::size_t batch_size, double alpha = 0.25) {
   JobRequest request;
-  request.tenant = std::move(tenant);
-  request.engine = ft_config(batch_size, alpha);
+  request.spec.tenant = std::move(tenant);
+  request.spec.engine = ft_config(batch_size, alpha);
   request.source = std::make_unique<core::VectorSource>(docs);
   return request;
 }
@@ -454,8 +454,8 @@ TEST(ParseServiceTest, JobResultsByteIdenticalToStandaloneRun) {
   ParseService service(config, nullptr, shared_improver());
 
   JobRequest request;
-  request.tenant = "solo";
-  request.engine = engine_config;
+  request.spec.tenant = "solo";
+  request.spec.engine = engine_config;
   request.source = std::make_unique<core::VectorSource>(docs);
   auto job = service.submit(std::move(request));
   job->wait();
@@ -530,8 +530,8 @@ TEST(ParseServiceTest, EqualWeightsGetEqualDocumentShareUnderContention) {
   std::vector<JobHandle> jobs_b;
   for (int i = 0; i < 3; ++i) {
     JobRequest request;
-    request.tenant = "b";
-    request.engine = ft_config(16);
+    request.spec.tenant = "b";
+    request.spec.engine = ft_config(16);
     auto begin = docs_b.begin() + i * 100;
     auto slice = std::make_shared<std::vector<doc::Document>>(
         begin, i == 2 ? docs_b.end() : begin + 100);
@@ -585,8 +585,8 @@ TEST(ParseServiceTest, AdmissionRejectsPastQueueDepthWatermark) {
   auto gate_source = std::make_unique<GateSource>(docs);
   GateSource* gate = gate_source.get();
   JobRequest blocked;
-  blocked.tenant = "x";
-  blocked.engine = ft_config(16);
+  blocked.spec.tenant = "x";
+  blocked.spec.engine = ft_config(16);
   blocked.source = std::move(gate_source);
   auto running = service.submit(std::move(blocked));
 
@@ -627,8 +627,8 @@ TEST(ParseServiceTest, AdmissionRejectsPastResidentWorkWatermark) {
   auto gate_source = std::make_unique<GateSource>(docs);
   GateSource* gate = gate_source.get();
   JobRequest blocked;
-  blocked.tenant = "x";
-  blocked.engine = ft_config(16);
+  blocked.spec.tenant = "x";
+  blocked.spec.engine = ft_config(16);
   blocked.source = std::move(gate_source);
   auto running = service.submit(std::move(blocked));  // resident: 40
 
@@ -653,8 +653,8 @@ TEST(ParseServiceTest, LlmJobWithoutPredictorIsRejectedNotCrashed) {
   ParseService service(config, nullptr, shared_improver());
   const auto docs = mixed_corpus(8, 333);
   JobRequest request;
-  request.tenant = "x";
-  request.engine.variant = core::Variant::kLlm;  // predictor required
+  request.spec.tenant = "x";
+  request.spec.engine.variant = core::Variant::kLlm;  // predictor required
   request.source = std::make_unique<core::VectorSource>(docs);
   auto job = service.submit(std::move(request));
   EXPECT_EQ(job->state(), JobState::kRejected);
@@ -676,8 +676,8 @@ TEST(ParseServiceTest, CancellingARunningJobKeepsOtherJobsIntact) {
   ParseService service(config, nullptr, shared_improver());
 
   JobRequest big;
-  big.tenant = "big";
-  big.engine = ft_config(16);
+  big.spec.tenant = "big";
+  big.spec.engine = ft_config(16);
   big.source = std::make_unique<core::GeneratorSource>(generated);
   auto job_big = service.submit(std::move(big));
   auto job_small = service.submit(make_request("small", docs_small, 16));
@@ -729,8 +729,8 @@ TEST(ParseServiceTest, CancellingQueuedJobsReleasesAdmissionCapacity) {
 
   // Keep the dispatcher cycling on a long-running tenant.
   JobRequest busy;
-  busy.tenant = "busy";
-  busy.engine = ft_config(16);
+  busy.spec.tenant = "busy";
+  busy.spec.engine = ft_config(16);
   busy.source = std::make_unique<core::GeneratorSource>(long_job);
   auto job_busy = service.submit(std::move(busy));  // resident: 4000
 
@@ -761,8 +761,8 @@ TEST(ParseServiceTest, ShutdownCancelsQueuedJobsAndDrainsCleanly) {
   auto gate_source = std::make_unique<GateSource>(docs);
   GateSource* gate = gate_source.get();
   JobRequest blocked;
-  blocked.tenant = "x";
-  blocked.engine = ft_config(16);
+  blocked.spec.tenant = "x";
+  blocked.spec.engine = ft_config(16);
   blocked.source = std::move(gate_source);
   auto running = service.submit(std::move(blocked));
   auto queued = service.submit(make_request("x", docs, 16));

@@ -1,7 +1,9 @@
 // A standalone AdaParse network front end: serve::ParseService behind the
 // /v1 HTTP API, running until SIGINT/SIGTERM.
 //
-// Build & run:  ./build/examples/http_server [port]     (default 8080)
+// Build & run:  ./build/examples/http_server [port] [--shard-root DIR]
+//               (default port 8080; without --shard-root, wire
+//               documents.shard_file specs answer 403)
 //
 // Then, from another terminal:
 //
@@ -38,10 +40,16 @@ void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 int main(int argc, char** argv) {
   std::uint16_t port = 8080;
-  if (argc > 1) {
-    const int parsed = std::atoi(argv[1]);
+  std::string shard_root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shard-root" && i + 1 < argc) {
+      shard_root = argv[++i];
+      continue;
+    }
+    const int parsed = std::atoi(arg.c_str());
     if (parsed <= 0 || parsed > 65535) {
-      std::cerr << "usage: http_server [port]\n";
+      std::cerr << "usage: http_server [port] [--shard-root DIR]\n";
       return 2;
     }
     port = static_cast<std::uint16_t>(parsed);
@@ -55,6 +63,7 @@ int main(int argc, char** argv) {
 
   serve::http::HttpServerConfig http_config;
   http_config.port = port;
+  http_config.shard_root = shard_root;
   serve::http::HttpServer server(service, http_config);
 
   struct sigaction action {};

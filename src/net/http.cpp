@@ -154,6 +154,22 @@ bool RequestParser::finish_headers() {
     fail(400, "both Transfer-Encoding and Content-Length");
     return false;
   }
+  // Duplicate framing headers are the other smuggling vector: a proxy
+  // that honors the field we ignore desynchronizes from us (RFC 9112
+  // requires rejecting conflicting Content-Length; we reject repeats
+  // outright, conflicting or not).
+  std::size_t te_fields = 0;
+  std::size_t cl_fields = 0;
+  for (const auto& [key, value] : request_.headers) {
+    (void)value;
+    if (key == "transfer-encoding") ++te_fields;
+    if (key == "content-length") ++cl_fields;
+  }
+  if (te_fields > 1 || cl_fields > 1) {
+    fail(400, te_fields > 1 ? "duplicate Transfer-Encoding"
+                            : "duplicate Content-Length");
+    return false;
+  }
   if (te) {
     if (!iequals(trim(*te), "chunked")) {
       fail(501, "unsupported Transfer-Encoding: " + *te);
@@ -343,6 +359,7 @@ const char* status_reason(int status) {
     case 202: return "Accepted";
     case 204: return "No Content";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";

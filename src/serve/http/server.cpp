@@ -1,5 +1,13 @@
 #include "serve/http/server.hpp"
 
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -60,6 +68,22 @@ HttpServer::HttpServer(ParseService& service, HttpServerConfig config)
   registry_.declare("adaparse_http_requests_total",
                     "HTTP requests by route and status",
                     obs::Registry::Kind::kCounter);
+  wake_token_->loop = &loop_;
+  if (!config_.shard_root.empty()) {
+    // Canonicalize once: every wire shard path must resolve strictly
+    // inside this directory. A root that does not resolve is a config
+    // error, surfaced before any thread starts.
+    char resolved[PATH_MAX];
+    if (::realpath(config_.shard_root.c_str(), resolved) == nullptr) {
+      throw std::runtime_error("http: shard_root does not resolve: " +
+                               config_.shard_root);
+    }
+    shard_root_ = resolved;
+    if (shard_root_ == "/") {
+      throw std::runtime_error("http: shard_root must not be /");
+    }
+    shard_thread_ = std::thread([this] { shard_loader_loop(); });
+  }
   loop_.add(listener_.fd(), net::EventLoop::kReadable,
             [this](std::uint32_t) { on_accept(); });
   thread_ = std::thread(
@@ -69,13 +93,26 @@ HttpServer::HttpServer(ParseService& service, HttpServerConfig config)
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::stop() {
-  if (stopped_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
-    return;
+  // Serialized: a concurrent caller waits here until the winner has
+  // joined, then sees stopped_ and returns — two threads never race a
+  // join on the same std::thread.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    shard_stop_ = true;
   }
+  shard_cv_.notify_all();
+  if (shard_thread_.joinable()) shard_thread_.join();
   loop_.post([this] { shutdown_on_loop(); });
   loop_.stop();
   thread_.join();
+  // A dispatcher may still hold a copy of a job's notify hook taken just
+  // before shutdown_on_loop cleared it; invalidating the token here (the
+  // loop object is still alive, and is destroyed only after stop()
+  // returns) turns any late call into a no-op instead of a use-after-free.
+  std::lock_guard<std::mutex> lock(wake_token_->mutex);
+  wake_token_->loop = nullptr;
 }
 
 void HttpServer::shutdown_on_loop() {
@@ -97,6 +134,7 @@ void HttpServer::on_accept() {
     connections_total_.add(1);
     const int fd = socket.get();
     auto conn = std::make_unique<Connection>(std::move(socket));
+    conn->serial = next_serial_++;
     conn->parser = net::http::RequestParser(config_.limits);
     conn->interest = net::EventLoop::kReadable;
     loop_.add(fd, net::EventLoop::kReadable,
@@ -144,7 +182,13 @@ void HttpServer::on_event(int fd, std::uint32_t events) {
       if (r.status == net::IoStatus::kOk) {
         bytes_received_.add(r.bytes);
         conn->inbuf.append(buf, r.bytes);
-        if (conn->job && conn->inbuf.size() > kPipelinedBufferCap) break;
+        // Park the read whenever either buffer is saturated — not just
+        // during a stream: a client pipelining requests while never
+        // reading responses must hit TCP flow control, not grow outbuf.
+        if (conn->inbuf.size() > kPipelinedBufferCap ||
+            conn->outbuf.size() >= config_.write_high_watermark) {
+          break;
+        }
         continue;
       }
       if (r.status == net::IoStatus::kWouldBlock) break;
@@ -155,10 +199,11 @@ void HttpServer::on_event(int fd, std::uint32_t events) {
       close_connection(fd, /*disconnected=*/true);
       return;
     }
-    if (conn->read_eof && conn->job) {
+    if (conn->read_eof && (conn->job || conn->shard_pending)) {
       // The peer is gone mid-stream (a half-close from a client that
       // still wants the body is indistinguishable and unsupported):
-      // cancel the job rather than parse for nobody.
+      // cancel the job rather than parse for nobody. A pending shard
+      // load is likewise abandoned (its completion sees a new serial).
       close_connection(fd, /*disconnected=*/true);
       return;
     }
@@ -177,9 +222,15 @@ void HttpServer::on_event(int fd, std::uint32_t events) {
 }
 
 void HttpServer::process_input(Connection& conn) {
-  // A streamed response owns the connection until its done line; any
-  // pipelined requests wait in inbuf (bounded by kPipelinedBufferCap).
-  while (!conn.job && !conn.want_close && !conn.inbuf.empty()) {
+  // A streamed response (or an in-flight shard load) owns the connection
+  // until it completes; any pipelined requests wait in inbuf (bounded by
+  // kPipelinedBufferCap). Dispatching also pauses at the write high
+  // watermark so a client that never reads cannot amplify tiny requests
+  // into unbounded buffered responses — flush() resumes under the low
+  // watermark.
+  while (!conn.job && !conn.shard_pending && !conn.want_close &&
+         !conn.inbuf.empty() &&
+         conn.outbuf.size() < config_.write_high_watermark) {
     std::size_t consumed = 0;
     const net::http::ParseStatus status =
         conn.parser.consume(conn.inbuf, &consumed);
@@ -244,22 +295,180 @@ void HttpServer::handle_parse(Connection& conn,
                "documents: required on the wire", request.keep_alive);
     return;
   }
+  if (spec.documents == JobSpec::Documents::kShardFile) {
+    // Never let the wire name arbitrary server paths, and never read a
+    // file on the event-loop thread (a slow disk — or a FIFO swapped in
+    // behind the path — would stall every connection): without a
+    // configured shard root the section is refused outright; with one,
+    // the load runs confined on shard_thread_ and completes back here.
+    if (shard_root_.empty()) {
+      send_error(conn, "/v1/parse", 403, "shard_file_forbidden",
+                 "documents.shard_file is not enabled on this server",
+                 request.keep_alive);
+      return;
+    }
+    conn.shard_pending = true;
+    ShardLoad load;
+    load.fd = conn.fd.get();
+    load.serial = conn.serial;
+    load.spec = std::move(spec);
+    load.keep_alive = request.keep_alive;
+    load.chunked = request.version_minor >= 1;
+    {
+      std::lock_guard<std::mutex> lock(shard_mutex_);
+      shard_queue_.push_back(std::move(load));
+    }
+    shard_cv_.notify_one();
+    return;
+  }
+  // Chunked framing needs HTTP/1.1; a 1.0 client gets the same stream
+  // delimited by connection close instead.
+  start_parse_job(conn, std::move(spec), nullptr, request.keep_alive,
+                  /*chunked=*/request.version_minor >= 1);
+}
 
+void HttpServer::start_parse_job(
+    Connection& conn, JobSpec spec,
+    std::unique_ptr<core::DocumentSource> source, bool keep_alive,
+    bool chunked) {
   JobRequest job_request;
   job_request.spec = std::move(spec);
+  job_request.source = std::move(source);
   JobHandle job = service_.submit(std::move(job_request));
   if (job->state() == JobState::kRejected) {
     const RejectStatus rs = classify_reject(job->error());
     send_error(conn, "/v1/parse", rs.http_status, rs.code, job->error(),
-               request.keep_alive);
+               keep_alive);
     return;
   }
   jobs_.emplace(job->id(), job);
   trim_jobs();
-  // Chunked framing needs HTTP/1.1; a 1.0 client gets the same stream
-  // delimited by connection close instead.
-  begin_stream(conn, std::move(job), request.keep_alive,
-               /*chunked=*/request.version_minor >= 1);
+  begin_stream(conn, std::move(job), keep_alive, chunked);
+}
+
+void HttpServer::shard_loader_loop() {
+  for (;;) {
+    ShardLoad load;
+    {
+      std::unique_lock<std::mutex> lock(shard_mutex_);
+      shard_cv_.wait(lock, [this] {
+        return shard_stop_ || !shard_queue_.empty();
+      });
+      // Queued loads die with their connections at shutdown.
+      if (shard_stop_) return;
+      load = std::move(shard_queue_.front());
+      shard_queue_.pop_front();
+    }
+    int status = 0;
+    std::string code;
+    std::string message;
+    std::string blob;
+    std::unique_ptr<core::DocumentSource> source;
+    if (load_shard_blob(load.spec.shard_file, &blob, &status, &code,
+                        &message)) {
+      try {
+        source = std::make_unique<core::ShardSource>(std::move(blob));
+      } catch (const std::exception& e) {
+        status = 400;
+        code = "shard_malformed";
+        message = std::string("documents.shard_file: ") + e.what();
+      }
+    }
+    // shared_ptr detour: loop_.post takes a copyable std::function.
+    auto shared_source =
+        std::make_shared<std::unique_ptr<core::DocumentSource>>(
+            std::move(source));
+    loop_.post([this, load = std::move(load), shared_source, status,
+                code = std::move(code), message = std::move(message)] {
+      finish_shard_load(load, std::move(*shared_source), status, code,
+                        message);
+    });
+  }
+}
+
+bool HttpServer::load_shard_blob(const std::string& name, std::string* blob,
+                                 int* status, std::string* code,
+                                 std::string* message) const {
+  const auto reject = [&](int s, const char* c, const char* m) {
+    *status = s;
+    *code = c;
+    *message = m;
+    return false;
+  };
+  if (name.empty() || name.front() == '/') {
+    return reject(400, "shard_unavailable",
+                  "documents.shard_file: must be a relative path");
+  }
+  for (const char ch : name) {
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return reject(400, "shard_unavailable",
+                    "documents.shard_file: contains control characters");
+    }
+  }
+  // realpath resolves symlinks and dot segments, so a "../" (or a
+  // symlink pointing outside) cannot escape the root.
+  char resolved[PATH_MAX];
+  const std::string candidate = shard_root_ + "/" + name;
+  if (::realpath(candidate.c_str(), resolved) == nullptr) {
+    return reject(404, "shard_unavailable",
+                  "documents.shard_file: no such shard");
+  }
+  const std::string real(resolved);
+  if (real.size() <= shard_root_.size() ||
+      real.compare(0, shard_root_.size(), shard_root_) != 0 ||
+      real[shard_root_.size()] != '/') {
+    return reject(400, "shard_unavailable",
+                  "documents.shard_file: outside the shard root");
+  }
+  // fstat AFTER open: the type/size checks and the read see the same
+  // inode, so nothing swapped in between can bypass them.
+  const int fd = ::open(real.c_str(), O_RDONLY | O_NONBLOCK | O_CLOEXEC);
+  if (fd < 0) {
+    return reject(404, "shard_unavailable",
+                  "documents.shard_file: cannot open shard");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return reject(400, "shard_unavailable",
+                  "documents.shard_file: not a regular file");
+  }
+  if (static_cast<std::uint64_t>(st.st_size) > config_.max_shard_bytes) {
+    ::close(fd);
+    return reject(413, "shard_too_large",
+                  "documents.shard_file: exceeds max_shard_bytes");
+  }
+  blob->resize(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < blob->size()) {
+    const ssize_t n = ::read(fd, blob->data() + off, blob->size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // truncated beneath us: the codec will reject it
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  blob->resize(off);
+  return true;
+}
+
+void HttpServer::finish_shard_load(
+    ShardLoad load, std::unique_ptr<core::DocumentSource> source,
+    int error_status, const std::string& error_code,
+    const std::string& error_message) {
+  const auto it = conns_.find(load.fd);
+  if (it == conns_.end() || it->second->serial != load.serial) {
+    return;  // connection closed (or fd recycled) while we were reading
+  }
+  Connection& conn = *it->second;
+  conn.shard_pending = false;
+  if (!source) {
+    send_error(conn, "/v1/parse", error_status, error_code, error_message,
+               load.keep_alive);
+  } else {
+    start_parse_job(conn, std::move(load.spec), std::move(source),
+                    load.keep_alive, load.chunked);
+  }
+  flush(conn);  // may close the connection
 }
 
 void HttpServer::handle_job(Connection& conn,
@@ -343,9 +552,17 @@ void HttpServer::begin_stream(Connection& conn, JobHandle job,
                     .dump() +
                 "\n");
   // Dispatcher threads wake the loop as records land; wake() is
-  // thread-safe and coalescing, so this is cheap per record.
-  net::EventLoop* loop = &loop_;
-  conn.job->set_notify([loop] { loop->wake(); });
+  // thread-safe and coalescing, so this is cheap per record. The hook
+  // goes through the weak wake token (invalidated in stop() after the
+  // loop thread joins) so a copy that outlives the server is a no-op,
+  // not a use-after-free.
+  std::weak_ptr<WakeToken> token = wake_token_;
+  conn.job->set_notify([token] {
+    const std::shared_ptr<WakeToken> t = token.lock();
+    if (!t) return;
+    std::lock_guard<std::mutex> lock(t->mutex);
+    if (t->loop) t->loop->wake();
+  });
   pump_stream(conn);
 }
 
@@ -459,6 +676,12 @@ void HttpServer::flush(Connection& conn) {
     conn.job_paused = false;
     pump_stream(conn);
   }
+  if (!conn.job && !conn.shard_pending && !conn.inbuf.empty() &&
+      conn.outbuf.size() < config_.write_low_watermark) {
+    // Pipelined requests parked at the write high watermark resume once
+    // the client has drained its responses.
+    process_input(conn);
+  }
   if (conn.outbuf.empty() && conn.want_close && !conn.job) {
     close_connection(fd, /*disconnected=*/false);
     return;
@@ -469,7 +692,8 @@ void HttpServer::flush(Connection& conn) {
 void HttpServer::update_interest(Connection& conn) {
   std::uint32_t want = 0;
   const bool read_parked =
-      conn.job && conn.inbuf.size() > kPipelinedBufferCap;
+      conn.inbuf.size() > kPipelinedBufferCap ||
+      conn.outbuf.size() >= config_.write_high_watermark;
   if (!conn.read_eof && !read_parked) want |= net::EventLoop::kReadable;
   if (!conn.outbuf.empty()) want |= net::EventLoop::kWritable;
   if (want != conn.interest) {

@@ -26,9 +26,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -37,6 +40,7 @@
 #include "net/http.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "serve/job_spec.hpp"
 #include "serve/service.hpp"
 
 namespace adaparse::serve::http {
@@ -53,6 +57,15 @@ struct HttpServerConfig {
   std::size_t write_low_watermark = 64 * 1024;
   /// Upper bound on one epoll wait — the loop's housekeeping cadence.
   std::chrono::milliseconds idle_poll{50};
+  /// Directory that `documents.shard_file` specs arriving over the wire
+  /// resolve against. Empty (the default) answers such specs with 403:
+  /// a remote client must never get to name arbitrary server paths.
+  /// When set, the path is canonicalized and confined to this root, must
+  /// be a regular file, and is read on a helper thread — never on the
+  /// event loop. The in-process API (JobRequest) is unaffected.
+  std::string shard_root;
+  /// Largest shard file the wire path will load (413 beyond this).
+  std::size_t max_shard_bytes = 256 * 1024 * 1024;
 };
 
 class HttpServer {
@@ -79,6 +92,9 @@ class HttpServer {
  private:
   struct Connection {
     net::Fd fd;
+    /// Accept-order token: fd numbers recycle, so async completions
+    /// (shard loads) re-identify the connection by (fd, serial).
+    std::uint64_t serial = 0;
     net::http::RequestParser parser;
     std::string inbuf;   ///< received, not yet parsed (pipelining)
     std::string outbuf;  ///< serialized, not yet written
@@ -89,11 +105,32 @@ class HttpServer {
     /// inbuf.
     JobHandle job;
     bool job_paused = false;
+    /// A shard load owns the connection (like job, but pre-submit).
+    bool shard_pending = false;
     bool stream_keep_alive = false;
     bool stream_chunked = true;
     std::chrono::steady_clock::time_point request_start;
 
     explicit Connection(net::Fd socket) : fd(std::move(socket)) {}
+  };
+
+  /// One queued documents.shard_file load; resolved and read on
+  /// shard_thread_, completed back on the loop thread.
+  struct ShardLoad {
+    int fd = -1;
+    std::uint64_t serial = 0;
+    JobSpec spec;
+    bool keep_alive = false;
+    bool chunked = true;
+  };
+
+  /// Shared between the server and every notify hook it hands out: the
+  /// hooks hold a weak_ptr and re-check `loop` under the mutex, so a
+  /// dispatcher thread that copied a hook just before shutdown can never
+  /// wake a destroyed event loop.
+  struct WakeToken {
+    std::mutex mutex;
+    net::EventLoop* loop = nullptr;  ///< nulled in stop(), post-join
   };
 
   // All of these run on the loop thread.
@@ -102,6 +139,23 @@ class HttpServer {
   void process_input(Connection& conn);
   void dispatch(Connection& conn, net::http::Request request);
   void handle_parse(Connection& conn, const net::http::Request& request);
+  /// Submits the spec (with `source` overriding the spec's documents
+  /// section when non-null) and begins the stream or sends the rejection.
+  void start_parse_job(Connection& conn, JobSpec spec,
+                       std::unique_ptr<core::DocumentSource> source,
+                       bool keep_alive, bool chunked);
+  /// Runs on shard_thread_: confines + reads queued shard files off the
+  /// event loop, then posts finish_shard_load back onto it.
+  void shard_loader_loop();
+  /// Confined bounded read of one wire shard. Returns false with the
+  /// error triple filled in on any resolution/size/type failure.
+  bool load_shard_blob(const std::string& name, std::string* blob,
+                       int* status, std::string* code,
+                       std::string* message) const;
+  void finish_shard_load(ShardLoad load,
+                         std::unique_ptr<core::DocumentSource> source,
+                         int error_status, const std::string& error_code,
+                         const std::string& error_message);
   void handle_job(Connection& conn, const net::http::Request& request);
   void handle_metrics(Connection& conn, const net::http::Request& request);
   void begin_stream(Connection& conn, JobHandle job, bool keep_alive,
@@ -138,8 +192,19 @@ class HttpServer {
   /// /v1/jobs/{id} resolves against. Ordered so trim_jobs evicts oldest
   /// first. Loop thread only.
   std::map<std::uint64_t, JobHandle> jobs_;
+  std::uint64_t next_serial_ = 1;  ///< loop thread only
   std::atomic<std::size_t> open_count_{0};
   std::atomic<bool> stopped_{false};
+  std::mutex stop_mutex_;  ///< serializes stop(): only one caller joins
+  std::shared_ptr<WakeToken> wake_token_ = std::make_shared<WakeToken>();
+
+  /// Wire-shard loading (only when config.shard_root is set).
+  std::string shard_root_;  ///< canonicalized; empty = wire shards 403
+  std::mutex shard_mutex_;
+  std::condition_variable shard_cv_;
+  std::deque<ShardLoad> shard_queue_;
+  bool shard_stop_ = false;
+  std::thread shard_thread_;
 
   // adaparse_http_* families, appended to GET /metrics after the
   // service's own exposition.

@@ -10,11 +10,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +25,8 @@
 
 #include "core/engine.hpp"
 #include "doc/generator.hpp"
+#include "io/doc_codec.hpp"
+#include "io/fsio.hpp"
 #include "net/http.hpp"
 #include "serve/http/server.hpp"
 #include "serve/http/wire.hpp"
@@ -193,6 +197,25 @@ TEST(RequestParserTest, RejectsSmugglingProneFraming) {
   std::size_t consumed = 0;
   ASSERT_EQ(parser.consume(raw, &consumed), ParseStatus::kError);
   EXPECT_EQ(parser.error().status, 400);
+}
+
+TEST(RequestParserTest, RejectsDuplicateFramingHeaders) {
+  // Repeated Content-Length (or Transfer-Encoding) fields — even with
+  // identical values — are a smuggling vector behind a proxy that honors
+  // the other copy; RFC 9112 requires rejecting the conflicting case and
+  // permits rejecting repeats outright.
+  const char* cases[] = {
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\n",
+      "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n",
+  };
+  for (const char* raw : cases) {
+    RequestParser parser;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parser.consume(raw, &consumed), ParseStatus::kError) << raw;
+    EXPECT_EQ(parser.error().status, 400) << raw;
+  }
 }
 
 TEST(RequestParserTest, MapsProtocolErrorsToTheRightStatuses) {
@@ -879,6 +902,188 @@ TEST(HttpServerTest, KeepAliveServesSequentialRequests) {
   }
   EXPECT_EQ(heads, 2U);
   server.stop();
+  service.shutdown();
+}
+
+TEST(HttpServerTest, PipelinedFloodParksReadsAndAnswersEverything) {
+  // A client that pipelines many requests while never reading responses
+  // must hit TCP flow control (reads parked at the write high watermark),
+  // not grow the server's output buffer without bound — and once it does
+  // read, every parked request must still be answered, in order.
+  serve::ParseService service(small_service_config(), nullptr,
+                              shared_improver());
+  serve::http::HttpServerConfig http_config;
+  http_config.write_high_watermark = 2048;
+  http_config.write_low_watermark = 512;
+  serve::http::HttpServer server(service, http_config);
+
+  constexpr int kRequests = 30;
+  net::Fd fd = net::connect_blocking("127.0.0.1", server.port());
+  std::string flood;
+  for (int i = 0; i < kRequests - 1; ++i) {
+    flood += "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n";
+  }
+  flood += "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  send_all(fd.get(), flood);
+  // Give the server time to saturate the watermark before we drain.
+  std::this_thread::sleep_for(50ms);
+
+  const std::string raw = read_to_eof(fd.get());
+  std::size_t heads = 0;
+  for (std::size_t pos = raw.find("HTTP/1.1 200 ");
+       pos != std::string::npos; pos = raw.find("HTTP/1.1 200 ", pos + 1)) {
+    ++heads;
+  }
+  EXPECT_EQ(heads, static_cast<std::size_t>(kRequests));
+  server.stop();
+  service.shutdown();
+}
+
+TEST(HttpServerTest, ShardFileIsForbiddenWithoutAConfiguredRoot) {
+  serve::ParseService service(small_service_config(), nullptr,
+                              shared_improver());
+  serve::http::HttpServer server(service);  // no shard_root
+  const auto r = roundtrip(
+      server.port(),
+      post_parse_request("{\"documents\":{\"shard_file\":\"x.shard\"}}"));
+  EXPECT_EQ(r.status, 403);
+  EXPECT_EQ(util::Json::parse(r.body).at("error").at("code").as_string(),
+            "shard_file_forbidden");
+  server.stop();
+  service.shutdown();
+}
+
+TEST(HttpServerTest, ShardFileIsConfinedToTheShardRoot) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "adaparse_http_shards";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // A real shard inside the root...
+  doc::GeneratorConfig corpus;
+  corpus.num_documents = 12;
+  corpus.seed = 99;
+  io::write_file_atomic(
+      (root / "ok.shard").string(),
+      io::pack_corpus_shard(doc::CorpusGenerator(corpus).generate()));
+  // ...a file OUTSIDE the root (must stay unreachable)...
+  io::write_file_atomic((root.parent_path() / "outside.shard").string(),
+                        "secret");
+  // ...a symlink inside the root escaping it, and a FIFO (must not block
+  // or be read).
+  fs::create_symlink(root.parent_path() / "outside.shard", root / "link");
+  ASSERT_EQ(::mkfifo((root / "pipe.shard").c_str(), 0600), 0);
+
+  serve::ParseService service(small_service_config(), nullptr,
+                              shared_improver());
+  serve::http::HttpServerConfig http_config;
+  http_config.shard_root = root.string();
+  serve::http::HttpServer server(service, http_config);
+  const std::uint16_t port = server.port();
+
+  const auto shard_request = [](const std::string& name) {
+    return post_parse_request(
+        "{\"engine\":{\"variant\":\"fasttext\",\"batch_size\":4},"
+        "\"documents\":{\"shard_file\":\"" + name + "\"}}");
+  };
+
+  {  // happy path: the confined shard streams all its records
+    const auto r = roundtrip(port, shard_request("ok.shard"));
+    EXPECT_EQ(r.status, 200);
+    const auto lines = split_lines(r.body);
+    ASSERT_EQ(lines.size(), 12U + 2);  // created + records + done
+    EXPECT_EQ(util::Json::parse(lines.back())
+                  .at("done")
+                  .at("state")
+                  .as_string(),
+              "completed");
+  }
+  {  // dot-segment escape
+    const auto r = roundtrip(port, shard_request("../outside.shard"));
+    EXPECT_EQ(r.status, 400);
+    EXPECT_EQ(
+        util::Json::parse(r.body).at("error").at("code").as_string(),
+        "shard_unavailable");
+  }
+  {  // symlink escape
+    const auto r = roundtrip(port, shard_request("link"));
+    EXPECT_EQ(r.status, 400);
+  }
+  {  // absolute path
+    const auto r = roundtrip(
+        port, shard_request((root.parent_path() / "outside.shard")
+                                .string()));
+    EXPECT_EQ(r.status, 400);
+  }
+  {  // missing shard — and the 404 must not leak the resolved path
+    const auto r = roundtrip(port, shard_request("nope.shard"));
+    EXPECT_EQ(r.status, 404);
+    EXPECT_EQ(util::Json::parse(r.body)
+                  .at("error")
+                  .at("message")
+                  .as_string()
+                  .find(root.string()),
+              std::string::npos);
+  }
+  {  // a FIFO must be rejected as not-a-regular-file, never opened
+     // blocking (a hang here would stall this whole test)
+    const auto r = roundtrip(port, shard_request("pipe.shard"));
+    EXPECT_EQ(r.status, 400);
+  }
+  {  // garbage bytes inside the root: confined, read, rejected as
+     // malformed by the codec
+    io::write_file_atomic((root / "junk.shard").string(), "not a shard");
+    const auto r = roundtrip(port, shard_request("junk.shard"));
+    EXPECT_EQ(r.status, 400);
+    EXPECT_EQ(
+        util::Json::parse(r.body).at("error").at("code").as_string(),
+        "shard_malformed");
+  }
+  server.stop();
+  service.shutdown();
+}
+
+TEST(HttpServerTest, OversizedShardFileAnswers413) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "adaparse_http_shards_big";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  io::write_file_atomic((root / "big.shard").string(),
+                        std::string(4096, 'x'));
+
+  serve::ParseService service(small_service_config(), nullptr,
+                              shared_improver());
+  serve::http::HttpServerConfig http_config;
+  http_config.shard_root = root.string();
+  http_config.max_shard_bytes = 1024;
+  serve::http::HttpServer server(service, http_config);
+
+  const auto r = roundtrip(
+      server.port(),
+      post_parse_request(
+          "{\"documents\":{\"shard_file\":\"big.shard\"}}"));
+  EXPECT_EQ(r.status, 413);
+  EXPECT_EQ(util::Json::parse(r.body).at("error").at("code").as_string(),
+            "shard_too_large");
+  server.stop();
+  service.shutdown();
+}
+
+TEST(HttpServerTest, ConcurrentStopCallsAreSerialized) {
+  serve::ParseService service(small_service_config(), nullptr,
+                              shared_improver());
+  auto server = std::make_unique<serve::http::HttpServer>(service);
+  // Rule out the double-join race: every caller either performs the full
+  // shutdown or waits for the winner — never two joins of one thread.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&] { server->stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  server->stop();  // still idempotent afterwards
+  server.reset();
   service.shutdown();
 }
 
